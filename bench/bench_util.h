@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches. Each
+ * bench binary prints the rows/series of one paper artifact so the
+ * output can be compared side by side with the paper (shape, not
+ * absolute numbers -- see EXPERIMENTS.md).
+ */
+
+#ifndef REGATE_BENCH_BENCH_UTIL_H
+#define REGATE_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/report.h"
+
+namespace regate {
+namespace bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::cout << "==============================================="
+                 "=============\n"
+              << artifact << ": " << caption << "\n"
+              << "==============================================="
+                 "=============\n";
+}
+
+/** The generations most figures sweep (A..D; E only in Fig. 23). */
+inline std::vector<arch::NpuGeneration>
+paperGenerations()
+{
+    return {arch::NpuGeneration::A, arch::NpuGeneration::B,
+            arch::NpuGeneration::C, arch::NpuGeneration::D};
+}
+
+/** The §6.5 sensitivity workload set. */
+inline std::vector<models::Workload>
+sensitivityWorkloads()
+{
+    return {models::Workload::Train405B, models::Workload::Prefill405B,
+            models::Workload::Decode405B, models::Workload::DlrmL,
+            models::Workload::DiTXL};
+}
+
+/** Short generation label ("A".."E"). */
+inline std::string
+genLabel(arch::NpuGeneration gen)
+{
+    return arch::generationName(gen);
+}
+
+}  // namespace bench
+}  // namespace regate
+
+#endif  // REGATE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 2: energy efficiency (J/iter, J/token, J/request, J/image) of
+ * every workload on NPU generations A..D, each at its most
+ * energy-efficient SLO-compliant configuration; relaxed-SLO configs
+ * are labeled like the paper's "2x" bar annotations.
+ */
+
+#include "bench/bench_util.h"
+#include "sim/slo.h"
+
+int
+main()
+{
+    using namespace regate;
+    bench::banner("Figure 2",
+                  "energy efficiency across NPU generations "
+                  "(NoPG, duty cycle 60%, PUE 1.1)");
+
+    for (auto family :
+         {models::WorkloadFamily::LlmTraining,
+          models::WorkloadFamily::LlmPrefill,
+          models::WorkloadFamily::LlmDecode,
+          models::WorkloadFamily::DlrmInference,
+          models::WorkloadFamily::StableDiffusion}) {
+        std::cout << "\n-- " << models::workloadFamilyName(family)
+                  << " --\n";
+        TablePrinter t({"Workload", "Gen", "Chips", "SLO",
+                        "J/unit", "Unit"});
+        for (auto w : models::workloadsOf(family)) {
+            for (auto gen : bench::paperGenerations()) {
+                auto res = sim::findBestSetup(w, gen);
+                t.addRow({models::workloadName(w),
+                          bench::genLabel(gen),
+                          std::to_string(res.setup.chips),
+                          TablePrinter::fmt(res.sloRatio, 0) + "x",
+                          TablePrinter::eng(res.energyPerUnit, 3),
+                          models::workUnitName(
+                              models::workUnitOf(w))});
+            }
+            t.addSeparator();
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

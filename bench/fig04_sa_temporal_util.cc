@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig. 4: SA temporal utilization (active cycles / total cycles) per workload and generation.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace regate;
+    bench::banner("Figure 4", "SA temporal utilization");
+
+    TablePrinter t({"Workload", "A", "B", "C", "D"});
+    for (auto w : models::allWorkloads()) {
+        std::vector<std::string> cells = {models::workloadName(w)};
+        for (auto gen : bench::paperGenerations()) {
+            auto rep = sim::simulateWorkload(w, gen);
+            cells.push_back(TablePrinter::pct(rep.run.temporalUtil(arch::Component::Sa), 1));
+        }
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+    std::cout << "Paper shape: high for training/prefill/diffusion, ~0 for DLRM and small-batch decode (S3)\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig. 6: VU temporal utilization per workload and generation.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace regate;
+    bench::banner("Figure 6", "VU temporal utilization");
+
+    TablePrinter t({"Workload", "A", "B", "C", "D"});
+    for (auto w : models::allWorkloads()) {
+        std::vector<std::string> cells = {models::workloadName(w)};
+        for (auto gen : bench::paperGenerations()) {
+            auto rep = sim::simulateWorkload(w, gen);
+            cells.push_back(TablePrinter::pct(rep.run.temporalUtil(arch::Component::Vu), 1));
+        }
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+    std::cout << "Paper shape: below 60% everywhere -- VUs wait on SA/HBM/ICI (S3)\n";
+    return 0;
+}

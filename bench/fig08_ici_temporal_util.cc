@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig. 8: ICI temporal utilization per workload and generation.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace regate;
+    bench::banner("Figure 8", "ICI temporal utilization");
+
+    TablePrinter t({"Workload", "A", "B", "C", "D"});
+    for (auto w : models::allWorkloads()) {
+        std::vector<std::string> cells = {models::workloadName(w)};
+        for (auto gen : bench::paperGenerations()) {
+            auto rep = sim::simulateWorkload(w, gen);
+            cells.push_back(TablePrinter::pct(rep.run.temporalUtil(arch::Component::Ici), 1));
+        }
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+    std::cout << "Paper shape: ~0 for single-chip/diffusion, high for DLRM (AllToAll-bound), low-mid for TP LLMs\n";
+    return 0;
+}

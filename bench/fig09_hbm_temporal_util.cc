@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig. 9: HBM temporal utilization per workload and generation.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace regate;
+    bench::banner("Figure 9", "HBM temporal utilization");
+
+    TablePrinter t({"Workload", "A", "B", "C", "D"});
+    for (auto w : models::allWorkloads()) {
+        std::vector<std::string> cells = {models::workloadName(w)};
+        for (auto gen : bench::paperGenerations()) {
+            auto rep = sim::simulateWorkload(w, gen);
+            cells.push_back(TablePrinter::pct(rep.run.temporalUtil(arch::Component::Hbm), 1));
+        }
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+    std::cout << "Paper shape: ~100% for decode, 10-30% for prefill/training, low for diffusion\n";
+    return 0;
+}

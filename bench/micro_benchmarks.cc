@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrate: the
+ * cycle-accurate systolic array, the analytical SA model, the gating
+ * engine, timeline composition, the SRAM allocator, collective cost
+ * evaluation, and a whole-workload simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "core/gating_engine.h"
+#include "ici/collective.h"
+#include "mem/sram_allocator.h"
+#include "sa/sa_analytical.h"
+#include "sa/systolic_array.h"
+#include "sim/slo.h"
+
+namespace {
+
+using namespace regate;
+
+void
+BM_SystolicArrayCycleSim(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(0));
+    sa::Matrix w(width, width), x(2 * width, width);
+    Prng rng(1);
+    for (int i = 0; i < width; ++i)
+        for (int j = 0; j < width; ++j)
+            w.at(i, j) = 1.0 + rng.uniform(0, 7);
+    for (int i = 0; i < 2 * width; ++i)
+        for (int j = 0; j < width; ++j)
+            x.at(i, j) = rng.uniform(0, 9);
+    for (auto _ : state) {
+        sa::SystolicArray sim(width, true);
+        sim.loadWeights(w);
+        benchmark::DoNotOptimize(sim.run(x));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * width * width *
+                            width);
+}
+BENCHMARK(BM_SystolicArrayCycleSim)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_SaAnalytical(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sa::analyzeMatmul(65536, 8192, 1280, 128));
+    }
+}
+BENCHMARK(BM_SaAnalytical);
+
+void
+BM_GatingEngineEvaluate(benchmark::State &state)
+{
+    arch::GatingParams params;
+    auto t = core::ActivityTimeline::periodic(1u << 20, 0, 8, 1024);
+    core::UnitSpec spec{arch::GatedUnit::Vu, 5.0, 1e-9};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::evaluateTimeline(
+            t, spec, core::GatingMode::SwExact, params));
+    }
+}
+BENCHMARK(BM_GatingEngineEvaluate);
+
+void
+BM_TimelineAppend(benchmark::State &state)
+{
+    auto unit = core::ActivityTimeline::periodic(4096, 3, 16, 128);
+    for (auto _ : state) {
+        core::ActivityTimeline acc;
+        for (int i = 0; i < 256; ++i)
+            acc.append(unit);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_TimelineAppend);
+
+void
+BM_TimelineRepeated(benchmark::State &state)
+{
+    auto unit = core::ActivityTimeline::periodic(4096, 3, 16, 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.repeated(1u << 20));
+}
+BENCHMARK(BM_TimelineRepeated);
+
+void
+BM_SramAllocator(benchmark::State &state)
+{
+    Prng rng(7);
+    for (auto _ : state) {
+        mem::SramAllocator alloc(128u << 20, 4096);
+        for (int i = 0; i < 200; ++i) {
+            std::uint64_t start = i;
+            try {
+                alloc.allocate((1 + rng.uniform(0, 63)) << 12, start,
+                               start + 1 + rng.uniform(0, 9));
+            } catch (const ConfigError &) {
+            }
+        }
+        benchmark::DoNotOptimize(alloc.peakBytes());
+    }
+}
+BENCHMARK(BM_SramAllocator);
+
+void
+BM_CollectiveModel(benchmark::State &state)
+{
+    const auto &cfg = arch::npuConfig(arch::NpuGeneration::D);
+    ici::Torus torus = ici::Torus::forChips(cfg, 64);
+    ici::CollectiveModel coll(cfg, torus);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(coll.seconds(
+            ici::CollectiveKind::AllReduce, 256u << 20));
+    }
+}
+BENCHMARK(BM_CollectiveModel);
+
+void
+BM_WholeWorkloadSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::simulateWorkload(
+            models::Workload::Prefill70B, arch::NpuGeneration::D));
+    }
+}
+BENCHMARK(BM_WholeWorkloadSimulation);
+
+void
+BM_SloSearch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::findBestSetup(
+            models::Workload::DlrmM, arch::NpuGeneration::D));
+    }
+}
+BENCHMARK(BM_SloSearch);
+
+}  // namespace

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 4: the most energy-efficient SLO-compliant configuration per
+ * workload on NPU-D, found by the same search the paper's artifact
+ * runs (sweep chips/batch, keep configs meeting 1x SLO, pick the
+ * lowest energy per unit).
+ */
+
+#include "bench/bench_util.h"
+#include "sim/slo.h"
+
+int
+main()
+{
+    using namespace regate;
+    bench::banner("Table 4",
+                  "most energy-efficient SLO-compliant configs "
+                  "(NPU-D)");
+
+    TablePrinter t({"Workload", "Chips (search)", "Batch (search)",
+                    "Chips (paper)", "Batch (paper)", "SLO",
+                    "J/unit (NoPG)"});
+    for (auto w : models::allWorkloads()) {
+        auto res = sim::findBestSetup(w, arch::NpuGeneration::D);
+        auto paper = models::table4Setup(w);
+        t.addRow({models::workloadName(w),
+                  std::to_string(res.setup.chips),
+                  std::to_string(res.setup.batch),
+                  std::to_string(paper.chips),
+                  std::to_string(paper.batch),
+                  TablePrinter::fmt(res.sloRatio, 0) + "x",
+                  TablePrinter::eng(res.energyPerUnit, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "Search grid: chips x{1,2,4}, batch /{4,2,1} around "
+                 "the Table 4 anchor; SLO = 5x default latency (§3)\n";
+    return 0;
+}

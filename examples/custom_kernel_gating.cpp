@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Kernel-level power gating with the setpm ISA: hand-write a VLIW
+ * kernel (the paper's Fig. 15), let the compiler instrument a larger
+ * one automatically, and drive the segment-gated SRAM scratchpad —
+ * the full §4.2/§4.3 software stack at instruction granularity.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "compiler/compiler.h"
+#include "isa/vliw_core.h"
+#include "mem/sram.h"
+
+int
+main()
+{
+    using namespace regate;
+    using core::PowerMode;
+    using isa::FuType;
+
+    // --- 1. Hand-written setpm, exactly like the paper's Fig. 15 ---
+    isa::VliwCoreConfig cfg;
+    cfg.numSa = 2;
+    cfg.numVu = 2;
+    cfg.vuWakeDelay = 2;
+
+    isa::Program manual;
+    manual.bundle().saPop(0).saPop(1).vuOp(0).vuOp(1);
+    manual.bundle().vuOp(0).vuOp(1).setpm(0b11, FuType::Vu,
+                                          PowerMode::Off);
+    manual.bundle().saPop(0).saPop(1).nop(6);
+    manual.bundle().setpm(0b11, FuType::Vu, PowerMode::On);
+    manual.bundle().saPop(0).saPop(1).vuOp(0).vuOp(1);
+    manual.bundle().vuOp(0).vuOp(1).setpm(0b11, FuType::Vu,
+                                          PowerMode::Off);
+
+    isa::VliwCore core(cfg);
+    core.run(manual);
+    std::cout << "Hand-written Fig. 15 kernel: " << core.totalCycles()
+              << " cycles, VU0 gated "
+              << core.vuTrace(0).gatedCycles() << " cycles, stalls "
+              << core.wakeStallCycles() << "\n";
+    for (const auto &b : manual.bundles()) {
+        if (b.misc.has_value())
+            std::cout << "  " << b.misc->toString() << " (encoded 0x"
+                      << std::hex << isa::encodeSetpm(*b.misc)
+                      << std::dec << ")\n";
+    }
+
+    // --- 2. Compiler-instrumented kernel (§4.3) ---
+    compiler::KernelSpec spec;
+    spec.tiles = 32;
+    spec.popCycles = 200;
+    spec.vuOpsPerTile = 4;
+    auto compiled = compiler::compileKernel(spec, cfg, {});
+    isa::VliwCore gated(cfg);
+    gated.run(compiled.program);
+    std::cout << "\nCompiler-instrumented kernel: "
+              << compiled.instrumentation.gatedIntervals
+              << " gated intervals, "
+              << compiled.instrumentation.setpmInserted
+              << " setpm, VU0 gated "
+              << gated.vuTrace(0).gatedCycles() << " / "
+              << gated.totalCycles() << " cycles, stalls "
+              << gated.wakeStallCycles() << "\n";
+
+    // --- 3. SRAM capacity gating with setpm-sram semantics ---
+    arch::GatingParams params;
+    mem::SramScratchpad pad(units::MiB(128), units::KiB(4), params);
+    // Operator needs 24 MB: shrink the rest to OFF (compiler knows
+    // the allocation map, so no live data is lost).
+    pad.setRange(units::MiB(24), units::MiB(128), PowerMode::Off, 0);
+    std::cout << "\nSRAM after setpm %24MB,%128MB,sram,off: "
+              << pad.countInState(mem::SegmentState::On)
+              << " segments on, "
+              << pad.countInState(mem::SegmentState::Off)
+              << " off; leakage at "
+              << TablePrinter::pct(pad.leakageFraction(params), 1)
+              << " of all-on\n";
+
+    // Touching a gated segment wakes it (10-cycle stall) and the
+    // model flags the data loss -- the §4.1 safety property.
+    pad.write(units::MiB(30), units::KiB(4), 100);
+    std::cout << "Write into gated region: "
+              << pad.stats().wakeEvents << " wake, "
+              << pad.stats().wakeStallCycles << " stall cycles, "
+              << pad.stats().dataLossReads << " unsafe reads\n";
+    return 0;
+}

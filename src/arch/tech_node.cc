@@ -1,0 +1,84 @@
+#include "arch/tech_node.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace regate {
+namespace arch {
+
+std::string
+techNodeName(TechNode node)
+{
+    switch (node) {
+      case TechNode::N16:
+        return "16nm";
+      case TechNode::N7:
+        return "7nm";
+      case TechNode::N4:
+        return "4nm";
+    }
+    throw LogicError("unknown TechNode");
+}
+
+namespace {
+
+using units::pJ;
+
+// Calibrated per-node parameters. Leakage densities rise with density
+// (thinner oxides, lower Vth) while per-event switching energies fall;
+// this reproduces the paper's observation that static power becomes a
+// relatively larger share at newer nodes (§1, §3).
+const TechParams kN16{
+    /*densityScale=*/1.0,
+    /*leakageDensityLogic=*/0.18,     // W/mm^2
+    /*leakageDensitySram=*/0.35,
+    /*energyPerMac=*/pJ(2.0),
+    /*energyPerSramByte=*/pJ(1.5),
+    /*energyPerHbmByte=*/pJ(56.0),    // ~7 pJ/bit, HBM2 era
+    /*energyPerIciByte=*/pJ(40.0),
+    /*energyPerVuOp=*/pJ(2.5),
+    /*vdd=*/0.80,
+};
+
+const TechParams kN7{
+    /*densityScale=*/3.0,
+    /*leakageDensityLogic=*/0.35,
+    /*leakageDensitySram=*/0.65,
+    /*energyPerMac=*/pJ(0.6),
+    /*energyPerSramByte=*/pJ(0.8),
+    /*energyPerHbmByte=*/pJ(32.0),    // ~4 pJ/bit, HBM2e era
+    /*energyPerIciByte=*/pJ(24.0),
+    /*energyPerVuOp=*/pJ(1.2),
+    /*vdd=*/0.75,
+};
+
+const TechParams kN4{
+    /*densityScale=*/5.5,
+    /*leakageDensityLogic=*/0.50,
+    /*leakageDensitySram=*/0.90,
+    /*energyPerMac=*/pJ(0.45),
+    /*energyPerSramByte=*/pJ(0.6),
+    /*energyPerHbmByte=*/pJ(28.0),    // ~3.5 pJ/bit, HBM3e era
+    /*energyPerIciByte=*/pJ(18.0),
+    /*energyPerVuOp=*/pJ(0.9),
+    /*vdd=*/0.70,
+};
+
+}  // namespace
+
+const TechParams &
+techParams(TechNode node)
+{
+    switch (node) {
+      case TechNode::N16:
+        return kN16;
+      case TechNode::N7:
+        return kN7;
+      case TechNode::N4:
+        return kN4;
+    }
+    throw LogicError("unknown TechNode");
+}
+
+}  // namespace arch
+}  // namespace regate

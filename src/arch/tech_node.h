@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Technology-node parameters for the area/power model.
+ *
+ * The paper's power model (§4.4) follows McPAT/NeuroMeter: component
+ * area is derived from microarchitectural parameters and the feature
+ * size, then static power comes from area x leakage density and dynamic
+ * power from per-event switching energies. Feature-size scaling below
+ * is calibrated so that (a) newer nodes improve FLOPs/W and (b) the
+ * static share of busy-chip energy stays in the 30%-72% band the paper
+ * reports across generations (§3, Fig. 3).
+ */
+
+#ifndef REGATE_ARCH_TECH_NODE_H
+#define REGATE_ARCH_TECH_NODE_H
+
+#include <string>
+
+namespace regate {
+namespace arch {
+
+/** Process nodes used across NPU-A..E (Table 2). */
+enum class TechNode { N16, N7, N4 };
+
+/** Printable node name ("16nm", "7nm", "4nm"). */
+std::string techNodeName(TechNode node);
+
+/**
+ * Per-node physical parameters. All densities are for the nominal
+ * operating voltage of the node.
+ */
+struct TechParams
+{
+    /** Logic transistor density relative to 16 nm (area scaling). */
+    double densityScale;
+
+    /** Leakage power density of active logic, W per mm^2 (nominal). */
+    double leakageDensityLogic;
+
+    /** Leakage power density of SRAM arrays, W per mm^2 (nominal). */
+    double leakageDensitySram;
+
+    /** Energy per bf16 MAC, joules. */
+    double energyPerMac;
+
+    /** Energy per byte of SRAM access, joules. */
+    double energyPerSramByte;
+
+    /** Energy per byte moved over HBM (controller+PHY+DRAM IO), J. */
+    double energyPerHbmByte;
+
+    /** Energy per byte moved over one ICI link (SerDes+ctrl), J. */
+    double energyPerIciByte;
+
+    /** Energy per VU lane operation (fp32 ALU + regfile), J. */
+    double energyPerVuOp;
+
+    /** Nominal supply voltage, volts (reported, used by docs/benches). */
+    double vdd;
+};
+
+/** Look up the calibrated parameters of a node. */
+const TechParams &techParams(TechNode node);
+
+}  // namespace arch
+}  // namespace regate
+
+#endif  // REGATE_ARCH_TECH_NODE_H

@@ -1,0 +1,38 @@
+#include "carbon/carbon_model.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace regate {
+namespace carbon {
+
+double
+operationalCarbonPerRun(const sim::WorkloadReport &rep,
+                        sim::Policy policy, const CarbonParams &params)
+{
+    double joules = rep.podTotalEnergy(policy, params.fleet);
+    return units::joulesToKWh(joules) * params.intensityKgPerKwh;
+}
+
+double
+operationalCarbonPerUnit(const sim::WorkloadReport &rep,
+                         sim::Policy policy, const CarbonParams &params)
+{
+    REGATE_CHECK(rep.units > 0, "report has no work units");
+    return operationalCarbonPerRun(rep, policy, params) / rep.units;
+}
+
+double
+operationalCarbonReduction(const sim::WorkloadReport &rep,
+                           sim::Policy policy,
+                           const CarbonParams &params)
+{
+    double base =
+        operationalCarbonPerRun(rep, sim::Policy::NoPG, params);
+    double with =
+        operationalCarbonPerRun(rep, policy, params);
+    return base > 0 ? 1.0 - with / base : 0.0;
+}
+
+}  // namespace carbon
+}  // namespace regate

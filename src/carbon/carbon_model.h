@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Carbon accounting (§6.6): operational carbon from electricity
+ * (0.0624 kgCO2e/kWh [31], 60% datacenter utilization [84], PUE 1.1)
+ * and embodied carbon per chip from the TPUv4/v5p life-cycle study
+ * [75].
+ */
+
+#ifndef REGATE_CARBON_CARBON_MODEL_H
+#define REGATE_CARBON_CARBON_MODEL_H
+
+#include "sim/report.h"
+
+namespace regate {
+namespace carbon {
+
+/** Accounting constants. */
+struct CarbonParams
+{
+    double intensityKgPerKwh = 0.0624;  ///< Grid carbon intensity [31].
+    double embodiedKgPerChip = 250.0;   ///< Cradle-to-gate, [75]-class.
+    sim::FleetParams fleet;             ///< Duty cycle + PUE.
+};
+
+/**
+ * Operational carbon of one run (busy + duty-cycle idle, PUE applied),
+ * kgCO2e for the whole pod.
+ */
+double operationalCarbonPerRun(const sim::WorkloadReport &rep,
+                               sim::Policy policy,
+                               const CarbonParams &params = {});
+
+/** Operational carbon per work unit, kgCO2e. */
+double operationalCarbonPerUnit(const sim::WorkloadReport &rep,
+                                sim::Policy policy,
+                                const CarbonParams &params = {});
+
+/**
+ * Fractional reduction of operational carbon vs NoPG (Fig. 24).
+ * Larger than the busy-energy saving because idle chips are almost
+ * entirely static power, which ReGate gates.
+ */
+double operationalCarbonReduction(const sim::WorkloadReport &rep,
+                                  sim::Policy policy,
+                                  const CarbonParams &params = {});
+
+}  // namespace carbon
+}  // namespace regate
+
+#endif  // REGATE_CARBON_CARBON_MODEL_H

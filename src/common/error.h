@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error-reporting helpers.
+ *
+ * Following the gem5 convention: configuration or usage errors that the
+ * caller can cause raise ConfigError (fatal-style); internal invariant
+ * violations raise LogicError (panic-style). Both carry a formatted
+ * message. We use exceptions rather than abort() so unit tests can
+ * assert on failure paths.
+ */
+
+#ifndef REGATE_COMMON_ERROR_H
+#define REGATE_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace regate {
+
+/** Raised for invalid user-supplied configuration or arguments. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error("config error: " + msg)
+    {}
+};
+
+/** Raised for broken internal invariants (simulator bugs). */
+class LogicError : public std::logic_error
+{
+  public:
+    explicit LogicError(const std::string &msg)
+        : std::logic_error("internal error: " + msg)
+    {}
+};
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+}  // namespace detail
+}  // namespace regate
+
+/** Check a user-facing precondition; throws ConfigError on failure. */
+#define REGATE_CHECK(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::regate::ConfigError(                                    \
+                ::regate::detail::concat(__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+/** Check an internal invariant; throws LogicError on failure. */
+#define REGATE_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::regate::LogicError(                                     \
+                ::regate::detail::concat(__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+#endif  // REGATE_COMMON_ERROR_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic xorshift128+ PRNG.
+ *
+ * Tests and property sweeps need reproducible randomness independent of
+ * the standard library implementation, so we carry our own tiny
+ * generator.
+ */
+
+#ifndef REGATE_COMMON_PRNG_H
+#define REGATE_COMMON_PRNG_H
+
+#include <cstdint>
+
+namespace regate {
+
+/** xorshift128+ generator; not cryptographic, just fast and portable. */
+class Prng
+{
+  public:
+    explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to avoid weak all-zero-ish states.
+        std::uint64_t z = seed;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+            *s = t ^ (t >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + next() % (hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / (1ull << 53));
+    }
+
+  private:
+    std::uint64_t s0_ = 0;
+    std::uint64_t s1_ = 0;
+};
+
+}  // namespace regate
+
+#endif  // REGATE_COMMON_PRNG_H

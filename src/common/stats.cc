@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regate {
+namespace stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    REGATE_CHECK(!xs.empty(), "geomean of empty sample");
+    double s = 0.0;
+    for (double x : xs) {
+        REGATE_CHECK(x > 0.0, "geomean requires positive values, got ", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    REGATE_CHECK(!xs.empty(), "min of empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    REGATE_CHECK(!xs.empty(), "max of empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    REGATE_CHECK(!xs.empty(), "percentile of empty sample");
+    REGATE_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+r2(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    REGATE_CHECK(xs.size() == ys.size(), "r2: size mismatch ", xs.size(),
+                 " vs ", ys.size());
+    REGATE_CHECK(xs.size() >= 2, "r2 needs at least two samples");
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 1.0;
+    double r = sxy / std::sqrt(sxx * syy);
+    return r * r;
+}
+
+std::vector<std::pair<double, double>>
+weightedCdf(std::vector<std::pair<double, double>> samples)
+{
+    REGATE_CHECK(!samples.empty(), "weightedCdf of empty sample");
+    std::sort(samples.begin(), samples.end());
+    double total = 0.0;
+    for (const auto &[v, w] : samples) {
+        REGATE_CHECK(w >= 0.0, "weightedCdf: negative weight ", w);
+        total += w;
+    }
+    REGATE_CHECK(total > 0.0, "weightedCdf: zero total weight");
+
+    std::vector<std::pair<double, double>> out;
+    double acc = 0.0;
+    for (const auto &[v, w] : samples) {
+        acc += w;
+        // Merge duplicate values, keeping the last cumulative point.
+        if (!out.empty() && out.back().first == v)
+            out.back().second = acc / total;
+        else
+            out.emplace_back(v, acc / total);
+    }
+    return out;
+}
+
+double
+cdfAt(const std::vector<std::pair<double, double>> &cdf, double value)
+{
+    double best = 0.0;
+    for (const auto &[v, f] : cdf) {
+        if (v <= value)
+            best = f;
+        else
+            break;
+    }
+    return best;
+}
+
+}  // namespace stats
+}  // namespace regate

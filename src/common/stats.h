@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers: summaries, CDFs, weighted CDFs, and the
+ * coefficient of determination (R^2) used by the Fig. 16 validation
+ * bench.
+ */
+
+#ifndef REGATE_COMMON_STATS_H
+#define REGATE_COMMON_STATS_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace regate {
+namespace stats {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Population geometric mean; requires all values > 0. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum / maximum; throw on empty input. */
+double minOf(const std::vector<double> &xs);
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Percentile via linear interpolation on the sorted sample,
+ * p in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Pearson correlation coefficient squared (R^2) between two equal-length
+ * samples, as used for simulator validation in the paper's Fig. 16.
+ */
+double r2(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Weighted empirical CDF: given (value, weight) samples, returns the
+ * sorted list of (value, cumulative weight fraction) points. Used for
+ * the Fig. 7 SRAM-demand CDF where the weight is operator execution
+ * time.
+ */
+std::vector<std::pair<double, double>>
+weightedCdf(std::vector<std::pair<double, double>> samples);
+
+/**
+ * Evaluate a weighted CDF (as returned by weightedCdf) at @p value:
+ * fraction of weight at or below the value.
+ */
+double cdfAt(const std::vector<std::pair<double, double>> &cdf,
+             double value);
+
+}  // namespace stats
+}  // namespace regate
+
+#endif  // REGATE_COMMON_STATS_H

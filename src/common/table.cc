@@ -1,0 +1,143 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace regate {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    REGATE_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    REGATE_CHECK(cells.size() <= headers_.size(),
+                 "row has ", cells.size(), " cells but table has ",
+                 headers_.size(), " columns");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char c = s.front();
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '+' || c == '.';
+}
+
+}  // namespace
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag)
+            continue;
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_line = [&](const std::vector<std::string> &cells,
+                          bool numeric_align) {
+        os << "|";
+        for (std::size_t i = 0; i < headers_.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            std::size_t pad = widths[i] - cell.size();
+            bool right = numeric_align && looksNumeric(cell);
+            os << ' ';
+            if (right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    auto print_sep = [&]() {
+        os << "|";
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << "|";
+        os << '\n';
+    };
+
+    print_line(headers_, false);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kSeparatorTag)
+            print_sep();
+        else
+            print_line(row, true);
+    }
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::eng(double v, int precision)
+{
+    const char *suffix = "";
+    double a = std::fabs(v);
+    if (a >= 1e12) {
+        v /= 1e12;
+        suffix = "T";
+    } else if (a >= 1e9) {
+        v /= 1e9;
+        suffix = "G";
+    } else if (a >= 1e6) {
+        v /= 1e6;
+        suffix = "M";
+    } else if (a >= 1e3) {
+        v /= 1e3;
+        suffix = "K";
+    } else if (a > 0 && a < 1e-6) {
+        v *= 1e9;
+        suffix = "n";
+    } else if (a > 0 && a < 1e-3) {
+        v *= 1e6;
+        suffix = "u";
+    } else if (a > 0 && a < 1.0) {
+        v *= 1e3;
+        suffix = "m";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", precision, v, suffix);
+    return buf;
+}
+
+}  // namespace regate

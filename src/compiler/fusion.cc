@@ -1,0 +1,53 @@
+#include "compiler/fusion.h"
+
+namespace regate {
+namespace compiler {
+
+using graph::OpKind;
+
+namespace {
+
+bool
+isFusableConsumer(OpKind kind)
+{
+    return kind == OpKind::Elementwise || kind == OpKind::Softmax ||
+           kind == OpKind::Normalization;
+}
+
+bool
+isProducer(OpKind kind)
+{
+    // Anything that leaves a tensor on chip; collectives and pure
+    // transfers end the fusion chain.
+    return kind == OpKind::MatMul || kind == OpKind::Elementwise ||
+           kind == OpKind::Softmax || kind == OpKind::Normalization ||
+           kind == OpKind::Embedding;
+}
+
+}  // namespace
+
+FusionStats
+fuseGraph(graph::OperatorGraph &graph, std::uint64_t sram_bytes)
+{
+    FusionStats stats;
+    for (auto &block : graph.blocks) {
+        for (std::size_t i = 1; i < block.ops.size(); ++i) {
+            auto &op = block.ops[i];
+            const auto &prev = block.ops[i - 1];
+            if (!isFusableConsumer(op.kind) || !isProducer(prev.kind))
+                continue;
+            double traffic = op.hbmBytes();
+            if (traffic > static_cast<double>(sram_bytes))
+                continue;
+            op.fusedIntoPrev = true;
+            stats.fusedOps += block.repeat;
+            stats.hbmBytesSaved += traffic * block.repeat;
+            op.hbmReadBytes = 0;
+            op.hbmWriteBytes = 0;
+        }
+    }
+    return stats;
+}
+
+}  // namespace compiler
+}  // namespace regate

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Operator-fusion pass (§3, §4.4): consecutive vector operators
+ * (elementwise, softmax, normalization) whose working set fits in the
+ * scratchpad are fused into their producer so intermediate tensors
+ * never round-trip through HBM. This is the standard XLA/TVM fusion
+ * the paper's simulator frontend applies.
+ */
+
+#ifndef REGATE_COMPILER_FUSION_H
+#define REGATE_COMPILER_FUSION_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace regate {
+namespace compiler {
+
+/** What the pass did. */
+struct FusionStats
+{
+    std::uint64_t fusedOps = 0;
+    double hbmBytesSaved = 0;
+};
+
+/**
+ * Fuse in place. @p sram_bytes bounds the fused working set (an op
+ * whose activation traffic exceeds the scratchpad cannot be kept
+ * on chip).
+ */
+FusionStats fuseGraph(graph::OperatorGraph &graph,
+                      std::uint64_t sram_bytes);
+
+}  // namespace compiler
+}  // namespace regate
+
+#endif  // REGATE_COMPILER_FUSION_H

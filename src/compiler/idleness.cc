@@ -1,0 +1,43 @@
+#include "compiler/idleness.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace compiler {
+
+IdlenessAnalysis
+analyzeVuIdleness(const isa::Program &program,
+                  const isa::VliwCoreConfig &cfg)
+{
+    // Dry-run on an ungated core: this is the schedule the compiler
+    // sees after instruction scheduling.
+    isa::VliwCoreConfig dry = cfg;
+    dry.autoIdleDetect = false;
+    isa::VliwCore core(dry);
+    core.run(program);
+
+    IdlenessAnalysis out;
+    out.totalCycles = core.totalCycles();
+    out.bundleDispatch = core.bundleDispatch();
+    for (int v = 0; v < cfg.numVu; ++v) {
+        const auto &trace = core.vuTrace(v);
+        REGATE_ASSERT(trace.busy.size() == trace.busyBundle.size(),
+                      "trace bundle attribution out of sync");
+        for (std::size_t i = 0; i + 1 < trace.busy.size(); ++i) {
+            Cycles gap_start = trace.busy[i].end;
+            Cycles gap_end = trace.busy[i + 1].start;
+            if (gap_end <= gap_start)
+                continue;
+            VuIdleInterval idle;
+            idle.unit = v;
+            idle.lastUseBundle = trace.busyBundle[i];
+            idle.nextUseBundle = trace.busyBundle[i + 1];
+            idle.interval = {gap_start, gap_end};
+            out.vuIdle.push_back(idle);
+        }
+    }
+    return out;
+}
+
+}  // namespace compiler
+}  // namespace regate

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Component idleness analysis (§4.3): extracts, per VU, the idle
+ * intervals between consecutive VU instructions by dry-running the
+ * program on the core timing model. Static graphs make this exact —
+ * "no prediction errors in theory".
+ */
+
+#ifndef REGATE_COMPILER_IDLENESS_H
+#define REGATE_COMPILER_IDLENESS_H
+
+#include <vector>
+
+#include "core/interval.h"
+#include "isa/program.h"
+#include "isa/vliw_core.h"
+
+namespace regate {
+namespace compiler {
+
+/** One idle interval of one VU, with the bundle indices around it. */
+struct VuIdleInterval
+{
+    int unit = 0;               ///< VU index.
+    std::size_t lastUseBundle = 0;  ///< Bundle of the last VU op before.
+    std::size_t nextUseBundle = 0;  ///< Bundle of the next VU op after.
+    core::Interval interval;    ///< [lastUseEnd, nextUseStart) cycles.
+};
+
+/** Full analysis result. */
+struct IdlenessAnalysis
+{
+    Cycles totalCycles = 0;
+    std::vector<VuIdleInterval> vuIdle;
+    std::vector<Cycles> bundleDispatch;  ///< Per-bundle dispatch cycle.
+};
+
+/**
+ * Analyze @p program on a core described by @p cfg (no gating during
+ * the dry run).
+ */
+IdlenessAnalysis analyzeVuIdleness(const isa::Program &program,
+                                   const isa::VliwCoreConfig &cfg);
+
+}  // namespace compiler
+}  // namespace regate
+
+#endif  // REGATE_COMPILER_IDLENESS_H

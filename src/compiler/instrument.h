@@ -1,0 +1,45 @@
+/**
+ * @file
+ * setpm instrumentation pass (§4.3): given the VU idleness analysis,
+ * insert `setpm ...,vu,off` at the start of each gateable idle
+ * interval and `setpm ...,vu,on` early enough that the wake-up
+ * completes before the next use (no exposed stall).
+ *
+ * The BET-based policy gates an interval only if it exceeds both the
+ * BET and 2x the power-on/off delay. Multiple VUs going idle at the
+ * same bundle share one setpm via the unit bitmap (§4.2).
+ */
+
+#ifndef REGATE_COMPILER_INSTRUMENT_H
+#define REGATE_COMPILER_INSTRUMENT_H
+
+#include "arch/gating_params.h"
+#include "compiler/idleness.h"
+#include "isa/program.h"
+
+namespace regate {
+namespace compiler {
+
+/** What the pass did. */
+struct InstrumentStats
+{
+    std::uint64_t gatedIntervals = 0;
+    std::uint64_t setpmInserted = 0;
+    Cycles gatedCycles = 0;  ///< Idle cycles covered by off..on pairs.
+};
+
+/**
+ * Instrument @p program in place using @p analysis of the *same*
+ * program. Off-setpms attach to the last-use bundle's misc slot; on-
+ * setpms attach to the bundle preceding the next use (both fall back
+ * to skipping the interval if the slot is taken by a conflicting
+ * setpm — one misc slot per bundle).
+ */
+InstrumentStats instrumentVuGating(isa::Program &program,
+                                   const IdlenessAnalysis &analysis,
+                                   const arch::GatingParams &params);
+
+}  // namespace compiler
+}  // namespace regate
+
+#endif  // REGATE_COMPILER_INSTRUMENT_H

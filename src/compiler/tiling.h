@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiling pass: computes each operator's SRAM working-set demand (the
+ * Fig. 7 metric) and routes undersized GEMMs to the VU.
+ *
+ * Demand follows the paper's definition (§3): "the minimum tile size
+ * that maximizes the on-chip data reuse". For a GEMM the cheapest
+ * full-reuse residency is the smaller of weights or activations plus
+ * streaming double-buffers; note this is a *demand*, not an
+ * allocation — it can exceed the physical scratchpad (Fig. 7 shows up
+ * to 1.5 GB for LLM training). For streaming operators the demand is
+ * the minimum double-buffer that hides HBM latency.
+ */
+
+#ifndef REGATE_COMPILER_TILING_H
+#define REGATE_COMPILER_TILING_H
+
+#include "arch/npu_config.h"
+#include "graph/graph.h"
+
+namespace regate {
+namespace compiler {
+
+/** Tuning knobs. */
+struct TilingOptions
+{
+    /**
+     * GEMMs whose per-replica row count is below this are mapped to
+     * the VU: the tensors are too small to amortize the SA warm-up
+     * (§3, LLM decode).
+     */
+    std::int64_t vuRowThreshold = 32;
+};
+
+/** What the pass did. */
+struct TilingStats
+{
+    std::uint64_t vuMappedGemms = 0;
+    double maxDemandBytes = 0;
+};
+
+/** Annotate every operator in place. */
+TilingStats tileGraph(graph::OperatorGraph &graph,
+                      const arch::NpuConfig &cfg,
+                      const TilingOptions &opts = {});
+
+/** Demand of a single operator (exposed for tests). */
+double operatorSramDemand(const graph::Operator &op,
+                          const arch::NpuConfig &cfg);
+
+}  // namespace compiler
+}  // namespace regate
+
+#endif  // REGATE_COMPILER_TILING_H

@@ -1,0 +1,220 @@
+#include "core/activity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace regate {
+namespace core {
+
+ActivityTimeline
+ActivityTimeline::allActive(Cycles span)
+{
+    ActivityTimeline t;
+    t.span_ = span;
+    t.active_ = span;
+    t.activations_ = span > 0 ? 1 : 0;
+    return t;
+}
+
+ActivityTimeline
+ActivityTimeline::allIdle(Cycles span)
+{
+    ActivityTimeline t;
+    t.span_ = span;
+    if (span > 0) {
+        t.gaps_.push_back({span, 1});
+        t.leadingIdle_ = span;
+        t.trailingIdle_ = span;
+    }
+    return t;
+}
+
+ActivityTimeline
+ActivityTimeline::periodic(Cycles span, Cycles offset, Cycles active_len,
+                           Cycles period)
+{
+    REGATE_CHECK(period > 0, "periodic: period must be positive");
+    REGATE_CHECK(active_len > 0, "periodic: active_len must be positive");
+    REGATE_CHECK(active_len <= period,
+                 "periodic: active_len ", active_len, " > period ", period);
+
+    if (span < offset + active_len)
+        return allIdle(span);
+
+    std::uint64_t reps = (span - offset - active_len) / period + 1;
+
+    ActivityTimeline t;
+    t.span_ = span;
+    t.active_ = active_len * reps;
+    t.activations_ = reps;
+    t.leadingIdle_ = offset;
+    Cycles last_end = offset + (reps - 1) * period + active_len;
+    t.trailingIdle_ = span - last_end;
+
+    Cycles inner_gap = period - active_len;
+    if (inner_gap > 0 && reps > 1)
+        t.addGap(inner_gap, reps - 1);
+    if (t.leadingIdle_ > 0)
+        t.addGap(t.leadingIdle_, 1);
+    if (t.trailingIdle_ > 0)
+        t.addGap(t.trailingIdle_, 1);
+    t.sortGaps();
+    return t;
+}
+
+ActivityTimeline
+ActivityTimeline::fromIntervals(Cycles span, std::vector<Interval> active)
+{
+    auto norm = normalize(std::move(active));
+    ActivityTimeline t;
+    t.span_ = span;
+    t.active_ = coveredLength(norm);
+    t.activations_ = norm.size();
+
+    std::map<Cycles, std::uint64_t> groups;
+    auto idle = complementWithin(norm, span);
+    for (const auto &gap : idle)
+        groups[gap.length()]++;
+    for (const auto &[len, cnt] : groups)
+        t.gaps_.push_back({len, cnt});
+
+    if (!idle.empty() && idle.front().start == 0)
+        t.leadingIdle_ = idle.front().length();
+    if (!idle.empty() && idle.back().end == span)
+        t.trailingIdle_ = idle.back().length();
+    return t;
+}
+
+void
+ActivityTimeline::addGap(Cycles length, std::uint64_t count)
+{
+    if (length == 0 || count == 0)
+        return;
+    for (auto &g : gaps_) {
+        if (g.length == length) {
+            g.count += count;
+            return;
+        }
+    }
+    gaps_.push_back({length, count});
+}
+
+void
+ActivityTimeline::sortGaps()
+{
+    std::sort(gaps_.begin(), gaps_.end(),
+              [](const GapGroup &a, const GapGroup &b) {
+                  return a.length < b.length;
+              });
+}
+
+namespace {
+
+/** Remove one gap of exactly @p length from @p gaps (if length > 0). */
+void
+removeOneGap(std::vector<GapGroup> &gaps, Cycles length)
+{
+    if (length == 0)
+        return;
+    for (auto it = gaps.begin(); it != gaps.end(); ++it) {
+        if (it->length == length) {
+            if (--it->count == 0)
+                gaps.erase(it);
+            return;
+        }
+    }
+    throw LogicError("removeOneGap: no gap of requested length");
+}
+
+}  // namespace
+
+void
+ActivityTimeline::append(const ActivityTimeline &next)
+{
+    if (next.span_ == 0)
+        return;
+    if (span_ == 0) {
+        *this = next;
+        return;
+    }
+
+    bool a_ends_active = active_ > 0 && trailingIdle_ == 0;
+    bool b_starts_active = next.active_ > 0 && next.leadingIdle_ == 0;
+    bool a_all_idle = active_ == 0;
+    bool b_all_idle = next.active_ == 0;
+
+    Cycles seam = trailingIdle_ + next.leadingIdle_;
+
+    removeOneGap(gaps_, trailingIdle_);
+    std::vector<GapGroup> b_gaps = next.gaps_;
+    removeOneGap(b_gaps, next.leadingIdle_);
+    for (const auto &g : b_gaps)
+        addGap(g.length, g.count);
+    addGap(seam, 1);
+    sortGaps();
+
+    activations_ += next.activations_;
+    if (seam == 0 && a_ends_active && b_starts_active)
+        activations_ -= 1;
+
+    span_ += next.span_;
+    active_ += next.active_;
+    leadingIdle_ = a_all_idle ? seam : leadingIdle_;
+    trailingIdle_ = b_all_idle ? seam : next.trailingIdle_;
+}
+
+ActivityTimeline
+ActivityTimeline::repeated(std::uint64_t times) const
+{
+    if (times == 0)
+        return ActivityTimeline();
+    if (times == 1 || span_ == 0)
+        return *this;
+
+    ActivityTimeline t;
+    t.span_ = span_ * times;
+
+    if (active_ == 0)
+        return allIdle(t.span_);
+
+    t.active_ = active_ * times;
+    t.gaps_ = gaps_;
+    for (auto &g : t.gaps_)
+        g.count *= times;
+
+    Cycles seam = trailingIdle_ + leadingIdle_;
+    std::uint64_t seams = times - 1;
+    for (std::uint64_t i = 0; i < seams; ++i) {
+        removeOneGap(t.gaps_, trailingIdle_);
+        removeOneGap(t.gaps_, leadingIdle_);
+    }
+    t.addGap(seam, seams);
+    t.sortGaps();
+
+    t.activations_ = activations_ * times - (seam == 0 ? seams : 0);
+    t.leadingIdle_ = leadingIdle_;
+    t.trailingIdle_ = trailingIdle_;
+    t.checkInvariants();
+    return t;
+}
+
+void
+ActivityTimeline::checkInvariants() const
+{
+    Cycles gap_total = 0;
+    for (const auto &g : gaps_) {
+        REGATE_ASSERT(g.length > 0 && g.count > 0,
+                      "timeline has degenerate gap group");
+        gap_total += g.length * g.count;
+    }
+    REGATE_ASSERT(active_ + gap_total == span_,
+                  "timeline accounting broken: active ", active_,
+                  " + gaps ", gap_total, " != span ", span_);
+    REGATE_ASSERT((active_ == 0) == (activations_ == 0),
+                  "activations inconsistent with active cycles");
+}
+
+}  // namespace core
+}  // namespace regate

@@ -1,0 +1,65 @@
+#include "core/idle_detect.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace core {
+
+IdleDetector::IdleDetector(Cycles window, Cycles wake_delay)
+    : window_(window), wakeDelay_(wake_delay)
+{
+    REGATE_CHECK(window > 0, "idle-detection window must be positive");
+}
+
+bool
+IdleDetector::tick(bool access_requested)
+{
+    ++totalCycles_;
+    switch (state_) {
+      case State::Active:
+        if (access_requested)
+            return true;
+        idleCount_ = 1;
+        state_ = State::CountingIdle;
+        return true;
+
+      case State::CountingIdle:
+        if (access_requested) {
+            state_ = State::Active;
+            return true;
+        }
+        if (++idleCount_ >= window_) {
+            state_ = State::Gated;
+            ++gatedCycles_;
+        }
+        return true;
+
+      case State::Gated:
+        if (!access_requested) {
+            ++gatedCycles_;
+            return false;
+        }
+        ++wakeEvents_;
+        if (wakeDelay_ == 0) {
+            state_ = State::Active;
+            return true;
+        }
+        state_ = State::Waking;
+        wakeCount_ = 1;
+        ++stallCycles_;
+        return false;
+
+      case State::Waking:
+        if (wakeCount_ >= wakeDelay_) {
+            state_ = State::Active;
+            return true;
+        }
+        ++wakeCount_;
+        ++stallCycles_;
+        return false;
+    }
+    throw LogicError("unreachable IdleDetector state");
+}
+
+}  // namespace core
+}  // namespace regate

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-driven idle-detection state machine, the hardware-managed
+ * gating mechanism ReGate uses for the VU (best effort), HBM, and ICI
+ * (§4.1), and that ReGate-Base applies to whole SAs.
+ *
+ * The FSM counts consecutive idle cycles; after `window` cycles it
+ * gates the unit. The next access triggers a wake-up and the unit is
+ * unavailable for `wakeDelay` cycles (the exposed performance cost of
+ * imprecise hardware gating, Fig. 19).
+ */
+
+#ifndef REGATE_CORE_IDLE_DETECT_H
+#define REGATE_CORE_IDLE_DETECT_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace regate {
+namespace core {
+
+/** Idle-detection FSM for one unit. */
+class IdleDetector
+{
+  public:
+    enum class State { Active, CountingIdle, Gated, Waking };
+
+    /**
+     * @param window     Idle cycles observed before gating.
+     * @param wake_delay Cycles from wake trigger to usable.
+     */
+    IdleDetector(Cycles window, Cycles wake_delay);
+
+    /**
+     * Advance one cycle. @p access_requested is true when an
+     * operation wants the unit this cycle.
+     * @return true if the unit can service the access this cycle.
+     */
+    bool tick(bool access_requested);
+
+    State state() const { return state_; }
+
+    /** Cycles spent in the Gated state so far. */
+    Cycles gatedCycles() const { return gatedCycles_; }
+
+    /** Wake-up events (each exposes wake_delay stall cycles). */
+    std::uint64_t wakeEvents() const { return wakeEvents_; }
+
+    /** Stall cycles where an access waited on a wake-up. */
+    Cycles stallCycles() const { return stallCycles_; }
+
+    /** Total cycles ticked. */
+    Cycles totalCycles() const { return totalCycles_; }
+
+  private:
+    Cycles window_;
+    Cycles wakeDelay_;
+    State state_ = State::Active;
+    Cycles idleCount_ = 0;
+    Cycles wakeCount_ = 0;
+    Cycles gatedCycles_ = 0;
+    Cycles stallCycles_ = 0;
+    Cycles totalCycles_ = 0;
+    std::uint64_t wakeEvents_ = 0;
+};
+
+}  // namespace core
+}  // namespace regate
+
+#endif  // REGATE_CORE_IDLE_DETECT_H

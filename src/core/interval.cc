@@ -1,0 +1,78 @@
+#include "core/interval.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace regate {
+namespace core {
+
+std::vector<Interval>
+normalize(std::vector<Interval> intervals)
+{
+    for (const auto &iv : intervals)
+        REGATE_CHECK(iv.end >= iv.start, "interval with end < start: [",
+                     iv.start, ", ", iv.end, ")");
+    std::erase_if(intervals, [](const Interval &iv) { return iv.empty(); });
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+    std::vector<Interval> out;
+    for (const auto &iv : intervals) {
+        if (!out.empty() && iv.start <= out.back().end)
+            out.back().end = std::max(out.back().end, iv.end);
+        else
+            out.push_back(iv);
+    }
+    return out;
+}
+
+Cycles
+coveredLength(const std::vector<Interval> &intervals)
+{
+    Cycles total = 0;
+    for (const auto &iv : intervals)
+        total += iv.length();
+    return total;
+}
+
+std::vector<Interval>
+complementWithin(const std::vector<Interval> &intervals, Cycles span)
+{
+    std::vector<Interval> out;
+    Cycles cursor = 0;
+    for (const auto &iv : intervals) {
+        REGATE_CHECK(iv.end <= span, "interval [", iv.start, ", ", iv.end,
+                     ") exceeds span ", span);
+        if (iv.start > cursor)
+            out.push_back({cursor, iv.start});
+        cursor = iv.end;
+    }
+    if (cursor < span)
+        out.push_back({cursor, span});
+    return out;
+}
+
+std::vector<Interval>
+intervalsFromTrace(const std::vector<bool> &trace)
+{
+    std::vector<Interval> out;
+    Cycles start = 0;
+    bool in_run = false;
+    for (Cycles i = 0; i < trace.size(); ++i) {
+        if (trace[i] && !in_run) {
+            start = i;
+            in_run = true;
+        } else if (!trace[i] && in_run) {
+            out.push_back({start, i});
+            in_run = false;
+        }
+    }
+    if (in_run)
+        out.push_back({start, trace.size()});
+    return out;
+}
+
+}  // namespace core
+}  // namespace regate

@@ -1,0 +1,107 @@
+#include "energy/area_model.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace energy {
+
+using arch::Component;
+using arch::TechNode;
+
+namespace {
+
+// Logic block areas at the 16 nm reference node, mm^2; scaled by the
+// node's density factor. Calibrated so SAs occupy ~10.7% of a
+// TPUv4i-class die (paper §4.4 / [38]).
+constexpr double kPeArea16 = 0.0010;       // bf16 MAC + 3 regs.
+constexpr double kVuLaneArea16 = 0.0045;   // fp32 ALU + regfile slice.
+
+// SRAM macro density in MB per mm^2 (SRAM scales worse than logic).
+double
+sramDensityMbPerMm2(TechNode node)
+{
+    switch (node) {
+      case TechNode::N16:
+        return 1.0;
+      case TechNode::N7:
+        return 2.8;
+      case TechNode::N4:
+        return 3.5;
+    }
+    throw LogicError("unknown TechNode");
+}
+
+// HBM controller + PHY area per GB/s of bandwidth (PHYs shrink slowly).
+double
+hbmAreaPerGBps(TechNode node)
+{
+    switch (node) {
+      case TechNode::N16:
+        return 0.020;
+      case TechNode::N7:
+        return 0.007;
+      case TechNode::N4:
+        return 0.0035;
+    }
+    throw LogicError("unknown TechNode");
+}
+
+// ICI controller + SerDes area per link.
+double
+iciAreaPerLink(TechNode node)
+{
+    switch (node) {
+      case TechNode::N16:
+        return 5.0;
+      case TechNode::N7:
+        return 3.5;
+      case TechNode::N4:
+        return 3.0;
+    }
+    throw LogicError("unknown TechNode");
+}
+
+// "Other" (management, control, PCIe, misc datapath) area relative to
+// the sum of the modeled components; chosen so Other lands at ~42% of
+// chip static power, matching the 39.1%-45.8% band in §3.
+constexpr double kOtherAreaFactor = 0.72;
+
+}  // namespace
+
+AreaModel::AreaModel(const arch::NpuConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg.validate();
+    const auto &tech = arch::techParams(cfg.node);
+
+    peArea_ = kPeArea16 / tech.densityScale;
+    saArea_ = peArea_ * cfg.saWidth * cfg.saWidth;
+    vuArea_ = kVuLaneArea16 / tech.densityScale * cfg.vuLanes();
+
+    auto &mm2 = baseline_.mm2;
+    mm2[Component::Sa] = saArea_ * cfg.numSa;
+    mm2[Component::Vu] = vuArea_ * cfg.numVu;
+    mm2[Component::Sram] =
+        static_cast<double>(cfg.sramBytes) / (1 << 20) /
+        sramDensityMbPerMm2(cfg.node);
+    mm2[Component::Hbm] =
+        cfg.hbmBandwidth / 1e9 * hbmAreaPerGBps(cfg.node);
+    mm2[Component::Ici] = cfg.iciLinks * iciAreaPerLink(cfg.node);
+
+    double subtotal = mm2[Component::Sa] + mm2[Component::Vu] +
+                      mm2[Component::Sram] + mm2[Component::Hbm] +
+                      mm2[Component::Ici];
+    mm2[Component::Other] = kOtherAreaFactor * subtotal;
+
+    GatingAreaOverheads ov;
+    gatingOverhead_ =
+        mm2[Component::Sa] * ov.perPe +
+        cfg.numSa * saArea_ * ov.saControl +
+        mm2[Component::Vu] * ov.perVu +
+        mm2[Component::Sram] * ov.sramPerSegment +
+        mm2[Component::Hbm] * ov.hbmIdleDetect +
+        mm2[Component::Ici] * ov.iciIdleDetect;
+}
+
+}  // namespace energy
+}  // namespace regate

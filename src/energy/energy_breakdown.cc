@@ -1,0 +1,48 @@
+#include "energy/energy_breakdown.h"
+
+namespace regate {
+namespace energy {
+
+double
+EnergyBreakdown::busyTotal() const
+{
+    return staticJ.sum() + dynamicJ.sum();
+}
+
+double
+EnergyBreakdown::staticShareBusy() const
+{
+    double busy = busyTotal();
+    return busy > 0 ? staticJ.sum() / busy : 0.0;
+}
+
+double
+EnergyBreakdown::staticShare(arch::Component c) const
+{
+    double s = staticJ.sum();
+    return s > 0 ? staticJ[c] / s : 0.0;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    staticJ += o.staticJ;
+    dynamicJ += o.dynamicJ;
+    idleJ += o.idleJ;
+    return *this;
+}
+
+EnergyBreakdown
+EnergyBreakdown::scaled(double f) const
+{
+    EnergyBreakdown out = *this;
+    for (auto c : arch::kAllComponents) {
+        out.staticJ[c] *= f;
+        out.dynamicJ[c] *= f;
+    }
+    out.idleJ *= f;
+    return out;
+}
+
+}  // namespace energy
+}  // namespace regate

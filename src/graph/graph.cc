@@ -1,0 +1,70 @@
+#include "graph/graph.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace graph {
+
+std::uint64_t
+OperatorGraph::opCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : blocks)
+        n += b.repeat * b.ops.size();
+    return n;
+}
+
+double
+OperatorGraph::totalFlops() const
+{
+    double total = 0;
+    for (const auto &b : blocks) {
+        double block = 0;
+        for (const auto &op : b.ops)
+            block += op.flops();
+        total += block * static_cast<double>(b.repeat);
+    }
+    return total;
+}
+
+double
+OperatorGraph::totalHbmBytes() const
+{
+    double total = 0;
+    for (const auto &b : blocks) {
+        double block = 0;
+        for (const auto &op : b.ops)
+            block += op.hbmBytes();
+        total += block * static_cast<double>(b.repeat);
+    }
+    return total;
+}
+
+double
+OperatorGraph::totalCollectiveBytes() const
+{
+    double total = 0;
+    for (const auto &b : blocks) {
+        double block = 0;
+        for (const auto &op : b.ops)
+            block += op.collBytes;
+        total += block * static_cast<double>(b.repeat);
+    }
+    return total;
+}
+
+void
+OperatorGraph::validate() const
+{
+    REGATE_CHECK(!blocks.empty(), "graph '", name, "' has no blocks");
+    for (const auto &b : blocks) {
+        REGATE_CHECK(b.repeat >= 1, "block '", b.name,
+                     "' has zero repeat");
+        REGATE_CHECK(!b.ops.empty(), "block '", b.name, "' is empty");
+        for (const auto &op : b.ops)
+            op.validate();
+    }
+}
+
+}  // namespace graph
+}  // namespace regate

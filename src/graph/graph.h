@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Operator graphs: sequences of blocks, where a block is a straight
+ * run of operators executed `repeat` times (e.g., one transformer
+ * layer repeated 126x, or one decode step repeated per output token).
+ * Repetition is first-class so the simulator can analyze a block once
+ * and scale the compressed activity timelines (core/activity.h).
+ */
+
+#ifndef REGATE_GRAPH_GRAPH_H
+#define REGATE_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/operator.h"
+
+namespace regate {
+namespace graph {
+
+/** A straight-line run of operators executed `repeat` times. */
+struct Block
+{
+    std::string name;
+    std::uint64_t repeat = 1;
+    std::vector<Operator> ops;
+};
+
+/** A whole per-chip workload graph. */
+struct OperatorGraph
+{
+    std::string name;
+    std::vector<Block> blocks;
+
+    /** Total operator instances (block repeats applied). */
+    std::uint64_t opCount() const;
+
+    /** Total GEMM FLOPs per chip. */
+    double totalFlops() const;
+
+    /** Total HBM bytes per chip. */
+    double totalHbmBytes() const;
+
+    /** Total collective payload bytes per chip. */
+    double totalCollectiveBytes() const;
+
+    /** Validate every operator. */
+    void validate() const;
+};
+
+}  // namespace graph
+}  // namespace regate
+
+#endif  // REGATE_GRAPH_GRAPH_H

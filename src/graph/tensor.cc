@@ -1,0 +1,58 @@
+#include "graph/tensor.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace graph {
+
+int
+dtypeBytes(DType t)
+{
+    switch (t) {
+      case DType::BF16:
+        return 2;
+      case DType::FP32:
+        return 4;
+      case DType::INT8:
+        return 1;
+      case DType::INT32:
+        return 4;
+    }
+    throw LogicError("unknown DType");
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::BF16:
+        return "bf16";
+      case DType::FP32:
+        return "fp32";
+      case DType::INT8:
+        return "int8";
+      case DType::INT32:
+        return "int32";
+    }
+    throw LogicError("unknown DType");
+}
+
+std::int64_t
+Tensor::numel() const
+{
+    std::int64_t n = 1;
+    for (auto d : shape) {
+        REGATE_CHECK(d >= 0, "tensor '", name, "' has negative dim ", d);
+        n *= d;
+    }
+    return n;
+}
+
+std::int64_t
+Tensor::bytes() const
+{
+    return numel() * dtypeBytes(dtype);
+}
+
+}  // namespace graph
+}  // namespace regate

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal tensor metadata for the operator IR. The simulator is a
+ * timing/energy model, so tensors carry shapes and element sizes, not
+ * data.
+ */
+
+#ifndef REGATE_GRAPH_TENSOR_H
+#define REGATE_GRAPH_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace regate {
+namespace graph {
+
+/** Element types used by the workloads. */
+enum class DType : std::uint8_t { BF16, FP32, INT8, INT32 };
+
+/** Bytes per element. */
+int dtypeBytes(DType t);
+
+/** Printable name. */
+std::string dtypeName(DType t);
+
+/** Shape + dtype descriptor. */
+struct Tensor
+{
+    std::string name;
+    std::vector<std::int64_t> shape;
+    DType dtype = DType::BF16;
+
+    /** Number of elements. */
+    std::int64_t numel() const;
+
+    /** Bytes occupied. */
+    std::int64_t bytes() const;
+};
+
+}  // namespace graph
+}  // namespace regate
+
+#endif  // REGATE_GRAPH_TENSOR_H

@@ -1,0 +1,104 @@
+#include "ici/collective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regate {
+namespace ici {
+
+namespace {
+
+// Software launch overhead per collective and per-hop wire latency.
+constexpr double kLaunchSeconds = 2e-6;
+constexpr double kHopSeconds = 0.3e-6;
+
+// Fraction of raw link bandwidth sustainable by the ring algorithms.
+constexpr double kLinkEfficiency = 0.85;
+
+}  // namespace
+
+std::string
+collectiveKindName(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::AllReduce:
+        return "AllReduce";
+      case CollectiveKind::ReduceScatter:
+        return "ReduceScatter";
+      case CollectiveKind::AllGather:
+        return "AllGather";
+      case CollectiveKind::AllToAll:
+        return "AllToAll";
+      case CollectiveKind::P2PSendRecv:
+        return "P2PSendRecv";
+    }
+    throw LogicError("unknown CollectiveKind");
+}
+
+CollectiveModel::CollectiveModel(const arch::NpuConfig &cfg,
+                                 const Torus &torus)
+    : cfg_(cfg), torus_(torus),
+      chipBandwidth_(cfg.iciBandwidth() * kLinkEfficiency)
+{
+}
+
+double
+CollectiveModel::seconds(CollectiveKind kind, std::uint64_t bytes) const
+{
+    const double n = torus_.numChips();
+    if (n <= 1.0)
+        return 0.0;
+    const double frac = (n - 1.0) / n;
+    const double b = static_cast<double>(bytes);
+
+    double bw_term = 0.0;
+    switch (kind) {
+      case CollectiveKind::AllReduce:
+        bw_term = 2.0 * frac * b / chipBandwidth_;
+        break;
+      case CollectiveKind::ReduceScatter:
+      case CollectiveKind::AllGather:
+        bw_term = frac * b / chipBandwidth_;
+        break;
+      case CollectiveKind::AllToAll: {
+        // All-to-all is bisection-limited on a torus: unlike ring
+        // collectives, traffic must cross the bisection, which scales
+        // as the per-dimension ring length. This is what makes DLRM
+        // ICI-bound (§3, Fig. 8).
+        double penalty = std::max(
+            1.0, std::pow(n, 1.0 / torus_.rank()));
+        bw_term = frac * b / chipBandwidth_ * penalty;
+        break;
+      }
+      case CollectiveKind::P2PSendRecv:
+        bw_term = b / (cfg_.iciBandwidthPerLink * kLinkEfficiency);
+        break;
+    }
+    return kLaunchSeconds + torus_.diameterHops() * kHopSeconds + bw_term;
+}
+
+double
+CollectiveModel::wireBytes(CollectiveKind kind, std::uint64_t bytes) const
+{
+    const double n = torus_.numChips();
+    if (n <= 1.0)
+        return 0.0;
+    const double frac = (n - 1.0) / n;
+    const double b = static_cast<double>(bytes);
+    switch (kind) {
+      case CollectiveKind::AllReduce:
+        return 2.0 * frac * b;
+      case CollectiveKind::ReduceScatter:
+      case CollectiveKind::AllGather:
+      case CollectiveKind::AllToAll:
+        return frac * b;
+      case CollectiveKind::P2PSendRecv:
+        return b;
+    }
+    throw LogicError("unknown CollectiveKind");
+}
+
+}  // namespace ici
+}  // namespace regate

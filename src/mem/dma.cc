@@ -1,0 +1,57 @@
+#include "mem/dma.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace regate {
+namespace mem {
+
+DmaEngine::DmaEngine(const HbmModel &hbm, int channels)
+    : hbm_(hbm)
+{
+    REGATE_CHECK(channels >= 1, "DMA engine needs >= 1 channel");
+    channelFree_.assign(channels, 0);
+}
+
+Cycles
+DmaEngine::issue(std::uint64_t bytes, DmaTarget src, DmaTarget dst,
+                 Cycles now)
+{
+    REGATE_CHECK(bytes > 0, "zero-byte DMA");
+    REGATE_CHECK(src != dst || src == DmaTarget::Sram,
+                 "DMA source and destination both ", int(src));
+
+    // Least-loaded channel.
+    auto it = std::min_element(channelFree_.begin(), channelFree_.end());
+    Cycles start = std::max(now, *it);
+    Cycles duration = hbm_.transferCycles(bytes);
+    Cycles complete = start + duration;
+    *it = complete;
+
+    records_.push_back({bytes, src, dst, now, start, complete});
+    return complete;
+}
+
+std::vector<core::Interval>
+DmaEngine::hbmBusyIntervals() const
+{
+    std::vector<core::Interval> ivs;
+    for (const auto &r : records_) {
+        if (r.src == DmaTarget::Hbm || r.dst == DmaTarget::Hbm)
+            ivs.push_back({r.start, r.complete});
+    }
+    return core::normalize(std::move(ivs));
+}
+
+Cycles
+DmaEngine::drainCycle() const
+{
+    Cycles t = 0;
+    for (auto c : channelFree_)
+        t = std::max(t, c);
+    return t;
+}
+
+}  // namespace mem
+}  // namespace regate

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Asynchronous DMA engine model: queued copies between HBM and SRAM
+ * (or remote chips over ICI), with completion times and the busy
+ * intervals the gating analysis needs.
+ */
+
+#ifndef REGATE_MEM_DMA_H
+#define REGATE_MEM_DMA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interval.h"
+#include "mem/hbm.h"
+
+namespace regate {
+namespace mem {
+
+/** Where a DMA endpoint lives. */
+enum class DmaTarget { Hbm, Sram, RemoteIci };
+
+/** One completed DMA descriptor. */
+struct DmaRecord
+{
+    std::uint64_t bytes = 0;
+    DmaTarget src = DmaTarget::Hbm;
+    DmaTarget dst = DmaTarget::Sram;
+    Cycles issued = 0;
+    Cycles start = 0;    ///< When the engine began the copy.
+    Cycles complete = 0; ///< When the data landed.
+};
+
+/**
+ * In-order DMA engine with a configurable number of outstanding
+ * channels; copies on different channels overlap, copies on one
+ * channel serialize.
+ */
+class DmaEngine
+{
+  public:
+    /**
+     * @param hbm      Timing model for HBM-side transfers.
+     * @param channels Parallel DMA channels (>= 1).
+     */
+    DmaEngine(const HbmModel &hbm, int channels);
+
+    /**
+     * Queue a copy of @p bytes issued at @p now.
+     * @return completion cycle.
+     */
+    Cycles issue(std::uint64_t bytes, DmaTarget src, DmaTarget dst,
+                 Cycles now);
+
+    const std::vector<DmaRecord> &records() const { return records_; }
+
+    /** Busy intervals of the HBM interface (for gating analysis). */
+    std::vector<core::Interval> hbmBusyIntervals() const;
+
+    /** Cycle when every queued copy has completed. */
+    Cycles drainCycle() const;
+
+  private:
+    const HbmModel &hbm_;
+    std::vector<Cycles> channelFree_;
+    std::vector<DmaRecord> records_;
+};
+
+}  // namespace mem
+}  // namespace regate
+
+#endif  // REGATE_MEM_DMA_H

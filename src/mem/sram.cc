@@ -1,0 +1,151 @@
+#include "mem/sram.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace mem {
+
+SramScratchpad::SramScratchpad(std::uint64_t capacity_bytes,
+                               std::uint64_t segment_bytes,
+                               const arch::GatingParams &params)
+    : capacity_(capacity_bytes), segmentBytes_(segment_bytes),
+      sleepWake_(params.onOffDelay(arch::GatedUnit::SramSleep)),
+      offWake_(params.onOffDelay(arch::GatedUnit::SramOff))
+{
+    REGATE_CHECK(segment_bytes > 0, "segment size must be positive");
+    REGATE_CHECK(capacity_bytes > 0 && capacity_bytes % segment_bytes == 0,
+                 "capacity must be a positive multiple of the segment "
+                 "size");
+    states_.assign(capacity_bytes / segment_bytes, SegmentState::On);
+    dataValid_.assign(states_.size(), true);
+}
+
+SegmentState
+SramScratchpad::segmentState(std::uint64_t seg) const
+{
+    REGATE_CHECK(seg < states_.size(), "segment ", seg, " out of range");
+    return states_[seg];
+}
+
+std::uint64_t
+SramScratchpad::segOf(std::uint64_t addr) const
+{
+    REGATE_CHECK(addr < capacity_, "address ", addr,
+                 " beyond SRAM capacity ", capacity_);
+    return addr / segmentBytes_;
+}
+
+std::uint64_t
+SramScratchpad::setRange(std::uint64_t start, std::uint64_t end,
+                         core::PowerMode mode, Cycles now)
+{
+    (void)now;
+    REGATE_CHECK(start <= end && end <= capacity_,
+                 "bad setpm range [", start, ", ", end, ")");
+    // Only segments fully inside the range change state; partial
+    // segments keep their data usable.
+    std::uint64_t first = (start + segmentBytes_ - 1) / segmentBytes_;
+    std::uint64_t last = end / segmentBytes_;
+    std::uint64_t n = 0;
+    for (std::uint64_t s = first; s < last; ++s) {
+        switch (mode) {
+          case core::PowerMode::Off:
+            if (states_[s] != SegmentState::Off) {
+                states_[s] = SegmentState::Off;
+                dataValid_[s] = false;  // Gated-Vdd loses data.
+                ++n;
+            }
+            break;
+          case core::PowerMode::Sleep:
+            if (states_[s] == SegmentState::On) {
+                states_[s] = SegmentState::Sleep;
+                ++n;
+            }
+            break;
+          case core::PowerMode::On:
+          case core::PowerMode::Auto:
+            if (states_[s] != SegmentState::On) {
+                states_[s] = SegmentState::On;
+                ++stats_.wakeEvents;
+                ++n;
+            }
+            break;
+        }
+    }
+    return n;
+}
+
+Cycles
+SramScratchpad::wakeSegment(std::uint64_t seg, bool for_read)
+{
+    Cycles stall = 0;
+    switch (states_[seg]) {
+      case SegmentState::On:
+        break;
+      case SegmentState::Sleep:
+        stall = sleepWake_;
+        states_[seg] = SegmentState::On;
+        ++stats_.wakeEvents;
+        break;
+      case SegmentState::Off:
+        stall = offWake_;
+        states_[seg] = SegmentState::On;
+        ++stats_.wakeEvents;
+        break;
+    }
+    if (for_read && !dataValid_[seg])
+        ++stats_.dataLossReads;
+    return stall;
+}
+
+Cycles
+SramScratchpad::write(std::uint64_t addr, std::uint64_t len, Cycles now)
+{
+    (void)now;
+    REGATE_CHECK(len > 0 && addr + len <= capacity_, "bad write [",
+                 addr, ", +", len, ")");
+    Cycles stall = 0;
+    for (std::uint64_t s = segOf(addr); s <= segOf(addr + len - 1); ++s) {
+        stall = std::max(stall, wakeSegment(s, /*for_read=*/false));
+        dataValid_[s] = true;
+    }
+    stats_.wakeStallCycles += stall;
+    return stall;
+}
+
+Cycles
+SramScratchpad::read(std::uint64_t addr, std::uint64_t len, Cycles now)
+{
+    (void)now;
+    REGATE_CHECK(len > 0 && addr + len <= capacity_, "bad read [",
+                 addr, ", +", len, ")");
+    Cycles stall = 0;
+    for (std::uint64_t s = segOf(addr); s <= segOf(addr + len - 1); ++s)
+        stall = std::max(stall, wakeSegment(s, /*for_read=*/true));
+    stats_.wakeStallCycles += stall;
+    return stall;
+}
+
+std::uint64_t
+SramScratchpad::countInState(SegmentState st) const
+{
+    std::uint64_t n = 0;
+    for (auto s : states_)
+        n += s == st ? 1 : 0;
+    return n;
+}
+
+double
+SramScratchpad::leakageFraction(const arch::GatingParams &params) const
+{
+    double on = static_cast<double>(countInState(SegmentState::On));
+    double sleep = static_cast<double>(countInState(SegmentState::Sleep));
+    double off = static_cast<double>(countInState(SegmentState::Off));
+    double total = static_cast<double>(states_.size());
+    return (on + sleep * params.ratios().sramSleep +
+            off * params.ratios().sramOff) /
+           total;
+}
+
+}  // namespace mem
+}  // namespace regate

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Software-managed SRAM scratchpad with per-segment power gating
+ * (§4.1 "Segment-wise power-gated SRAM").
+ *
+ * The scratchpad is divided into 4 KB segments (the vector register
+ * size). Each segment is ON, SLEEP (drowsy: reduced Vdd, data
+ * retained, 25% leakage) or OFF (gated-Vdd: 0.2% leakage, data lost).
+ * Software shrinks the usable capacity with `setpm %start,%end,sram`
+ * (§4.2); hardware may also put idle segments to sleep.
+ *
+ * The model tracks data validity so that tests can verify the safety
+ * property the paper relies on: only the compiler, which knows the
+ * allocation map, may use OFF mode — reading a segment whose data was
+ * lost is reported as a correctness violation.
+ */
+
+#ifndef REGATE_MEM_SRAM_H
+#define REGATE_MEM_SRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/gating_params.h"
+#include "core/power_state.h"
+
+namespace regate {
+namespace mem {
+
+/** Physical state of one segment. */
+enum class SegmentState : std::uint8_t { On, Sleep, Off };
+
+/** Statistics of one scratchpad instance. */
+struct SramStats
+{
+    std::uint64_t wakeEvents = 0;   ///< Sleep/Off -> On transitions.
+    Cycles wakeStallCycles = 0;     ///< Stalls waiting for wake-ups.
+    std::uint64_t dataLossReads = 0;///< Reads of lost (OFF) data.
+};
+
+/** The scratchpad model. */
+class SramScratchpad
+{
+  public:
+    /**
+     * @param capacity_bytes Total size.
+     * @param segment_bytes  Gating granule (4 KB on our NPU).
+     * @param params         Wake delays for sleep/off modes.
+     */
+    SramScratchpad(std::uint64_t capacity_bytes,
+                   std::uint64_t segment_bytes,
+                   const arch::GatingParams &params);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t segmentBytes() const { return segmentBytes_; }
+    std::uint64_t numSegments() const { return states_.size(); }
+
+    SegmentState segmentState(std::uint64_t seg) const;
+
+    /**
+     * setpm over a byte range [start, end): segments fully inside the
+     * range change state. On/Off/Sleep map to the §4.2 modes; Auto
+     * returns segments to hardware control (treated as On here).
+     * Returns the number of segments affected.
+     */
+    std::uint64_t setRange(std::uint64_t start, std::uint64_t end,
+                           core::PowerMode mode, Cycles now);
+
+    /**
+     * Write @p len bytes at @p addr at time @p now. Sleeping segments
+     * wake (stall); OFF segments wake and become valid again.
+     * @return cycles of stall exposed by wake-ups.
+     */
+    Cycles write(std::uint64_t addr, std::uint64_t len, Cycles now);
+
+    /**
+     * Read @p len bytes at @p addr. Reading a segment that lost its
+     * data (was OFF since the last write) counts a dataLossRead.
+     * @return cycles of stall exposed by wake-ups.
+     */
+    Cycles read(std::uint64_t addr, std::uint64_t len, Cycles now);
+
+    /** Number of segments currently in each state. */
+    std::uint64_t countInState(SegmentState s) const;
+
+    /**
+     * Leakage power of the whole scratchpad right now, as a fraction
+     * of the all-ON leakage (for energy integration).
+     */
+    double leakageFraction(const arch::GatingParams &params) const;
+
+    const SramStats &stats() const { return stats_; }
+
+  private:
+    std::uint64_t segOf(std::uint64_t addr) const;
+    Cycles wakeSegment(std::uint64_t seg, bool for_read);
+
+    std::uint64_t capacity_;
+    std::uint64_t segmentBytes_;
+    Cycles sleepWake_;
+    Cycles offWake_;
+    std::vector<SegmentState> states_;
+    std::vector<bool> dataValid_;
+    SramStats stats_;
+};
+
+}  // namespace mem
+}  // namespace regate
+
+#endif  // REGATE_MEM_SRAM_H

@@ -1,0 +1,83 @@
+#include "mem/sram_allocator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace regate {
+namespace mem {
+
+SramAllocator::SramAllocator(std::uint64_t capacity,
+                             std::uint64_t segment_bytes)
+    : capacity_(capacity), segmentBytes_(segment_bytes)
+{
+    REGATE_CHECK(capacity > 0 && segment_bytes > 0 &&
+                     capacity % segment_bytes == 0,
+                 "capacity must be a positive multiple of segment size");
+}
+
+const SramBuffer &
+SramAllocator::allocate(std::uint64_t size, std::uint64_t start,
+                        std::uint64_t end, const std::string &name)
+{
+    REGATE_CHECK(size > 0, "cannot allocate empty buffer '", name, "'");
+    REGATE_CHECK(start < end, "buffer '", name, "' has empty lifetime [",
+                 start, ", ", end, ")");
+    REGATE_CHECK(size <= capacity_, "buffer '", name, "' of ", size,
+                 " bytes exceeds scratchpad capacity ", capacity_);
+
+    // Collect buffers whose lifetimes overlap [start, end), sorted by
+    // offset, and first-fit into the gaps between them.
+    std::vector<const SramBuffer *> live;
+    for (const auto &b : buffers_) {
+        if (b.start < end && start < b.end)
+            live.push_back(&b);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const SramBuffer *a, const SramBuffer *b) {
+                  return a->offset < b->offset;
+              });
+
+    std::uint64_t cursor = 0;
+    for (const auto *b : live) {
+        if (b->offset >= cursor + size)
+            break;  // Gap [cursor, b->offset) fits.
+        cursor = std::max(cursor, b->offset + b->size);
+    }
+    REGATE_CHECK(cursor + size <= capacity_,
+                 "scratchpad exhausted allocating '", name, "' (", size,
+                 " bytes live over [", start, ", ", end, "))");
+
+    SramBuffer buf;
+    buf.id = nextId_++;
+    buf.name = name;
+    buf.offset = cursor;
+    buf.size = size;
+    buf.start = start;
+    buf.end = end;
+    buffers_.push_back(buf);
+    peak_ = std::max(peak_, cursor + size);
+    return buffers_.back();
+}
+
+std::vector<std::vector<core::Interval>>
+SramAllocator::segmentOccupancy(std::uint64_t horizon) const
+{
+    std::vector<std::vector<core::Interval>> per_seg(
+        capacity_ / segmentBytes_);
+    for (const auto &b : buffers_) {
+        std::uint64_t first = b.offset / segmentBytes_;
+        std::uint64_t last = (b.offset + b.size - 1) / segmentBytes_;
+        Cycles end = std::min<std::uint64_t>(b.end, horizon);
+        if (b.start >= end)
+            continue;
+        for (std::uint64_t s = first; s <= last; ++s)
+            per_seg[s].push_back({b.start, end});
+    }
+    for (auto &ivs : per_seg)
+        ivs = core::normalize(std::move(ivs));
+    return per_seg;
+}
+
+}  // namespace mem
+}  // namespace regate

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lifetime-based SRAM allocation pass (§4.3).
+ *
+ * The compiler's SRAM allocation pass assigns each buffer a start
+ * address and a [start, end) instruction-index lifetime. ReGate's
+ * idleness analysis consumes this output to derive, per 4 KB segment,
+ * the intervals where the segment holds no live data and can be fully
+ * powered off.
+ *
+ * The allocator is a first-fit over live buffers at the allocation's
+ * start index — the classic linear-scan scratchpad allocator used by
+ * production ML compilers.
+ */
+
+#ifndef REGATE_MEM_SRAM_ALLOCATOR_H
+#define REGATE_MEM_SRAM_ALLOCATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+
+namespace regate {
+namespace mem {
+
+/** One allocated buffer. */
+struct SramBuffer
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t offset = 0;  ///< Assigned start address.
+    std::uint64_t size = 0;    ///< Bytes.
+    std::uint64_t start = 0;   ///< First instruction index alive.
+    std::uint64_t end = 0;     ///< One past the last index alive.
+};
+
+/** The allocation pass. */
+class SramAllocator
+{
+  public:
+    /** @param capacity Scratchpad bytes.
+     *  @param segment_bytes Power-gating granule. */
+    SramAllocator(std::uint64_t capacity, std::uint64_t segment_bytes);
+
+    /**
+     * Allocate @p size bytes live over instruction indices
+     * [start, end). Throws ConfigError if no space is available.
+     * @return the assigned buffer.
+     */
+    const SramBuffer &allocate(std::uint64_t size, std::uint64_t start,
+                               std::uint64_t end,
+                               const std::string &name = "");
+
+    const std::vector<SramBuffer> &buffers() const { return buffers_; }
+
+    /** Highest address ever occupied (peak footprint). */
+    std::uint64_t peakBytes() const { return peak_; }
+
+    /**
+     * Per-segment occupancy timeline over instruction indices
+     * [0, horizon): the intervals during which the segment holds at
+     * least one live byte. Segments with empty timelines are never
+     * used and can be OFF for the entire program.
+     */
+    std::vector<std::vector<core::Interval>>
+    segmentOccupancy(std::uint64_t horizon) const;
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t segmentBytes() const { return segmentBytes_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t segmentBytes_;
+    std::uint64_t peak_ = 0;
+    std::uint64_t nextId_ = 0;
+    std::vector<SramBuffer> buffers_;
+};
+
+}  // namespace mem
+}  // namespace regate
+
+#endif  // REGATE_MEM_SRAM_ALLOCATOR_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Data/tensor/pipeline parallelism configuration shared by the
+ * workload generators. The paper's artifact sweeps all (dp, tp, pp)
+ * combinations; our SLO search (sim/slo.h) does the same on a coarser
+ * grid.
+ */
+
+#ifndef REGATE_MODELS_PARALLELISM_H
+#define REGATE_MODELS_PARALLELISM_H
+
+#include <string>
+
+#include "common/error.h"
+
+namespace regate {
+namespace models {
+
+/** (dp, tp, pp) split of a pod. */
+struct Parallelism
+{
+    int dp = 1;  ///< Data-parallel replicas.
+    int tp = 1;  ///< Tensor-parallel shards.
+    int pp = 1;  ///< Pipeline stages.
+
+    int chips() const { return dp * tp * pp; }
+
+    std::string
+    toString() const
+    {
+        return "dp" + std::to_string(dp) + "/tp" + std::to_string(tp) +
+               "/pp" + std::to_string(pp);
+    }
+
+    void
+    validate() const
+    {
+        REGATE_CHECK(dp >= 1 && tp >= 1 && pp >= 1,
+                     "parallelism degrees must be >= 1 (",
+                     toString(), ")");
+    }
+};
+
+}  // namespace models
+}  // namespace regate
+
+#endif  // REGATE_MODELS_PARALLELISM_H

@@ -1,0 +1,348 @@
+#include "models/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "models/diffusion.h"
+#include "models/dlrm.h"
+#include "models/llama.h"
+
+namespace regate {
+namespace models {
+
+namespace {
+
+/** Llama variant behind an LLM workload. */
+LlamaModel
+llamaOf(Workload w)
+{
+    switch (w) {
+      case Workload::Train8B:
+      case Workload::Prefill8B:
+      case Workload::Decode8B:
+        return LlamaModel::L8B;
+      case Workload::Train13B:
+      case Workload::Prefill13B:
+      case Workload::Decode13B:
+        return LlamaModel::L13B;
+      case Workload::Train70B:
+      case Workload::Prefill70B:
+      case Workload::Decode70B:
+        return LlamaModel::L70B;
+      case Workload::Train405B:
+      case Workload::Prefill405B:
+      case Workload::Decode405B:
+        return LlamaModel::L405B;
+      default:
+        throw LogicError("not an LLM workload");
+    }
+}
+
+DlrmModel
+dlrmOf(Workload w)
+{
+    switch (w) {
+      case Workload::DlrmS:
+        return DlrmModel::S;
+      case Workload::DlrmM:
+        return DlrmModel::M;
+      case Workload::DlrmL:
+        return DlrmModel::L;
+      default:
+        throw LogicError("not a DLRM workload");
+    }
+}
+
+/** Standard tp-first parallelism split used by our setups. */
+Parallelism
+splitChips(int chips, int max_tp)
+{
+    Parallelism par;
+    par.tp = std::min(chips, max_tp);
+    while (par.tp > 1 && chips % par.tp != 0)
+        --par.tp;
+    par.dp = chips / par.tp;
+    return par;
+}
+
+int
+roundUpPow2(int v)
+{
+    int p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = {
+        Workload::Train8B,    Workload::Train13B,  Workload::Train70B,
+        Workload::Train405B,  Workload::Prefill8B, Workload::Prefill13B,
+        Workload::Prefill70B, Workload::Prefill405B, Workload::Decode8B,
+        Workload::Decode13B,  Workload::Decode70B, Workload::Decode405B,
+        Workload::DlrmS,      Workload::DlrmM,     Workload::DlrmL,
+        Workload::DiTXL,      Workload::Gligen,
+    };
+    return all;
+}
+
+std::vector<Workload>
+workloadsOf(WorkloadFamily family)
+{
+    std::vector<Workload> out;
+    for (auto w : allWorkloads()) {
+        if (familyOf(w) == family)
+            out.push_back(w);
+    }
+    return out;
+}
+
+WorkloadFamily
+familyOf(Workload w)
+{
+    switch (w) {
+      case Workload::Train8B:
+      case Workload::Train13B:
+      case Workload::Train70B:
+      case Workload::Train405B:
+        return WorkloadFamily::LlmTraining;
+      case Workload::Prefill8B:
+      case Workload::Prefill13B:
+      case Workload::Prefill70B:
+      case Workload::Prefill405B:
+        return WorkloadFamily::LlmPrefill;
+      case Workload::Decode8B:
+      case Workload::Decode13B:
+      case Workload::Decode70B:
+      case Workload::Decode405B:
+        return WorkloadFamily::LlmDecode;
+      case Workload::DlrmS:
+      case Workload::DlrmM:
+      case Workload::DlrmL:
+        return WorkloadFamily::DlrmInference;
+      case Workload::DiTXL:
+      case Workload::Gligen:
+        return WorkloadFamily::StableDiffusion;
+    }
+    throw LogicError("unknown workload");
+}
+
+std::string
+workloadName(Workload w)
+{
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+        return llamaConfig(llamaOf(w)).name + "-Train";
+      case WorkloadFamily::LlmPrefill:
+        return llamaConfig(llamaOf(w)).name + "-Prefill";
+      case WorkloadFamily::LlmDecode:
+        return llamaConfig(llamaOf(w)).name + "-Decode";
+      case WorkloadFamily::DlrmInference:
+        return dlrmConfig(dlrmOf(w)).name;
+      case WorkloadFamily::StableDiffusion:
+        return diffusionModelName(w == Workload::DiTXL
+                                      ? DiffusionModel::DiTXL
+                                      : DiffusionModel::GLIGEN);
+    }
+    throw LogicError("unknown workload");
+}
+
+std::string
+workloadFamilyName(WorkloadFamily family)
+{
+    switch (family) {
+      case WorkloadFamily::LlmTraining:
+        return "LLM Training";
+      case WorkloadFamily::LlmPrefill:
+        return "LLM Prefill";
+      case WorkloadFamily::LlmDecode:
+        return "LLM Decode";
+      case WorkloadFamily::DlrmInference:
+        return "DLRM Inference";
+      case WorkloadFamily::StableDiffusion:
+        return "Stable Diffusion";
+    }
+    throw LogicError("unknown family");
+}
+
+WorkUnit
+workUnitOf(Workload w)
+{
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+        return WorkUnit::Iteration;
+      case WorkloadFamily::LlmPrefill:
+      case WorkloadFamily::LlmDecode:
+        return WorkUnit::Token;
+      case WorkloadFamily::DlrmInference:
+        return WorkUnit::Request;
+      case WorkloadFamily::StableDiffusion:
+        return WorkUnit::Image;
+    }
+    throw LogicError("unknown workload");
+}
+
+std::string
+workUnitName(WorkUnit unit)
+{
+    switch (unit) {
+      case WorkUnit::Iteration:
+        return "Iter";
+      case WorkUnit::Token:
+        return "Token";
+      case WorkUnit::Request:
+        return "Request";
+      case WorkUnit::Image:
+        return "Image";
+    }
+    throw LogicError("unknown unit");
+}
+
+RunSetup
+table4Setup(Workload w)
+{
+    // Table 4 of the paper: chips / batch per workload on NPU-D.
+    RunSetup s;
+    switch (w) {
+      case Workload::Train8B:    s = {4, 32, {}}; break;
+      case Workload::Train13B:   s = {4, 32, {}}; break;
+      case Workload::Train70B:   s = {8, 32, {}}; break;
+      case Workload::Train405B:  s = {16, 32, {}}; break;
+      case Workload::Prefill8B:  s = {1, 4, {}}; break;
+      case Workload::Prefill13B: s = {1, 4, {}}; break;
+      case Workload::Prefill70B: s = {4096, 8192, {}}; break;
+      case Workload::Prefill405B:s = {256, 64, {}}; break;
+      case Workload::Decode8B:   s = {1, 8, {}}; break;
+      case Workload::Decode13B:  s = {1, 4, {}}; break;
+      case Workload::Decode70B:  s = {128, 4096, {}}; break;
+      case Workload::Decode405B: s = {64, 2048, {}}; break;
+      case Workload::DlrmS:      s = {8, 4096, {}}; break;
+      case Workload::DlrmM:      s = {8, 4096, {}}; break;
+      case Workload::DlrmL:      s = {8, 4096, {}}; break;
+      case Workload::DiTXL:      s = {64, 8192, {}}; break;
+      case Workload::Gligen:     s = {64, 256, {}}; break;
+      default:
+        throw LogicError("unknown workload");
+    }
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+      case WorkloadFamily::LlmPrefill:
+      case WorkloadFamily::LlmDecode:
+        s.par = splitChips(s.chips, 8);
+        // Keep dp <= batch so every replica has work.
+        while (s.par.dp > s.batch && s.par.tp < s.chips) {
+            s.par.tp *= 2;
+            s.par.dp = s.chips / s.par.tp;
+        }
+        break;
+      case WorkloadFamily::DlrmInference:
+        s.par = {s.chips, 1, 1};
+        break;
+      case WorkloadFamily::StableDiffusion:
+        s.par = {s.chips, 1, 1};
+        break;
+    }
+    return s;
+}
+
+double
+modelStateBytes(Workload w)
+{
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+        // bf16 weights + dp-sharded (ZeRO) optimizer state; Table 4
+        // fits 405B training on 16 NPU-D chips, implying ~2.5 B/param
+        // resident per chip.
+        return llamaConfig(llamaOf(w)).params() * 2.5;
+      case WorkloadFamily::LlmPrefill:
+        return llamaConfig(llamaOf(w)).weightBytes();
+      case WorkloadFamily::LlmDecode: {
+        const auto &cfg = llamaConfig(llamaOf(w));
+        RunSetup t4 = table4Setup(w);
+        double kv = cfg.kvBytesPerToken() *
+                    (kPrefillSeqLen + kDecodeOutLen) *
+                    static_cast<double>(t4.batch);
+        return cfg.weightBytes() + kv;
+      }
+      case WorkloadFamily::DlrmInference:
+        return dlrmConfig(dlrmOf(w)).tableBytes;
+      case WorkloadFamily::StableDiffusion:
+        return 3e9;  // ~1.5B params in bf16 plus activations.
+    }
+    throw LogicError("unknown workload");
+}
+
+RunSetup
+defaultSetup(Workload w, arch::NpuGeneration gen)
+{
+    RunSetup s = table4Setup(w);
+    const auto &cfg = arch::npuConfig(gen);
+    double per_chip_hbm = static_cast<double>(cfg.hbmBytes) * 0.85;
+    int min_chips = static_cast<int>(
+        std::ceil(modelStateBytes(w) / per_chip_hbm));
+    if (min_chips > s.chips) {
+        s.chips = roundUpPow2(min_chips);
+        switch (familyOf(w)) {
+          case WorkloadFamily::LlmTraining:
+          case WorkloadFamily::LlmPrefill:
+          case WorkloadFamily::LlmDecode:
+            s.par = splitChips(s.chips, 8);
+            break;
+          default:
+            s.par = {s.chips, 1, 1};
+            break;
+        }
+    }
+    return s;
+}
+
+graph::OperatorGraph
+buildGraph(Workload w, const RunSetup &setup)
+{
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+        return llamaTraining(llamaConfig(llamaOf(w)), setup.batch,
+                             kTrainSeqLen, setup.par);
+      case WorkloadFamily::LlmPrefill:
+        return llamaPrefill(llamaConfig(llamaOf(w)), setup.batch,
+                            kPrefillSeqLen, setup.par);
+      case WorkloadFamily::LlmDecode:
+        return llamaDecode(llamaConfig(llamaOf(w)), setup.batch,
+                           kPrefillSeqLen, kDecodeOutLen, setup.par);
+      case WorkloadFamily::DlrmInference:
+        return dlrmInference(dlrmConfig(dlrmOf(w)), setup.batch,
+                             setup.chips);
+      case WorkloadFamily::StableDiffusion:
+        return diffusionInference(w == Workload::DiTXL
+                                      ? DiffusionModel::DiTXL
+                                      : DiffusionModel::GLIGEN,
+                                  setup.batch, setup.par);
+    }
+    throw LogicError("unknown workload");
+}
+
+double
+unitsPerRun(Workload w, const RunSetup &setup)
+{
+    switch (workUnitOf(w)) {
+      case WorkUnit::Iteration:
+        return 1.0;
+      case WorkUnit::Token:
+        return static_cast<double>(setup.batch) *
+               (familyOf(w) == WorkloadFamily::LlmPrefill
+                    ? kPrefillSeqLen
+                    : kDecodeOutLen);
+      case WorkUnit::Request:
+      case WorkUnit::Image:
+        return static_cast<double>(setup.batch);
+    }
+    throw LogicError("unknown unit");
+}
+
+}  // namespace models
+}  // namespace regate

@@ -1,0 +1,66 @@
+#include "sa/sa_gating.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace sa {
+
+ZeroWeightDetector::ZeroWeightDetector(int width)
+    : width_(width), rowNz_(width, false), colNz_(width, false)
+{
+    REGATE_CHECK(width > 0, "SA width must be positive");
+}
+
+void
+ZeroWeightDetector::pushRow(const std::vector<double> &row)
+{
+    REGATE_CHECK(static_cast<int>(row.size()) == width_,
+                 "weight row has ", row.size(), " entries, SA width is ",
+                 width_);
+    REGATE_CHECK(rowsPushed_ < width_, "more weight rows than SA rows");
+    bool any = false;
+    for (int j = 0; j < width_; ++j) {
+        if (row[j] != 0.0) {
+            any = true;
+            colNz_[j] = true;
+        }
+    }
+    rowNz_[rowsPushed_] = any;
+    ++rowsPushed_;
+}
+
+Bitmap
+rowOnFromNonZero(const Bitmap &row_nz)
+{
+    Bitmap on(row_nz.size(), false);
+    bool seen = false;
+    for (std::size_t i = 0; i < row_nz.size(); ++i) {
+        seen = seen || row_nz[i];
+        on[i] = seen;
+    }
+    return on;
+}
+
+Bitmap
+colOnFromNonZero(const Bitmap &col_nz)
+{
+    Bitmap on(col_nz.size(), false);
+    bool seen = false;
+    for (std::size_t j = col_nz.size(); j-- > 0;) {
+        seen = seen || col_nz[j];
+        on[j] = seen;
+    }
+    return on;
+}
+
+int
+popcount(const Bitmap &bm)
+{
+    int n = 0;
+    for (bool b : bm)
+        n += b ? 1 : 0;
+    return n;
+}
+
+}  // namespace sa
+}  // namespace regate

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Row/column-wise SA power-gating control logic (§4.1, Fig. 12).
+ *
+ * As weight values are pushed into the array row by row, non-zero
+ * detection builds the row/column non-zero bitmaps. A prefix-OR then
+ * derives which rows/columns must stay powered:
+ *
+ *  - a row may be OFF only if it and every row above it are all-zero
+ *    (rows pass partial sums downward, so anything below a non-zero
+ *    row must stay on). The compiler pads short K at the *top*.
+ *  - a column may be OFF only if it and every column to its right are
+ *    all-zero (columns pass input activations rightward). The compiler
+ *    pads short N at the *right*.
+ *
+ * Paper example: col_nz = 0100 (column 1 non-zero) -> col_on = 1100
+ * (column 0 stays on to pass data to column 1).
+ */
+
+#ifndef REGATE_SA_SA_GATING_H
+#define REGATE_SA_SA_GATING_H
+
+#include <vector>
+
+namespace regate {
+namespace sa {
+
+/** Bitmap of rows/columns; index 0 is the top row / leftmost column. */
+using Bitmap = std::vector<bool>;
+
+/**
+ * Streaming non-zero detector fed one weight row per cycle, building
+ * the row and column non-zero bitmaps (Fig. 12 hardware).
+ */
+class ZeroWeightDetector
+{
+  public:
+    explicit ZeroWeightDetector(int width);
+
+    /** Push one weight row (length == width). */
+    void pushRow(const std::vector<double> &row);
+
+    /** Rows pushed so far. */
+    int rowsPushed() const { return rowsPushed_; }
+
+    /** Row non-zero bitmap (rows not yet pushed read as zero). */
+    const Bitmap &rowNonZero() const { return rowNz_; }
+
+    /** Column non-zero bitmap. */
+    const Bitmap &colNonZero() const { return colNz_; }
+
+  private:
+    int width_;
+    int rowsPushed_ = 0;
+    Bitmap rowNz_;
+    Bitmap colNz_;
+};
+
+/**
+ * row_on from row_nz: prefix-OR from the top (row i on iff any row
+ * 0..i is non-zero).
+ */
+Bitmap rowOnFromNonZero(const Bitmap &row_nz);
+
+/**
+ * col_on from col_nz: suffix-OR from the right (column j on iff any
+ * column j.. is non-zero).
+ */
+Bitmap colOnFromNonZero(const Bitmap &col_nz);
+
+/** Number of set bits. */
+int popcount(const Bitmap &bm);
+
+}  // namespace sa
+}  // namespace regate
+
+#endif  // REGATE_SA_SA_GATING_H

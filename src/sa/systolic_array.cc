@@ -1,0 +1,247 @@
+#include "sa/systolic_array.h"
+
+#include "common/error.h"
+
+namespace regate {
+namespace sa {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, fill)
+{
+    REGATE_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+}
+
+std::size_t
+Matrix::index(int r, int c) const
+{
+    REGATE_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "matrix index (", r, ",", c, ") out of ", rows_, "x",
+                  cols_);
+    return static_cast<std::size_t>(r) * cols_ + c;
+}
+
+Matrix
+matmulReference(const Matrix &x, const Matrix &w)
+{
+    REGATE_CHECK(x.cols() == w.rows(), "matmul shape mismatch: ",
+                 x.cols(), " vs ", w.rows());
+    Matrix out(x.rows(), w.cols());
+    for (int m = 0; m < x.rows(); ++m) {
+        for (int n = 0; n < w.cols(); ++n) {
+            double acc = 0.0;
+            for (int k = 0; k < x.cols(); ++k)
+                acc += x.at(m, k) * w.at(k, n);
+            out.at(m, n) = acc;
+        }
+    }
+    return out;
+}
+
+double
+SaRunStats::spatialUtilization() const
+{
+    auto total = totalPeCycles();
+    return total > 0 ?
+        static_cast<double>(macs) / static_cast<double>(total) : 0.0;
+}
+
+std::uint64_t
+SaRunStats::totalPeCycles() const
+{
+    return peOnCycles + peWOnCycles + peOffCycles;
+}
+
+SystolicArray::SystolicArray(int width, bool gating_enabled)
+    : width_(width), gating_(gating_enabled),
+      weights_(static_cast<std::size_t>(width) * width, 0.0),
+      rowOn_(width, true), colOn_(width, true)
+{
+    REGATE_CHECK(width > 0, "SA width must be positive");
+}
+
+void
+SystolicArray::loadWeights(const Matrix &w)
+{
+    REGATE_CHECK(w.rows() >= 1 && w.rows() <= width_,
+                 "weight tile K=", w.rows(), " exceeds SA width ", width_);
+    REGATE_CHECK(w.cols() >= 1 && w.cols() <= width_,
+                 "weight tile N=", w.cols(), " exceeds SA width ", width_);
+
+    loadedK_ = w.rows();
+    loadedN_ = w.cols();
+    firstActiveRow_ = width_ - loadedK_;
+
+    // Physical placement: K pads toward the top (weights occupy the
+    // bottom K rows so partial sums exit the array directly), N pads
+    // toward the right (inputs stop propagating past column N-1).
+    std::fill(weights_.begin(), weights_.end(), 0.0);
+    ZeroWeightDetector detector(width_);
+    std::vector<double> padded(width_, 0.0);
+    for (int r = 0; r < firstActiveRow_; ++r)
+        detector.pushRow(padded);
+    for (int k = 0; k < loadedK_; ++k) {
+        std::fill(padded.begin(), padded.end(), 0.0);
+        for (int n = 0; n < loadedN_; ++n)
+            padded[n] = w.at(k, n);
+        detector.pushRow(padded);
+        for (int n = 0; n < width_; ++n)
+            weights_[static_cast<std::size_t>(firstActiveRow_ + k) *
+                     width_ + n] = padded[n];
+    }
+
+    if (gating_) {
+        rowOn_ = rowOnFromNonZero(detector.rowNonZero());
+        colOn_ = colOnFromNonZero(detector.colNonZero());
+    } else {
+        rowOn_.assign(width_, true);
+        colOn_.assign(width_, true);
+    }
+    stats_.weightLoadCycles += static_cast<Cycles>(loadedK_);
+    stats_.rowsOn = popcount(rowOn_);
+    stats_.colsOn = popcount(colOn_);
+}
+
+Matrix
+SystolicArray::run(const Matrix &x)
+{
+    REGATE_CHECK(loadedK_ > 0, "run() before loadWeights()");
+    REGATE_CHECK(x.cols() == loadedK_, "activation tile has K=", x.cols(),
+                 " but weights have K=", loadedK_);
+    const int m_dim = x.rows();
+    const int r0 = firstActiveRow_;
+    REGATE_CHECK(m_dim > 0, "empty activation tile");
+
+    const std::size_t w2 = static_cast<std::size_t>(width_) * width_;
+    std::vector<Token> xreg(w2), psreg(w2), xprev(w2), psprev(w2);
+    std::vector<char> sig(w2, 0), sig_prev(w2, 0);
+    auto idx = [this](int r, int c) {
+        return static_cast<std::size_t>(r) * width_ + c;
+    };
+
+    // Feeder: activation row m for weight row k enters physical row
+    // r = r0 + k at cycle k + m + 1 (one cycle of skew per *active*
+    // row, plus one cycle in the staging queue while the PE_on signal
+    // wakes the first PE -- the paper's Fig. 13 queue behaviour).
+    auto feeder = [&](int r, Cycles t) -> Token {
+        int k = r - r0;
+        if (k < 0)
+            return Token{};
+        auto m = static_cast<std::int64_t>(t) - k - 1;
+        if (m < 0 || m >= m_dim)
+            return Token{};
+        return Token{x.at(static_cast<int>(m), k), static_cast<int>(m)};
+    };
+
+    Matrix out(m_dim, loadedN_);
+    std::vector<char> collected(
+        static_cast<std::size_t>(m_dim) * loadedN_, 0);
+    std::size_t n_collected = 0;
+    const std::size_t n_expected = collected.size();
+
+    // Columns gated off by the zero-weight logic produce no tokens;
+    // their outputs are zero by construction.
+    for (int c = 0; c < loadedN_; ++c) {
+        if (!colOn_[c]) {
+            for (int m = 0; m < m_dim; ++m) {
+                collected[static_cast<std::size_t>(m) * loadedN_ + c] =
+                    1;
+                ++n_collected;
+            }
+        }
+    }
+
+    const Cycles bound =
+        static_cast<Cycles>(m_dim) + 2 * width_ + 8;
+    Cycles t = 0;
+    for (; t < bound && n_collected < n_expected; ++t) {
+        // PE_on signal propagation (combinational on previous state).
+        for (int r = 0; r < width_; ++r) {
+            for (int c = 0; c < width_; ++c) {
+                bool s;
+                if (!gating_) {
+                    s = true;
+                } else if (!rowOn_[r] || !colOn_[c]) {
+                    s = false;
+                } else if (c == 0) {
+                    s = feeder(r, t + 1).valid();
+                } else {
+                    bool from_left = sig_prev[idx(r, c - 1)];
+                    bool from_top = r > 0 && sig_prev[idx(r - 1, c)];
+                    s = from_left || from_top;
+                }
+                sig[idx(r, c)] = s ? 1 : 0;
+            }
+        }
+
+        xprev = xreg;
+        psprev = psreg;
+
+        for (int r = 0; r < width_; ++r) {
+            for (int c = 0; c < width_; ++c) {
+                // A PE is ON this cycle iff its wake signal was high
+                // on the previous cycle (1-cycle wake-up, Table 3).
+                bool on = !gating_ || (t > 0 && sig_prev[idx(r, c)]);
+
+                if (gating_ && (!rowOn_[r] || !colOn_[c])) {
+                    ++stats_.peOffCycles;
+                    xreg[idx(r, c)] = Token{};
+                    psreg[idx(r, c)] = Token{};
+                    continue;
+                }
+                if (on)
+                    ++stats_.peOnCycles;
+                else
+                    ++stats_.peWOnCycles;
+
+                Token xin =
+                    c == 0 ? feeder(r, t) : xprev[idx(r, c - 1)];
+                if (!on || !xin.valid()) {
+                    REGATE_ASSERT(!xin.valid() || !gating_ || on,
+                                  "PE_on propagation dropped a token at (",
+                                  r, ",", c, ") cycle ", t);
+                    xreg[idx(r, c)] = Token{};
+                    psreg[idx(r, c)] = Token{};
+                    continue;
+                }
+
+                Token psin;
+                if (r > r0) {
+                    psin = psprev[idx(r - 1, c)];
+                    REGATE_ASSERT(!psin.valid() || psin.m == xin.m,
+                                  "partial-sum misalignment at (", r, ",",
+                                  c, ") cycle ", t);
+                }
+                double acc = psin.valid() ? psin.value : 0.0;
+                psreg[idx(r, c)] =
+                    Token{acc + weights_[idx(r, c)] * xin.value, xin.m};
+                xreg[idx(r, c)] = xin;
+                ++stats_.macs;
+            }
+        }
+        sig_prev = sig;
+
+        // Outputs exit below the bottom row of each active column.
+        for (int c = 0; c < loadedN_; ++c) {
+            const Token &tok = psreg[idx(width_ - 1, c)];
+            if (!tok.valid())
+                continue;
+            auto &seen = collected[static_cast<std::size_t>(tok.m) *
+                                   loadedN_ + c];
+            if (!seen) {
+                out.at(tok.m, c) = tok.value;
+                seen = 1;
+                ++n_collected;
+            }
+        }
+    }
+
+    REGATE_ASSERT(n_collected == n_expected,
+                  "systolic run did not drain: ", n_collected, " of ",
+                  n_expected, " outputs after ", t, " cycles");
+    stats_.computeCycles += t;
+    return out;
+}
+
+}  // namespace sa
+}  // namespace regate

@@ -1,0 +1,435 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/gating_engine.h"
+#include "ici/topology.h"
+
+namespace regate {
+namespace sim {
+
+using arch::Component;
+using arch::GatedUnit;
+using core::ActivityTimeline;
+using core::GatingMode;
+
+const std::array<Policy, kNumPolicies> &
+allPolicies()
+{
+    static const std::array<Policy, kNumPolicies> all = {
+        Policy::NoPG, Policy::Base, Policy::HW, Policy::Full,
+        Policy::Ideal};
+    return all;
+}
+
+std::string
+policyName(Policy p)
+{
+    switch (p) {
+      case Policy::NoPG:
+        return "NoPG";
+      case Policy::Base:
+        return "ReGate-Base";
+      case Policy::HW:
+        return "ReGate-HW";
+      case Policy::Full:
+        return "ReGate-Full";
+      case Policy::Ideal:
+        return "Ideal";
+    }
+    throw LogicError("unknown Policy");
+}
+
+const PolicyResult &
+WorkloadRun::result(Policy p) const
+{
+    return policies[static_cast<std::size_t>(p)];
+}
+
+double
+WorkloadRun::temporalUtil(arch::Component c) const
+{
+    return timeline[c].utilization();
+}
+
+double
+WorkloadRun::savingVsNoPg(Policy p) const
+{
+    double base = result(Policy::NoPG).energy.busyTotal();
+    return base > 0 ? 1.0 - result(p).energy.busyTotal() / base : 0.0;
+}
+
+Engine::Engine(const arch::NpuConfig &cfg,
+               const arch::GatingParams &params)
+    : cfg_(cfg), params_(params), power_(cfg)
+{
+}
+
+namespace {
+
+/** Usage window of one component inside a block. */
+struct Usage
+{
+    Cycles start;
+    Cycles end;
+    Component bottleneck;  ///< Bottleneck of the op that used it.
+};
+
+}  // namespace
+
+WorkloadRun
+Engine::run(const graph::OperatorGraph &graph, int pod_chips) const
+{
+    graph.validate();
+    ici::Torus torus = ici::Torus::forChips(cfg_, pod_chips);
+    ici::CollectiveModel coll(cfg_, torus);
+    OperatorSimulator op_sim(cfg_, coll);
+
+    WorkloadRun run;
+    run.name = graph.name;
+    std::array<Cycles, kNumPolicies> overheads{};
+
+    for (const auto &block : graph.blocks) {
+        arch::ComponentMap<ActivityTimeline> block_tl;
+        energy::WorkCounters block_work;
+        sa::SaTileStats block_sa;
+        double block_sram_integral = 0;
+        Cycles block_dur = 0;
+        arch::ComponentMap<std::vector<Usage>> usage;
+        std::uint64_t sram_resizes = 0;
+        double prev_used = -1;
+        Cycles base_vu_stalls = 0;
+
+        for (const auto &op : block.ops) {
+            OpExecution ex = op_sim.simulate(op);
+
+            // ReGate-Base cannot hide the per-burst VU wake-ups that
+            // drain SA output tiles (§6.4): with the idle-detection
+            // FSM gating the VU between bursts, a fraction of the
+            // 2-cycle wakes stalls the SA pipeline (the output queue
+            // absorbs the rest). ReGate-HW/Full pre-wake via the
+            // dataflow / setpm and expose nothing.
+            if (ex.active[Component::Sa] > 0 &&
+                ex.active[Component::Vu] > 0 &&
+                ex.bottleneck == Component::Sa) {
+                constexpr double kVuStallShare = 0.15;
+                double stalls =
+                    static_cast<double>(
+                        ex.timeline[Component::Vu].activations()) *
+                    static_cast<double>(
+                        params_.onOffDelay(GatedUnit::Vu)) *
+                    kVuStallShare;
+                base_vu_stalls += static_cast<Cycles>(stalls);
+            }
+
+            for (auto c : {Component::Sa, Component::Vu, Component::Hbm,
+                           Component::Ici}) {
+                block_tl[c].append(ex.timeline[c]);
+                if (ex.active[c] > 0) {
+                    usage[c].push_back({block_dur,
+                                        block_dur + ex.active[c],
+                                        ex.bottleneck});
+                }
+            }
+            block_work += ex.work;
+            block_sa += ex.saStats;
+
+            double used_frac =
+                ex.sramUsedBytes / static_cast<double>(cfg_.sramBytes);
+            block_sram_integral +=
+                static_cast<double>(ex.duration) * used_frac;
+            if (prev_used >= 0 && ex.sramUsedBytes != prev_used)
+                ++sram_resizes;
+            prev_used = ex.sramUsedBytes;
+
+            OpRecord rec;
+            rec.name = op.name;
+            rec.kind = op.kind;
+            rec.count = block.repeat;
+            rec.duration = ex.duration;
+            rec.sramDemandBytes = op.sramDemandBytes;
+            rec.dynamicJ = power_.dynamicEnergy(ex.work).sum();
+            rec.sramUsedFrac = used_frac;
+            for (auto c : arch::kAllComponents)
+                rec.activeFrac[c] = ex.activeFraction(c);
+            run.opRecords.push_back(std::move(rec));
+
+            block_dur += ex.duration;
+        }
+
+        // Inter-use wake overhead per policy: count idle gaps (with
+        // wrap-around between block repeats) that the hardware
+        // idle-detection would have gated before the next use.
+        std::array<Cycles, kNumPolicies> block_ov{};
+        auto charge = [&](Policy p, Cycles d) {
+            block_ov[static_cast<std::size_t>(p)] += d;
+        };
+        charge(Policy::Base, base_vu_stalls);
+        for (auto c : {Component::Sa, Component::Vu, Component::Hbm,
+                       Component::Ici}) {
+            const auto &uses = usage[c];
+            if (uses.empty())
+                continue;
+            GatedUnit unit = c == Component::Sa ? GatedUnit::SaFull
+                             : c == Component::Vu ? GatedUnit::Vu
+                             : c == Component::Hbm ? GatedUnit::Hbm
+                                                   : GatedUnit::Ici;
+            Cycles window = params_.detectionWindow(unit);
+            for (std::size_t i = 0; i < uses.size(); ++i) {
+                Cycles gap =
+                    i == 0 ? block_dur - uses.back().end + uses[0].start
+                           : uses[i].start - uses[i - 1].end;
+                if (gap < window)
+                    continue;
+                bool is_bottleneck = uses[i].bottleneck == c;
+                switch (c) {
+                  case Component::Sa:
+                    // Base pays the full-SA wake; HW/Full overlap the
+                    // diagonal wake and expose one PE delay (§6.4).
+                    charge(Policy::Base,
+                           params_.onOffDelay(GatedUnit::SaFull));
+                    charge(Policy::HW,
+                           params_.onOffDelay(GatedUnit::SaPe));
+                    charge(Policy::Full,
+                           params_.onOffDelay(GatedUnit::SaPe));
+                    break;
+                  case Component::Vu:
+                    // Exposed only when the VU gates the op; Full
+                    // pre-wakes via setpm (§4.3).
+                    if (is_bottleneck) {
+                        charge(Policy::Base,
+                               params_.onOffDelay(GatedUnit::Vu));
+                        charge(Policy::HW,
+                               params_.onOffDelay(GatedUnit::Vu));
+                    }
+                    break;
+                  case Component::Hbm:
+                    if (is_bottleneck) {
+                        for (Policy p : {Policy::Base, Policy::HW,
+                                         Policy::Full}) {
+                            charge(p,
+                                   params_.onOffDelay(GatedUnit::Hbm));
+                        }
+                    }
+                    break;
+                  case Component::Ici:
+                    for (Policy p :
+                         {Policy::Base, Policy::HW, Policy::Full})
+                        charge(p, params_.onOffDelay(GatedUnit::Ici));
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+
+        for (std::size_t p = 0; p < kNumPolicies; ++p)
+            overheads[p] += block_ov[p] * block.repeat;
+
+        // Scale the block to its repeat count and append to the run.
+        for (auto c : {Component::Sa, Component::Vu, Component::Hbm,
+                       Component::Ici}) {
+            run.timeline[c].append(block_tl[c].repeated(block.repeat));
+        }
+        double rep = static_cast<double>(block.repeat);
+        run.work.macs += block_work.macs * rep;
+        run.work.vuOps += block_work.vuOps * rep;
+        run.work.sramBytes += block_work.sramBytes * rep;
+        run.work.hbmBytes += block_work.hbmBytes * rep;
+        run.work.iciBytes += block_work.iciBytes * rep;
+        run.saStats += block_sa.scaled(block.repeat);
+        run.sramUsedIntegral += block_sram_integral * rep;
+        run.cycles += block_dur * block.repeat;
+
+        // SRAM resize setpm pairs (Full only; reported in Fig. 20).
+        overheads[static_cast<std::size_t>(Policy::Full)] += 0;
+        run.policies[static_cast<std::size_t>(Policy::Full)]
+            .sramSetpmPairs += sram_resizes * block.repeat;
+    }
+    run.seconds = static_cast<double>(run.cycles) * cfg_.cycleTime();
+
+    for (auto p : allPolicies())
+        evaluatePolicy(run, p, overheads);
+    return run;
+}
+
+void
+Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
+                       const std::array<Cycles, kNumPolicies>
+                           &overheads) const
+{
+    auto &res = run.policies[static_cast<std::size_t>(policy)];
+    res.policy = policy;
+    const double tau = cfg_.cycleTime();
+    const auto &ratios = params_.ratios();
+
+    auto modeFor = [&](Component c) -> GatingMode {
+        if (policy == Policy::NoPG)
+            return GatingMode::None;
+        if (policy == Policy::Ideal)
+            return GatingMode::Ideal;
+        if (c == Component::Vu && policy == Policy::Full)
+            return GatingMode::SwExact;
+        return GatingMode::HwDetect;
+    };
+
+    energy::EnergyBreakdown e;
+    Cycles exposed_from_engine = 0;
+
+    // ---- SA ----
+    {
+        core::UnitSpec spec{GatedUnit::SaFull,
+                            power_.staticPower(Component::Sa), tau};
+        auto r = core::evaluateTimeline(run.timeline[Component::Sa],
+                                        spec, modeFor(Component::Sa),
+                                        params_);
+        double e_sa = r.staticEnergy;
+        exposed_from_engine += 0;  // SA overhead handled in run().
+        if (policy == Policy::HW || policy == Policy::Full ||
+            policy == Policy::Ideal) {
+            // Replace the flat active-period energy with the
+            // PE-granularity split from the analytical SA model.
+            double flat = power_.staticPower(Component::Sa) * tau *
+                          static_cast<double>(
+                              run.timeline[Component::Sa].activeCycles());
+            double off_leak =
+                policy == Policy::Ideal ? 0.0 : ratios.logicOff;
+            double pe = power_.peStaticPower() * cfg_.numSa * tau;
+            // The per-SA analytical totals already cover all PEs of
+            // one array; numSa arrays ran the serial tile stream in
+            // parallel, so PE-cycle totals are unchanged.
+            double gated = power_.peStaticPower() * tau *
+                           (static_cast<double>(run.saStats.peOnCycles) +
+                            sa::kWOnPowerFraction *
+                                static_cast<double>(
+                                    run.saStats.peWOnCycles) +
+                            off_leak * static_cast<double>(
+                                           run.saStats.peOffCycles));
+            (void)pe;
+            if (gated < flat)
+                e_sa += gated - flat;
+        }
+        e.staticJ[Component::Sa] = e_sa;
+    }
+
+    // ---- VU ----
+    {
+        core::UnitSpec spec{GatedUnit::Vu,
+                            power_.staticPower(Component::Vu), tau};
+        auto r = core::evaluateTimeline(run.timeline[Component::Vu],
+                                        spec, modeFor(Component::Vu),
+                                        params_);
+        e.staticJ[Component::Vu] = r.staticEnergy;
+        if (policy == Policy::Full)
+            res.vuGateEvents = r.gateEvents;
+    }
+
+    // ---- HBM ----
+    {
+        core::UnitSpec spec{GatedUnit::Hbm, power_.hbmStaticPower(),
+                            tau};
+        auto r = core::evaluateTimeline(run.timeline[Component::Hbm],
+                                        spec, modeFor(Component::Hbm),
+                                        params_);
+        e.staticJ[Component::Hbm] = r.staticEnergy;
+    }
+
+    // ---- ICI ----
+    {
+        core::UnitSpec spec{GatedUnit::Ici, power_.iciStaticPower(),
+                            tau};
+        auto r = core::evaluateTimeline(run.timeline[Component::Ici],
+                                        spec, modeFor(Component::Ici),
+                                        params_);
+        e.staticJ[Component::Ici] = r.staticEnergy;
+    }
+
+    // ---- SRAM: capacity-based (§4.1) ----
+    {
+        double p_sram = power_.staticPower(Component::Sram);
+        double used = run.sramUsedIntegral;
+        double unused = static_cast<double>(run.cycles) - used;
+        double leak;
+        switch (policy) {
+          case Policy::NoPG:
+            leak = 1.0;
+            break;
+          case Policy::Base:
+          case Policy::HW:
+            leak = ratios.sramSleep;
+            break;
+          case Policy::Full:
+            leak = ratios.sramOff;
+            break;
+          case Policy::Ideal:
+            leak = 0.0;
+            break;
+          default:
+            throw LogicError("unknown policy");
+        }
+        e.staticJ[Component::Sram] = p_sram * tau * (used + leak * unused);
+    }
+
+    // ---- Other: never gated ----
+    e.staticJ[Component::Other] = power_.staticPower(Component::Other) *
+                                  tau *
+                                  static_cast<double>(run.cycles);
+
+    // ---- Dynamic energy (identical across policies) ----
+    e.dynamicJ = power_.dynamicEnergy(run.work);
+
+    // ---- Performance overhead ----
+    res.overheadCycles =
+        overheads[static_cast<std::size_t>(policy)] +
+        exposed_from_engine;
+    res.perfOverhead =
+        run.cycles > 0 ? static_cast<double>(res.overheadCycles) /
+                             static_cast<double>(run.cycles)
+                       : 0.0;
+    res.seconds = static_cast<double>(run.cycles + res.overheadCycles) *
+                  tau;
+    // The chip burns (policy-reduced) static power during the extra
+    // cycles; charge it at the post-gating average static power.
+    if (res.overheadCycles > 0 && run.cycles > 0) {
+        double avg_static_w =
+            e.staticJ.sum() / (static_cast<double>(run.cycles) * tau);
+        e.staticJ[Component::Other] +=
+            avg_static_w * static_cast<double>(res.overheadCycles) * tau;
+    }
+
+    res.energy = e;
+    res.avgPowerW = e.busyTotal() / res.seconds;
+
+    // ---- Peak power: most power-hungry operator (Fig. 18) ----
+    double peak = 0;
+    for (const auto &rec : run.opRecords) {
+        double dur_s = static_cast<double>(rec.duration) * tau;
+        double p_static = 0;
+        for (auto c : {Component::Sa, Component::Vu, Component::Hbm,
+                       Component::Ici}) {
+            double leak_c =
+                policy == Policy::NoPG ? 1.0
+                : policy == Policy::Ideal ? 0.0
+                                          : ratios.logicOff;
+            double pc = power_.staticPower(c);
+            p_static += pc * (rec.activeFrac[c] +
+                              (1.0 - rec.activeFrac[c]) * leak_c);
+        }
+        double sram_leak = policy == Policy::NoPG ? 1.0
+                           : policy == Policy::Ideal
+                               ? 0.0
+                               : (policy == Policy::Full
+                                      ? ratios.sramOff
+                                      : ratios.sramSleep);
+        p_static += power_.staticPower(Component::Sram) *
+                    (rec.sramUsedFrac +
+                     (1.0 - rec.sramUsedFrac) * sram_leak);
+        p_static += power_.staticPower(Component::Other);
+        peak = std::max(peak, p_static + rec.dynamicJ / dur_s);
+    }
+    res.peakPowerW = peak;
+}
+
+}  // namespace sim
+}  // namespace regate

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The workload engine: runs a compiled operator graph through the
+ * per-operator simulator, composes whole-run activity timelines, and
+ * evaluates the five §6.1 designs — NoPG, ReGate-Base, ReGate-HW,
+ * ReGate-Full, Ideal — on the same execution.
+ *
+ * Policy -> mechanism mapping (§4):
+ *   component | NoPG | Base        | HW          | Full        | Ideal
+ *   SA        | none | HwDetect    | HwDetect+PE | HwDetect+PE | Ideal+PE
+ *   VU        | none | HwDetect    | HwDetect    | SwExact     | Ideal
+ *   HBM       | none | HwDetect    | HwDetect    | HwDetect    | Ideal
+ *   ICI       | none | HwDetect    | HwDetect    | HwDetect    | Ideal
+ *   SRAM      | none | sleep unused| sleep unused| off unused  | zero
+ *   Other     | never gated (§3)
+ */
+
+#ifndef REGATE_SIM_ENGINE_H
+#define REGATE_SIM_ENGINE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/gating_params.h"
+#include "arch/npu_config.h"
+#include "energy/energy_breakdown.h"
+#include "energy/power_model.h"
+#include "graph/graph.h"
+#include "sim/operator_sim.h"
+
+namespace regate {
+namespace sim {
+
+/** The five evaluated designs. */
+enum class Policy { NoPG, Base, HW, Full, Ideal };
+
+constexpr std::size_t kNumPolicies = 5;
+
+/** All policies in paper order. */
+const std::array<Policy, kNumPolicies> &allPolicies();
+
+/** Printable name ("NoPG", "ReGate-Base", ...). */
+std::string policyName(Policy p);
+
+/** Per-operator record kept for figure generation. */
+struct OpRecord
+{
+    std::string name;
+    graph::OpKind kind = graph::OpKind::Elementwise;
+    std::uint64_t count = 0;   ///< Instances (block repeat).
+    Cycles duration = 0;       ///< Cycles per instance.
+    double sramDemandBytes = 0;
+    double dynamicJ = 0;       ///< Dynamic energy per instance.
+    double sramUsedFrac = 0;
+    arch::ComponentMap<double> activeFrac;
+};
+
+/** Evaluation of one policy over one run (per chip, busy time). */
+struct PolicyResult
+{
+    Policy policy = Policy::NoPG;
+    Cycles overheadCycles = 0;   ///< Wake-up cycles added to runtime.
+    double seconds = 0;          ///< Runtime including overhead.
+    double perfOverhead = 0;     ///< Fractional slowdown vs NoPG.
+    energy::EnergyBreakdown energy;  ///< Busy energy per chip.
+    double avgPowerW = 0;
+    double peakPowerW = 0;       ///< Most power-hungry operator.
+    std::uint64_t vuGateEvents = 0;   ///< Gated VU intervals.
+    std::uint64_t sramSetpmPairs = 0; ///< SRAM resize setpm pairs.
+};
+
+/** One workload execution with all policies evaluated. */
+struct WorkloadRun
+{
+    std::string name;
+    Cycles cycles = 0;      ///< Base runtime (no gating overhead).
+    double seconds = 0;
+    arch::ComponentMap<core::ActivityTimeline> timeline;
+    energy::WorkCounters work;
+    sa::SaTileStats saStats;
+    double sramUsedIntegral = 0;  ///< Sum over time of used fraction.
+    std::vector<OpRecord> opRecords;
+    std::array<PolicyResult, kNumPolicies> policies;
+
+    const PolicyResult &result(Policy p) const;
+
+    /** Fig. 4/6/8/9 metric. */
+    double temporalUtil(arch::Component c) const;
+
+    /** Fig. 5 metric. */
+    double saSpatialUtil() const { return saStats.spatialUtilization(); }
+
+    /** Fractional energy saving of @p p vs NoPG. */
+    double savingVsNoPg(Policy p) const;
+};
+
+/** The engine. */
+class Engine
+{
+  public:
+    Engine(const arch::NpuConfig &cfg,
+           const arch::GatingParams &params = {});
+
+    /**
+     * Run a compiled graph on one chip of a @p pod_chips pod.
+     * @p graph must already be compiled (fusion + tiling annotations).
+     */
+    WorkloadRun run(const graph::OperatorGraph &graph,
+                    int pod_chips) const;
+
+    const energy::PowerModel &powerModel() const { return power_; }
+    const arch::GatingParams &params() const { return params_; }
+    const arch::NpuConfig &config() const { return cfg_; }
+
+  private:
+    struct BlockOutcome;
+
+    void evaluatePolicy(WorkloadRun &run, Policy policy,
+                        const std::array<Cycles, kNumPolicies>
+                            &overheads) const;
+
+    const arch::NpuConfig &cfg_;
+    arch::GatingParams params_;
+    energy::PowerModel power_;
+};
+
+}  // namespace sim
+}  // namespace regate
+
+#endif  // REGATE_SIM_ENGINE_H

@@ -1,0 +1,114 @@
+#include "sim/report.h"
+
+#include "common/error.h"
+#include "compiler/compiler.h"
+
+namespace regate {
+namespace sim {
+
+using arch::Component;
+
+double
+idleStaticPower(const energy::PowerModel &power,
+                const arch::GatingParams &params, Policy policy)
+{
+    const auto &ratios = params.ratios();
+    // "Other" (management, control) stays powered even on an idle
+    // chip (§3); everything else gates according to the policy.
+    double p = power.staticPower(Component::Other);
+    double logic = power.staticPower(Component::Sa) +
+                   power.staticPower(Component::Vu) +
+                   power.staticPower(Component::Hbm) +
+                   power.staticPower(Component::Ici);
+    double sram = power.staticPower(Component::Sram);
+    switch (policy) {
+      case Policy::NoPG:
+        p += logic + sram;
+        break;
+      case Policy::Base:
+      case Policy::HW:
+        p += logic * ratios.logicOff + sram * ratios.sramSleep;
+        break;
+      case Policy::Full:
+        p += logic * ratios.logicOff + sram * ratios.sramOff;
+        break;
+      case Policy::Ideal:
+        break;
+    }
+    return p;
+}
+
+double
+WorkloadReport::podBusyEnergy(Policy p) const
+{
+    return run.result(p).energy.busyTotal() * setup.chips;
+}
+
+double
+WorkloadReport::idleSeconds(Policy p, const FleetParams &fleet) const
+{
+    REGATE_CHECK(fleet.dutyCycle > 0 && fleet.dutyCycle <= 1,
+                 "duty cycle out of (0, 1]: ", fleet.dutyCycle);
+    return run.result(p).seconds * (1.0 - fleet.dutyCycle) /
+           fleet.dutyCycle;
+}
+
+double
+WorkloadReport::idlePowerW(Policy p) const
+{
+    energy::PowerModel power(config());
+    return idleStaticPower(power, params_, p);
+}
+
+double
+WorkloadReport::podTotalEnergy(Policy p, const FleetParams &fleet) const
+{
+    double idle = idlePowerW(p) * idleSeconds(p, fleet) * setup.chips;
+    return (podBusyEnergy(p) + idle) * fleet.pue;
+}
+
+double
+WorkloadReport::energyPerUnit(Policy p, const FleetParams &fleet) const
+{
+    REGATE_CHECK(units > 0, "report has no work units");
+    return podTotalEnergy(p, fleet) / units;
+}
+
+double
+WorkloadReport::idleShare(Policy p, const FleetParams &fleet) const
+{
+    double idle =
+        idlePowerW(p) * idleSeconds(p, fleet) * setup.chips * fleet.pue;
+    return idle / podTotalEnergy(p, fleet);
+}
+
+const arch::NpuConfig &
+WorkloadReport::config() const
+{
+    return arch::npuConfig(gen);
+}
+
+WorkloadReport
+simulateWorkload(models::Workload workload, arch::NpuGeneration gen,
+                 const arch::GatingParams &params,
+                 const models::RunSetup *setup_override)
+{
+    WorkloadReport rep;
+    rep.workload = workload;
+    rep.gen = gen;
+    rep.params_ = params;
+    rep.setup = setup_override ? *setup_override
+                               : models::defaultSetup(workload, gen);
+
+    const auto &cfg = arch::npuConfig(gen);
+    auto raw = models::buildGraph(workload, rep.setup);
+    auto compiled = compiler::compileGraph(raw, cfg);
+
+    Engine engine(cfg, params);
+    rep.run = engine.run(compiled.graph, rep.setup.chips);
+    rep.units = models::unitsPerRun(workload, rep.setup);
+    return rep;
+}
+
+}  // namespace sim
+}  // namespace regate

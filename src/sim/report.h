@@ -1,0 +1,84 @@
+/**
+ * @file
+ * High-level facade: simulate one of the paper's workloads on one NPU
+ * generation and expose the quantities the figures need, including
+ * the duty-cycle/PUE accounting of §3 (60% duty cycle [84], PUE 1.1
+ * [32]) and the per-policy idle power of a powered-on but jobless
+ * chip.
+ */
+
+#ifndef REGATE_SIM_REPORT_H
+#define REGATE_SIM_REPORT_H
+
+#include "arch/gating_params.h"
+#include "models/workload.h"
+#include "sim/engine.h"
+
+namespace regate {
+namespace sim {
+
+/** Datacenter accounting constants (§3). */
+struct FleetParams
+{
+    double dutyCycle = 0.6;  ///< Fraction of wall time running jobs.
+    double pue = 1.1;        ///< Power usage efficiency.
+};
+
+/** One simulated workload on one generation. */
+struct WorkloadReport
+{
+    models::Workload workload{};
+    arch::NpuGeneration gen{};
+    models::RunSetup setup;
+    WorkloadRun run;
+    double units = 0;  ///< Work units per run (tokens, images, ...).
+
+    /** Busy energy per run across the whole pod, joules. */
+    double podBusyEnergy(Policy p) const;
+
+    /**
+     * Total energy per run including the idle portion implied by the
+     * duty cycle and the PUE multiplier (the Fig. 2 metric).
+     */
+    double podTotalEnergy(Policy p, const FleetParams &fleet = {}) const;
+
+    /** Energy per work unit (J/iter, J/token, ...), Fig. 2. */
+    double energyPerUnit(Policy p, const FleetParams &fleet = {}) const;
+
+    /** Wall-clock idle seconds implied by the duty cycle. */
+    double idleSeconds(Policy p, const FleetParams &fleet = {}) const;
+
+    /** Per-chip idle power of a powered-on, jobless chip, watts. */
+    double idlePowerW(Policy p) const;
+
+    /** Idle energy share of total (the Fig. 3 "Idle" bar). */
+    double idleShare(Policy p, const FleetParams &fleet = {}) const;
+
+    const arch::NpuConfig &config() const;
+
+  private:
+    friend WorkloadReport simulateWorkload(models::Workload,
+                                           arch::NpuGeneration,
+                                           const arch::GatingParams &,
+                                           const models::RunSetup *);
+    arch::GatingParams params_;
+};
+
+/**
+ * Build, compile, and simulate @p workload on @p gen. Uses
+ * defaultSetup unless @p setup_override is given.
+ */
+WorkloadReport simulateWorkload(models::Workload workload,
+                                arch::NpuGeneration gen,
+                                const arch::GatingParams &params = {},
+                                const models::RunSetup *setup_override =
+                                    nullptr);
+
+/** Idle power of a jobless chip under a policy (used by Fig. 24). */
+double idleStaticPower(const energy::PowerModel &power,
+                       const arch::GatingParams &params, Policy policy);
+
+}  // namespace sim
+}  // namespace regate
+
+#endif  // REGATE_SIM_REPORT_H

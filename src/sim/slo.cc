@@ -1,0 +1,111 @@
+#include "sim/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regate {
+namespace sim {
+
+namespace {
+
+double
+secondsPerUnit(const WorkloadReport &rep)
+{
+    return rep.run.result(Policy::NoPG).seconds / rep.units;
+}
+
+}  // namespace
+
+double
+sloTargetSecondsPerUnit(models::Workload workload)
+{
+    // 1x SLO: 5x the latency of the default configuration on the
+    // minimum number of NPU-D chips (§3).
+    auto rep = simulateWorkload(workload, arch::NpuGeneration::D);
+    return 5.0 * secondsPerUnit(rep);
+}
+
+std::vector<models::RunSetup>
+candidateSetups(models::Workload workload, arch::NpuGeneration gen)
+{
+    models::RunSetup base = models::defaultSetup(workload, gen);
+    std::vector<models::RunSetup> out;
+    for (int chip_mul : {1, 2, 4}) {
+        for (int batch_div : {4, 2, 1}) {
+            models::RunSetup s = base;
+            s.chips = base.chips * chip_mul;
+            s.batch = std::max<std::int64_t>(1, base.batch / batch_div);
+            // Re-split parallelism for the new chip count.
+            if (s.chips != base.chips || s.batch != base.batch) {
+                models::RunSetup scaled =
+                    models::defaultSetup(workload, gen);
+                s.par = scaled.par;
+                if (s.chips != scaled.chips) {
+                    // Grow dp with the extra chips.
+                    s.par.dp = std::max(
+                        1, s.chips / (s.par.tp * s.par.pp));
+                    s.chips = s.par.chips();
+                }
+            }
+            if (s.par.dp > s.batch)
+                continue;  // Idle replicas: skip.
+            out.push_back(s);
+        }
+    }
+    return out;
+}
+
+SloResult
+findBestSetup(models::Workload workload, arch::NpuGeneration gen,
+              const arch::GatingParams &params)
+{
+    double target = sloTargetSecondsPerUnit(workload);
+    auto candidates = candidateSetups(workload, gen);
+    REGATE_CHECK(!candidates.empty(), "no candidate setups");
+
+    bool have_compliant = false;
+    SloResult best;
+    SloResult fastest;
+    double best_energy = 0;
+    double fastest_latency = 0;
+
+    for (const auto &setup : candidates) {
+        auto rep = simulateWorkload(workload, gen, params, &setup);
+        double spu = secondsPerUnit(rep);
+        double epu = rep.energyPerUnit(Policy::NoPG);
+
+        if (!have_compliant || (spu <= target && epu < best_energy) ||
+            (!have_compliant && spu <= target)) {
+            if (spu <= target &&
+                (!have_compliant || epu < best_energy)) {
+                best.setup = setup;
+                best.secondsPerUnit = spu;
+                best.energyPerUnit = epu;
+                best.sloRatio = 1.0;
+                best.report = rep;
+                best_energy = epu;
+                have_compliant = true;
+            }
+        }
+        if (fastest_latency == 0 || spu < fastest_latency) {
+            fastest.setup = setup;
+            fastest.secondsPerUnit = spu;
+            fastest.energyPerUnit = epu;
+            fastest.report = rep;
+            fastest_latency = spu;
+        }
+    }
+
+    if (have_compliant)
+        return best;
+
+    // No compliant configuration: report the fastest with its
+    // attained SLO multiple (Fig. 2's "2x" annotations).
+    fastest.sloRatio = std::ceil(fastest.secondsPerUnit / target);
+    return fastest;
+}
+
+}  // namespace sim
+}  // namespace regate

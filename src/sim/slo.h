@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SLO-compliant configuration search (§3, Table 4): for each workload
+ * and NPU generation, find the most energy-efficient pod
+ * configuration whose per-unit latency (or training throughput) meets
+ * the SLO. The 1x SLO is defined as 5x the latency (1/5 the
+ * throughput) of the default batch on the minimum NPU-D pod [78].
+ */
+
+#ifndef REGATE_SIM_SLO_H
+#define REGATE_SIM_SLO_H
+
+#include <vector>
+
+#include "sim/report.h"
+
+namespace regate {
+namespace sim {
+
+/** Outcome of the search for one (workload, generation). */
+struct SloResult
+{
+    models::RunSetup setup;
+    double secondsPerUnit = 0;   ///< Achieved latency per work unit.
+    double energyPerUnit = 0;    ///< NoPG J/unit (Fig. 2 metric).
+    double sloRatio = 1;         ///< Attained SLO multiple (1 = meets
+                                 ///< 1x; 2 = needed 2x relaxation).
+    WorkloadReport report;       ///< The winning simulation.
+};
+
+/** Seconds-per-unit at the 1x SLO for @p workload. */
+double sloTargetSecondsPerUnit(models::Workload workload);
+
+/**
+ * Search candidate setups (chip counts around Table 4, halved/doubled
+ * batches) on @p gen; returns the most energy-efficient compliant
+ * configuration, or the fastest one with its attained (relaxed) SLO
+ * ratio if none complies — mirroring the "2x" labels in Fig. 2.
+ */
+SloResult findBestSetup(models::Workload workload,
+                        arch::NpuGeneration gen,
+                        const arch::GatingParams &params = {});
+
+/** Candidate setups the search explores (exposed for tests). */
+std::vector<models::RunSetup> candidateSetups(models::Workload workload,
+                                              arch::NpuGeneration gen);
+
+}  // namespace sim
+}  // namespace regate
+
+#endif  // REGATE_SIM_SLO_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the operator-fusion pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/fusion.h"
+#include "common/units.h"
+
+namespace regate {
+namespace compiler {
+namespace {
+
+using graph::Block;
+using graph::Operator;
+using graph::OperatorGraph;
+using graph::OpKind;
+
+OperatorGraph
+matmulReluGraph(double relu_traffic)
+{
+    OperatorGraph g;
+    g.name = "mm-relu";
+    Block b;
+    b.name = "b";
+    b.repeat = 2;
+
+    Operator mm;
+    mm.kind = OpKind::MatMul;
+    mm.name = "mm";
+    mm.m = mm.k = mm.n = 128;
+    mm.hbmReadBytes = 1e6;
+    b.ops.push_back(mm);
+
+    Operator relu;
+    relu.kind = OpKind::Elementwise;
+    relu.name = "relu";
+    relu.vuOps = 128 * 128;
+    relu.hbmReadBytes = relu_traffic / 2;
+    relu.hbmWriteBytes = relu_traffic / 2;
+    b.ops.push_back(relu);
+
+    g.blocks.push_back(b);
+    return g;
+}
+
+TEST(Fusion, FusesElementwiseIntoMatmul)
+{
+    auto g = matmulReluGraph(1e6);
+    auto stats = fuseGraph(g, units::MiB(128));
+    EXPECT_EQ(stats.fusedOps, 2u);  // Block repeat counts.
+    EXPECT_DOUBLE_EQ(stats.hbmBytesSaved, 2e6);
+    EXPECT_TRUE(g.blocks[0].ops[1].fusedIntoPrev);
+    EXPECT_DOUBLE_EQ(g.blocks[0].ops[1].hbmBytes(), 0.0);
+    // VU work preserved: fusion removes traffic, not compute.
+    EXPECT_GT(g.blocks[0].ops[1].vuOps, 0.0);
+}
+
+TEST(Fusion, SkipsWhenWorkingSetTooLarge)
+{
+    auto g = matmulReluGraph(1e6);
+    auto stats = fuseGraph(g, /*sram_bytes=*/1000);
+    EXPECT_EQ(stats.fusedOps, 0u);
+    EXPECT_FALSE(g.blocks[0].ops[1].fusedIntoPrev);
+}
+
+TEST(Fusion, CollectiveBreaksChain)
+{
+    OperatorGraph g;
+    g.name = "coll-chain";
+    Block b;
+    b.name = "b";
+    Operator coll;
+    coll.kind = OpKind::Collective;
+    coll.name = "ar";
+    coll.coll = graph::CollKind::AllReduce;
+    coll.collBytes = 100;
+    b.ops.push_back(coll);
+    Operator relu;
+    relu.kind = OpKind::Elementwise;
+    relu.name = "relu";
+    relu.vuOps = 10;
+    relu.hbmReadBytes = 100;
+    b.ops.push_back(relu);
+    g.blocks.push_back(b);
+
+    auto stats = fuseGraph(g, units::MiB(128));
+    EXPECT_EQ(stats.fusedOps, 0u);
+}
+
+TEST(Fusion, ChainsOfVectorOpsFuse)
+{
+    OperatorGraph g;
+    g.name = "chain";
+    Block b;
+    b.name = "b";
+    for (int i = 0; i < 4; ++i) {
+        Operator op;
+        op.kind = i == 0 ? OpKind::MatMul : OpKind::Elementwise;
+        op.name = "op" + std::to_string(i);
+        if (i == 0) {
+            op.m = op.k = op.n = 64;
+        } else {
+            op.vuOps = 100;
+            op.hbmReadBytes = 50;
+        }
+        b.ops.push_back(op);
+    }
+    g.blocks.push_back(b);
+    auto stats = fuseGraph(g, units::MiB(128));
+    EXPECT_EQ(stats.fusedOps, 3u);
+}
+
+TEST(Fusion, FirstOpNeverFuses)
+{
+    OperatorGraph g;
+    g.name = "first";
+    Block b;
+    b.name = "b";
+    Operator relu;
+    relu.kind = OpKind::Elementwise;
+    relu.name = "relu";
+    relu.vuOps = 10;
+    relu.hbmReadBytes = 100;
+    b.ops.push_back(relu);
+    g.blocks.push_back(b);
+    auto stats = fuseGraph(g, units::MiB(128));
+    EXPECT_EQ(stats.fusedOps, 0u);
+    EXPECT_FALSE(g.blocks[0].ops[0].fusedIntoPrev);
+}
+
+}  // namespace
+}  // namespace compiler
+}  // namespace regate

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the HBM timing model and the DMA engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/units.h"
+#include "mem/dma.h"
+#include "mem/hbm.h"
+
+namespace regate {
+namespace mem {
+namespace {
+
+using arch::NpuGeneration;
+
+TEST(Hbm, TransferTimeModel)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    EXPECT_DOUBLE_EQ(hbm.transferSeconds(0), 0.0);
+    // Latency floor for small transfers.
+    EXPECT_GE(hbm.transferSeconds(64), hbm.latency());
+    // Large transfers approach bandwidth-limited time.
+    double t = hbm.transferSeconds(units::GiB(1));
+    double ideal = static_cast<double>(units::GiB(1)) / hbm.bandwidth();
+    EXPECT_NEAR(t, ideal, hbm.latency() * 2);
+}
+
+TEST(Hbm, BandwidthBelowPeak)
+{
+    const auto &cfg = arch::npuConfig(NpuGeneration::D);
+    HbmModel hbm(cfg);
+    EXPECT_LT(hbm.bandwidth(), cfg.hbmBandwidth);
+    EXPECT_GT(hbm.bandwidth(), 0.8 * cfg.hbmBandwidth);
+}
+
+TEST(Hbm, CyclesRoundUp)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    EXPECT_GT(hbm.transferCycles(1), 0u);
+}
+
+TEST(Hbm, FasterGenerationsMoveDataFaster)
+{
+    HbmModel a(arch::npuConfig(NpuGeneration::A));
+    HbmModel e(arch::npuConfig(NpuGeneration::E));
+    EXPECT_GT(a.transferSeconds(units::MiB(64)),
+              e.transferSeconds(units::MiB(64)));
+}
+
+TEST(Dma, SingleChannelSerializes)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    DmaEngine dma(hbm, 1);
+    Cycles c1 = dma.issue(units::MiB(4), DmaTarget::Hbm,
+                          DmaTarget::Sram, 0);
+    Cycles c2 = dma.issue(units::MiB(4), DmaTarget::Hbm,
+                          DmaTarget::Sram, 0);
+    EXPECT_GT(c2, c1);
+    EXPECT_EQ(dma.records()[1].start, c1);
+    EXPECT_EQ(dma.drainCycle(), c2);
+}
+
+TEST(Dma, ChannelsOverlap)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    DmaEngine dma(hbm, 4);
+    Cycles c1 = dma.issue(units::MiB(4), DmaTarget::Hbm,
+                          DmaTarget::Sram, 0);
+    Cycles c2 = dma.issue(units::MiB(4), DmaTarget::Sram,
+                          DmaTarget::Hbm, 0);
+    EXPECT_EQ(c1, c2);  // Parallel channels.
+}
+
+TEST(Dma, HbmBusyIntervalsMerge)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    DmaEngine dma(hbm, 1);
+    dma.issue(units::MiB(1), DmaTarget::Hbm, DmaTarget::Sram, 0);
+    Cycles end = dma.issue(units::MiB(1), DmaTarget::Hbm,
+                           DmaTarget::Sram, 0);
+    auto busy = dma.hbmBusyIntervals();
+    ASSERT_EQ(busy.size(), 1u);  // Back-to-back copies merge.
+    EXPECT_EQ(busy[0].start, 0u);
+    EXPECT_EQ(busy[0].end, end);
+}
+
+TEST(Dma, RemoteCopiesDontTouchHbm)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    DmaEngine dma(hbm, 1);
+    dma.issue(units::MiB(1), DmaTarget::Sram, DmaTarget::RemoteIci, 0);
+    EXPECT_TRUE(dma.hbmBusyIntervals().empty());
+}
+
+TEST(Dma, Validation)
+{
+    HbmModel hbm(arch::npuConfig(NpuGeneration::D));
+    EXPECT_THROW(DmaEngine(hbm, 0), ConfigError);
+    DmaEngine dma(hbm, 1);
+    EXPECT_THROW(
+        dma.issue(0, DmaTarget::Hbm, DmaTarget::Sram, 0),
+        ConfigError);
+    EXPECT_THROW(
+        dma.issue(64, DmaTarget::Hbm, DmaTarget::Hbm, 0),
+        ConfigError);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace regate

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the cycle-driven idle-detection FSM (§4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/idle_detect.h"
+
+namespace regate {
+namespace core {
+namespace {
+
+TEST(IdleDetect, StaysActiveUnderLoad)
+{
+    IdleDetector d(4, 2);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(d.tick(true));
+    EXPECT_EQ(d.gatedCycles(), 0u);
+    EXPECT_EQ(d.wakeEvents(), 0u);
+}
+
+TEST(IdleDetect, GatesAfterWindow)
+{
+    IdleDetector d(4, 2);
+    d.tick(true);
+    for (int i = 0; i < 3; ++i) {
+        d.tick(false);
+        EXPECT_NE(d.state(), IdleDetector::State::Gated) << i;
+    }
+    d.tick(false);  // 4th idle cycle: gate.
+    EXPECT_EQ(d.state(), IdleDetector::State::Gated);
+    d.tick(false);
+    EXPECT_EQ(d.gatedCycles(), 2u);
+}
+
+TEST(IdleDetect, WakeCostsDelay)
+{
+    IdleDetector d(2, 3);
+    d.tick(true);
+    for (int i = 0; i < 5; ++i)
+        d.tick(false);
+    ASSERT_EQ(d.state(), IdleDetector::State::Gated);
+
+    // Access arrives: stalled for 3 cycles, then served.
+    EXPECT_FALSE(d.tick(true));
+    EXPECT_FALSE(d.tick(true));
+    EXPECT_FALSE(d.tick(true));
+    EXPECT_TRUE(d.tick(true));
+    EXPECT_EQ(d.wakeEvents(), 1u);
+    EXPECT_EQ(d.stallCycles(), 3u);
+}
+
+TEST(IdleDetect, ZeroWakeDelayServesImmediately)
+{
+    IdleDetector d(2, 0);
+    d.tick(true);
+    d.tick(false);
+    d.tick(false);
+    ASSERT_EQ(d.state(), IdleDetector::State::Gated);
+    EXPECT_FALSE(d.tick(false));
+    EXPECT_TRUE(d.tick(true));
+    EXPECT_EQ(d.wakeEvents(), 1u);
+    EXPECT_EQ(d.stallCycles(), 0u);
+}
+
+TEST(IdleDetect, AccessResetsWindow)
+{
+    IdleDetector d(3, 1);
+    d.tick(true);
+    d.tick(false);
+    d.tick(false);
+    d.tick(true);  // Reset before window expires.
+    d.tick(false);
+    d.tick(false);
+    EXPECT_NE(d.state(), IdleDetector::State::Gated);
+    EXPECT_EQ(d.gatedCycles(), 0u);
+}
+
+TEST(IdleDetect, RepeatedGateWakeCycles)
+{
+    IdleDetector d(2, 1);
+    std::uint64_t expected_wakes = 0;
+    for (int round = 0; round < 5; ++round) {
+        d.tick(true);
+        for (int i = 0; i < 6; ++i)
+            d.tick(false);
+        EXPECT_EQ(d.state(), IdleDetector::State::Gated);
+        d.tick(true);   // Trigger wake (stall).
+        d.tick(true);   // Served.
+        ++expected_wakes;
+        EXPECT_EQ(d.wakeEvents(), expected_wakes);
+    }
+    EXPECT_GT(d.gatedCycles(), 0u);
+    EXPECT_EQ(d.totalCycles(), 5u * 9u);
+}
+
+TEST(IdleDetect, RejectsZeroWindow)
+{
+    EXPECT_THROW(IdleDetector(0, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regate

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Llama workload generators: parameter counts against
+ * the public model cards, graph structure, parallelism effects, and
+ * phase characteristics (prefill compute-bound, decode memory-bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "models/llama.h"
+
+namespace regate {
+namespace models {
+namespace {
+
+using graph::OpKind;
+
+TEST(Llama, ParameterCountsMatchModelCards)
+{
+    // Within 10% of the nominal sizes (embeddings/rounding differ).
+    EXPECT_NEAR(llamaConfig(LlamaModel::L8B).params() / 1e9, 8.0, 0.8);
+    EXPECT_NEAR(llamaConfig(LlamaModel::L13B).params() / 1e9, 13.0,
+                1.3);
+    EXPECT_NEAR(llamaConfig(LlamaModel::L70B).params() / 1e9, 70.0,
+                7.0);
+    EXPECT_NEAR(llamaConfig(LlamaModel::L405B).params() / 1e9, 405.0,
+                40.0);
+}
+
+TEST(Llama, KvCacheBytes)
+{
+    // 70B GQA: 8 KV heads x 128 dims x 80 layers x 2 (K,V) x 2 B.
+    EXPECT_DOUBLE_EQ(llamaConfig(LlamaModel::L70B).kvBytesPerToken(),
+                     2.0 * 80 * 8 * 128 * 2);
+}
+
+TEST(Llama, PrefillGraphStructure)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L8B);
+    auto g = llamaPrefill(cfg, 4, 4096, {1, 2, 1});
+    g.validate();
+    // Layer block repeats `layers` times.
+    EXPECT_EQ(g.blocks[0].repeat, 32u);
+    // Tensor parallelism inserts two AllReduces per layer.
+    int collectives = 0;
+    for (const auto &op : g.blocks[0].ops)
+        collectives += op.kind == OpKind::Collective ? 1 : 0;
+    EXPECT_EQ(collectives, 2);
+}
+
+TEST(Llama, NoCollectivesWithoutTp)
+{
+    auto g = llamaPrefill(llamaConfig(LlamaModel::L8B), 4, 4096,
+                          {1, 1, 1});
+    for (const auto &op : g.blocks[0].ops)
+        EXPECT_NE(op.kind, OpKind::Collective) << op.name;
+}
+
+TEST(Llama, PrefillIsComputeBound)
+{
+    auto g = llamaPrefill(llamaConfig(LlamaModel::L8B), 4, 4096,
+                          {1, 1, 1});
+    // Arithmetic intensity (FLOPs per HBM byte) should be high.
+    EXPECT_GT(g.totalFlops() / g.totalHbmBytes(), 100.0);
+}
+
+TEST(Llama, DecodeIsMemoryBound)
+{
+    auto g = llamaDecode(llamaConfig(LlamaModel::L8B), 4, 4096, 512,
+                         {1, 1, 1});
+    EXPECT_LT(g.totalFlops() / g.totalHbmBytes(), 10.0);
+}
+
+TEST(Llama, DecodeRepeatsPerToken)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L13B);
+    auto g = llamaDecode(cfg, 4, 4096, 512, {1, 1, 1});
+    EXPECT_EQ(g.blocks[0].repeat, 512u * 40u);
+}
+
+TEST(Llama, DecodeGemmsHaveSmallM)
+{
+    auto g = llamaDecode(llamaConfig(LlamaModel::L8B), 4, 4096, 512,
+                         {1, 1, 1});
+    for (const auto &op : g.blocks[0].ops) {
+        if (op.kind == OpKind::MatMul && op.name == "qkv_proj")
+            EXPECT_EQ(op.m, 4);  // batch only; §3's VU-mapping driver.
+    }
+}
+
+TEST(Llama, TensorParallelismShrinksPerChipWork)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L70B);
+    auto tp1 = llamaPrefill(cfg, 8, 4096, {1, 1, 1});
+    auto tp8 = llamaPrefill(cfg, 8, 4096, {1, 8, 1});
+    EXPECT_GT(tp1.totalFlops(), 4.0 * tp8.totalFlops());
+}
+
+TEST(Llama, DataParallelismShardsBatch)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L8B);
+    auto dp1 = llamaPrefill(cfg, 8, 4096, {1, 1, 1});
+    auto dp4 = llamaPrefill(cfg, 8, 4096, {4, 1, 1});
+    EXPECT_NEAR(dp1.totalFlops() / dp4.totalFlops(), 4.0, 0.5);
+}
+
+TEST(Llama, TrainingCostsRoughlyThreeForwardPasses)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L8B);
+    auto fwd = llamaPrefill(cfg, 32, 4096, {1, 1, 1});
+    auto train = llamaTraining(cfg, 32, 4096, {1, 1, 1});
+    EXPECT_NEAR(train.totalFlops() / fwd.totalFlops(), 3.0, 0.3);
+}
+
+TEST(Llama, TrainingWithDpHasGradAllReduce)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L8B);
+    auto g = llamaTraining(cfg, 32, 4096, {2, 1, 1});
+    bool found = false;
+    for (const auto &b : g.blocks)
+        for (const auto &op : b.ops)
+            found |= op.name == "grad.allreduce";
+    EXPECT_TRUE(found);
+}
+
+TEST(Llama, PipelineAddsP2pBlock)
+{
+    const auto &cfg = llamaConfig(LlamaModel::L70B);
+    auto g = llamaPrefill(cfg, 8, 4096, {1, 1, 2});
+    bool found = false;
+    for (const auto &b : g.blocks)
+        found |= b.name == "pipeline-xfer";
+    EXPECT_TRUE(found);
+    // Layers split across stages.
+    EXPECT_EQ(g.blocks[0].repeat, 40u);
+}
+
+TEST(Llama, RejectsOverpartitionedBatch)
+{
+    EXPECT_THROW(
+        llamaPrefill(llamaConfig(LlamaModel::L8B), 2, 4096, {4, 1, 1}),
+        ConfigError);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace regate

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the SA gating control logic (Fig. 12): zero-weight
+ * detection and the row/column prefix-OR maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sa/sa_gating.h"
+
+namespace regate {
+namespace sa {
+namespace {
+
+TEST(ZeroDetect, BuildsBitmapsRowByRow)
+{
+    ZeroWeightDetector d(4);
+    d.pushRow({0, 4, 0, 0});
+    d.pushRow({0, 0, 0, 0});
+    d.pushRow({1, 0, 2, 0});
+
+    EXPECT_EQ(d.rowsPushed(), 3);
+    Bitmap row_expect = {true, false, true, false};
+    Bitmap col_expect = {true, true, true, false};
+    EXPECT_EQ(d.rowNonZero(), row_expect);
+    EXPECT_EQ(d.colNonZero(), col_expect);
+}
+
+TEST(ZeroDetect, RejectsBadInput)
+{
+    ZeroWeightDetector d(2);
+    EXPECT_THROW(d.pushRow({1.0}), ConfigError);
+    d.pushRow({1, 0});
+    d.pushRow({0, 0});
+    EXPECT_THROW(d.pushRow({0, 0}), ConfigError);  // Too many rows.
+    EXPECT_THROW(ZeroWeightDetector(0), ConfigError);
+}
+
+TEST(PrefixOr, PaperExampleColumns)
+{
+    // Paper: col_nz = 0100 (column 1 non-zero) -> col_on = 1100.
+    Bitmap col_nz = {false, true, false, false};
+    Bitmap on = colOnFromNonZero(col_nz);
+    Bitmap expect = {true, true, false, false};
+    EXPECT_EQ(on, expect);
+}
+
+TEST(PrefixOr, RowsPropagateDownward)
+{
+    // Rows pass partial sums downward: everything at or below the
+    // first non-zero row stays on.
+    Bitmap row_nz = {false, false, true, false};
+    Bitmap on = rowOnFromNonZero(row_nz);
+    Bitmap expect = {false, false, true, true};
+    EXPECT_EQ(on, expect);
+}
+
+TEST(PrefixOr, AllZeroGatesEverything)
+{
+    Bitmap nz(8, false);
+    EXPECT_EQ(popcount(rowOnFromNonZero(nz)), 0);
+    EXPECT_EQ(popcount(colOnFromNonZero(nz)), 0);
+}
+
+TEST(PrefixOr, DenseKeepsEverythingOn)
+{
+    Bitmap nz(8, true);
+    EXPECT_EQ(popcount(rowOnFromNonZero(nz)), 8);
+    EXPECT_EQ(popcount(colOnFromNonZero(nz)), 8);
+}
+
+TEST(PrefixOr, TopPaddedWeightsGateTopRows)
+{
+    // K < width pads zeros at the top: rows above the first weight
+    // row can be fully off.
+    Bitmap row_nz = {false, false, false, true, true, true};
+    auto on = rowOnFromNonZero(row_nz);
+    EXPECT_EQ(popcount(on), 3);
+    EXPECT_FALSE(on[0]);
+    EXPECT_TRUE(on[3]);
+}
+
+TEST(PrefixOr, RightPaddedWeightsGateRightColumns)
+{
+    // N < width pads zeros at the right: columns past the last
+    // weight column can be fully off.
+    Bitmap col_nz = {true, true, false, false};
+    auto on = colOnFromNonZero(col_nz);
+    EXPECT_EQ(popcount(on), 2);
+    EXPECT_TRUE(on[0]);
+    EXPECT_FALSE(on[2]);
+}
+
+TEST(PrefixOr, InteriorZeroColumnStaysOnToPassData)
+{
+    // A zero column with non-zero columns to its right must keep
+    // passing activations.
+    Bitmap col_nz = {true, false, true, false};
+    auto on = colOnFromNonZero(col_nz);
+    Bitmap expect = {true, true, true, false};
+    EXPECT_EQ(on, expect);
+}
+
+}  // namespace
+}  // namespace sa
+}  // namespace regate

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Property tests: the closed-form SA model (sa_analytical.h) must
+ * agree exactly with the cycle-accurate simulator over randomized
+ * shapes — this is our Fig. 16-style internal validation of the
+ * tile-level model, and TEST_P sweeps over array widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/prng.h"
+#include "sa/sa_analytical.h"
+#include "sa/systolic_array.h"
+
+namespace regate {
+namespace sa {
+namespace {
+
+class SaWidthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SaWidthSweep, AnalyticalMatchesCycleAccurate)
+{
+    const int width = GetParam();
+    Prng rng(1000 + width);
+    for (int iter = 0; iter < 15; ++iter) {
+        int m = 1 + static_cast<int>(rng.uniform(0, 3 * width));
+        int k = 1 + static_cast<int>(rng.uniform(0, width - 1));
+        int n = 1 + static_cast<int>(rng.uniform(0, width - 1));
+
+        Matrix w(k, n), x(m, k);
+        for (int i = 0; i < k; ++i)
+            for (int j = 0; j < n; ++j)
+                w.at(i, j) = 1.0 + rng.uniform(0, 8);
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < k; ++j)
+                x.at(i, j) = rng.uniform(0, 9);
+
+        SystolicArray sim(width, /*gating=*/true);
+        sim.loadWeights(w);
+        auto out = sim.run(x);
+        auto ref = matmulReference(x, w);
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < n; ++j)
+                ASSERT_DOUBLE_EQ(out.at(i, j), ref.at(i, j));
+
+        auto ana = analyzeTile(m, k, n, width);
+        const auto &st = sim.stats();
+        EXPECT_EQ(st.computeCycles, ana.computeCycles)
+            << m << "x" << k << "x" << n << " w=" << width;
+        EXPECT_EQ(st.peOnCycles, ana.peOnCycles);
+        EXPECT_EQ(st.peWOnCycles, ana.peWOnCycles);
+        EXPECT_EQ(st.peOffCycles, ana.peOffCycles);
+        EXPECT_EQ(st.macs, ana.macs);
+        EXPECT_EQ(st.weightLoadCycles, ana.weightLoadCycles);
+        EXPECT_DOUBLE_EQ(st.spatialUtilization(),
+                         ana.spatialUtilization());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SaWidthSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+TEST(SaAnalytical, TileFormulae)
+{
+    auto s = analyzeTile(10, 4, 6, 8);
+    EXPECT_EQ(s.computeCycles, 10u + 4 + 6 - 1);
+    EXPECT_EQ(s.macs, 240u);
+    EXPECT_EQ(s.peOnCycles, 240u);
+    EXPECT_EQ(s.peWOnCycles, 24u * (19 - 10));
+    EXPECT_EQ(s.peOffCycles, (64u - 24) * 19);
+}
+
+TEST(SaAnalytical, MatmulTilesOnlyKAndN)
+{
+    // M streams whole: one weight tile per (K, N) block.
+    auto s = analyzeMatmul(1000, 256, 384, 128);
+    // 2 x 3 full tiles; per tile: 1000 + 128 + 128 - 1 cycles.
+    EXPECT_EQ(s.computeCycles, 6u * (1000 + 128 + 128 - 1));
+    EXPECT_EQ(s.macs, 1000u * 256 * 384);
+}
+
+TEST(SaAnalytical, MatmulRemainderTiles)
+{
+    auto s = analyzeMatmul(10, 130, 5, 128);
+    // K splits 128 + 2; N is a single 5-wide tile.
+    Cycles expect = (10 + 128 + 5 - 1) + (10 + 2 + 5 - 1);
+    EXPECT_EQ(s.computeCycles, expect);
+    EXPECT_EQ(s.macs, 10u * 130 * 5);
+}
+
+TEST(SaAnalytical, LargeMApproachesFullSpatialUtil)
+{
+    auto s = analyzeMatmul(100000, 128, 128, 128);
+    EXPECT_GT(s.spatialUtilization(), 0.99);
+}
+
+TEST(SaAnalytical, SmallHeadDimLimitsSpatialUtil)
+{
+    // DiT-XL attention: head size 72 < 128 (Fig. 5).
+    auto s = analyzeMatmul(100000, 72, 128, 128);
+    EXPECT_LT(s.spatialUtilization(), 0.60);
+    EXPECT_GT(s.spatialUtilization(), 0.50);
+}
+
+TEST(SaAnalytical, GatedEnergyBelowFlat)
+{
+    auto s = analyzeTile(16, 4, 4, 8);
+    double pe_w = 1e-3, tau = 1e-9;
+    double gated = saStaticEnergyGated(s, pe_w, tau, 0.15, 0.03);
+    double flat = pe_w * tau *
+                  static_cast<double>(s.totalPeCycles());
+    EXPECT_LT(gated, flat);
+    EXPECT_GT(gated, 0.0);
+}
+
+TEST(SaAnalytical, ScaledArithmetic)
+{
+    auto s = analyzeTile(8, 4, 4, 8);
+    auto s3 = s.scaled(3);
+    EXPECT_EQ(s3.macs, 3 * s.macs);
+    EXPECT_EQ(s3.computeCycles, 3 * s.computeCycles);
+    auto sum = s;
+    sum += s;
+    EXPECT_EQ(sum.peOnCycles, 2 * s.peOnCycles);
+}
+
+TEST(SaAnalytical, RejectsBadShapes)
+{
+    EXPECT_THROW(analyzeTile(0, 1, 1, 8), ConfigError);
+    EXPECT_THROW(analyzeTile(1, 9, 1, 8), ConfigError);
+    EXPECT_THROW(analyzeTile(1, 1, 9, 8), ConfigError);
+    EXPECT_THROW(analyzeMatmul(0, 1, 1, 8), ConfigError);
+}
+
+}  // namespace
+}  // namespace sa
+}  // namespace regate

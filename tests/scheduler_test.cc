@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the kernel scheduler: the generated VLIW program must
+ * reproduce the Fig. 15 activity pattern (VUs briefly active per SA
+ * pop period).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "compiler/scheduler.h"
+#include "isa/vliw_core.h"
+
+namespace regate {
+namespace compiler {
+namespace {
+
+TEST(Scheduler, BuildsExpectedBundleCount)
+{
+    KernelSpec spec;
+    spec.tiles = 4;
+    spec.vuOpsPerTile = 2;
+    auto prog = buildMatmulKernel(spec);
+    // Per tile: one pop bundle, (vuOpsPerTile - 1) VU bundles, and
+    // one reserved power-management slot bundle.
+    EXPECT_EQ(prog.size(), 4u * 3u);
+    EXPECT_EQ(prog.setpmCount(), 0u);  // Not instrumented yet.
+}
+
+TEST(Scheduler, RunsOnCoreWithExpectedTiming)
+{
+    KernelSpec spec;
+    spec.numSa = 2;
+    spec.numVu = 2;
+    spec.tiles = 4;
+    spec.popCycles = 8;
+    spec.vuOpsPerTile = 2;
+
+    isa::VliwCoreConfig cfg;
+    cfg.numSa = 2;
+    cfg.numVu = 2;
+    isa::VliwCore core(cfg);
+    core.run(buildMatmulKernel(spec));
+
+    // SAs pop back-to-back: 4 tiles x 8 cycles.
+    EXPECT_EQ(core.saActivity(0).activeCycles(), 32u);
+    // VUs are active vuOpsPerTile cycles per 8-cycle period.
+    auto vu = core.vuActivity(0);
+    EXPECT_EQ(vu.activeCycles(), 8u);
+    EXPECT_NEAR(vu.utilization(), 2.0 / 8.0, 0.1);
+}
+
+TEST(Scheduler, VuIdleGapsMatchPopPeriod)
+{
+    KernelSpec spec;
+    spec.tiles = 8;
+    spec.popCycles = 16;
+    spec.vuOpsPerTile = 2;
+    isa::VliwCoreConfig cfg;
+    isa::VliwCore core(cfg);
+    core.run(buildMatmulKernel(spec));
+
+    auto vu = core.vuActivity(0);
+    // Gaps of popCycles - vuOpsPerTile = 14 cycles dominate.
+    bool found = false;
+    for (const auto &g : vu.gaps())
+        found |= g.length == 14 && g.count >= 7;
+    EXPECT_TRUE(found);
+}
+
+TEST(Scheduler, Validation)
+{
+    KernelSpec bad;
+    bad.tiles = 0;
+    EXPECT_THROW(buildMatmulKernel(bad), ConfigError);
+    KernelSpec bad2;
+    bad2.vuOpsPerTile = 0;
+    EXPECT_THROW(buildMatmulKernel(bad2), ConfigError);
+}
+
+}  // namespace
+}  // namespace compiler
+}  // namespace regate

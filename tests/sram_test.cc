@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the segment-wise power-gated scratchpad (§4.1): setpm
+ * range semantics, sleep/off wake costs, data-loss detection, and
+ * leakage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/units.h"
+#include "mem/sram.h"
+
+namespace regate {
+namespace mem {
+namespace {
+
+using core::PowerMode;
+using units::KiB;
+
+SramScratchpad
+makePad()
+{
+    static arch::GatingParams params;
+    return SramScratchpad(KiB(64), KiB(4), params);
+}
+
+TEST(Sram, StartsAllOn)
+{
+    auto pad = makePad();
+    EXPECT_EQ(pad.numSegments(), 16u);
+    EXPECT_EQ(pad.countInState(SegmentState::On), 16u);
+    arch::GatingParams p;
+    EXPECT_DOUBLE_EQ(pad.leakageFraction(p), 1.0);
+}
+
+TEST(Sram, SetRangeOff)
+{
+    auto pad = makePad();
+    // Shrink to the first 16 KB: segments 4..15 off.
+    EXPECT_EQ(pad.setRange(KiB(16), KiB(64), PowerMode::Off, 0), 12u);
+    EXPECT_EQ(pad.countInState(SegmentState::Off), 12u);
+    EXPECT_EQ(pad.segmentState(3), SegmentState::On);
+    EXPECT_EQ(pad.segmentState(4), SegmentState::Off);
+}
+
+TEST(Sram, PartialSegmentsUntouched)
+{
+    auto pad = makePad();
+    // Range not segment-aligned: only fully covered segments gate.
+    EXPECT_EQ(pad.setRange(KiB(2), KiB(10), PowerMode::Off, 0), 1u);
+    EXPECT_EQ(pad.segmentState(0), SegmentState::On);
+    EXPECT_EQ(pad.segmentState(1), SegmentState::Off);
+    EXPECT_EQ(pad.segmentState(2), SegmentState::On);
+}
+
+TEST(Sram, SleepRetainsData)
+{
+    auto pad = makePad();
+    pad.write(0, KiB(8), 0);
+    pad.setRange(0, KiB(8), PowerMode::Sleep, 10);
+    EXPECT_EQ(pad.countInState(SegmentState::Sleep), 2u);
+
+    // Read wakes the segments (4-cycle stall) but data is intact.
+    Cycles stall = pad.read(0, KiB(8), 20);
+    EXPECT_EQ(stall, 4u);
+    EXPECT_EQ(pad.stats().dataLossReads, 0u);
+    EXPECT_EQ(pad.countInState(SegmentState::On), 16u);
+}
+
+TEST(Sram, OffLosesData)
+{
+    auto pad = makePad();
+    pad.write(0, KiB(4), 0);
+    pad.setRange(0, KiB(4), PowerMode::Off, 10);
+
+    Cycles stall = pad.read(0, KiB(4), 20);
+    EXPECT_EQ(stall, 10u);  // Off wake delay (Table 3).
+    EXPECT_EQ(pad.stats().dataLossReads, 1u);
+}
+
+TEST(Sram, WriteAfterOffIsSafe)
+{
+    auto pad = makePad();
+    pad.setRange(0, KiB(4), PowerMode::Off, 0);
+    pad.write(0, KiB(4), 10);  // Re-populates the segment.
+    EXPECT_EQ(pad.read(0, KiB(4), 20), 0u);
+    EXPECT_EQ(pad.stats().dataLossReads, 0u);
+}
+
+TEST(Sram, LeakageFractionTracksStates)
+{
+    auto pad = makePad();
+    arch::GatingParams p;
+    pad.setRange(0, KiB(32), PowerMode::Sleep, 0);   // 8 segments.
+    pad.setRange(KiB(32), KiB(64), PowerMode::Off, 0);  // 8 segments.
+    double expect = (8 * 0.25 + 8 * 0.002) / 16.0;
+    EXPECT_NEAR(pad.leakageFraction(p), expect, 1e-12);
+}
+
+TEST(Sram, WakeEventsCounted)
+{
+    auto pad = makePad();
+    pad.setRange(0, KiB(16), PowerMode::Sleep, 0);
+    pad.read(0, KiB(16), 5);
+    EXPECT_EQ(pad.stats().wakeEvents, 4u);
+    EXPECT_EQ(pad.stats().wakeStallCycles, 4u);  // Max, not sum.
+}
+
+TEST(Sram, SetRangeOnWakes)
+{
+    auto pad = makePad();
+    pad.setRange(0, KiB(8), PowerMode::Off, 0);
+    EXPECT_EQ(pad.setRange(0, KiB(8), PowerMode::On, 5), 2u);
+    EXPECT_EQ(pad.countInState(SegmentState::On), 16u);
+}
+
+TEST(Sram, Validation)
+{
+    arch::GatingParams p;
+    EXPECT_THROW(SramScratchpad(KiB(3), KiB(4), p), ConfigError);
+    EXPECT_THROW(SramScratchpad(0, KiB(4), p), ConfigError);
+    auto pad = makePad();
+    EXPECT_THROW(pad.read(KiB(63), KiB(4), 0), ConfigError);
+    EXPECT_THROW(pad.write(0, 0, 0), ConfigError);
+    EXPECT_THROW(pad.setRange(KiB(8), KiB(4), PowerMode::Off, 0),
+                 ConfigError);
+    EXPECT_THROW(pad.segmentState(99), ConfigError);
+}
+
+}  // namespace
+}  // namespace mem
+}  // namespace regate

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the cycle-accurate systolic array (§4.1, Figs. 11-13):
+ * functional correctness with and without power gating, power-state
+ * accounting, and the Fig. 10 underutilization cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sa/systolic_array.h"
+
+namespace regate {
+namespace sa {
+namespace {
+
+Matrix
+iota(int rows, int cols, double base = 1.0)
+{
+    Matrix m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m.at(r, c) = base + r * cols + c;
+    return m;
+}
+
+void
+expectEqual(const Matrix &a, const Matrix &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c))
+                << "(" << r << "," << c << ")";
+}
+
+TEST(Matrix, ReferenceMatmul)
+{
+    Matrix x(2, 2), w(2, 2);
+    x.at(0, 0) = 1;
+    x.at(0, 1) = 2;
+    x.at(1, 0) = 3;
+    x.at(1, 1) = 4;
+    w.at(0, 0) = 5;
+    w.at(0, 1) = 6;
+    w.at(1, 0) = 7;
+    w.at(1, 1) = 8;
+    auto out = matmulReference(x, w);
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 19);
+    EXPECT_DOUBLE_EQ(out.at(1, 1), 50);
+    EXPECT_THROW(matmulReference(x, Matrix(3, 2)), ConfigError);
+}
+
+TEST(SystolicArray, FullTileCorrectness)
+{
+    SystolicArray sa(8, /*gating=*/true);
+    auto w = iota(8, 8);
+    auto x = iota(6, 8, 0.5);
+    sa.loadWeights(w);
+    expectEqual(sa.run(x), matmulReference(x, w));
+}
+
+TEST(SystolicArray, GatingDoesNotChangeResults)
+{
+    for (int k : {1, 3, 8}) {
+        for (int n : {1, 5, 8}) {
+            auto w = iota(k, n);
+            auto x = iota(4, k);
+            SystolicArray gated(8, true);
+            SystolicArray flat(8, false);
+            gated.loadWeights(w);
+            flat.loadWeights(w);
+            expectEqual(gated.run(x), flat.run(x));
+        }
+    }
+}
+
+TEST(SystolicArray, SmallKGatesTopRows)
+{
+    // Fig. 10 case 2: K < width pads at the top; rows gate off.
+    SystolicArray sa(8, true);
+    sa.loadWeights(iota(3, 8));
+    EXPECT_EQ(sa.stats().rowsOn, 3);
+    EXPECT_EQ(sa.stats().colsOn, 8);
+    for (int r = 0; r < 5; ++r)
+        EXPECT_FALSE(sa.rowOn()[r]) << r;
+}
+
+TEST(SystolicArray, SmallNGatesRightColumns)
+{
+    // Fig. 10 case 3: N < width pads at the right; columns gate off.
+    SystolicArray sa(8, true);
+    sa.loadWeights(iota(8, 2));
+    EXPECT_EQ(sa.stats().colsOn, 2);
+    EXPECT_EQ(sa.stats().rowsOn, 8);
+    EXPECT_TRUE(sa.colOn()[0]);
+    EXPECT_FALSE(sa.colOn()[2]);
+}
+
+TEST(SystolicArray, OffPesNeverCountOnCycles)
+{
+    SystolicArray sa(8, true);
+    sa.loadWeights(iota(2, 2));
+    auto x = iota(5, 2);
+    sa.run(x);
+    const auto &st = sa.stats();
+    // 2x2 active PEs out of 64: ON cycles = macs = 5*2*2.
+    EXPECT_EQ(st.peOnCycles, 20u);
+    EXPECT_EQ(st.macs, 20u);
+    // OFF PE-cycles cover the 60 gated PEs for the whole run.
+    EXPECT_EQ(st.peOffCycles, 60u * st.computeCycles);
+}
+
+TEST(SystolicArray, UngatedKeepsAllPesOn)
+{
+    SystolicArray sa(8, false);
+    sa.loadWeights(iota(2, 2));
+    sa.run(iota(5, 2));
+    const auto &st = sa.stats();
+    EXPECT_EQ(st.peOnCycles, 64u * st.computeCycles);
+    EXPECT_EQ(st.peWOnCycles, 0u);
+    EXPECT_EQ(st.peOffCycles, 0u);
+}
+
+TEST(SystolicArray, SmallMDiagonalWake)
+{
+    // Fig. 10 case 1 / Fig. 13: M smaller than the array; each PE is
+    // ON for exactly M cycles, W_on the rest of the run.
+    SystolicArray sa(8, true);
+    sa.loadWeights(iota(8, 8));
+    sa.run(iota(2, 8));
+    const auto &st = sa.stats();
+    EXPECT_EQ(st.peOnCycles, 2u * 64u);
+    EXPECT_EQ(st.peWOnCycles, 64u * (st.computeCycles - 2));
+    EXPECT_EQ(st.peOffCycles, 0u);
+}
+
+TEST(SystolicArray, SparseZeroColumnsGateOff)
+{
+    // Actual zero weights (not just padding) also gate: a zero
+    // column at the right edge of the loaded tile powers off.
+    Matrix w(4, 4, 0.0);
+    for (int k = 0; k < 4; ++k)
+        for (int n = 0; n < 2; ++n)
+            w.at(k, n) = 1.0 + k + n;
+    SystolicArray sa(4, true);
+    sa.loadWeights(w);
+    EXPECT_EQ(sa.stats().colsOn, 2);
+    auto x = iota(3, 4);
+    expectEqual(sa.run(x), matmulReference(x, w));
+}
+
+TEST(SystolicArray, WeightLoadTakesKCycles)
+{
+    SystolicArray sa(8, true);
+    sa.loadWeights(iota(5, 8));
+    EXPECT_EQ(sa.stats().weightLoadCycles, 5u);
+}
+
+TEST(SystolicArray, SpatialUtilizationMetric)
+{
+    // Full-width tile with large M approaches 100%; 1x1 tile is tiny.
+    SystolicArray big(4, true);
+    big.loadWeights(iota(4, 4));
+    big.run(iota(64, 4));
+    EXPECT_GT(big.stats().spatialUtilization(), 0.85);
+
+    SystolicArray tiny(4, true);
+    tiny.loadWeights(iota(1, 1));
+    tiny.run(iota(4, 1));
+    EXPECT_LT(tiny.stats().spatialUtilization(), 0.2);
+}
+
+TEST(SystolicArray, RejectsBadShapes)
+{
+    SystolicArray sa(4, true);
+    EXPECT_THROW(sa.run(iota(2, 2)), ConfigError);  // No weights.
+    EXPECT_THROW(sa.loadWeights(iota(5, 2)), ConfigError);
+    EXPECT_THROW(sa.loadWeights(iota(2, 5)), ConfigError);
+    sa.loadWeights(iota(2, 2));
+    EXPECT_THROW(sa.run(iota(2, 3)), ConfigError);  // K mismatch.
+    EXPECT_THROW(SystolicArray(0, true), ConfigError);
+}
+
+}  // namespace
+}  // namespace sa
+}  // namespace regate

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the workload registry and Table 4 configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/workload.h"
+
+namespace regate {
+namespace models {
+namespace {
+
+using arch::NpuGeneration;
+
+TEST(Workload, RegistryCoversPaperSuite)
+{
+    EXPECT_EQ(allWorkloads().size(), 17u);
+    EXPECT_EQ(workloadsOf(WorkloadFamily::LlmTraining).size(), 4u);
+    EXPECT_EQ(workloadsOf(WorkloadFamily::LlmPrefill).size(), 4u);
+    EXPECT_EQ(workloadsOf(WorkloadFamily::LlmDecode).size(), 4u);
+    EXPECT_EQ(workloadsOf(WorkloadFamily::DlrmInference).size(), 3u);
+    EXPECT_EQ(workloadsOf(WorkloadFamily::StableDiffusion).size(), 2u);
+}
+
+TEST(Workload, Table4Verbatim)
+{
+    auto t = table4Setup(Workload::Train405B);
+    EXPECT_EQ(t.chips, 16);
+    EXPECT_EQ(t.batch, 32);
+
+    auto d = table4Setup(Workload::Decode70B);
+    EXPECT_EQ(d.chips, 128);
+    EXPECT_EQ(d.batch, 4096);
+
+    auto r = table4Setup(Workload::DlrmL);
+    EXPECT_EQ(r.chips, 8);
+    EXPECT_EQ(r.batch, 4096);
+
+    auto s = table4Setup(Workload::Gligen);
+    EXPECT_EQ(s.chips, 64);
+    EXPECT_EQ(s.batch, 256);
+}
+
+TEST(Workload, ParallelismConsistent)
+{
+    for (auto w : allWorkloads()) {
+        auto s = table4Setup(w);
+        EXPECT_EQ(s.par.chips(), s.chips) << workloadName(w);
+        EXPECT_LE(s.par.dp, s.batch) << workloadName(w);
+    }
+}
+
+TEST(Workload, UnitsPerRun)
+{
+    EXPECT_DOUBLE_EQ(
+        unitsPerRun(Workload::Train8B, table4Setup(Workload::Train8B)),
+        1.0);
+    EXPECT_DOUBLE_EQ(unitsPerRun(Workload::Prefill8B,
+                                 table4Setup(Workload::Prefill8B)),
+                     4.0 * kPrefillSeqLen);
+    EXPECT_DOUBLE_EQ(unitsPerRun(Workload::Decode8B,
+                                 table4Setup(Workload::Decode8B)),
+                     8.0 * kDecodeOutLen);
+    EXPECT_DOUBLE_EQ(
+        unitsPerRun(Workload::DlrmS, table4Setup(Workload::DlrmS)),
+        4096.0);
+}
+
+TEST(Workload, DefaultSetupScalesForSmallHbm)
+{
+    // 405B weights (810 GB bf16) cannot fit 16 GB NPU-A chips at the
+    // Table 4 chip count: the setup must grow the pod.
+    auto d = defaultSetup(Workload::Prefill405B, NpuGeneration::D);
+    auto a = defaultSetup(Workload::Prefill405B, NpuGeneration::A);
+    EXPECT_GT(a.chips, d.chips / 256 * 2);
+    EXPECT_GE(static_cast<double>(a.chips) *
+                  arch::npuConfig(NpuGeneration::A).hbmBytes * 0.85,
+              modelStateBytes(Workload::Prefill405B));
+}
+
+TEST(Workload, BiggerHbmNeverNeedsMoreChips)
+{
+    for (auto w : allWorkloads()) {
+        auto a = defaultSetup(w, NpuGeneration::A);
+        auto e = defaultSetup(w, NpuGeneration::E);
+        EXPECT_GE(a.chips, e.chips) << workloadName(w);
+    }
+}
+
+TEST(Workload, BuildGraphAllWorkloads)
+{
+    for (auto w : allWorkloads()) {
+        auto setup = table4Setup(w);
+        auto g = buildGraph(w, setup);
+        EXPECT_NO_THROW(g.validate()) << workloadName(w);
+        EXPECT_GT(g.opCount(), 0u) << workloadName(w);
+    }
+}
+
+TEST(Workload, NamesAndUnits)
+{
+    EXPECT_EQ(workloadName(Workload::Prefill70B),
+              "Llama3-70B-Prefill");
+    EXPECT_EQ(workloadName(Workload::DlrmM), "DLRM-M");
+    EXPECT_EQ(workUnitName(workUnitOf(Workload::DiTXL)), "Image");
+    EXPECT_EQ(workUnitName(workUnitOf(Workload::Train70B)), "Iter");
+    EXPECT_EQ(workloadFamilyName(WorkloadFamily::LlmDecode),
+              "LLM Decode");
+}
+
+TEST(Workload, ModelStateBytesSensible)
+{
+    // Decode state includes the KV cache: bigger than prefill state.
+    EXPECT_GT(modelStateBytes(Workload::Decode70B),
+              modelStateBytes(Workload::Prefill70B));
+    // DLRM state is the embedding tables.
+    EXPECT_NEAR(modelStateBytes(Workload::DlrmL), 98e9, 1e9);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace regate
