@@ -15,9 +15,32 @@
 
 #include "common/table.h"
 #include "sim/report.h"
+#include "sim/sweep.h"
 
 namespace regate {
 namespace bench {
+
+/**
+ * The shared sweep runner used by the figure binaries. One pool per
+ * process; worker count follows REGATE_THREADS / hardware
+ * concurrency. Results are deterministic (input-ordered) regardless
+ * of the worker count.
+ */
+inline sim::SweepRunner &
+sweeper()
+{
+    static sim::SweepRunner runner;
+    return runner;
+}
+
+/** Simulate (workload, gen) pairs in parallel, input-ordered. */
+inline std::vector<sim::WorkloadReport>
+simulateAll(const std::vector<models::Workload> &workloads,
+            const std::vector<arch::NpuGeneration> &gens,
+            const arch::GatingParams &params = {})
+{
+    return sweeper().run(sim::makeGrid(workloads, gens, params));
+}
 
 /** Print the standard bench banner. */
 inline void

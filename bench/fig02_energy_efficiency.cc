@@ -17,21 +17,34 @@ main()
                   "energy efficiency across NPU generations "
                   "(NoPG, duty cycle 60%, PUE 1.1)");
 
-    for (auto family :
-         {models::WorkloadFamily::LlmTraining,
-          models::WorkloadFamily::LlmPrefill,
-          models::WorkloadFamily::LlmDecode,
-          models::WorkloadFamily::DlrmInference,
-          models::WorkloadFamily::StableDiffusion}) {
+    const auto families = {models::WorkloadFamily::LlmTraining,
+                           models::WorkloadFamily::LlmPrefill,
+                           models::WorkloadFamily::LlmDecode,
+                           models::WorkloadFamily::DlrmInference,
+                           models::WorkloadFamily::StableDiffusion};
+
+    // SLO-search the whole (workload x generation) grid in parallel;
+    // results come back in grid order, so printing stays grouped by
+    // family exactly as the serial loop produced it.
+    std::vector<models::Workload> ordered;
+    for (auto family : families)
+        for (auto w : models::workloadsOf(family))
+            ordered.push_back(w);
+    auto grid = sim::makeGrid(ordered, bench::paperGenerations());
+    auto results = bench::sweeper().search(grid);
+
+    std::size_t idx = 0;
+    for (auto family : families) {
         std::cout << "\n-- " << models::workloadFamilyName(family)
                   << " --\n";
         TablePrinter t({"Workload", "Gen", "Chips", "SLO",
                         "J/unit", "Unit"});
         for (auto w : models::workloadsOf(family)) {
             for (auto gen : bench::paperGenerations()) {
-                auto res = sim::findBestSetup(w, gen);
+                (void)gen;
+                const auto &res = results.at(idx++);
                 t.addRow({models::workloadName(w),
-                          bench::genLabel(gen),
+                          bench::genLabel(res.report.gen),
                           std::to_string(res.setup.chips),
                           TablePrinter::fmt(res.sloRatio, 0) + "x",
                           TablePrinter::eng(res.energyPerUnit, 3),

@@ -80,20 +80,26 @@ main()
                   "40", TablePrinter::fmt(stats::r2(xs, ys), 4)});
     }
 
-    // Whole-model operator durations across the workload suite:
-    // independent re-simulation must reproduce them.
-    for (auto w : {models::Workload::Prefill13B,
-                   models::Workload::Decode13B,
-                   models::Workload::Prefill70B,
-                   models::Workload::Decode70B}) {
-        auto a = sim::simulateWorkload(w, arch::NpuGeneration::D);
-        auto b = sim::simulateWorkload(w, arch::NpuGeneration::D);
+    // Whole-model operator durations across the workload suite: an
+    // independent re-simulation (memoization off, private engine)
+    // must reproduce the memoized run. Both passes fan out on the
+    // sweep pool.
+    const std::vector<models::Workload> suite = {
+        models::Workload::Prefill13B, models::Workload::Decode13B,
+        models::Workload::Prefill70B, models::Workload::Decode70B};
+    auto cached = bench::simulateAll(suite, {arch::NpuGeneration::D});
+    auto independent = sim::parallelMapOrdered(
+        bench::sweeper().pool(), suite, [](models::Workload w) {
+            return sim::simulateWorkloadUncached(
+                w, arch::NpuGeneration::D);
+        });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<double> xs, ys;
-        for (const auto &rec : a.run.opRecords)
+        for (const auto &rec : cached[i].run.opRecords)
             xs.push_back(static_cast<double>(rec.duration));
-        for (const auto &rec : b.run.opRecords)
+        for (const auto &rec : independent[i].run.opRecords)
             ys.push_back(static_cast<double>(rec.duration));
-        t.addRow({models::workloadName(w) + " op durations",
+        t.addRow({models::workloadName(suite[i]) + " op durations",
                   std::to_string(xs.size()),
                   TablePrinter::fmt(stats::r2(xs, ys), 4)});
     }

@@ -20,8 +20,11 @@ main()
                     "Full:SA", "Full:VU", "Full:SRAM", "Full:ICI",
                     "Full:HBM"});
     double sum_full = 0;
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = reports.at(idx++);
         const auto &run = rep.run;
         double nopg = run.result(Policy::NoPG).energy.busyTotal();
         auto comp_saving = [&](Component c) {

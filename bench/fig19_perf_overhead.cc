@@ -18,8 +18,11 @@ main()
     TablePrinter t(
         {"Workload", "ReGate-Base", "ReGate-HW", "ReGate-Full"});
     double worst_base = 0, worst_full = 0;
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = reports.at(idx++);
         auto pct = [&](Policy p) {
             return TablePrinter::pct(rep.run.result(p).perfOverhead,
                                      3);

@@ -15,11 +15,14 @@ main()
     bench::banner("Figure 23",
                   "energy savings by NPU generation (vs NoPG)");
 
+    auto reports = bench::simulateAll(bench::sensitivityWorkloads(),
+                                      arch::allGenerations());
+    std::size_t idx = 0;
     for (auto w : bench::sensitivityWorkloads()) {
         std::cout << "\n-- " << models::workloadName(w) << " --\n";
         TablePrinter t({"Gen", "Base", "HW", "Full", "Ideal"});
         for (auto gen : arch::allGenerations()) {
-            auto rep = sim::simulateWorkload(w, gen);
+            const auto &rep = reports.at(idx++);
             auto sav = [&](Policy p) {
                 return TablePrinter::pct(rep.run.savingVsNoPg(p), 1);
             };

@@ -10,6 +10,7 @@
 #ifndef REGATE_ARCH_NPU_CONFIG_H
 #define REGATE_ARCH_NPU_CONFIG_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,12 @@ namespace arch {
 
 /** The five NPU generations studied in the paper. */
 enum class NpuGeneration { A, B, C, D, E };
+
+/** Number of NpuGeneration values (for per-generation tables). */
+constexpr std::size_t kNumGenerations = 5;
+static_assert(kNumGenerations ==
+                  static_cast<std::size_t>(NpuGeneration::E) + 1,
+              "update kNumGenerations when adding a generation");
 
 /** All generations in order, for sweeps. */
 const std::vector<NpuGeneration> &allGenerations();

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A minimal fixed-size worker pool for fan-out over sweep grids.
+ *
+ * Tasks are arbitrary callables submitted through submit(), which
+ * returns a std::future for the callable's result. Work is executed
+ * FIFO; result *ordering* is the caller's job (parallelMapOrdered in
+ * sim/sweep.h collects futures in input order, which is what makes
+ * parallel sweeps deterministic). Exceptions thrown by a task are
+ * captured in its future and rethrown at get().
+ */
+
+#ifndef REGATE_COMMON_THREAD_POOL_H
+#define REGATE_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace regate {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads  Worker count; 0 picks the REGATE_THREADS
+     *                 environment variable if set, otherwise the
+     *                 hardware concurrency (min 1).
+     */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0)
+            threads = defaultThreadCount();
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p fn; the returned future yields its result. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Worker count an argument of 0 resolves to. */
+    static unsigned
+    defaultThreadCount()
+    {
+        if (const char *env = std::getenv("REGATE_THREADS")) {
+            int n = std::atoi(env);
+            if (n > 0)
+                return static_cast<unsigned>(n);
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? hw : 1;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+                if (stop_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+}  // namespace regate
+
+#endif  // REGATE_COMMON_THREAD_POOL_H

@@ -8,6 +8,20 @@
 namespace regate {
 namespace core {
 
+namespace {
+
+/** Binary search for the group of exactly @p length in a sorted list. */
+std::vector<GapGroup>::iterator
+findGroup(std::vector<GapGroup> &gaps, Cycles length)
+{
+    return std::lower_bound(gaps.begin(), gaps.end(), length,
+                            [](const GapGroup &g, Cycles len) {
+                                return g.length < len;
+                            });
+}
+
+}  // namespace
+
 ActivityTimeline
 ActivityTimeline::allActive(Cycles span)
 {
@@ -55,12 +69,11 @@ ActivityTimeline::periodic(Cycles span, Cycles offset, Cycles active_len,
 
     Cycles inner_gap = period - active_len;
     if (inner_gap > 0 && reps > 1)
-        t.addGap(inner_gap, reps - 1);
+        t.insertGap(inner_gap, reps - 1);
     if (t.leadingIdle_ > 0)
-        t.addGap(t.leadingIdle_, 1);
+        t.insertGap(t.leadingIdle_, 1);
     if (t.trailingIdle_ > 0)
-        t.addGap(t.trailingIdle_, 1);
-    t.sortGaps();
+        t.insertGap(t.trailingIdle_, 1);
     return t;
 }
 
@@ -77,6 +90,7 @@ ActivityTimeline::fromIntervals(Cycles span, std::vector<Interval> active)
     auto idle = complementWithin(norm, span);
     for (const auto &gap : idle)
         groups[gap.length()]++;
+    t.gaps_.reserve(groups.size());
     for (const auto &[len, cnt] : groups)
         t.gaps_.push_back({len, cnt});
 
@@ -88,47 +102,75 @@ ActivityTimeline::fromIntervals(Cycles span, std::vector<Interval> active)
 }
 
 void
-ActivityTimeline::addGap(Cycles length, std::uint64_t count)
+ActivityTimeline::insertGap(Cycles length, std::uint64_t count)
 {
     if (length == 0 || count == 0)
         return;
-    for (auto &g : gaps_) {
-        if (g.length == length) {
-            g.count += count;
-            return;
-        }
-    }
-    gaps_.push_back({length, count});
+    auto it = findGroup(gaps_, length);
+    if (it != gaps_.end() && it->length == length)
+        it->count += count;
+    else
+        gaps_.insert(it, {length, count});
 }
 
 void
-ActivityTimeline::sortGaps()
+ActivityTimeline::removeGaps(Cycles length, std::uint64_t count)
 {
-    std::sort(gaps_.begin(), gaps_.end(),
-              [](const GapGroup &a, const GapGroup &b) {
-                  return a.length < b.length;
-              });
-}
-
-namespace {
-
-/** Remove one gap of exactly @p length from @p gaps (if length > 0). */
-void
-removeOneGap(std::vector<GapGroup> &gaps, Cycles length)
-{
-    if (length == 0)
+    if (length == 0 || count == 0)
         return;
-    for (auto it = gaps.begin(); it != gaps.end(); ++it) {
-        if (it->length == length) {
-            if (--it->count == 0)
-                gaps.erase(it);
-            return;
-        }
-    }
-    throw LogicError("removeOneGap: no gap of requested length");
+    auto it = findGroup(gaps_, length);
+    if (it == gaps_.end() || it->length != length || it->count < count)
+        throw LogicError("removeGaps: fewer than requested gaps of "
+                         "requested length");
+    it->count -= count;
+    if (it->count == 0)
+        gaps_.erase(it);
 }
 
-}  // namespace
+void
+ActivityTimeline::mergeGaps(const std::vector<GapGroup> &other,
+                            Cycles skip_length)
+{
+    if (other.empty()) {
+        REGATE_ASSERT(skip_length == 0,
+                      "mergeGaps: seam gap missing from other timeline");
+        return;
+    }
+
+    std::vector<GapGroup> merged;
+    merged.reserve(gaps_.size() + other.size());
+    auto push = [&merged](Cycles length, std::uint64_t count) {
+        if (count == 0)
+            return;
+        if (!merged.empty() && merged.back().length == length)
+            merged.back().count += count;
+        else
+            merged.push_back({length, count});
+    };
+
+    bool skipped = skip_length == 0;
+    std::size_t i = 0, j = 0;
+    while (i < gaps_.size() || j < other.size()) {
+        bool take_mine = j >= other.size() ||
+                         (i < gaps_.size() &&
+                          gaps_[i].length <= other[j].length);
+        if (take_mine) {
+            push(gaps_[i].length, gaps_[i].count);
+            ++i;
+        } else {
+            std::uint64_t count = other[j].count;
+            if (!skipped && other[j].length == skip_length) {
+                --count;
+                skipped = true;
+            }
+            push(other[j].length, count);
+            ++j;
+        }
+    }
+    REGATE_ASSERT(skipped,
+                  "mergeGaps: seam gap missing from other timeline");
+    gaps_ = std::move(merged);
+}
 
 void
 ActivityTimeline::append(const ActivityTimeline &next)
@@ -139,6 +181,11 @@ ActivityTimeline::append(const ActivityTimeline &next)
         *this = next;
         return;
     }
+    if (&next == this) {
+        ActivityTimeline copy = next;
+        append(copy);
+        return;
+    }
 
     bool a_ends_active = active_ > 0 && trailingIdle_ == 0;
     bool b_starts_active = next.active_ > 0 && next.leadingIdle_ == 0;
@@ -147,13 +194,9 @@ ActivityTimeline::append(const ActivityTimeline &next)
 
     Cycles seam = trailingIdle_ + next.leadingIdle_;
 
-    removeOneGap(gaps_, trailingIdle_);
-    std::vector<GapGroup> b_gaps = next.gaps_;
-    removeOneGap(b_gaps, next.leadingIdle_);
-    for (const auto &g : b_gaps)
-        addGap(g.length, g.count);
-    addGap(seam, 1);
-    sortGaps();
+    removeGaps(trailingIdle_, 1);
+    mergeGaps(next.gaps_, next.leadingIdle_);
+    insertGap(seam, 1);
 
     activations_ += next.activations_;
     if (seam == 0 && a_ends_active && b_starts_active)
@@ -184,14 +227,14 @@ ActivityTimeline::repeated(std::uint64_t times) const
     for (auto &g : t.gaps_)
         g.count *= times;
 
+    // Each of the times-1 seams fuses one trailing and one leading gap
+    // into a single seam gap; the whole adjustment is three O(log G)
+    // multiset updates instead of a loop over the repeat count.
     Cycles seam = trailingIdle_ + leadingIdle_;
     std::uint64_t seams = times - 1;
-    for (std::uint64_t i = 0; i < seams; ++i) {
-        removeOneGap(t.gaps_, trailingIdle_);
-        removeOneGap(t.gaps_, leadingIdle_);
-    }
-    t.addGap(seam, seams);
-    t.sortGaps();
+    t.removeGaps(trailingIdle_, seams);
+    t.removeGaps(leadingIdle_, seams);
+    t.insertGap(seam, seams);
 
     t.activations_ = activations_ * times - (seam == 0 ? seams : 0);
     t.leadingIdle_ = leadingIdle_;
@@ -200,13 +243,26 @@ ActivityTimeline::repeated(std::uint64_t times) const
     return t;
 }
 
+bool
+ActivityTimeline::operator==(const ActivityTimeline &o) const
+{
+    return span_ == o.span_ && active_ == o.active_ &&
+           activations_ == o.activations_ && gaps_ == o.gaps_ &&
+           leadingIdle_ == o.leadingIdle_ &&
+           trailingIdle_ == o.trailingIdle_;
+}
+
 void
 ActivityTimeline::checkInvariants() const
 {
     Cycles gap_total = 0;
+    Cycles prev_len = 0;
     for (const auto &g : gaps_) {
         REGATE_ASSERT(g.length > 0 && g.count > 0,
                       "timeline has degenerate gap group");
+        REGATE_ASSERT(g.length > prev_len,
+                      "timeline gap groups unsorted or duplicated");
+        prev_len = g.length;
         gap_total += g.length * g.count;
     }
     REGATE_ASSERT(active_ + gap_total == span_,

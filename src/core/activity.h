@@ -8,8 +8,14 @@
  * a compressed form: total span, total active cycles, the number of
  * activations (wake events), and the *multiset of idle-gap lengths*
  * stored as (length, count) groups. That multiset is exactly what the
- * BET-based gating policy needs, and it composes in O(1) per operator
- * even for workloads spanning trillions of cycles.
+ * BET-based gating policy needs, and it composes in O(log G) per
+ * operator — G being the number of distinct gap lengths — even for
+ * workloads spanning trillions of cycles.
+ *
+ * The gap multiset is kept sorted ascending by length as a class
+ * invariant, so membership updates are binary searches, concatenation
+ * is an ordered merge, and repetition is O(log G) seam arithmetic
+ * rather than a loop over the repeat count.
  */
 
 #ifndef REGATE_CORE_ACTIVITY_H
@@ -41,7 +47,8 @@ struct GapGroup
  * Compressed activity timeline of one hardware unit over a stretch of
  * execution.
  *
- * Invariants: activeCycles + sum(gap lengths) == span;
+ * Invariants: activeCycles + sum(gap lengths) == span; gaps_ sorted
+ * ascending by length with no duplicate lengths and no zero counts;
  * leadingIdle/trailingIdle describe the first/last gap so that two
  * timelines can be concatenated with gap merging at the seam.
  */
@@ -85,6 +92,12 @@ class ActivityTimeline
     /** Idle-gap multiset, ascending by length. */
     const std::vector<GapGroup> &gaps() const { return gaps_; }
 
+    /** Idle cycles before the first activation (0 if none). */
+    Cycles leadingIdle() const { return leadingIdle_; }
+
+    /** Idle cycles after the last activation (0 if none). */
+    Cycles trailingIdle() const { return trailingIdle_; }
+
     /** Fraction of the span the unit is active. */
     double
     utilization() const
@@ -93,12 +106,24 @@ class ActivityTimeline
             static_cast<double>(active_) / static_cast<double>(span_) : 0.0;
     }
 
+    /** Exact structural equality (all fields, full gap multiset). */
+    bool operator==(const ActivityTimeline &o) const;
+
     /** Verify internal invariants; throws LogicError on violation. */
     void checkInvariants() const;
 
   private:
-    void addGap(Cycles length, std::uint64_t count);
-    void sortGaps();
+    /** Add @p count gaps of @p length, keeping gaps_ sorted. O(log G). */
+    void insertGap(Cycles length, std::uint64_t count);
+
+    /** Remove @p count gaps of @p length; throws if absent. O(log G). */
+    void removeGaps(Cycles length, std::uint64_t count);
+
+    /**
+     * Ordered-merge @p other into gaps_, dropping one gap of
+     * @p skip_length from @p other (its seam-side gap). O(G).
+     */
+    void mergeGaps(const std::vector<GapGroup> &other, Cycles skip_length);
 
     Cycles span_ = 0;
     Cycles active_ = 0;

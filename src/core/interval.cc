@@ -14,11 +14,15 @@ normalize(std::vector<Interval> intervals)
         REGATE_CHECK(iv.end >= iv.start, "interval with end < start: [",
                      iv.start, ", ", iv.end, ")");
     std::erase_if(intervals, [](const Interval &iv) { return iv.empty(); });
-    std::sort(intervals.begin(), intervals.end(),
-              [](const Interval &a, const Interval &b) {
-                  return a.start < b.start;
-              });
+    auto by_start = [](const Interval &a, const Interval &b) {
+        return a.start < b.start;
+    };
+    // Traces and generators emit already-ordered intervals; sorting is
+    // only needed for adversarial input.
+    if (!std::is_sorted(intervals.begin(), intervals.end(), by_start))
+        std::sort(intervals.begin(), intervals.end(), by_start);
     std::vector<Interval> out;
+    out.reserve(intervals.size());
     for (const auto &iv : intervals) {
         if (!out.empty() && iv.start <= out.back().end)
             out.back().end = std::max(out.back().end, iv.end);
@@ -41,6 +45,7 @@ std::vector<Interval>
 complementWithin(const std::vector<Interval> &intervals, Cycles span)
 {
     std::vector<Interval> out;
+    out.reserve(intervals.size() + 1);
     Cycles cursor = 0;
     for (const auto &iv : intervals) {
         REGATE_CHECK(iv.end <= span, "interval [", iv.start, ", ", iv.end,

@@ -98,11 +98,28 @@ Engine::run(const graph::OperatorGraph &graph, int pod_chips) const
         Cycles block_dur = 0;
         arch::ComponentMap<std::vector<Usage>> usage;
         std::uint64_t sram_resizes = 0;
-        double prev_used = -1;
+        bool have_prev_used = false;
+        std::uint64_t prev_used_bytes = 0;
         Cycles base_vu_stalls = 0;
 
+        OpExecutionCache &cache =
+            external_cache_ ? *external_cache_ : own_cache_;
         for (const auto &op : block.ops) {
-            OpExecution ex = op_sim.simulate(op);
+            std::shared_ptr<const OpExecution> cached;
+            OpExecution fresh;
+            if (memoize_) {
+                cached = cache.lookup(pod_chips, op);
+                if (cached) {
+                    ++run.opCacheHits;
+                } else {
+                    cached =
+                        cache.store(pod_chips, op, op_sim.simulate(op));
+                    ++run.opCacheMisses;
+                }
+            } else {
+                fresh = op_sim.simulate(op);
+            }
+            const OpExecution &ex = cached ? *cached : fresh;
 
             // ReGate-Base cannot hide the per-burst VU wake-ups that
             // drain SA output tiles (§6.4): with the idle-detection
@@ -139,9 +156,15 @@ Engine::run(const graph::OperatorGraph &graph, int pod_chips) const
                 ex.sramUsedBytes / static_cast<double>(cfg_.sramBytes);
             block_sram_integral +=
                 static_cast<double>(ex.duration) * used_frac;
-            if (prev_used >= 0 && ex.sramUsedBytes != prev_used)
+            // Compare whole bytes: sramUsedBytes is a byte count that
+            // happens to be carried in a double, and float equality
+            // would flag resizes on sub-byte rounding noise.
+            auto used_bytes =
+                static_cast<std::uint64_t>(ex.sramUsedBytes + 0.5);
+            if (have_prev_used && used_bytes != prev_used_bytes)
                 ++sram_resizes;
-            prev_used = ex.sramUsedBytes;
+            prev_used_bytes = used_bytes;
+            have_prev_used = true;
 
             OpRecord rec;
             rec.name = op.name;
@@ -243,7 +266,6 @@ Engine::run(const graph::OperatorGraph &graph, int pod_chips) const
         run.cycles += block_dur * block.repeat;
 
         // SRAM resize setpm pairs (Full only; reported in Fig. 20).
-        overheads[static_cast<std::size_t>(Policy::Full)] += 0;
         run.policies[static_cast<std::size_t>(Policy::Full)]
             .sramSetpmPairs += sram_resizes * block.repeat;
     }
@@ -275,7 +297,6 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
     };
 
     energy::EnergyBreakdown e;
-    Cycles exposed_from_engine = 0;
 
     // ---- SA ----
     {
@@ -285,7 +306,6 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
                                         spec, modeFor(Component::Sa),
                                         params_);
         double e_sa = r.staticEnergy;
-        exposed_from_engine += 0;  // SA overhead handled in run().
         if (policy == Policy::HW || policy == Policy::Full ||
             policy == Policy::Ideal) {
             // Replace the flat active-period energy with the
@@ -295,7 +315,6 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
                               run.timeline[Component::Sa].activeCycles());
             double off_leak =
                 policy == Policy::Ideal ? 0.0 : ratios.logicOff;
-            double pe = power_.peStaticPower() * cfg_.numSa * tau;
             // The per-SA analytical totals already cover all PEs of
             // one array; numSa arrays ran the serial tile stream in
             // parallel, so PE-cycle totals are unchanged.
@@ -306,7 +325,6 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
                                     run.saStats.peWOnCycles) +
                             off_leak * static_cast<double>(
                                            run.saStats.peOffCycles));
-            (void)pe;
             if (gated < flat)
                 e_sa += gated - flat;
         }
@@ -380,9 +398,7 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
     e.dynamicJ = power_.dynamicEnergy(run.work);
 
     // ---- Performance overhead ----
-    res.overheadCycles =
-        overheads[static_cast<std::size_t>(policy)] +
-        exposed_from_engine;
+    res.overheadCycles = overheads[static_cast<std::size_t>(policy)];
     res.perfOverhead =
         run.cycles > 0 ? static_cast<double>(res.overheadCycles) /
                              static_cast<double>(run.cycles)

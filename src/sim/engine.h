@@ -83,6 +83,10 @@ struct WorkloadRun
     std::vector<OpRecord> opRecords;
     std::array<PolicyResult, kNumPolicies> policies;
 
+    /** Operator-memoization counters for this run (diagnostics). */
+    std::uint64_t opCacheHits = 0;
+    std::uint64_t opCacheMisses = 0;
+
     const PolicyResult &result(Policy p) const;
 
     /** Fig. 4/6/8/9 metric. */
@@ -109,6 +113,29 @@ class Engine
     WorkloadRun run(const graph::OperatorGraph &graph,
                     int pod_chips) const;
 
+    /**
+     * Enable/disable operator memoization (default on). Cached and
+     * uncached runs produce bitwise-identical results; the switch
+     * exists for benchmarking and equivalence tests.
+     */
+    void setMemoization(bool on) { memoize_ = on; }
+    bool memoizationEnabled() const { return memoize_; }
+
+    /**
+     * Share an external operator cache (e.g. the per-generation cache
+     * simulateWorkload keeps) instead of the engine's own. The cache
+     * must outlive the engine and must only be shared between engines
+     * built for the same chip generation; pass nullptr to revert.
+     */
+    void setOpCache(OpExecutionCache *cache) { external_cache_ = cache; }
+
+    /** The active operator cache (persists across run() calls). */
+    const OpExecutionCache &
+    opCache() const
+    {
+        return external_cache_ ? *external_cache_ : own_cache_;
+    }
+
     const energy::PowerModel &powerModel() const { return power_; }
     const arch::GatingParams &params() const { return params_; }
     const arch::NpuConfig &config() const { return cfg_; }
@@ -123,6 +150,9 @@ class Engine
     const arch::NpuConfig &cfg_;
     arch::GatingParams params_;
     energy::PowerModel power_;
+    bool memoize_ = true;
+    OpExecutionCache *external_cache_ = nullptr;
+    mutable OpExecutionCache own_cache_;
 };
 
 }  // namespace sim

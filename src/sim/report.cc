@@ -88,15 +88,28 @@ WorkloadReport::config() const
     return arch::npuConfig(gen);
 }
 
+OpExecutionCache &
+sharedOpCache(arch::NpuGeneration gen)
+{
+    // One process-wide cache per chip generation: an operator's
+    // execution depends only on (generation, pod size, op shape), and
+    // pod size is part of the cache key, so every simulateWorkload
+    // call — SLO searches, figure sweeps, parallel sweep workers —
+    // reuses the same memoized results. The cache is thread-safe.
+    static std::array<OpExecutionCache, arch::kNumGenerations> caches;
+    return caches[static_cast<std::size_t>(gen)];
+}
+
+namespace {
+
 WorkloadReport
-simulateWorkload(models::Workload workload, arch::NpuGeneration gen,
-                 const arch::GatingParams &params,
-                 const models::RunSetup *setup_override)
+simulateImpl(models::Workload workload, arch::NpuGeneration gen,
+             const arch::GatingParams &params,
+             const models::RunSetup *setup_override, bool memoize)
 {
     WorkloadReport rep;
     rep.workload = workload;
     rep.gen = gen;
-    rep.params_ = params;
     rep.setup = setup_override ? *setup_override
                                : models::defaultSetup(workload, gen);
 
@@ -105,8 +118,36 @@ simulateWorkload(models::Workload workload, arch::NpuGeneration gen,
     auto compiled = compiler::compileGraph(raw, cfg);
 
     Engine engine(cfg, params);
+    if (memoize)
+        engine.setOpCache(&sharedOpCache(gen));
+    else
+        engine.setMemoization(false);
     rep.run = engine.run(compiled.graph, rep.setup.chips);
     rep.units = models::unitsPerRun(workload, rep.setup);
+    return rep;
+}
+
+}  // namespace
+
+WorkloadReport
+simulateWorkload(models::Workload workload, arch::NpuGeneration gen,
+                 const arch::GatingParams &params,
+                 const models::RunSetup *setup_override)
+{
+    auto rep = simulateImpl(workload, gen, params, setup_override, true);
+    rep.params_ = params;
+    return rep;
+}
+
+WorkloadReport
+simulateWorkloadUncached(models::Workload workload,
+                         arch::NpuGeneration gen,
+                         const arch::GatingParams &params,
+                         const models::RunSetup *setup_override)
+{
+    auto rep =
+        simulateImpl(workload, gen, params, setup_override, false);
+    rep.params_ = params;
     return rep;
 }
 

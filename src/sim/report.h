@@ -61,6 +61,9 @@ struct WorkloadReport
                                            arch::NpuGeneration,
                                            const arch::GatingParams &,
                                            const models::RunSetup *);
+    friend WorkloadReport simulateWorkloadUncached(
+        models::Workload, arch::NpuGeneration,
+        const arch::GatingParams &, const models::RunSetup *);
     arch::GatingParams params_;
 };
 
@@ -74,9 +77,26 @@ WorkloadReport simulateWorkload(models::Workload workload,
                                 const models::RunSetup *setup_override =
                                     nullptr);
 
+/**
+ * simulateWorkload with operator memoization disabled and no shared
+ * cache: a genuinely independent re-simulation, used by the fig16
+ * validation to check the memoized path against a from-scratch run.
+ */
+WorkloadReport simulateWorkloadUncached(
+    models::Workload workload, arch::NpuGeneration gen,
+    const arch::GatingParams &params = {},
+    const models::RunSetup *setup_override = nullptr);
+
 /** Idle power of a jobless chip under a policy (used by Fig. 24). */
 double idleStaticPower(const energy::PowerModel &power,
                        const arch::GatingParams &params, Policy policy);
+
+/**
+ * The process-wide operator-memoization cache for @p gen, shared by
+ * every simulateWorkload call (and safe to share across sweep
+ * workers).
+ */
+OpExecutionCache &sharedOpCache(arch::NpuGeneration gen);
 
 }  // namespace sim
 }  // namespace regate

@@ -1,0 +1,61 @@
+#include "sim/sweep.h"
+
+namespace regate {
+namespace sim {
+
+namespace {
+
+WorkloadReport
+simulateCase(const SweepCase &c)
+{
+    return simulateWorkload(c.workload, c.gen, c.params,
+                            c.hasSetup ? &c.setup : nullptr);
+}
+
+}  // namespace
+
+std::vector<SweepCase>
+makeGrid(const std::vector<models::Workload> &workloads,
+         const std::vector<arch::NpuGeneration> &gens,
+         const arch::GatingParams &params)
+{
+    std::vector<SweepCase> grid;
+    grid.reserve(workloads.size() * gens.size());
+    for (auto w : workloads) {
+        for (auto gen : gens) {
+            SweepCase c;
+            c.workload = w;
+            c.gen = gen;
+            c.params = params;
+            grid.push_back(std::move(c));
+        }
+    }
+    return grid;
+}
+
+std::vector<WorkloadReport>
+SweepRunner::run(const std::vector<SweepCase> &cases)
+{
+    return parallelMapOrdered(pool_, cases, simulateCase);
+}
+
+std::vector<SloResult>
+SweepRunner::search(const std::vector<SweepCase> &cases)
+{
+    return parallelMapOrdered(pool_, cases, [](const SweepCase &c) {
+        return findBestSetup(c.workload, c.gen, c.params);
+    });
+}
+
+std::vector<WorkloadReport>
+SweepRunner::runSerial(const std::vector<SweepCase> &cases)
+{
+    std::vector<WorkloadReport> out;
+    out.reserve(cases.size());
+    for (const auto &c : cases)
+        out.push_back(simulateCase(c));
+    return out;
+}
+
+}  // namespace sim
+}  // namespace regate

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parallel sweep runner: fans (workload x NPU generation x gating
+ * params x pod setup) grids out across a worker pool and returns
+ * results in the exact order of the input grid, so a parallel sweep is
+ * a drop-in replacement for the serial loop the figure binaries used
+ * to run. Each grid point is simulated by its own Engine instance, so
+ * points never share mutable state and the results are bitwise
+ * identical to the serial path.
+ */
+
+#ifndef REGATE_SIM_SWEEP_H
+#define REGATE_SIM_SWEEP_H
+
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/report.h"
+#include "sim/slo.h"
+
+namespace regate {
+namespace sim {
+
+/**
+ * Apply @p fn to every item, running tasks on @p pool, and return the
+ * results in input order. Deterministic regardless of worker count or
+ * scheduling; exceptions from @p fn propagate to the caller. Each
+ * task owns copies of @p fn and its item, so an exception that
+ * unwinds this frame early never leaves queued tasks with dangling
+ * references (the pool may outlive the call).
+ */
+template <typename T, typename Fn>
+auto
+parallelMapOrdered(ThreadPool &pool, const std::vector<T> &items, Fn fn)
+    -> std::vector<decltype(fn(items.front()))>
+{
+    using R = decltype(fn(items.front()));
+    std::vector<std::future<R>> futures;
+    futures.reserve(items.size());
+    for (const T &item : items) {
+        futures.push_back(
+            pool.submit([fn, item] { return fn(item); }));
+    }
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (auto &fut : futures)
+        out.push_back(fut.get());
+    return out;
+}
+
+/** One grid point of a sweep. */
+struct SweepCase
+{
+    models::Workload workload{};
+    arch::NpuGeneration gen{};
+    arch::GatingParams params;
+
+    /** Pod/batch override; defaultSetup(workload, gen) when unset. */
+    bool hasSetup = false;
+    models::RunSetup setup;
+};
+
+/** Dense (workloads x generations) grid in row-major workload order. */
+std::vector<SweepCase> makeGrid(
+    const std::vector<models::Workload> &workloads,
+    const std::vector<arch::NpuGeneration> &gens,
+    const arch::GatingParams &params = {});
+
+/** The runner. One instance owns one worker pool and can be reused. */
+class SweepRunner
+{
+  public:
+    /** @param threads 0 = REGATE_THREADS env or hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0) : pool_(threads) {}
+
+    /** Simulate every case; results are index-aligned with @p cases. */
+    std::vector<WorkloadReport> run(
+        const std::vector<SweepCase> &cases);
+
+    /**
+     * SLO-search every case (the Fig. 2 path); results index-aligned
+     * with @p cases. The per-case setup override is ignored — the
+     * search explores its own candidates.
+     */
+    std::vector<SloResult> search(const std::vector<SweepCase> &cases);
+
+    /** Serial reference implementation of run() for equivalence tests. */
+    static std::vector<WorkloadReport> runSerial(
+        const std::vector<SweepCase> &cases);
+
+    unsigned threadCount() const { return pool_.threadCount(); }
+
+    ThreadPool &pool() { return pool_; }
+
+  private:
+    ThreadPool pool_;
+};
+
+}  // namespace sim
+}  // namespace regate
+
+#endif  // REGATE_SIM_SWEEP_H
