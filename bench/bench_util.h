@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/table.h"
 #include "sim/report.h"
 #include "sim/sweep.h"
@@ -40,6 +41,28 @@ simulateAll(const std::vector<models::Workload> &workloads,
             const arch::GatingParams &params = {})
 {
     return sweeper().run(sim::makeGrid(workloads, gens, params));
+}
+
+/**
+ * Walk simulateAll results in consumption order: returns the report
+ * at @p idx and advances it, checking the report really is the
+ * (workload, gen) the caller's loop expects — so a consumption loop
+ * that falls out of step with makeGrid's workload-major grid order
+ * fails loudly instead of silently showing another case's numbers.
+ */
+inline const sim::WorkloadReport &
+reportFor(const std::vector<sim::WorkloadReport> &reports,
+          std::size_t &idx, models::Workload w,
+          arch::NpuGeneration gen)
+{
+    const auto &rep = reports.at(idx++);
+    REGATE_CHECK(rep.workload == w && rep.gen == gen,
+                 "report order mismatch at index ", idx - 1,
+                 ": expected ", models::workloadName(w), "/",
+                 arch::generationName(gen), ", got ",
+                 models::workloadName(rep.workload), "/",
+                 arch::generationName(rep.gen));
+    return rep;
 }
 
 /** Print the standard bench banner. */

@@ -21,9 +21,13 @@ main()
                     "Dyn ICI", "Sta ICI", "Dyn HBM", "Sta HBM",
                     "Dyn Oth", "Sta Oth", "StaticShareBusy"});
 
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      bench::paperGenerations());
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
         for (auto gen : bench::paperGenerations()) {
-            auto rep = sim::simulateWorkload(w, gen);
+            const auto &rep =
+                bench::reportFor(reports, idx, w, gen);
             const auto &e =
                 rep.run.result(sim::Policy::NoPG).energy;
             double total = rep.podTotalEnergy(sim::Policy::NoPG) /

@@ -18,8 +18,12 @@ main()
 
     TablePrinter t({"Workload", "p10 (MB)", "p25", "p50", "p75",
                     "p90", "p100", "<=8MB", "<=128MB"});
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         std::vector<std::pair<double, double>> samples;
         for (const auto &rec : rep.run.opRecords) {
             if (rec.sramDemandBytes <= 0)

@@ -12,10 +12,13 @@ main()
     bench::banner("Figure 8", "ICI temporal utilization");
 
     TablePrinter t({"Workload", "A", "B", "C", "D"});
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      bench::paperGenerations());
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
         std::vector<std::string> cells = {models::workloadName(w)};
         for (auto gen : bench::paperGenerations()) {
-            auto rep = sim::simulateWorkload(w, gen);
+            const auto &rep = bench::reportFor(reports, idx, w, gen);
             cells.push_back(TablePrinter::pct(rep.run.temporalUtil(arch::Component::Ici), 1));
         }
         t.addRow(cells);

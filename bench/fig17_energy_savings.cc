@@ -24,7 +24,8 @@ main()
                                       {arch::NpuGeneration::D});
     std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        const auto &rep = reports.at(idx++);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         const auto &run = rep.run;
         double nopg = run.result(Policy::NoPG).energy.busyTotal();
         auto comp_saving = [&](Component c) {

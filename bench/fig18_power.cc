@@ -18,8 +18,12 @@ main()
     TablePrinter t({"Workload", "NoPG avg", "Base avg", "HW avg",
                     "Full avg", "Ideal avg", "NoPG peak",
                     "Full peak"});
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         auto avg = [&](Policy p) {
             return TablePrinter::fmt(rep.run.result(p).avgPowerW, 0);
         };
@@ -34,9 +38,10 @@ main()
     t.print(std::cout);
 
     // Cooling-cost estimate (§6.3): $7 per chip-watt of peak power.
+    // Reuses the reports above — the old second simulate loop was a
+    // redundant warm re-run of identical cases.
     double saved = 0;
-    for (auto w : models::allWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+    for (const auto &rep : reports) {
         saved += rep.run.result(Policy::NoPG).peakPowerW -
                  rep.run.result(Policy::Full).peakPowerW;
     }

@@ -22,7 +22,8 @@ main()
                                       {arch::NpuGeneration::D});
     std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        const auto &rep = reports.at(idx++);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         auto pct = [&](Policy p) {
             return TablePrinter::pct(rep.run.result(p).perfOverhead,
                                      3);

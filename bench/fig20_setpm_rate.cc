@@ -18,8 +18,12 @@ main()
                   "NPU-D)");
 
     TablePrinter t({"Workload", "VU setpm/1Kcyc", "SRAM setpm/1Kcyc"});
+    auto reports = bench::simulateAll(models::allWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         const auto &full = rep.run.result(Policy::Full);
         double cycles = static_cast<double>(rep.run.cycles);
         // Each gated interval needs an off and an on setpm.

@@ -21,18 +21,31 @@ main()
         {0.4, 0.5, 0.25},    {0.6, 0.8, 0.4},
     };
 
+    // (workload x leakage setting) grid with per-case gating params;
+    // fanned out on the shared sweep pool, results in grid order.
+    std::vector<sim::SweepCase> grid;
     for (auto w : bench::sensitivityWorkloads()) {
-        std::cout << "\n-- " << models::workloadName(w) << " --\n";
-        TablePrinter t({"LogicOff/SramSleep/SramOff", "Base", "HW",
-                        "Full"});
         for (const auto &s : settings) {
             arch::LeakageRatios r;
             r.logicOff = s[0];
             r.sramSleep = s[1];
             r.sramOff = s[2];
-            arch::GatingParams params(r);
-            auto rep = sim::simulateWorkload(
-                w, arch::NpuGeneration::D, params);
+            sim::SweepCase c;
+            c.workload = w;
+            c.gen = arch::NpuGeneration::D;
+            c.params = arch::GatingParams(r);
+            grid.push_back(std::move(c));
+        }
+    }
+    auto reports = bench::sweeper().run(grid);
+
+    std::size_t idx = 0;
+    for (auto w : bench::sensitivityWorkloads()) {
+        std::cout << "\n-- " << models::workloadName(w) << " --\n";
+        TablePrinter t({"LogicOff/SramSleep/SramOff", "Base", "HW",
+                        "Full"});
+        for (const auto &s : settings) {
+            const auto &rep = reports.at(idx++);
             t.addRow({TablePrinter::fmt(s[0], 2) + "/" +
                           TablePrinter::fmt(s[1], 2) + "/" +
                           TablePrinter::fmt(s[2], 3),

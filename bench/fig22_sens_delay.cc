@@ -16,16 +16,30 @@ main()
                   "energy/performance vs power-gate & wake-up delay "
                   "scaling (NPU-D)");
 
+    const std::vector<double> scales = {1.0, 1.5, 2.0, 3.0, 4.0};
+
+    // (workload x delay scale) grid with per-case gating params;
+    // fanned out on the shared sweep pool, results in grid order.
+    std::vector<sim::SweepCase> grid;
+    for (auto w : bench::sensitivityWorkloads()) {
+        for (double scale : scales) {
+            sim::SweepCase c;
+            c.workload = w;
+            c.gen = arch::NpuGeneration::D;
+            c.params.setDelayScale(scale);
+            grid.push_back(std::move(c));
+        }
+    }
+    auto reports = bench::sweeper().run(grid);
+
+    std::size_t idx = 0;
     for (auto w : bench::sensitivityWorkloads()) {
         std::cout << "\n-- " << models::workloadName(w) << " --\n";
         TablePrinter t({"Delay scale", "Base sav", "HW sav",
                         "Full sav", "Base ovh", "HW ovh",
                         "Full ovh"});
-        for (double scale : {1.0, 1.5, 2.0, 3.0, 4.0}) {
-            arch::GatingParams params;
-            params.setDelayScale(scale);
-            auto rep = sim::simulateWorkload(
-                w, arch::NpuGeneration::D, params);
+        for (double scale : scales) {
+            const auto &rep = reports.at(idx++);
             auto sav = [&](Policy p) {
                 return TablePrinter::pct(rep.run.savingVsNoPg(p), 1);
             };

@@ -22,7 +22,8 @@ main()
         std::cout << "\n-- " << models::workloadName(w) << " --\n";
         TablePrinter t({"Gen", "Base", "HW", "Full", "Ideal"});
         for (auto gen : arch::allGenerations()) {
-            const auto &rep = reports.at(idx++);
+            const auto &rep =
+                bench::reportFor(reports, idx, w, gen);
             auto sav = [&](Policy p) {
                 return TablePrinter::pct(rep.run.savingVsNoPg(p), 1);
             };

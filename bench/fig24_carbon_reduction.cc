@@ -19,8 +19,12 @@ main()
 
     TablePrinter t({"Workload", "Base", "HW", "Full", "Ideal",
                     "Busy-energy saving (Full)"});
+    auto reports = bench::simulateAll(bench::sensitivityWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : bench::sensitivityWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         auto red = [&](Policy p) {
             return TablePrinter::pct(
                 carbon::operationalCarbonReduction(rep, p), 1);

@@ -18,8 +18,12 @@ main()
                   "carbon per unit vs device lifespan (10-year "
                   "horizon)");
 
+    auto reports = bench::simulateAll(bench::sensitivityWorkloads(),
+                                      {arch::NpuGeneration::D});
+    std::size_t idx = 0;
     for (auto w : bench::sensitivityWorkloads()) {
-        auto rep = sim::simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &rep = bench::reportFor(
+            reports, idx, w, arch::NpuGeneration::D);
         double factor = carbon::annualEfficiencyFactor(w);
         auto nopg = carbon::analyzeLifespan(rep, Policy::NoPG, factor);
         auto full = carbon::analyzeLifespan(rep, Policy::Full, factor);

@@ -32,6 +32,7 @@
 #include "mem/sram_allocator.h"
 #include "sa/sa_analytical.h"
 #include "sa/systolic_array.h"
+#include "sim/graph_cache.h"
 #include "sim/slo.h"
 #include "sim/sweep.h"
 
@@ -189,6 +190,13 @@ struct CoreCase
     std::string name;
     double seed_ns = 0;
     double new_ns = 0;
+    /**
+     * Gated cases enforce the 5x floor here and the >20% slowdown
+     * check in CI; ungated cases (pool scaling, closed-form op
+     * memoization) are machine-dependent and tracked for the
+     * trajectory only.
+     */
+    bool gated = false;
     std::vector<std::pair<std::string, double>> extras;
 
     double
@@ -369,7 +377,9 @@ caseEngineMemoization()
     auto compiled =
         compiler::compileGraph(models::buildGraph(w, setup), cfg);
 
-    constexpr int kRuns = 4;
+    // Averaged over enough runs that the µs-scale per-run time is
+    // stable for the CI trajectory check.
+    constexpr int kRuns = 256;
 
     sim::Engine cold(cfg);
     cold.setMemoization(false);
@@ -401,6 +411,87 @@ caseEngineMemoization()
 }
 
 /**
+ * Graph/run cache: warm simulateWorkload (memoized run replayed) vs
+ * cold (graph + run caches cleared before every run, so the graph is
+ * rebuilt, recompiled, and re-run through the engine — the seed
+ * behaviour). The operator cache is hot on both sides, isolating the
+ * new cache subsystem itself, and the cold/warm reports must be
+ * bitwise identical.
+ */
+CoreCase
+caseGraphCacheWarmRun()
+{
+    CoreCase cc;
+    cc.name = "simulate_workload_graph_cache";
+    const auto w = models::Workload::Decode70B;
+    const auto gen = arch::NpuGeneration::D;
+
+    // Prime every cache once so both timed paths run with hot
+    // operator memoization.
+    sim::clearSharedCaches();
+    auto warm_ref = sim::simulateWorkload(w, gen);
+
+    auto energySum = [](const sim::WorkloadReport &rep) {
+        double s = 0;
+        for (auto p : sim::allPolicies())
+            s += rep.run.result(p).energy.busyTotal();
+        return s;
+    };
+    auto identicalRuns = [](const sim::WorkloadRun &a,
+                            const sim::WorkloadRun &b) {
+        bool same = a.cycles == b.cycles && a.seconds == b.seconds;
+        for (auto p : sim::allPolicies()) {
+            const auto &ra = a.result(p);
+            const auto &rb = b.result(p);
+            same = same &&
+                   std::memcmp(&ra.energy, &rb.energy,
+                               sizeof(ra.energy)) == 0 &&
+                   ra.overheadCycles == rb.overheadCycles &&
+                   ra.seconds == rb.seconds &&
+                   ra.peakPowerW == rb.peakPowerW;
+        }
+        return same;
+    };
+
+    // Averaged over enough runs that the µs-scale per-run time is
+    // stable for the CI trajectory check.
+    constexpr int kRuns = 64;
+
+    auto t0 = Clock::now();
+    double sink_cold = 0;
+    sim::WorkloadReport cold_rep;
+    for (int i = 0; i < kRuns; ++i) {
+        sim::sharedGraphCache().clear();
+        sim::sharedRunCache().clear();
+        cold_rep = sim::simulateWorkload(w, gen);
+        sink_cold += energySum(cold_rep);
+    }
+    cc.seed_ns = elapsedNs(t0) / kRuns;
+
+    t0 = Clock::now();
+    double sink_warm = 0;
+    sim::WorkloadReport warm_rep;
+    for (int i = 0; i < kRuns; ++i) {
+        warm_rep = sim::simulateWorkload(w, gen);
+        sink_warm += energySum(warm_rep);
+    }
+    cc.new_ns = elapsedNs(t0) / kRuns;
+
+    if (sink_cold != sink_warm ||
+        !identicalRuns(cold_rep.run, warm_rep.run) ||
+        !identicalRuns(warm_ref.run, warm_rep.run))
+        throw LogicError("graph cache changed simulation results");
+    cc.extras.emplace_back(
+        "graph_cache_entries",
+        static_cast<double>(sim::sharedGraphCache().size()));
+    cc.extras.emplace_back(
+        "run_cache_entries",
+        static_cast<double>(sim::sharedRunCache().size()));
+    cc.extras.emplace_back("identical", 1.0);
+    return cc;
+}
+
+/**
  * Sweep runner: serial loop vs worker pool over a small grid, with a
  * bitwise equality check of the energy/overhead numbers.
  */
@@ -414,20 +505,37 @@ caseParallelSweep()
          models::Workload::DlrmS},
         {arch::NpuGeneration::C, arch::NpuGeneration::D});
 
-    // Untimed warm-up pass: both timed paths then run with a warm
-    // operator cache, so the comparison isolates the worker pool
-    // instead of crediting memoization warm-up to whichever path
-    // happens to run second.
+    // Untimed warm-up pass to touch every code path once; each timed
+    // pass then starts from cleared run/graph caches (keeping the
+    // operator cache warm) so both genuinely re-simulate every grid
+    // point instead of replaying the whole-run memo, and the
+    // comparison isolates the worker pool.
     sim::SweepRunner::runSerial(grid);
 
+    auto clearRunLevelCaches = [] {
+        sim::sharedRunCache().clear();
+        sim::sharedGraphCache().clear();
+    };
+
+    // Averaged over several passes for a stable CI trajectory.
+    constexpr int kPasses = 8;
+
+    std::vector<sim::WorkloadReport> serial;
     auto t0 = Clock::now();
-    auto serial = sim::SweepRunner::runSerial(grid);
-    cc.seed_ns = elapsedNs(t0);
+    for (int i = 0; i < kPasses; ++i) {
+        clearRunLevelCaches();
+        serial = sim::SweepRunner::runSerial(grid);
+    }
+    cc.seed_ns = elapsedNs(t0) / kPasses;
 
     sim::SweepRunner runner;
+    std::vector<sim::WorkloadReport> parallel;
     t0 = Clock::now();
-    auto parallel = runner.run(grid);
-    cc.new_ns = elapsedNs(t0);
+    for (int i = 0; i < kPasses; ++i) {
+        clearRunLevelCaches();
+        parallel = runner.run(grid);
+    }
+    cc.new_ns = elapsedNs(t0) / kPasses;
     cc.extras.emplace_back("threads",
                            static_cast<double>(runner.threadCount()));
 
@@ -461,7 +569,8 @@ writeBenchJson(const std::vector<CoreCase> &cases,
         // below-clock-resolution case to a finite sentinel.
         out << "    {\"name\": \"" << c.name << "\", \"seed_ns\": "
             << c.seed_ns << ", \"new_ns\": " << c.new_ns
-            << ", \"speedup\": " << std::min(c.speedup(), 1e12);
+            << ", \"speedup\": " << std::min(c.speedup(), 1e12)
+            << ", \"gated\": " << (c.gated ? 1 : 0);
         for (const auto &[k, v] : c.extras)
             out << ", \"" << k << "\": " << v;
         out << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
@@ -478,23 +587,26 @@ runCoreCases()
     cases.push_back(caseTimelineRepeated());
     cases.push_back(caseRepeatedBlockCompose());
     cases.push_back(caseEngineMemoization());
+    cases.push_back(caseGraphCacheWarmRun());
     cases.push_back(caseParallelSweep());
 
     std::cout << "==== core speedup cases (seed algorithm vs current) "
                  "====\n";
     bool ok = true;
-    for (const auto &c : cases) {
+    for (auto &c : cases) {
         std::cout << "  " << c.name << ": seed " << c.seed_ns / 1e6
                   << " ms, new " << c.new_ns / 1e6 << " ms, speedup "
                   << c.speedup() << "x\n";
-        // The headline timeline-algebra cases must hold the 5x floor.
-        // The memoization and sweep cases are reported for the
-        // trajectory only: operator simulation is closed-form (cheap),
-        // so cache hits barely move wall-clock, and sweep scaling
-        // depends on the machine's core count.
-        bool gated = c.name == "timeline_repeated_64k" ||
-                     c.name == "llm_decode_block_compose";
-        if (gated && c.speedup() < 5.0) {
+        // The headline timeline-algebra cases and the compiled-graph
+        // cache case must hold the 5x floor. The memoization and
+        // sweep cases are reported for the trajectory only: operator
+        // simulation is closed-form (cheap), so cache hits barely
+        // move wall-clock, and sweep scaling depends on the machine's
+        // core count.
+        c.gated = c.name == "timeline_repeated_64k" ||
+                  c.name == "llm_decode_block_compose" ||
+                  c.name == "simulate_workload_graph_cache";
+        if (c.gated && c.speedup() < 5.0) {
             std::cerr << "FAIL: " << c.name
                       << " speedup below the 5x target\n";
             ok = false;
@@ -625,6 +737,8 @@ BENCHMARK(BM_CollectiveModel);
 void
 BM_WholeWorkloadSimulation(benchmark::State &state)
 {
+    // Steady-state (warm) path: after the first iteration this is a
+    // whole-run cache replay.
     for (auto _ : state) {
         benchmark::DoNotOptimize(sim::simulateWorkload(
             models::Workload::Prefill70B, arch::NpuGeneration::D));
@@ -633,14 +747,42 @@ BM_WholeWorkloadSimulation(benchmark::State &state)
 BENCHMARK(BM_WholeWorkloadSimulation);
 
 void
+BM_WholeWorkloadSimulationCold(benchmark::State &state)
+{
+    // Genuinely cold path: every shared cache dropped per iteration,
+    // so build + compile + operator simulation all rerun.
+    for (auto _ : state) {
+        sim::clearSharedCaches();
+        benchmark::DoNotOptimize(sim::simulateWorkload(
+            models::Workload::Prefill70B, arch::NpuGeneration::D));
+    }
+}
+BENCHMARK(BM_WholeWorkloadSimulationCold);
+
+void
 BM_SloSearch(benchmark::State &state)
 {
+    // Steady-state (warm) path: after the first iteration every
+    // candidate evaluation is a whole-run cache replay.
     for (auto _ : state) {
         benchmark::DoNotOptimize(sim::findBestSetup(
             models::Workload::DlrmM, arch::NpuGeneration::D));
     }
 }
 BENCHMARK(BM_SloSearch);
+
+void
+BM_SloSearchCold(benchmark::State &state)
+{
+    // Genuinely cold path: every shared cache dropped per iteration,
+    // so each candidate setup is rebuilt, recompiled, and re-run.
+    for (auto _ : state) {
+        sim::clearSharedCaches();
+        benchmark::DoNotOptimize(sim::findBestSetup(
+            models::Workload::DlrmM, arch::NpuGeneration::D));
+    }
+}
+BENCHMARK(BM_SloSearchCold);
 
 }  // namespace
 

@@ -20,8 +20,15 @@ main()
     TablePrinter t({"Workload", "Chips (search)", "Batch (search)",
                     "Chips (paper)", "Batch (paper)", "SLO",
                     "J/unit (NoPG)"});
+    // SLO-search every workload in parallel on the shared sweep pool
+    // (each search in turn fans its candidate setups out on the SLO
+    // candidate pool); results come back in workload order.
+    auto grid = sim::makeGrid(models::allWorkloads(),
+                              {arch::NpuGeneration::D});
+    auto results = bench::sweeper().search(grid);
+    std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
-        auto res = sim::findBestSetup(w, arch::NpuGeneration::D);
+        const auto &res = results.at(idx++);
         auto paper = models::table4Setup(w);
         t.addRow({models::workloadName(w),
                   std::to_string(res.setup.chips),

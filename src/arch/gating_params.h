@@ -8,6 +8,7 @@
 #ifndef REGATE_ARCH_GATING_PARAMS_H
 #define REGATE_ARCH_GATING_PARAMS_H
 
+#include <cstddef>
 #include <string>
 
 #include "common/units.h"
@@ -51,6 +52,14 @@ struct LeakageRatios
     double logicOff = 0.03;   ///< Power-gated logic.
     double sramSleep = 0.25;  ///< Drowsy SRAM cells.
     double sramOff = 0.002;   ///< Power-gated SRAM cells.
+
+    bool
+    operator==(const LeakageRatios &o) const
+    {
+        return logicOff == o.logicOff && sramSleep == o.sramSleep &&
+               sramOff == o.sramOff;
+    }
+    bool operator!=(const LeakageRatios &o) const { return !(*this == o); }
 };
 
 /**
@@ -91,6 +100,20 @@ class GatingParams
     void setDelayScale(double scale);
 
     void setRatios(const LeakageRatios &r) { ratios_ = r; }
+
+    /**
+     * Content equality/hash over everything that influences gating
+     * behaviour (ratios + delay scale), so params can be part of the
+     * simulation-memo cache key: equal params evaluate identically.
+     */
+    bool
+    operator==(const GatingParams &o) const
+    {
+        return ratios_ == o.ratios_ && delayScale_ == o.delayScale_;
+    }
+    bool operator!=(const GatingParams &o) const { return !(*this == o); }
+
+    std::size_t contentHash() const;
 
   private:
     LeakageRatios ratios_;

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared hash utilities for content-keyed caches. One definition of
+ * the mixing recipe so every subsystem's keys (operator work hashes,
+ * run setups, gating params, cache keys) stay consistent.
+ */
+
+#ifndef REGATE_COMMON_HASH_H
+#define REGATE_COMMON_HASH_H
+
+#include <cstddef>
+#include <functional>
+
+namespace regate {
+
+/** boost::hash_combine-style mixing. */
+inline void
+hashCombine(std::size_t &seed, std::size_t v)
+{
+    seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/** Combine a value's std::hash into @p seed. */
+template <typename T>
+inline void
+hashField(std::size_t &seed, const T &v)
+{
+    hashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace regate
+
+#endif  // REGATE_COMMON_HASH_H

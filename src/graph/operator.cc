@@ -1,29 +1,10 @@
 #include "graph/operator.h"
 
-#include <functional>
-
 #include "common/error.h"
+#include "common/hash.h"
 
 namespace regate {
 namespace graph {
-
-namespace {
-
-/** boost::hash_combine-style mixing. */
-void
-hashCombine(std::size_t &seed, std::size_t v)
-{
-    seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
-}
-
-template <typename T>
-void
-hashField(std::size_t &seed, const T &v)
-{
-    hashCombine(seed, std::hash<T>{}(v));
-}
-
-}  // namespace
 
 std::string
 opKindName(OpKind kind)

@@ -25,6 +25,13 @@ struct Parallelism
 
     int chips() const { return dp * tp * pp; }
 
+    bool
+    operator==(const Parallelism &o) const
+    {
+        return dp == o.dp && tp == o.tp && pp == o.pp;
+    }
+    bool operator!=(const Parallelism &o) const { return !(*this == o); }
+
     std::string
     toString() const
     {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "models/diffusion.h"
 #include "models/dlrm.h"
 #include "models/llama.h"
@@ -76,6 +77,18 @@ roundUpPow2(int v)
 }
 
 }  // namespace
+
+std::size_t
+RunSetup::contentHash() const
+{
+    std::size_t seed = 0;
+    hashField(seed, chips);
+    hashField(seed, batch);
+    hashField(seed, par.dp);
+    hashField(seed, par.tp);
+    hashField(seed, par.pp);
+    return seed;
+}
 
 const std::vector<Workload> &
 allWorkloads()

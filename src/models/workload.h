@@ -9,6 +9,7 @@
 #ifndef REGATE_MODELS_WORKLOAD_H
 #define REGATE_MODELS_WORKLOAD_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,6 +48,21 @@ struct RunSetup
     int chips = 1;
     std::int64_t batch = 1;
     Parallelism par;
+
+    /**
+     * Content equality over every field that influences graph
+     * construction, so a RunSetup can key the compiled-graph cache:
+     * equal setups build and compile to identical graphs.
+     */
+    bool
+    operator==(const RunSetup &o) const
+    {
+        return chips == o.chips && batch == o.batch && par == o.par;
+    }
+    bool operator!=(const RunSetup &o) const { return !(*this == o); }
+
+    /** Content hash over the fields operator== compares. */
+    std::size_t contentHash() const;
 };
 
 /** Default sequence lengths (Table 1). */

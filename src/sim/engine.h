@@ -83,7 +83,12 @@ struct WorkloadRun
     std::vector<OpRecord> opRecords;
     std::array<PolicyResult, kNumPolicies> policies;
 
-    /** Operator-memoization counters for this run (diagnostics). */
+    /**
+     * Operator-memoization counters for this run (diagnostics only).
+     * When simulateWorkload replays a run from the whole-run memo
+     * (sim/graph_cache.h), these describe the engine pass that
+     * originally produced the stored run, not the replaying call.
+     */
     std::uint64_t opCacheHits = 0;
     std::uint64_t opCacheMisses = 0;
 
@@ -134,6 +139,20 @@ class Engine
     opCache() const
     {
         return external_cache_ ? *external_cache_ : own_cache_;
+    }
+
+    /**
+     * Drop every memoized operator result in the active cache (the
+     * shared one if setOpCache was used). For callers that want the
+     * next run() to be a genuinely cold re-simulation; correctness
+     * never requires it. Process-wide caches (the compiled-graph
+     * cache, other generations' op caches) are cleared with
+     * sim::clearSharedCaches() in sim/report.h.
+     */
+    void
+    clearCaches()
+    {
+        (external_cache_ ? *external_cache_ : own_cache_).clear();
     }
 
     const energy::PowerModel &powerModel() const { return power_; }

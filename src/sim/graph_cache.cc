@@ -1,0 +1,21 @@
+#include "sim/graph_cache.h"
+
+namespace regate {
+namespace sim {
+
+CompiledGraphCache &
+sharedGraphCache()
+{
+    static CompiledGraphCache cache;
+    return cache;
+}
+
+WorkloadRunCache &
+sharedRunCache()
+{
+    static WorkloadRunCache cache;
+    return cache;
+}
+
+}  // namespace sim
+}  // namespace regate

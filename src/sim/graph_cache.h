@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Memoized graph build + compile, plus whole-run memoization.
+ *
+ * Two cache levels, both pure-function memos over one MemoCache
+ * template:
+ *
+ *  1. CompiledGraphCache — buildGraph + compileGraph are pure
+ *     functions of (workload, run setup, chip generation): the
+ *     workload enum and RunSetup fully determine the emitted operator
+ *     graph, and the generation's NpuConfig fully determines the
+ *     fusion/tiling annotations. A warm simulateWorkload call skips
+ *     graph construction entirely.
+ *
+ *  2. WorkloadRunCache — Engine::run over a compiled graph is itself
+ *     a pure function of (workload, setup, generation, gating
+ *     params), so the whole WorkloadRun is memoized one level up.
+ *     Sweeps that revisit a grid point (SLO searches re-simulating
+ *     the NPU-D anchor per call, overlapping candidate setups, figure
+ *     binaries sharing cases) replay the stored run without touching
+ *     the engine at all.
+ *
+ * Thread-safe, same shape as OpExecutionCache: entries are immutable
+ * shared_ptrs, so a hit is a pointer bump under the lock and the
+ * compiled graph is shared read-only by every engine run (Engine::run
+ * takes the graph const). A hit is bitwise identical to a cold
+ * compile/simulation because every pass is deterministic — with one
+ * documented exception: a replayed WorkloadRun carries the
+ * opCacheHits/opCacheMisses diagnostics of the run that was stored
+ * (the replay itself runs no engine, so it has no counters of its
+ * own; see WorkloadRun in sim/engine.h).
+ */
+
+#ifndef REGATE_SIM_GRAPH_CACHE_H
+#define REGATE_SIM_GRAPH_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "arch/gating_params.h"
+#include "arch/npu_config.h"
+#include "common/hash.h"
+#include "compiler/compiler.h"
+#include "models/workload.h"
+#include "sim/engine.h"
+
+namespace regate {
+namespace sim {
+
+/**
+ * Thread-safe content-keyed memo: immutable shared_ptr entries,
+ * first-writer-wins stores, hit/miss counters, clear() invalidation.
+ * Key must provide operator== and Hash must hash it.
+ */
+template <typename Key, typename Value, typename Hash>
+class MemoCache
+{
+  public:
+    /** The cached value, or nullptr on miss. Counts hits/misses. */
+    std::shared_ptr<const Value>
+    lookup(const Key &key) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        return it->second;
+    }
+
+    /**
+     * Store a value and return the canonical entry (the already-
+     * present one if another worker raced this store: the first
+     * writer wins, so every reader shares one entry — the values are
+     * identical either way because the memoized functions are
+     * deterministic).
+     */
+    std::shared_ptr<const Value>
+    store(const Key &key, Value value)
+    {
+        auto entry = std::make_shared<const Value>(std::move(value));
+        std::lock_guard<std::mutex> lock(mu_);
+        return map_.emplace(key, entry).first->second;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return map_.size();
+    }
+
+    /** Invalidate every entry (memoized code changed, tests). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.clear();
+    }
+
+    /** Lifetime lookup counters (diagnostics; monotonic). */
+    std::uint64_t
+    hits() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return hits_;
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return misses_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::unordered_map<Key, std::shared_ptr<const Value>, Hash> map_;
+};
+
+/** Shared key prefix of both cache levels. */
+struct GraphKey
+{
+    models::Workload w{};
+    arch::NpuGeneration gen{};
+    models::RunSetup setup;
+
+    bool
+    operator==(const GraphKey &o) const
+    {
+        return w == o.w && gen == o.gen && setup == o.setup;
+    }
+};
+
+struct GraphKeyHash
+{
+    std::size_t
+    operator()(const GraphKey &k) const
+    {
+        std::size_t seed = k.setup.contentHash();
+        hashCombine(seed, static_cast<std::size_t>(k.w));
+        hashCombine(seed, static_cast<std::size_t>(k.gen));
+        return seed;
+    }
+};
+
+/** GraphKey plus the gating params the engine evaluated under. */
+struct RunKey
+{
+    GraphKey graph;
+    arch::GatingParams params;
+
+    bool
+    operator==(const RunKey &o) const
+    {
+        return graph == o.graph && params == o.params;
+    }
+};
+
+struct RunKeyHash
+{
+    std::size_t
+    operator()(const RunKey &k) const
+    {
+        std::size_t seed = GraphKeyHash{}(k.graph);
+        hashCombine(seed, k.params.contentHash());
+        return seed;
+    }
+};
+
+/** Memoized (workload, setup, generation) -> CompileResult. */
+class CompiledGraphCache
+{
+  public:
+    std::shared_ptr<const compiler::CompileResult>
+    lookup(models::Workload w, const models::RunSetup &setup,
+           arch::NpuGeneration gen) const
+    {
+        return cache_.lookup({w, gen, setup});
+    }
+
+    std::shared_ptr<const compiler::CompileResult>
+    store(models::Workload w, const models::RunSetup &setup,
+          arch::NpuGeneration gen, compiler::CompileResult result)
+    {
+        return cache_.store({w, gen, setup}, std::move(result));
+    }
+
+    std::size_t size() const { return cache_.size(); }
+    void clear() { cache_.clear(); }
+    std::uint64_t hits() const { return cache_.hits(); }
+    std::uint64_t misses() const { return cache_.misses(); }
+
+  private:
+    MemoCache<GraphKey, compiler::CompileResult, GraphKeyHash> cache_;
+};
+
+/**
+ * Memoized whole-run simulation results:
+ * (workload, setup, generation, gating params) -> WorkloadRun.
+ */
+class WorkloadRunCache
+{
+  public:
+    std::shared_ptr<const WorkloadRun>
+    lookup(models::Workload w, const models::RunSetup &setup,
+           arch::NpuGeneration gen,
+           const arch::GatingParams &params) const
+    {
+        return cache_.lookup({{w, gen, setup}, params});
+    }
+
+    std::shared_ptr<const WorkloadRun>
+    store(models::Workload w, const models::RunSetup &setup,
+          arch::NpuGeneration gen, const arch::GatingParams &params,
+          WorkloadRun run)
+    {
+        return cache_.store({{w, gen, setup}, params},
+                            std::move(run));
+    }
+
+    std::size_t size() const { return cache_.size(); }
+    void clear() { cache_.clear(); }
+    std::uint64_t hits() const { return cache_.hits(); }
+    std::uint64_t misses() const { return cache_.misses(); }
+
+  private:
+    MemoCache<RunKey, WorkloadRun, RunKeyHash> cache_;
+};
+
+/**
+ * The process-wide compiled-graph cache shared by every
+ * simulateWorkload call (and safe to share across sweep workers).
+ * One cache for all generations: the generation is part of the key.
+ */
+CompiledGraphCache &sharedGraphCache();
+
+/**
+ * The process-wide whole-run memo shared by every simulateWorkload
+ * call; same sharing/thread-safety story as sharedGraphCache().
+ */
+WorkloadRunCache &sharedRunCache();
+
+}  // namespace sim
+}  // namespace regate
+
+#endif  // REGATE_SIM_GRAPH_CACHE_H

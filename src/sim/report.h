@@ -78,9 +78,11 @@ WorkloadReport simulateWorkload(models::Workload workload,
                                     nullptr);
 
 /**
- * simulateWorkload with operator memoization disabled and no shared
- * cache: a genuinely independent re-simulation, used by the fig16
- * validation to check the memoized path against a from-scratch run.
+ * simulateWorkload with all memoization disabled — no shared operator
+ * cache and no compiled-graph cache, so the graph is rebuilt,
+ * recompiled, and resimulated from scratch. A genuinely independent
+ * re-simulation, used by the fig16 validation to check the memoized
+ * path against a from-scratch run.
  */
 WorkloadReport simulateWorkloadUncached(
     models::Workload workload, arch::NpuGeneration gen,
@@ -97,6 +99,15 @@ double idleStaticPower(const energy::PowerModel &power,
  * workers).
  */
 OpExecutionCache &sharedOpCache(arch::NpuGeneration gen);
+
+/**
+ * Drop every process-wide memoized result: the whole-run memo and
+ * compiled-graph cache (sim/graph_cache.h) and the per-generation
+ * operator caches. For benches/tests that need a genuinely cold
+ * re-simulation; correctness never requires it (entries are immutable
+ * and keyed by full content).
+ */
+void clearSharedCaches();
 
 }  // namespace sim
 }  // namespace regate

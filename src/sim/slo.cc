@@ -57,37 +57,51 @@ candidateSetups(models::Workload workload, arch::NpuGeneration gen)
     return out;
 }
 
-SloResult
-findBestSetup(models::Workload workload, arch::NpuGeneration gen,
-              const arch::GatingParams &params)
-{
-    double target = sloTargetSecondsPerUnit(workload);
-    auto candidates = candidateSetups(workload, gen);
-    REGATE_CHECK(!candidates.empty(), "no candidate setups");
+namespace {
 
+/**
+ * The pool findBestSetup's candidate evaluations fan out on. Distinct
+ * from any SweepRunner pool on purpose: SweepRunner::search workers
+ * call findBestSetup, and a nested submit to the caller's own pool
+ * would block a worker on futures only that same pool can run.
+ */
+ThreadPool &
+candidatePool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+/**
+ * The serial winner-selection loop over input-ordered candidate
+ * reports. Both the serial and the parallel search run exactly this
+ * code, so tie-breaking (first strictly-better candidate wins) is
+ * identical regardless of thread count or scheduling.
+ */
+SloResult
+selectBest(const std::vector<models::RunSetup> &candidates,
+           const std::vector<WorkloadReport> &reports, double target)
+{
     bool have_compliant = false;
     SloResult best;
     SloResult fastest;
     double best_energy = 0;
     double fastest_latency = 0;
 
-    for (const auto &setup : candidates) {
-        auto rep = simulateWorkload(workload, gen, params, &setup);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const auto &setup = candidates[i];
+        const auto &rep = reports[i];
         double spu = secondsPerUnit(rep);
         double epu = rep.energyPerUnit(Policy::NoPG);
 
-        if (!have_compliant || (spu <= target && epu < best_energy) ||
-            (!have_compliant && spu <= target)) {
-            if (spu <= target &&
-                (!have_compliant || epu < best_energy)) {
-                best.setup = setup;
-                best.secondsPerUnit = spu;
-                best.energyPerUnit = epu;
-                best.sloRatio = 1.0;
-                best.report = rep;
-                best_energy = epu;
-                have_compliant = true;
-            }
+        if (spu <= target && (!have_compliant || epu < best_energy)) {
+            best.setup = setup;
+            best.secondsPerUnit = spu;
+            best.energyPerUnit = epu;
+            best.sloRatio = 1.0;
+            best.report = rep;
+            best_energy = epu;
+            have_compliant = true;
         }
         if (fastest_latency == 0 || spu < fastest_latency) {
             fastest.setup = setup;
@@ -105,6 +119,42 @@ findBestSetup(models::Workload workload, arch::NpuGeneration gen,
     // attained SLO multiple (Fig. 2's "2x" annotations).
     fastest.sloRatio = std::ceil(fastest.secondsPerUnit / target);
     return fastest;
+}
+
+}  // namespace
+
+SloResult
+findBestSetup(models::Workload workload, arch::NpuGeneration gen,
+              const arch::GatingParams &params, ThreadPool *pool)
+{
+    double target = sloTargetSecondsPerUnit(workload);
+    auto candidates = candidateSetups(workload, gen);
+    REGATE_CHECK(!candidates.empty(), "no candidate setups");
+
+    // Capture by value: queued tasks may outlive this frame if an
+    // earlier future rethrows (see parallelMapOrdered).
+    auto reports = parallelMapOrdered(
+        pool ? *pool : candidatePool(), candidates,
+        [workload, gen, params](const models::RunSetup &setup) {
+            return simulateWorkload(workload, gen, params, &setup);
+        });
+    return selectBest(candidates, reports, target);
+}
+
+SloResult
+findBestSetupSerial(models::Workload workload, arch::NpuGeneration gen,
+                    const arch::GatingParams &params)
+{
+    double target = sloTargetSecondsPerUnit(workload);
+    auto candidates = candidateSetups(workload, gen);
+    REGATE_CHECK(!candidates.empty(), "no candidate setups");
+
+    std::vector<WorkloadReport> reports;
+    reports.reserve(candidates.size());
+    for (const auto &setup : candidates)
+        reports.push_back(simulateWorkload(workload, gen, params,
+                                           &setup));
+    return selectBest(candidates, reports, target);
 }
 
 }  // namespace sim

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sim/report.h"
 
 namespace regate {
@@ -36,10 +37,23 @@ double sloTargetSecondsPerUnit(models::Workload workload);
  * batches) on @p gen; returns the most energy-efficient compliant
  * configuration, or the fastest one with its attained (relaxed) SLO
  * ratio if none complies — mirroring the "2x" labels in Fig. 2.
+ *
+ * The candidate evaluations fan out on @p pool (nullptr picks a
+ * process-wide pool sized by REGATE_THREADS / hardware concurrency,
+ * separate from the sweep runner's so a SweepRunner::search worker
+ * can nest this call without deadlocking). Winner selection replays
+ * the serial loop over the input-ordered results, so ties break
+ * identically to findBestSetupSerial at any thread count.
  */
 SloResult findBestSetup(models::Workload workload,
                         arch::NpuGeneration gen,
-                        const arch::GatingParams &params = {});
+                        const arch::GatingParams &params = {},
+                        ThreadPool *pool = nullptr);
+
+/** Serial reference implementation (equivalence tests). */
+SloResult findBestSetupSerial(models::Workload workload,
+                              arch::NpuGeneration gen,
+                              const arch::GatingParams &params = {});
 
 /** Candidate setups the search explores (exposed for tests). */
 std::vector<models::RunSetup> candidateSetups(models::Workload workload,

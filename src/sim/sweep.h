@@ -22,32 +22,10 @@
 namespace regate {
 namespace sim {
 
-/**
- * Apply @p fn to every item, running tasks on @p pool, and return the
- * results in input order. Deterministic regardless of worker count or
- * scheduling; exceptions from @p fn propagate to the caller. Each
- * task owns copies of @p fn and its item, so an exception that
- * unwinds this frame early never leaves queued tasks with dangling
- * references (the pool may outlive the call).
- */
-template <typename T, typename Fn>
-auto
-parallelMapOrdered(ThreadPool &pool, const std::vector<T> &items, Fn fn)
-    -> std::vector<decltype(fn(items.front()))>
-{
-    using R = decltype(fn(items.front()));
-    std::vector<std::future<R>> futures;
-    futures.reserve(items.size());
-    for (const T &item : items) {
-        futures.push_back(
-            pool.submit([fn, item] { return fn(item); }));
-    }
-    std::vector<R> out;
-    out.reserve(items.size());
-    for (auto &fut : futures)
-        out.push_back(fut.get());
-    return out;
-}
+// parallelMapOrdered lives in common/thread_pool.h now; re-exported
+// here because the sweep users (figure binaries, tests) spell it
+// sim::parallelMapOrdered.
+using ::regate::parallelMapOrdered;
 
 /** One grid point of a sweep. */
 struct SweepCase

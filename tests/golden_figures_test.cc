@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Golden-figure regression harness: renders downsized fig03 / fig21 /
+ * table3 configurations to canonical CSV at full double precision and
+ * byte-compares against checked-in golden files, so cache or
+ * parallelism changes can never silently drift the paper's reproduced
+ * numbers — any change in any digit of any cell fails here.
+ *
+ * The goldens live in tests/golden/ (REGATE_GOLDEN_DIR, injected by
+ * CMake). To regenerate after an *intentional* model change:
+ *
+ *     REGATE_UPDATE_GOLDEN=1 ctest --test-dir build -R golden
+ *
+ * then review the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/bet.h"
+#include "energy/power_model.h"
+#include "sim/report.h"
+
+#ifndef REGATE_GOLDEN_DIR
+#error "REGATE_GOLDEN_DIR must be defined (see CMakeLists.txt)"
+#endif
+
+namespace regate {
+namespace sim {
+namespace {
+
+using arch::Component;
+
+/**
+ * Round-trip double formatting (%.17g reproduces every bit of an
+ * IEEE-754 double), locale-independent: a 1-ulp drift in any
+ * reproduced number changes the rendered bytes.
+ */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Downsized Fig. 3 (energy breakdown): four workloads spanning every
+ * family trait (prefill, decode, DLRM, diffusion) on NPU-D. Raw
+ * fractions, not the table's rounded percentages.
+ */
+std::string
+renderFig03Small()
+{
+    std::ostringstream out;
+    out << "workload,idle_share,dyn_sa,sta_sa,dyn_vu,sta_vu,"
+           "dyn_sram,sta_sram,dyn_ici,sta_ici,dyn_hbm,sta_hbm,"
+           "dyn_oth,sta_oth,static_share_busy\n";
+    for (auto w :
+         {models::Workload::Prefill8B, models::Workload::Decode8B,
+          models::Workload::DlrmS, models::Workload::DiTXL}) {
+        auto rep = simulateWorkload(w, arch::NpuGeneration::D);
+        const auto &e = rep.run.result(Policy::NoPG).energy;
+        double total =
+            rep.podTotalEnergy(Policy::NoPG) / rep.setup.chips;
+        out << models::workloadName(w) << ','
+            << num(rep.idleShare(Policy::NoPG));
+        for (auto c : {Component::Sa, Component::Vu, Component::Sram,
+                       Component::Ici, Component::Hbm,
+                       Component::Other}) {
+            out << ',' << num(e.dynamicJ[c] * 1.1 / total) << ','
+                << num(e.staticJ[c] * 1.1 / total);
+        }
+        out << ',' << num(e.staticShareBusy()) << '\n';
+    }
+    return out.str();
+}
+
+/**
+ * Downsized Fig. 21 (leakage sensitivity): two workloads, three
+ * leakage settings (default, middle, worst).
+ */
+std::string
+renderFig21Small()
+{
+    const double settings[][3] = {
+        {0.03, 0.25, 0.002}, {0.2, 0.4, 0.1}, {0.6, 0.8, 0.4}};
+    std::ostringstream out;
+    out << "workload,logic_off,sram_sleep,sram_off,"
+           "sav_base,sav_hw,sav_full\n";
+    for (auto w :
+         {models::Workload::DlrmL, models::Workload::DiTXL}) {
+        for (const auto &s : settings) {
+            arch::LeakageRatios r;
+            r.logicOff = s[0];
+            r.sramSleep = s[1];
+            r.sramOff = s[2];
+            auto rep = simulateWorkload(w, arch::NpuGeneration::D,
+                                        arch::GatingParams(r));
+            out << models::workloadName(w) << ',' << num(s[0]) << ','
+                << num(s[1]) << ',' << num(s[2]) << ','
+                << num(rep.run.savingVsNoPg(Policy::Base)) << ','
+                << num(rep.run.savingVsNoPg(Policy::HW)) << ','
+                << num(rep.run.savingVsNoPg(Policy::Full)) << '\n';
+        }
+    }
+    return out.str();
+}
+
+/** Table 3 (delays/BETs/windows + derived energies), all units. */
+std::string
+renderTable3()
+{
+    const auto &cfg = arch::npuConfig(arch::NpuGeneration::D);
+    energy::PowerModel power(cfg);
+    arch::GatingParams params;
+
+    std::ostringstream out;
+    out << "unit,on_off_delay,bet,window,unit_static_w,"
+           "transition_energy_j\n";
+    for (auto u : {arch::GatedUnit::SaPe, arch::GatedUnit::SaFull,
+                   arch::GatedUnit::Vu, arch::GatedUnit::Hbm,
+                   arch::GatedUnit::Ici, arch::GatedUnit::SramSleep,
+                   arch::GatedUnit::SramOff}) {
+        double p = 0;
+        switch (u) {
+          case arch::GatedUnit::SaPe:
+            p = power.peStaticPower();
+            break;
+          case arch::GatedUnit::SaFull:
+            p = power.saStaticPower();
+            break;
+          case arch::GatedUnit::Vu:
+            p = power.vuStaticPower();
+            break;
+          case arch::GatedUnit::Hbm:
+            p = power.hbmStaticPower();
+            break;
+          case arch::GatedUnit::Ici:
+            p = power.iciStaticPower();
+            break;
+          case arch::GatedUnit::SramSleep:
+          case arch::GatedUnit::SramOff:
+            p = power.sramSegmentStaticPower();
+            break;
+        }
+        double e_tr = core::transitionEnergy(
+            p, params.breakEven(u), params.onOffDelay(u),
+            params.gatedLeakage(u), cfg.cycleTime());
+        out << arch::gatedUnitName(u) << ','
+            << params.onOffDelay(u) << ',' << params.breakEven(u)
+            << ',' << params.detectionWindow(u) << ',' << num(p)
+            << ',' << num(e_tr) << '\n';
+    }
+    return out.str();
+}
+
+void
+checkGolden(const std::string &name, const std::string &rendered)
+{
+    std::string path = std::string(REGATE_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("REGATE_UPDATE_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << rendered;
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (run with REGATE_UPDATE_GOLDEN=1 to create)";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    // Byte equality: any drift in any digit is a failure. The diff
+    // gtest prints on mismatch is the review artifact.
+    EXPECT_EQ(golden.str(), rendered)
+        << "golden mismatch for " << name
+        << "; if the change is intentional, regenerate with "
+           "REGATE_UPDATE_GOLDEN=1 and review the diff";
+}
+
+TEST(GoldenFigures, Fig03EnergyBreakdownSmall)
+{
+    checkGolden("fig03_energy_breakdown_small.csv",
+                renderFig03Small());
+}
+
+TEST(GoldenFigures, Fig21LeakageSensitivitySmall)
+{
+    checkGolden("fig21_sens_leakage_small.csv", renderFig21Small());
+}
+
+TEST(GoldenFigures, Table3DelaysAndBets)
+{
+    checkGolden("table3_delays_bets.csv", renderTable3());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace regate

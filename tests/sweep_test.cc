@@ -151,11 +151,11 @@ TEST(SweepRunner, ParallelBitwiseIdenticalToSerial)
     ASSERT_EQ(grid.size(), 8u);
 
     auto serial = SweepRunner::runSerial(grid);
-    // Clear the shared operator caches so the parallel pass
-    // recomputes every simulation instead of replaying the serial
-    // pass's cached results — a genuinely independent comparison.
-    sharedOpCache(arch::NpuGeneration::B).clear();
-    sharedOpCache(arch::NpuGeneration::D).clear();
+    // Clear every shared cache (operator, compiled-graph, whole-run)
+    // so the parallel pass recomputes every simulation instead of
+    // replaying the serial pass's cached results — a genuinely
+    // independent comparison.
+    clearSharedCaches();
     SweepRunner runner(4);
     auto parallel = runner.run(grid);
 
