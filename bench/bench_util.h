@@ -9,13 +9,18 @@
 #ifndef REGATE_BENCH_BENCH_UTIL_H
 #define REGATE_BENCH_BENCH_UTIL_H
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "common/table.h"
 #include "sim/report.h"
+#include "sim/serialize.h"
 #include "sim/sweep.h"
 
 namespace regate {
@@ -34,13 +39,264 @@ sweeper()
     return runner;
 }
 
+/**
+ * Sharded-sweep CLI state shared by the figure/table binaries:
+ *
+ *     figNN --shard i/N --out shard.json   simulate shard i of the
+ *         binary's sweep grid, write the index-aligned results as
+ *         JSON (sim/serialize.h), and exit without rendering;
+ *     figNN --from merged.json [...]       skip simulation, load the
+ *         full result vector from merged/shard files (together they
+ *         must cover the grid exactly), and render normally — the
+ *         stdout is byte-identical to an unsharded run.
+ *
+ * Shard files from different processes reassemble with
+ * tools/merge_shards.py (or sim::mergeRunShards in-process).
+ */
+struct BenchCli
+{
+    int shardIndex = 0;
+    int shardCount = 0;  ///< 0 = not sharded.
+    std::string outPath;
+    std::vector<std::string> fromPaths;
+
+    bool sharded() const { return shardCount > 0; }
+    bool fromFiles() const { return !fromPaths.empty(); }
+};
+
+inline BenchCli &
+benchCli()
+{
+    static BenchCli cli;
+    return cli;
+}
+
+/**
+ * Parse the shared bench CLI (see BenchCli). Call first thing in
+ * main(); exits with code 2 and a usage message on a bad command
+ * line. Binaries without a sweep grid simply never read the state.
+ */
+inline void
+initBench(int argc, char **argv)
+{
+    auto &cli = benchCli();
+    auto usage = [&](const std::string &msg) {
+        std::cerr << argv[0] << ": " << msg << "\n"
+                  << "usage: " << argv[0]
+                  << " [--shard i/N --out shard.json]"
+                  << " [--from results.json ...]\n";
+        std::exit(2);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--shard") {
+            if (++i >= argc)
+                usage("--shard needs an i/N argument");
+            int index = -1, count = 0;
+            char extra = 0;
+            if (std::sscanf(argv[i], "%d/%d%c", &index, &count,
+                            &extra) != 2 ||
+                index < 0 || count < 1 || index >= count)
+                usage(std::string("bad --shard value '") + argv[i] +
+                      "' (want i/N with 0 <= i < N)");
+            cli.shardIndex = index;
+            cli.shardCount = count;
+        } else if (arg == "--out") {
+            if (++i >= argc)
+                usage("--out needs a path");
+            cli.outPath = argv[i];
+        } else if (arg == "--from") {
+            // Greedy: consume every following non-option argument,
+            // so "--from shard0.json shard1.json" works.
+            std::size_t before = cli.fromPaths.size();
+            for (++i; i < argc && argv[i][0] != '-'; ++i)
+                cli.fromPaths.emplace_back(argv[i]);
+            --i;
+            if (cli.fromPaths.size() == before)
+                usage("--from needs at least one path");
+        } else {
+            usage("unknown argument '" + arg + "'");
+        }
+    }
+    if (cli.sharded() && cli.fromFiles())
+        usage("--shard and --from are mutually exclusive");
+    if (cli.sharded() && cli.outPath.empty())
+        usage("--shard requires --out");
+    if (!cli.sharded() && !cli.outPath.empty())
+        usage("--out requires --shard (use --shard 0/1 for a "
+              "complete single-shard document)");
+}
+
+namespace detail {
+
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    REGATE_CHECK(in.good(), "cannot open ", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    REGATE_CHECK(in.good() || in.eof(), "error reading ", path);
+    return buf.str();
+}
+
+inline void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    REGATE_CHECK(out.good(), "cannot write ", path);
+    out << content;
+    out.flush();
+    REGATE_CHECK(out.good(), "error writing ", path);
+}
+
+inline std::vector<sim::ShardDoc>
+loadShardDocs(const std::vector<std::string> &paths)
+{
+    std::vector<sim::ShardDoc> docs;
+    docs.reserve(paths.size());
+    for (const auto &path : paths)
+        docs.push_back(sim::parseShard(readFile(path)));
+    return docs;
+}
+
+/**
+ * Run a --from / --shard step, turning ConfigError (bad file, bad
+ * coverage, unwritable path) and LogicError (corrupted result data
+ * caught by invariant re-checks, e.g. a hand-edited timeline) into a
+ * clean CLI failure instead of an uncaught-exception abort.
+ */
+template <typename Fn>
+auto
+orDie(const char *what, Fn &&fn) -> decltype(fn())
+{
+    try {
+        return fn();
+    } catch (const ConfigError &e) {
+        std::cerr << what << ": " << e.what() << "\n";
+        std::exit(1);
+    } catch (const LogicError &e) {
+        std::cerr << what << ": " << e.what() << "\n";
+        std::exit(1);
+    }
+}
+
+/**
+ * --from results must be the results of THIS binary's grid, not just
+ * any grid of the same size: every serialized case carries its
+ * (workload, generation, gating params), so a results file from a
+ * different binary — even one whose grid shares workloads and
+ * generations, like fig21 vs fig22 — fails here instead of
+ * rendering silently wrong figures.
+ */
+inline void
+checkCaseIdentity(const sim::WorkloadReport &rep,
+                  const sim::SweepCase &expect, std::size_t index)
+{
+    REGATE_CHECK(rep.workload == expect.workload &&
+                     rep.gen == expect.gen &&
+                     rep.gatingParams() == expect.params &&
+                     (!expect.hasSetup || rep.setup == expect.setup),
+                 "result ", index, " is for ",
+                 models::workloadName(rep.workload), "/",
+                 arch::generationName(rep.gen),
+                 " with different case parameters than this "
+                 "binary's grid expects — wrong results file?");
+}
+
+}  // namespace detail
+
+/**
+ * Run the binary's sweep grid honoring the sharding CLI: shard mode
+ * simulates only this process's slice, writes the shard JSON, and
+ * exits; --from mode loads previously computed results instead of
+ * simulating. The default is the plain in-process parallel sweep.
+ */
+inline std::vector<sim::WorkloadReport>
+runGrid(const std::vector<sim::SweepCase> &grid)
+{
+    const auto &cli = benchCli();
+    if (cli.fromFiles()) {
+        return detail::orDie("--from", [&] {
+            auto merged = sim::mergeRunShards(
+                detail::loadShardDocs(cli.fromPaths));
+            REGATE_CHECK(merged.size() == grid.size(),
+                         "results cover ", merged.size(),
+                         " cases but this binary's grid has ",
+                         grid.size());
+            for (std::size_t i = 0; i < merged.size(); ++i)
+                detail::checkCaseIdentity(merged[i], grid[i], i);
+            return merged;
+        });
+    }
+    if (cli.sharded()) {
+        auto range = sim::shardRange(grid.size(), cli.shardIndex,
+                                     cli.shardCount);
+        auto results =
+            sweeper().run(sim::shardGrid(grid, cli.shardIndex,
+                                         cli.shardCount));
+        detail::orDie("--out", [&] {
+            detail::writeFile(
+                cli.outPath,
+                sim::writeRunShard(results, range.begin, grid.size(),
+                                   cli.shardIndex, cli.shardCount));
+            return 0;
+        });
+        std::exit(0);
+    }
+    return sweeper().run(grid);
+}
+
+/** SLO-search counterpart of runGrid (the fig02/table4 path). */
+inline std::vector<sim::SloResult>
+searchGrid(const std::vector<sim::SweepCase> &grid)
+{
+    const auto &cli = benchCli();
+    if (cli.fromFiles()) {
+        return detail::orDie("--from", [&] {
+            auto merged = sim::mergeSearchShards(
+                detail::loadShardDocs(cli.fromPaths));
+            REGATE_CHECK(merged.size() == grid.size(),
+                         "results cover ", merged.size(),
+                         " cases but this binary's grid has ",
+                         grid.size());
+            // The winning report keeps the searched case's identity
+            // (the search only varies the setup).
+            for (std::size_t i = 0; i < merged.size(); ++i) {
+                sim::SweepCase expect = grid[i];
+                expect.hasSetup = false;
+                detail::checkCaseIdentity(merged[i].report, expect,
+                                          i);
+            }
+            return merged;
+        });
+    }
+    if (cli.sharded()) {
+        auto range = sim::shardRange(grid.size(), cli.shardIndex,
+                                     cli.shardCount);
+        auto results =
+            sweeper().search(sim::shardGrid(grid, cli.shardIndex,
+                                            cli.shardCount));
+        detail::orDie("--out", [&] {
+            detail::writeFile(
+                cli.outPath,
+                sim::writeSearchShard(results, range.begin,
+                                      grid.size(), cli.shardIndex,
+                                      cli.shardCount));
+            return 0;
+        });
+        std::exit(0);
+    }
+    return sweeper().search(grid);
+}
+
 /** Simulate (workload, gen) pairs in parallel, input-ordered. */
 inline std::vector<sim::WorkloadReport>
 simulateAll(const std::vector<models::Workload> &workloads,
             const std::vector<arch::NpuGeneration> &gens,
             const arch::GatingParams &params = {})
 {
-    return sweeper().run(sim::makeGrid(workloads, gens, params));
+    return runGrid(sim::makeGrid(workloads, gens, params));
 }
 
 /**

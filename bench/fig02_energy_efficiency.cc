@@ -10,9 +10,10 @@
 #include "sim/slo.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     bench::banner("Figure 2",
                   "energy efficiency across NPU generations "
                   "(NoPG, duty cycle 60%, PUE 1.1)");
@@ -31,7 +32,7 @@ main()
         for (auto w : models::workloadsOf(family))
             ordered.push_back(w);
     auto grid = sim::makeGrid(ordered, bench::paperGenerations());
-    auto results = bench::sweeper().search(grid);
+    auto results = bench::searchGrid(grid);
 
     std::size_t idx = 0;
     for (auto family : families) {

@@ -9,9 +9,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using arch::Component;
     bench::banner("Figure 3",
                   "energy consumption breakdown (NoPG, % of total)");

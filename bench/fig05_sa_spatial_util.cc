@@ -6,9 +6,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     bench::banner("Figure 5", "SA spatial utilization (achieved/peak FLOPs while active)");
 
     TablePrinter t({"Workload", "A", "B", "C", "D"});

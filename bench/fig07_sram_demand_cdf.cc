@@ -9,9 +9,10 @@
 #include "common/stats.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     bench::banner("Figure 7",
                   "SRAM demand CDF, weighted by operator execution "
                   "time (NPU-D)");

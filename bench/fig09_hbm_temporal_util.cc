@@ -6,9 +6,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     bench::banner("Figure 9", "HBM temporal utilization");
 
     TablePrinter t({"Workload", "A", "B", "C", "D"});

@@ -15,9 +15,10 @@
 #include "sa/systolic_array.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     bench::banner("Figure 16",
                   "model validation: analytical vs cycle-accurate "
                   "(R^2, paper reports R^2 > 0.97 vs real TPUv4)");

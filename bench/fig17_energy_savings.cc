@@ -8,9 +8,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using arch::Component;
     using sim::Policy;
     bench::banner("Figure 17",

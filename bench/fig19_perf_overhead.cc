@@ -8,9 +8,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using sim::Policy;
     bench::banner("Figure 19",
                   "performance overhead vs NoPG (NPU-D)");

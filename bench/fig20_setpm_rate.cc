@@ -9,9 +9,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using sim::Policy;
     bench::banner("Figure 20",
                   "setpm instructions per 1K cycles (ReGate-Full, "

@@ -8,9 +8,10 @@
 #include "bench/bench_util.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using sim::Policy;
     bench::banner("Figure 21",
                   "energy savings vs gated-state leakage ratios "
@@ -37,7 +38,7 @@ main()
             grid.push_back(std::move(c));
         }
     }
-    auto reports = bench::sweeper().run(grid);
+    auto reports = bench::runGrid(grid);
 
     std::size_t idx = 0;
     for (auto w : bench::sensitivityWorkloads()) {

@@ -9,9 +9,10 @@
 #include "carbon/carbon_model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using sim::Policy;
     bench::banner("Figure 24",
                   "operational carbon reduction (0.0624 kgCO2e/kWh, "

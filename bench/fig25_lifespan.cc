@@ -10,9 +10,10 @@
 #include "carbon/lifespan.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     using sim::Policy;
     bench::banner("Figure 25",
                   "carbon per unit vs device lifespan (10-year "

@@ -10,9 +10,10 @@
 #include "sim/slo.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBench(argc, argv);
     bench::banner("Table 4",
                   "most energy-efficient SLO-compliant configs "
                   "(NPU-D)");
@@ -25,7 +26,7 @@ main()
     // candidate pool); results come back in workload order.
     auto grid = sim::makeGrid(models::allWorkloads(),
                               {arch::NpuGeneration::D});
-    auto results = bench::sweeper().search(grid);
+    auto results = bench::searchGrid(grid);
     std::size_t idx = 0;
     for (auto w : models::allWorkloads()) {
         const auto &res = results.at(idx++);

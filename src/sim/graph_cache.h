@@ -35,6 +35,7 @@
 #define REGATE_SIM_GRAPH_CACHE_H
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -204,34 +205,84 @@ class CompiledGraphCache
 /**
  * Memoized whole-run simulation results:
  * (workload, setup, generation, gating params) -> WorkloadRun.
+ *
+ * Unlike the build/compile memo this cache is LRU-bounded: a
+ * long-lived sweep service revisits an unbounded stream of grid
+ * points, and each WorkloadRun carries opRecords/timeline vectors
+ * that make entries kilobytes each. Every entry is charged its
+ * approximate heap footprint (entryBytes) against a byte budget;
+ * storing past the budget evicts least-recently-used entries.
+ * Eviction never affects results — an evicted point is simply
+ * re-simulated on its next visit — and a budget of 0 disables the
+ * bound. The process-wide instance (sharedRunCache) takes its budget
+ * from the REGATE_RUN_CACHE_MB environment variable.
  */
 class WorkloadRunCache
 {
   public:
+    /** Default byte budget of the process-wide cache, 512 MiB. */
+    static constexpr std::size_t kDefaultByteBudget =
+        std::size_t(512) << 20;
+
+    explicit WorkloadRunCache(
+        std::size_t byte_budget = kDefaultByteBudget)
+        : byteBudget_(byte_budget)
+    {}
+
+    /** Approximate heap footprint of one cached run, bytes. */
+    static std::size_t entryBytes(const WorkloadRun &run);
+
     std::shared_ptr<const WorkloadRun>
     lookup(models::Workload w, const models::RunSetup &setup,
            arch::NpuGeneration gen,
-           const arch::GatingParams &params) const
-    {
-        return cache_.lookup({{w, gen, setup}, params});
-    }
+           const arch::GatingParams &params) const;
 
     std::shared_ptr<const WorkloadRun>
     store(models::Workload w, const models::RunSetup &setup,
           arch::NpuGeneration gen, const arch::GatingParams &params,
-          WorkloadRun run)
-    {
-        return cache_.store({{w, gen, setup}, params},
-                            std::move(run));
-    }
+          WorkloadRun run);
 
-    std::size_t size() const { return cache_.size(); }
-    void clear() { cache_.clear(); }
-    std::uint64_t hits() const { return cache_.hits(); }
-    std::uint64_t misses() const { return cache_.misses(); }
+    /**
+     * Change the byte budget (0 = unbounded), evicting immediately
+     * if the cache is already over the new bound.
+     */
+    void setByteBudget(std::size_t bytes);
+
+    std::size_t byteBudget() const;
+
+    /** Total bytes currently charged against the budget. */
+    std::size_t totalBytes() const;
+
+    std::size_t size() const;
+    void clear();
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+    /** Lifetime count of LRU evictions (diagnostics; monotonic). */
+    std::uint64_t evictions() const;
 
   private:
-    MemoCache<RunKey, WorkloadRun, RunKeyHash> cache_;
+    struct Entry
+    {
+        RunKey key;
+        std::shared_ptr<const WorkloadRun> run;
+        std::size_t bytes = 0;
+    };
+
+    using LruList = std::list<Entry>;
+
+    /** Drop LRU entries until the budget is met. Caller holds mu_. */
+    void evictOverBudgetLocked();
+
+    mutable std::mutex mu_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::size_t byteBudget_ = kDefaultByteBudget;
+    std::size_t totalBytes_ = 0;
+    mutable LruList lru_;  ///< Front = most recently used.
+    mutable std::unordered_map<RunKey, LruList::iterator, RunKeyHash>
+        map_;
 };
 
 /**
@@ -244,6 +295,10 @@ CompiledGraphCache &sharedGraphCache();
 /**
  * The process-wide whole-run memo shared by every simulateWorkload
  * call; same sharing/thread-safety story as sharedGraphCache().
+ * Its byte budget defaults to WorkloadRunCache::kDefaultByteBudget
+ * and can be overridden with the REGATE_RUN_CACHE_MB environment
+ * variable (a non-negative number of MiB; 0 = unbounded; malformed
+ * values fall back to the default, like REGATE_THREADS).
  */
 WorkloadRunCache &sharedRunCache();
 

@@ -24,6 +24,8 @@ struct FleetParams
     double pue = 1.1;        ///< Power usage efficiency.
 };
 
+struct ReportSerializeAccess;
+
 /** One simulated workload on one generation. */
 struct WorkloadReport
 {
@@ -56,7 +58,12 @@ struct WorkloadReport
 
     const arch::NpuConfig &config() const;
 
+    /** The gating params this report was simulated under. */
+    const arch::GatingParams &gatingParams() const { return params_; }
+
   private:
+    /** Serialization backdoor to params_ (sim/serialize.cc). */
+    friend struct ReportSerializeAccess;
     friend WorkloadReport simulateWorkload(models::Workload,
                                            arch::NpuGeneration,
                                            const arch::GatingParams &,

@@ -1,0 +1,1044 @@
+#include "sim/serialize.h"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/error.h"
+#include "sim/sweep.h"
+
+namespace regate {
+namespace sim {
+
+/** Friend backdoor to WorkloadReport::params_ (see sim/report.h). */
+struct ReportSerializeAccess
+{
+    static const arch::GatingParams &
+    params(const WorkloadReport &rep)
+    {
+        return rep.params_;
+    }
+
+    static void
+    setParams(WorkloadReport &rep, const arch::GatingParams &p)
+    {
+        rep.params_ = p;
+    }
+};
+
+namespace {
+
+// ---------------------------------------------------------------
+// Canonical writer: fixed key order, C-locale numbers, bit-exact
+// doubles. Everything appends into one output string.
+// ---------------------------------------------------------------
+
+void
+appendDouble(std::string &out, double v)
+{
+    REGATE_CHECK(std::isfinite(v),
+                 "cannot serialize non-finite double");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+appendI64(std::string &out, std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    out += buf;
+}
+
+void
+appendString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendComponentDoubles(std::string &out,
+                       const arch::ComponentMap<double> &map)
+{
+    out += '[';
+    bool first = true;
+    for (auto c : arch::kAllComponents) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendDouble(out, map[c]);
+    }
+    out += ']';
+}
+
+void
+appendSetup(std::string &out, const models::RunSetup &setup)
+{
+    out += "{\"chips\":";
+    appendI64(out, setup.chips);
+    out += ",\"batch\":";
+    appendI64(out, setup.batch);
+    out += ",\"dp\":";
+    appendI64(out, setup.par.dp);
+    out += ",\"tp\":";
+    appendI64(out, setup.par.tp);
+    out += ",\"pp\":";
+    appendI64(out, setup.par.pp);
+    out += '}';
+}
+
+void
+appendParams(std::string &out, const arch::GatingParams &params)
+{
+    out += "{\"logic_off\":";
+    appendDouble(out, params.ratios().logicOff);
+    out += ",\"sram_sleep\":";
+    appendDouble(out, params.ratios().sramSleep);
+    out += ",\"sram_off\":";
+    appendDouble(out, params.ratios().sramOff);
+    out += ",\"delay_scale\":";
+    appendDouble(out, params.delayScale());
+    out += '}';
+}
+
+void
+appendTimeline(std::string &out, const core::ActivityTimeline &t)
+{
+    out += "{\"span\":";
+    appendU64(out, t.span());
+    out += ",\"active\":";
+    appendU64(out, t.activeCycles());
+    out += ",\"activations\":";
+    appendU64(out, t.activations());
+    out += ",\"gaps\":[";
+    bool first = true;
+    for (const auto &g : t.gaps()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '[';
+        appendU64(out, g.length);
+        out += ',';
+        appendU64(out, g.count);
+        out += ']';
+    }
+    out += "],\"leading_idle\":";
+    appendU64(out, t.leadingIdle());
+    out += ",\"trailing_idle\":";
+    appendU64(out, t.trailingIdle());
+    out += '}';
+}
+
+void
+appendEnergy(std::string &out, const energy::EnergyBreakdown &e)
+{
+    out += "{\"static_j\":";
+    appendComponentDoubles(out, e.staticJ);
+    out += ",\"dynamic_j\":";
+    appendComponentDoubles(out, e.dynamicJ);
+    out += ",\"idle_j\":";
+    appendDouble(out, e.idleJ);
+    out += '}';
+}
+
+void
+appendPolicyResult(std::string &out, const PolicyResult &r)
+{
+    out += "{\"policy\":";
+    appendI64(out, static_cast<int>(r.policy));
+    out += ",\"overhead_cycles\":";
+    appendU64(out, r.overheadCycles);
+    out += ",\"seconds\":";
+    appendDouble(out, r.seconds);
+    out += ",\"perf_overhead\":";
+    appendDouble(out, r.perfOverhead);
+    out += ",\"energy\":";
+    appendEnergy(out, r.energy);
+    out += ",\"avg_power_w\":";
+    appendDouble(out, r.avgPowerW);
+    out += ",\"peak_power_w\":";
+    appendDouble(out, r.peakPowerW);
+    out += ",\"vu_gate_events\":";
+    appendU64(out, r.vuGateEvents);
+    out += ",\"sram_setpm_pairs\":";
+    appendU64(out, r.sramSetpmPairs);
+    out += '}';
+}
+
+void
+appendOpRecord(std::string &out, const OpRecord &op)
+{
+    out += "{\"name\":";
+    appendString(out, op.name);
+    out += ",\"kind\":";
+    appendI64(out, static_cast<int>(op.kind));
+    out += ",\"count\":";
+    appendU64(out, op.count);
+    out += ",\"duration\":";
+    appendU64(out, op.duration);
+    out += ",\"sram_demand_bytes\":";
+    appendDouble(out, op.sramDemandBytes);
+    out += ",\"dynamic_j\":";
+    appendDouble(out, op.dynamicJ);
+    out += ",\"sram_used_frac\":";
+    appendDouble(out, op.sramUsedFrac);
+    out += ",\"active_frac\":";
+    appendComponentDoubles(out, op.activeFrac);
+    out += '}';
+}
+
+void
+appendRun(std::string &out, const WorkloadRun &run)
+{
+    out += "{\"name\":";
+    appendString(out, run.name);
+    out += ",\"cycles\":";
+    appendU64(out, run.cycles);
+    out += ",\"seconds\":";
+    appendDouble(out, run.seconds);
+    out += ",\"timeline\":[";
+    bool first = true;
+    for (auto c : arch::kAllComponents) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendTimeline(out, run.timeline[c]);
+    }
+    out += "],\"work\":{\"macs\":";
+    appendDouble(out, run.work.macs);
+    out += ",\"vu_ops\":";
+    appendDouble(out, run.work.vuOps);
+    out += ",\"sram_bytes\":";
+    appendDouble(out, run.work.sramBytes);
+    out += ",\"hbm_bytes\":";
+    appendDouble(out, run.work.hbmBytes);
+    out += ",\"ici_bytes\":";
+    appendDouble(out, run.work.iciBytes);
+    out += "},\"sa_stats\":{\"compute_cycles\":";
+    appendU64(out, run.saStats.computeCycles);
+    out += ",\"weight_load_cycles\":";
+    appendU64(out, run.saStats.weightLoadCycles);
+    out += ",\"pe_on_cycles\":";
+    appendU64(out, run.saStats.peOnCycles);
+    out += ",\"pe_w_on_cycles\":";
+    appendU64(out, run.saStats.peWOnCycles);
+    out += ",\"pe_off_cycles\":";
+    appendU64(out, run.saStats.peOffCycles);
+    out += ",\"macs\":";
+    appendU64(out, run.saStats.macs);
+    out += "},\"sram_used_integral\":";
+    appendDouble(out, run.sramUsedIntegral);
+    out += ",\"op_records\":[";
+    first = true;
+    for (const auto &op : run.opRecords) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendOpRecord(out, op);
+    }
+    out += "],\"policies\":[";
+    first = true;
+    for (const auto &p : run.policies) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendPolicyResult(out, p);
+    }
+    // The op-cache counters are in-process diagnostics: they depend
+    // on what happened to be warm when this grid point ran, so the
+    // same case simulated under different shard partitions reports
+    // different values (sim/engine.h documents the same caveat for
+    // whole-run-cache replays). Serialized runs normalize them to
+    // zero so equal results always serialize to equal bytes.
+    out += "],\"op_cache_hits\":0,\"op_cache_misses\":0}";
+}
+
+void
+appendReport(std::string &out, const WorkloadReport &rep)
+{
+    out += "{\"workload\":";
+    appendI64(out, static_cast<int>(rep.workload));
+    out += ",\"gen\":";
+    appendI64(out, static_cast<int>(rep.gen));
+    out += ",\"setup\":";
+    appendSetup(out, rep.setup);
+    out += ",\"units\":";
+    appendDouble(out, rep.units);
+    out += ",\"params\":";
+    appendParams(out, ReportSerializeAccess::params(rep));
+    out += ",\"run\":";
+    appendRun(out, rep.run);
+    out += '}';
+}
+
+void
+appendSloResult(std::string &out, const SloResult &res)
+{
+    out += "{\"setup\":";
+    appendSetup(out, res.setup);
+    out += ",\"seconds_per_unit\":";
+    appendDouble(out, res.secondsPerUnit);
+    out += ",\"energy_per_unit\":";
+    appendDouble(out, res.energyPerUnit);
+    out += ",\"slo_ratio\":";
+    appendDouble(out, res.sloRatio);
+    out += ",\"report\":";
+    appendReport(out, res.report);
+    out += '}';
+}
+
+// ---------------------------------------------------------------
+// Minimal JSON parser. Number literals are kept as raw text so
+// 64-bit counters never pass through a double on the way back in.
+// ---------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::string text;  ///< Raw literal (Number) or decoded (String).
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        REGATE_CHECK(type == Type::Object,
+                     "expected JSON object looking up \"", key, "\"");
+        for (const auto &m : members) {
+            if (m.first == key)
+                return m.second;
+        }
+        throw ConfigError("missing JSON key \"" + key + "\"");
+    }
+
+    // The as*() readers reject out-of-range literals (ERANGE /
+    // non-finite / narrowing), not just malformed ones: a corrupted
+    // shard file must fail loudly, never load clamped values.
+
+    double
+    asDouble() const
+    {
+        REGATE_CHECK(type == Type::Number, "expected JSON number");
+        char *end = nullptr;
+        errno = 0;
+        double v = std::strtod(text.c_str(), &end);
+        REGATE_CHECK(end && *end == '\0', "bad number literal: ",
+                     text);
+        REGATE_CHECK(errno != ERANGE && std::isfinite(v),
+                     "number out of double range: ", text);
+        return v;
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        REGATE_CHECK(type == Type::Number, "expected JSON number");
+        REGATE_CHECK(!text.empty() && text[0] != '-',
+                     "expected unsigned integer, got: ", text);
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+        REGATE_CHECK(end && *end == '\0',
+                     "bad integer literal: ", text);
+        REGATE_CHECK(errno != ERANGE && v <= UINT64_MAX,
+                     "integer out of uint64 range: ", text);
+        return v;
+    }
+
+    std::int64_t
+    asI64() const
+    {
+        REGATE_CHECK(type == Type::Number, "expected JSON number");
+        char *end = nullptr;
+        errno = 0;
+        long long v = std::strtoll(text.c_str(), &end, 10);
+        REGATE_CHECK(end && *end == '\0',
+                     "bad integer literal: ", text);
+        REGATE_CHECK(errno != ERANGE,
+                     "integer out of int64 range: ", text);
+        return v;
+    }
+
+    int
+    asInt() const
+    {
+        std::int64_t v = asI64();
+        REGATE_CHECK(v >= INT_MIN && v <= INT_MAX,
+                     "integer out of int range: ", text);
+        return static_cast<int>(v);
+    }
+
+    const std::string &
+    asString() const
+    {
+        REGATE_CHECK(type == Type::String, "expected JSON string");
+        return text;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        auto v = parseValue();
+        skipWs();
+        REGATE_CHECK(pos_ == text_.size(),
+                     "trailing bytes after JSON document at offset ",
+                     pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        REGATE_CHECK(pos_ < text_.size(),
+                     "unexpected end of JSON input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        REGATE_CHECK(pos_ < text_.size() && text_[pos_] == c,
+                     "expected '", c, "' at offset ", pos_);
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p)
+            expect(*p);
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        std::size_t start = pos_;
+        if (consumeIf('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        REGATE_CHECK(pos_ > start, "malformed number at offset ",
+                     start);
+        v.text = text_.substr(start, pos_ - start);
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        while (true) {
+            REGATE_CHECK(pos_ < text_.size(),
+                         "unterminated JSON string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                v.text += c;
+                continue;
+            }
+            REGATE_CHECK(pos_ < text_.size(),
+                         "unterminated escape in JSON string");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                v.text += e;
+                break;
+              case 'n':
+                v.text += '\n';
+                break;
+              case 't':
+                v.text += '\t';
+                break;
+              case 'r':
+                v.text += '\r';
+                break;
+              case 'b':
+                v.text += '\b';
+                break;
+              case 'f':
+                v.text += '\f';
+                break;
+              case 'u': {
+                REGATE_CHECK(pos_ + 4 <= text_.size(),
+                             "truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        throw ConfigError("bad \\u escape digit");
+                }
+                // The writer only emits \u00xx for control bytes.
+                REGATE_CHECK(code < 0x80,
+                             "non-ASCII \\u escape unsupported");
+                v.text += static_cast<char>(code);
+                break;
+              }
+              default:
+                throw ConfigError("unknown JSON escape");
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.type = JsonValue::Type::Array;
+        skipWs();
+        if (consumeIf(']'))
+            return v;
+        while (true) {
+            v.items.push_back(parseValue());
+            skipWs();
+            if (consumeIf(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.type = JsonValue::Type::Object;
+        skipWs();
+        if (consumeIf('}'))
+            return v;
+        while (true) {
+            skipWs();
+            auto key = parseString();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(key.text, parseValue());
+            skipWs();
+            if (consumeIf('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------
+// Readers: exact inverses of the appenders above.
+// ---------------------------------------------------------------
+
+arch::ComponentMap<double>
+readComponentDoubles(const JsonValue &v)
+{
+    REGATE_CHECK(v.type == JsonValue::Type::Array &&
+                     v.items.size() == arch::kNumComponents,
+                 "expected ", arch::kNumComponents,
+                 "-element component array");
+    arch::ComponentMap<double> map;
+    std::size_t i = 0;
+    for (auto c : arch::kAllComponents)
+        map[c] = v.items[i++].asDouble();
+    return map;
+}
+
+models::RunSetup
+readSetup(const JsonValue &v)
+{
+    models::RunSetup setup;
+    setup.chips = v.at("chips").asInt();
+    setup.batch = v.at("batch").asI64();
+    setup.par.dp = v.at("dp").asInt();
+    setup.par.tp = v.at("tp").asInt();
+    setup.par.pp = v.at("pp").asInt();
+    setup.par.validate();
+    return setup;
+}
+
+arch::GatingParams
+readParams(const JsonValue &v)
+{
+    arch::LeakageRatios r;
+    r.logicOff = v.at("logic_off").asDouble();
+    r.sramSleep = v.at("sram_sleep").asDouble();
+    r.sramOff = v.at("sram_off").asDouble();
+    arch::GatingParams params(r);
+    params.setDelayScale(v.at("delay_scale").asDouble());
+    return params;
+}
+
+core::ActivityTimeline
+readTimeline(const JsonValue &v)
+{
+    std::vector<core::GapGroup> gaps;
+    const auto &raw = v.at("gaps");
+    REGATE_CHECK(raw.type == JsonValue::Type::Array,
+                 "expected gap array");
+    gaps.reserve(raw.items.size());
+    for (const auto &g : raw.items) {
+        REGATE_CHECK(g.type == JsonValue::Type::Array &&
+                         g.items.size() == 2,
+                     "expected [length, count] gap pair");
+        gaps.push_back({g.items[0].asU64(), g.items[1].asU64()});
+    }
+    return core::ActivityTimeline::fromParts(
+        v.at("span").asU64(), v.at("active").asU64(),
+        v.at("activations").asU64(), std::move(gaps),
+        v.at("leading_idle").asU64(), v.at("trailing_idle").asU64());
+}
+
+energy::EnergyBreakdown
+readEnergy(const JsonValue &v)
+{
+    energy::EnergyBreakdown e;
+    e.staticJ = readComponentDoubles(v.at("static_j"));
+    e.dynamicJ = readComponentDoubles(v.at("dynamic_j"));
+    e.idleJ = v.at("idle_j").asDouble();
+    return e;
+}
+
+PolicyResult
+readPolicyResult(const JsonValue &v)
+{
+    PolicyResult r;
+    int policy = v.at("policy").asInt();
+    REGATE_CHECK(policy >= 0 &&
+                     policy < static_cast<int>(kNumPolicies),
+                 "policy index out of range: ", policy);
+    r.policy = static_cast<Policy>(policy);
+    r.overheadCycles = v.at("overhead_cycles").asU64();
+    r.seconds = v.at("seconds").asDouble();
+    r.perfOverhead = v.at("perf_overhead").asDouble();
+    r.energy = readEnergy(v.at("energy"));
+    r.avgPowerW = v.at("avg_power_w").asDouble();
+    r.peakPowerW = v.at("peak_power_w").asDouble();
+    r.vuGateEvents = v.at("vu_gate_events").asU64();
+    r.sramSetpmPairs = v.at("sram_setpm_pairs").asU64();
+    return r;
+}
+
+OpRecord
+readOpRecord(const JsonValue &v)
+{
+    OpRecord op;
+    op.name = v.at("name").asString();
+    int kind = v.at("kind").asInt();
+    REGATE_CHECK(kind >= 0 &&
+                     kind <= static_cast<int>(
+                         graph::OpKind::Transfer),
+                 "op kind out of range: ", kind);
+    op.kind = static_cast<graph::OpKind>(kind);
+    op.count = v.at("count").asU64();
+    op.duration = v.at("duration").asU64();
+    op.sramDemandBytes = v.at("sram_demand_bytes").asDouble();
+    op.dynamicJ = v.at("dynamic_j").asDouble();
+    op.sramUsedFrac = v.at("sram_used_frac").asDouble();
+    op.activeFrac = readComponentDoubles(v.at("active_frac"));
+    return op;
+}
+
+WorkloadRun
+readRun(const JsonValue &v)
+{
+    WorkloadRun run;
+    run.name = v.at("name").asString();
+    run.cycles = v.at("cycles").asU64();
+    run.seconds = v.at("seconds").asDouble();
+
+    const auto &timelines = v.at("timeline");
+    REGATE_CHECK(timelines.type == JsonValue::Type::Array &&
+                     timelines.items.size() == arch::kNumComponents,
+                 "expected ", arch::kNumComponents,
+                 " component timelines");
+    std::size_t ti = 0;
+    for (auto c : arch::kAllComponents)
+        run.timeline[c] = readTimeline(timelines.items[ti++]);
+
+    const auto &work = v.at("work");
+    run.work.macs = work.at("macs").asDouble();
+    run.work.vuOps = work.at("vu_ops").asDouble();
+    run.work.sramBytes = work.at("sram_bytes").asDouble();
+    run.work.hbmBytes = work.at("hbm_bytes").asDouble();
+    run.work.iciBytes = work.at("ici_bytes").asDouble();
+
+    const auto &sa = v.at("sa_stats");
+    run.saStats.computeCycles = sa.at("compute_cycles").asU64();
+    run.saStats.weightLoadCycles =
+        sa.at("weight_load_cycles").asU64();
+    run.saStats.peOnCycles = sa.at("pe_on_cycles").asU64();
+    run.saStats.peWOnCycles = sa.at("pe_w_on_cycles").asU64();
+    run.saStats.peOffCycles = sa.at("pe_off_cycles").asU64();
+    run.saStats.macs = sa.at("macs").asU64();
+
+    run.sramUsedIntegral = v.at("sram_used_integral").asDouble();
+
+    const auto &ops = v.at("op_records");
+    REGATE_CHECK(ops.type == JsonValue::Type::Array,
+                 "expected op_records array");
+    run.opRecords.reserve(ops.items.size());
+    for (const auto &op : ops.items)
+        run.opRecords.push_back(readOpRecord(op));
+
+    const auto &policies = v.at("policies");
+    REGATE_CHECK(policies.type == JsonValue::Type::Array &&
+                     policies.items.size() == kNumPolicies,
+                 "expected ", kNumPolicies, " policy results");
+    for (std::size_t i = 0; i < kNumPolicies; ++i)
+        run.policies[i] = readPolicyResult(policies.items[i]);
+
+    run.opCacheHits = v.at("op_cache_hits").asU64();
+    run.opCacheMisses = v.at("op_cache_misses").asU64();
+    return run;
+}
+
+WorkloadReport
+readReport(const JsonValue &v)
+{
+    WorkloadReport rep;
+    int w = v.at("workload").asInt();
+    REGATE_CHECK(w >= 0 && w <= static_cast<int>(
+                               models::Workload::Gligen),
+                 "workload index out of range: ", w);
+    rep.workload = static_cast<models::Workload>(w);
+    int gen = v.at("gen").asInt();
+    REGATE_CHECK(gen >= 0 &&
+                     gen < static_cast<int>(arch::kNumGenerations),
+                 "generation index out of range: ", gen);
+    rep.gen = static_cast<arch::NpuGeneration>(gen);
+    rep.setup = readSetup(v.at("setup"));
+    rep.units = v.at("units").asDouble();
+    ReportSerializeAccess::setParams(rep, readParams(v.at("params")));
+    rep.run = readRun(v.at("run"));
+    return rep;
+}
+
+SloResult
+readSloResult(const JsonValue &v)
+{
+    SloResult res;
+    res.setup = readSetup(v.at("setup"));
+    res.secondsPerUnit = v.at("seconds_per_unit").asDouble();
+    res.energyPerUnit = v.at("energy_per_unit").asDouble();
+    res.sloRatio = v.at("slo_ratio").asDouble();
+    res.report = readReport(v.at("report"));
+    return res;
+}
+
+/** The shard-file format version this writer/reader implements. */
+constexpr int kShardFormatVersion = 1;
+
+std::string
+kindName(ShardKind kind)
+{
+    return kind == ShardKind::Run ? "run" : "search";
+}
+
+/**
+ * Shared shard-document scaffolding: header on the first line, then
+ * one entry per line (see the file comment in serialize.h — the
+ * merge tool depends on this layout), then the closing bracket line.
+ */
+template <typename T, typename AppendFn>
+std::string
+writeShardImpl(ShardKind kind, const std::vector<T> &results,
+               std::size_t first_index, std::size_t cases,
+               int shard_index, int shard_count, AppendFn &&append)
+{
+    auto range = shardRange(cases, shard_index, shard_count);
+    REGATE_CHECK(first_index == range.begin &&
+                     results.size() == range.size(),
+                 "shard payload does not match its planned range: "
+                 "got [", first_index, ", ",
+                 first_index + results.size(), "), planned [",
+                 range.begin, ", ", range.end, ")");
+
+    std::string out;
+    out += "{\"regate_shard\":";
+    appendI64(out, kShardFormatVersion);
+    out += ",\"kind\":\"";
+    out += kindName(kind);
+    out += "\",\"cases\":";
+    appendU64(out, cases);
+    out += ",\"shard\":{\"index\":";
+    appendI64(out, shard_index);
+    out += ",\"count\":";
+    appendI64(out, shard_count);
+    out += "},\"entries\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += "{\"index\":";
+        appendU64(out, first_index + i);
+        out += ",\"result\":";
+        append(out, results[i]);
+        out += '}';
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+template <typename T>
+std::vector<T>
+mergeShardsImpl(
+    const std::vector<ShardDoc> &shards, ShardKind kind,
+    const std::vector<std::pair<std::size_t, T>> ShardDoc::*entries)
+{
+    REGATE_CHECK(!shards.empty(), "no shard documents to merge");
+    std::size_t cases = shards.front().cases;
+    std::map<std::size_t, const T *> by_index;
+    for (const auto &doc : shards) {
+        REGATE_CHECK(doc.kind == kind,
+                     "shard kind mismatch: expected ",
+                     kindName(kind), " document");
+        REGATE_CHECK(doc.cases == cases,
+                     "shard case-count mismatch: ", doc.cases,
+                     " vs ", cases);
+        for (const auto &[index, result] : doc.*entries) {
+            REGATE_CHECK(index < cases, "entry index ", index,
+                         " out of range for ", cases, " cases");
+            auto [it, inserted] =
+                by_index.emplace(index, &result);
+            (void)it;
+            REGATE_CHECK(inserted, "duplicate entry for grid index ",
+                         index);
+        }
+    }
+    REGATE_CHECK(by_index.size() == cases,
+                 "merged shards cover ", by_index.size(), " of ",
+                 cases, " grid cases");
+    std::vector<T> merged;
+    merged.reserve(cases);
+    for (const auto &[index, result] : by_index) {
+        (void)index;
+        merged.push_back(*result);
+    }
+    return merged;
+}
+
+}  // namespace
+
+std::string
+toJson(const WorkloadReport &rep)
+{
+    std::string out;
+    appendReport(out, rep);
+    return out;
+}
+
+std::string
+toJson(const SloResult &res)
+{
+    std::string out;
+    appendSloResult(out, res);
+    return out;
+}
+
+WorkloadReport
+reportFromJson(const std::string &text)
+{
+    return readReport(JsonParser(text).parse());
+}
+
+SloResult
+sloResultFromJson(const std::string &text)
+{
+    return readSloResult(JsonParser(text).parse());
+}
+
+std::string
+writeRunShard(const std::vector<WorkloadReport> &results,
+              std::size_t first_index, std::size_t cases,
+              int shard_index, int shard_count)
+{
+    return writeShardImpl(ShardKind::Run, results, first_index, cases,
+                          shard_index, shard_count, appendReport);
+}
+
+std::string
+writeSearchShard(const std::vector<SloResult> &results,
+                 std::size_t first_index, std::size_t cases,
+                 int shard_index, int shard_count)
+{
+    return writeShardImpl(ShardKind::Search, results, first_index,
+                          cases, shard_index, shard_count,
+                          appendSloResult);
+}
+
+ShardDoc
+parseShard(const std::string &text)
+{
+    auto v = JsonParser(text).parse();
+    REGATE_CHECK(v.at("regate_shard").asInt() == kShardFormatVersion,
+                 "unsupported shard format version");
+    ShardDoc doc;
+    const auto &kind = v.at("kind").asString();
+    if (kind == "run")
+        doc.kind = ShardKind::Run;
+    else if (kind == "search")
+        doc.kind = ShardKind::Search;
+    else
+        throw ConfigError("unknown shard kind \"" + kind + "\"");
+    doc.cases = v.at("cases").asU64();
+    doc.shardIndex = v.at("shard").at("index").asInt();
+    doc.shardCount = v.at("shard").at("count").asInt();
+    const auto &entries = v.at("entries");
+    REGATE_CHECK(entries.type == JsonValue::Type::Array,
+                 "expected entries array");
+    for (const auto &entry : entries.items) {
+        std::size_t index = entry.at("index").asU64();
+        if (doc.kind == ShardKind::Run)
+            doc.runs.emplace_back(index,
+                                  readReport(entry.at("result")));
+        else
+            doc.searches.emplace_back(
+                index, readSloResult(entry.at("result")));
+    }
+    return doc;
+}
+
+std::vector<WorkloadReport>
+mergeRunShards(const std::vector<ShardDoc> &shards)
+{
+    return mergeShardsImpl(shards, ShardKind::Run, &ShardDoc::runs);
+}
+
+std::vector<SloResult>
+mergeSearchShards(const std::vector<ShardDoc> &shards)
+{
+    return mergeShardsImpl(shards, ShardKind::Search,
+                           &ShardDoc::searches);
+}
+
+}  // namespace sim
+}  // namespace regate

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Exact JSON serialization of sweep results, the wire format of the
+ * sharded multi-process sweep runner.
+ *
+ * A shard document carries the index-aligned results of one shard of
+ * a SweepCase grid (sim::shardRange): every WorkloadReport or
+ * SloResult is stored together with its global grid index, so N
+ * shard files reassemble into the exact result vector the unsharded
+ * SweepRunner would have produced. Round-tripping is bit-exact:
+ *
+ *  - doubles are printed with %.17g (every IEEE-754 double
+ *    round-trips through 17 significant digits) and parsed with
+ *    strtod, both in the C locale;
+ *  - 64-bit counters (Cycles can exceed 2^53) are printed as decimal
+ *    integers and parsed with strtoull, never routed through a
+ *    double;
+ *  - the writer is canonical — fixed key order, no locale, one
+ *    entry per line — so equal results serialize to equal bytes and
+ *    a merged document is deterministic regardless of shard order
+ *    or count.
+ *
+ * The one-entry-per-line layout is load-bearing for
+ * tools/merge_shards.py: the merge tool validates coverage by
+ * parsing entry indices but reassembles the merged document from the
+ * verbatim entry lines, so it can never perturb a number.
+ *
+ * One field is intentionally NOT round-tripped: WorkloadRun's
+ * opCacheHits/opCacheMisses diagnostics depend on in-process cache
+ * warmth — the same grid point simulated under different shard
+ * partitions reports different counters — so the writer normalizes
+ * them to zero. Everything a figure renders is exact.
+ */
+
+#ifndef REGATE_SIM_SERIALIZE_H
+#define REGATE_SIM_SERIALIZE_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/slo.h"
+
+namespace regate {
+namespace sim {
+
+/** Canonical JSON of one report (no trailing newline). */
+std::string toJson(const WorkloadReport &rep);
+
+/** Canonical JSON of one SLO-search result (no trailing newline). */
+std::string toJson(const SloResult &res);
+
+/** Exact inverses of toJson; throw ConfigError on malformed input. */
+WorkloadReport reportFromJson(const std::string &text);
+SloResult sloResultFromJson(const std::string &text);
+
+/** What a shard file stores: run reports or SLO-search results. */
+enum class ShardKind { Run, Search };
+
+/** One parsed shard (or merged) document. */
+struct ShardDoc
+{
+    ShardKind kind = ShardKind::Run;
+    std::size_t cases = 0;  ///< Total grid size across all shards.
+    int shardIndex = 0;
+    int shardCount = 1;
+
+    /** (global grid index, result); exactly one list is non-empty. */
+    std::vector<std::pair<std::size_t, WorkloadReport>> runs;
+    std::vector<std::pair<std::size_t, SloResult>> searches;
+};
+
+/**
+ * Serialize one shard's results. @p first_index is the shard's
+ * global offset (shardRange(...).begin); entry k gets grid index
+ * first_index + k. A merged document is the @p shard_index = 0,
+ * @p shard_count = 1 spelling with every entry present.
+ */
+std::string writeRunShard(const std::vector<WorkloadReport> &results,
+                          std::size_t first_index, std::size_t cases,
+                          int shard_index, int shard_count);
+std::string writeSearchShard(const std::vector<SloResult> &results,
+                             std::size_t first_index,
+                             std::size_t cases, int shard_index,
+                             int shard_count);
+
+/** Parse a shard document; throws ConfigError on malformed input. */
+ShardDoc parseShard(const std::string &text);
+
+/**
+ * Reassemble the index-aligned result vector from shard documents
+ * (any order). Every document must agree on kind and total case
+ * count, and the entries must cover every grid index exactly once —
+ * a gap, duplicate, or kind mismatch throws ConfigError.
+ */
+std::vector<WorkloadReport> mergeRunShards(
+    const std::vector<ShardDoc> &shards);
+std::vector<SloResult> mergeSearchShards(
+    const std::vector<ShardDoc> &shards);
+
+}  // namespace sim
+}  // namespace regate
+
+#endif  // REGATE_SIM_SERIALIZE_H

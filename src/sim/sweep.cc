@@ -1,5 +1,7 @@
 #include "sim/sweep.h"
 
+#include "common/error.h"
+
 namespace regate {
 namespace sim {
 
@@ -31,6 +33,32 @@ makeGrid(const std::vector<models::Workload> &workloads,
         }
     }
     return grid;
+}
+
+ShardRange
+shardRange(std::size_t total, int index, int count)
+{
+    REGATE_CHECK(count >= 1, "shard count must be >= 1, got ", count);
+    REGATE_CHECK(index >= 0 && index < count, "shard index ", index,
+                 " out of range for ", count, " shards");
+    // Contiguous split with the remainder spread over the leading
+    // shards: floor arithmetic keeps the plan a pure function of
+    // (total, index, count), so every process computes the same plan.
+    auto i = static_cast<std::size_t>(index);
+    auto n = static_cast<std::size_t>(count);
+    ShardRange r;
+    r.begin = total * i / n;
+    r.end = total * (i + 1) / n;
+    return r;
+}
+
+std::vector<SweepCase>
+shardGrid(const std::vector<SweepCase> &cases, int index, int count)
+{
+    auto r = shardRange(cases.size(), index, count);
+    return std::vector<SweepCase>(
+        cases.begin() + static_cast<std::ptrdiff_t>(r.begin),
+        cases.begin() + static_cast<std::ptrdiff_t>(r.end));
 }
 
 std::vector<WorkloadReport>

@@ -45,6 +45,35 @@ std::vector<SweepCase> makeGrid(
     const std::vector<arch::NpuGeneration> &gens,
     const arch::GatingParams &params = {});
 
+/**
+ * Contiguous half-open index range [begin, end) of one shard of a
+ * @p total -case grid split @p count ways. The planner is
+ * deterministic and stable: shard sizes differ by at most one, shards
+ * are contiguous and ordered (shard i's range ends where shard
+ * i+1's begins), and the union over i = 0..count-1 is exactly
+ * [0, total). Shards beyond the case count come back empty, so a
+ * grid may be split more ways than it has cases.
+ */
+struct ShardRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/** Plan shard @p index of @p count over a @p total -case grid. */
+ShardRange shardRange(std::size_t total, int index, int count);
+
+/**
+ * The cases of shard @p index of @p count, in grid order. Pair each
+ * returned case with its global index @c shardRange(...).begin + k
+ * when serializing shard results for an index-aligned merge.
+ */
+std::vector<SweepCase> shardGrid(const std::vector<SweepCase> &cases,
+                                 int index, int count);
+
 /** The runner. One instance owns one worker pool and can be reused. */
 class SweepRunner
 {

@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "carbon/carbon_model.h"
 #include "core/bet.h"
 #include "energy/power_model.h"
 #include "sim/report.h"
@@ -160,6 +161,80 @@ renderTable3()
     return out.str();
 }
 
+/**
+ * Downsized Fig. 4 (utilization family): SA temporal utilization for
+ * four workloads spanning the family traits on NPU-B and NPU-D.
+ */
+std::string
+renderFig04Small()
+{
+    std::ostringstream out;
+    out << "workload,gen,sa_temporal_util\n";
+    for (auto w :
+         {models::Workload::Prefill8B, models::Workload::Decode8B,
+          models::Workload::DlrmS, models::Workload::DiTXL}) {
+        for (auto gen :
+             {arch::NpuGeneration::B, arch::NpuGeneration::D}) {
+            auto rep = simulateWorkload(w, gen);
+            out << models::workloadName(w) << ','
+                << arch::generationName(gen) << ','
+                << num(rep.run.temporalUtil(Component::Sa)) << '\n';
+        }
+    }
+    return out.str();
+}
+
+/**
+ * Downsized Fig. 18 (power family): average per-chip power under
+ * every policy plus NoPG/Full peak power, three workloads on NPU-D.
+ */
+std::string
+renderFig18Small()
+{
+    std::ostringstream out;
+    out << "workload,avg_nopg,avg_base,avg_hw,avg_full,avg_ideal,"
+           "peak_nopg,peak_full\n";
+    for (auto w : {models::Workload::Prefill8B,
+                   models::Workload::DlrmS,
+                   models::Workload::DiTXL}) {
+        auto rep = simulateWorkload(w, arch::NpuGeneration::D);
+        out << models::workloadName(w);
+        for (auto p : allPolicies())
+            out << ',' << num(rep.run.result(p).avgPowerW);
+        out << ',' << num(rep.run.result(Policy::NoPG).peakPowerW)
+            << ',' << num(rep.run.result(Policy::Full).peakPowerW)
+            << '\n';
+    }
+    return out.str();
+}
+
+/**
+ * Downsized Fig. 24 (carbon family): operational carbon reduction
+ * per gating design plus the Full busy-energy saving, three
+ * workloads on NPU-D.
+ */
+std::string
+renderFig24Small()
+{
+    std::ostringstream out;
+    out << "workload,red_base,red_hw,red_full,red_ideal,"
+           "busy_saving_full\n";
+    for (auto w : {models::Workload::Prefill8B,
+                   models::Workload::DlrmS,
+                   models::Workload::DiTXL}) {
+        auto rep = simulateWorkload(w, arch::NpuGeneration::D);
+        out << models::workloadName(w);
+        for (auto p : {Policy::Base, Policy::HW, Policy::Full,
+                       Policy::Ideal}) {
+            out << ','
+                << num(carbon::operationalCarbonReduction(rep, p));
+        }
+        out << ',' << num(rep.run.savingVsNoPg(Policy::Full))
+            << '\n';
+    }
+    return out.str();
+}
+
 void
 checkGolden(const std::string &name, const std::string &rendered)
 {
@@ -199,6 +274,23 @@ TEST(GoldenFigures, Fig21LeakageSensitivitySmall)
 TEST(GoldenFigures, Table3DelaysAndBets)
 {
     checkGolden("table3_delays_bets.csv", renderTable3());
+}
+
+TEST(GoldenFigures, Fig04SaTemporalUtilSmall)
+{
+    checkGolden("fig04_sa_temporal_util_small.csv",
+                renderFig04Small());
+}
+
+TEST(GoldenFigures, Fig18PowerSmall)
+{
+    checkGolden("fig18_power_small.csv", renderFig18Small());
+}
+
+TEST(GoldenFigures, Fig24CarbonReductionSmall)
+{
+    checkGolden("fig24_carbon_reduction_small.csv",
+                renderFig24Small());
 }
 
 }  // namespace

@@ -328,6 +328,83 @@ TEST(ParallelFindBestSetup, DefaultPoolMatchesSerial)
     EXPECT_EQ(par.sloRatio, serial.sloRatio);
 }
 
+TEST(RunCacheLru, EvictsLeastRecentlyUsedWithinByteBudget)
+{
+    auto rep = simulateWorkload(Workload::DlrmS,
+                                arch::NpuGeneration::D);
+    auto setup = rep.setup;
+    std::size_t bytes = WorkloadRunCache::entryBytes(rep.run);
+    EXPECT_GT(bytes, sizeof(WorkloadRun));
+
+    // Four keys (distinct delay scales), one identical payload each,
+    // so every entry charges the same byte count and the LRU order
+    // is the only thing deciding who survives a budget of two.
+    auto paramsFor = [](double scale) {
+        arch::GatingParams p;
+        p.setDelayScale(scale);
+        return p;
+    };
+    WorkloadRunCache cache(2 * bytes + bytes / 2);
+    for (double scale : {1.0, 2.0, 3.0})
+        cache.store(Workload::DlrmS, setup, arch::NpuGeneration::D,
+                    paramsFor(scale), rep.run);
+    // Budget fits two: storing the third evicted scale 1.0.
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_LE(cache.totalBytes(), cache.byteBudget());
+    EXPECT_EQ(cache.lookup(Workload::DlrmS, setup,
+                           arch::NpuGeneration::D, paramsFor(1.0)),
+              nullptr);
+
+    // Touch scale 2.0, then store a fourth entry: 3.0 is now the
+    // least recently used and must be the one to go.
+    EXPECT_NE(cache.lookup(Workload::DlrmS, setup,
+                           arch::NpuGeneration::D, paramsFor(2.0)),
+              nullptr);
+    cache.store(Workload::DlrmS, setup, arch::NpuGeneration::D,
+                paramsFor(4.0), rep.run);
+    EXPECT_NE(cache.lookup(Workload::DlrmS, setup,
+                           arch::NpuGeneration::D, paramsFor(2.0)),
+              nullptr);
+    EXPECT_EQ(cache.lookup(Workload::DlrmS, setup,
+                           arch::NpuGeneration::D, paramsFor(3.0)),
+              nullptr);
+
+    // An entry bigger than the whole budget still survives its own
+    // store (the cache never evicts the most recent entry).
+    cache.setByteBudget(1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RunCacheLru, EvictionPreservesResultCorrectness)
+{
+    auto grid = makeGrid({Workload::Prefill8B, Workload::Decode8B,
+                          Workload::DlrmS, Workload::DiTXL},
+                         {arch::NpuGeneration::D});
+    clearSharedCaches();
+    auto reference = SweepRunner::runSerial(grid);
+
+    // Shrink the shared run memo to a single entry's worth of bytes:
+    // every grid point now evicts its predecessor, so the sweep
+    // below constantly re-simulates — and must not change a bit.
+    std::size_t old_budget = sharedRunCache().byteBudget();
+    sharedRunCache().setByteBudget(1);
+    clearSharedCaches();
+    SweepRunner runner(2);
+    auto thrashed = runner.run(grid);
+    auto again = runner.run(grid);  // Warm pass under eviction.
+    EXPECT_LE(sharedRunCache().size(), 1u);
+    EXPECT_GT(sharedRunCache().evictions(), 0u);
+    sharedRunCache().setByteBudget(old_budget);
+
+    ASSERT_EQ(thrashed.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        expectRunsIdentical(thrashed[i].run, reference[i].run);
+        expectRunsIdentical(again[i].run, reference[i].run);
+        EXPECT_EQ(thrashed[i].units, reference[i].units);
+    }
+}
+
 }  // namespace
 }  // namespace sim
 }  // namespace regate

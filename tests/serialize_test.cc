@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the sharded-sweep layer (sim/sweep.h shard planner +
+ * sim/serialize.h JSON round trip and merge): shard plans must be
+ * deterministic and covering, serialization must be bit-exact, and
+ * merging any shard partition — N = 1, 2, 7, more shards than cases,
+ * including the SLO-search path — must reproduce exactly what
+ * SweepRunner::runSerial computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/serialize.h"
+#include "sim/sweep.h"
+
+namespace regate {
+namespace sim {
+namespace {
+
+std::vector<SweepCase>
+smallGrid()
+{
+    auto grid = makeGrid({models::Workload::Prefill8B,
+                          models::Workload::Decode8B,
+                          models::Workload::DlrmS,
+                          models::Workload::DiTXL},
+                         {arch::NpuGeneration::B,
+                          arch::NpuGeneration::D});
+    // Give one case non-default gating params so the params leg of
+    // the round trip is exercised by every merge test.
+    arch::LeakageRatios r;
+    r.logicOff = 0.2;
+    r.sramSleep = 0.4;
+    r.sramOff = 0.1;
+    grid[3].params = arch::GatingParams(r);
+    grid[5].params.setDelayScale(2.5);
+    return grid;
+}
+
+TEST(ShardPlanner, CoversGridExactlyOnceInOrder)
+{
+    for (std::size_t total : {0u, 1u, 5u, 8u, 25u, 68u}) {
+        for (int count : {1, 2, 3, 7, 16}) {
+            std::size_t covered = 0;
+            std::size_t expected_begin = 0;
+            for (int i = 0; i < count; ++i) {
+                auto r = shardRange(total, i, count);
+                // Contiguous and ordered: each shard picks up where
+                // the previous one ended.
+                EXPECT_EQ(r.begin, expected_begin);
+                EXPECT_LE(r.begin, r.end);
+                expected_begin = r.end;
+                covered += r.size();
+                // Balanced: sizes differ by at most one.
+                EXPECT_LE(r.size(), total / count + 1);
+            }
+            EXPECT_EQ(expected_begin, total);
+            EXPECT_EQ(covered, total);
+        }
+    }
+}
+
+TEST(ShardPlanner, MoreShardsThanCasesYieldsEmptyShards)
+{
+    std::size_t total = 3;
+    int count = 7;
+    std::size_t non_empty = 0;
+    for (int i = 0; i < count; ++i)
+        non_empty += shardRange(total, i, count).empty() ? 0 : 1;
+    EXPECT_EQ(non_empty, total);
+}
+
+TEST(ShardPlanner, RejectsBadIndexAndCount)
+{
+    EXPECT_THROW(shardRange(10, 0, 0), ConfigError);
+    EXPECT_THROW(shardRange(10, -1, 4), ConfigError);
+    EXPECT_THROW(shardRange(10, 4, 4), ConfigError);
+}
+
+TEST(ShardPlanner, ShardGridSlicesCases)
+{
+    auto grid = smallGrid();
+    std::size_t total = 0;
+    for (int i = 0; i < 3; ++i) {
+        auto slice = shardGrid(grid, i, 3);
+        auto range = shardRange(grid.size(), i, 3);
+        ASSERT_EQ(slice.size(), range.size());
+        for (std::size_t k = 0; k < slice.size(); ++k) {
+            EXPECT_EQ(slice[k].workload,
+                      grid[range.begin + k].workload);
+            EXPECT_EQ(slice[k].gen, grid[range.begin + k].gen);
+            EXPECT_TRUE(slice[k].params ==
+                        grid[range.begin + k].params);
+        }
+        total += slice.size();
+    }
+    EXPECT_EQ(total, grid.size());
+}
+
+/**
+ * Canonical-bytes equality is the strongest practical check: the
+ * writer serializes every round-tripped field, so equal JSON means
+ * equal values for everything a figure can read.
+ */
+void
+expectReportsIdentical(const WorkloadReport &a, const WorkloadReport &b)
+{
+    EXPECT_EQ(toJson(a), toJson(b));
+}
+
+TEST(JsonRoundTrip, ReportBitExact)
+{
+    arch::LeakageRatios r;
+    r.logicOff = 0.37;
+    r.sramSleep = 0.41;
+    r.sramOff = 0.019;
+    arch::GatingParams params(r);
+    params.setDelayScale(1.5);
+    auto rep = simulateWorkload(models::Workload::Prefill8B,
+                                arch::NpuGeneration::D, params);
+
+    auto text = toJson(rep);
+    auto back = reportFromJson(text);
+
+    // The canonical writer is deterministic, so a bit-exact round
+    // trip reserializes to the same bytes.
+    EXPECT_EQ(toJson(back), text);
+
+    // Spot-check the fields the bytes are standing in for,
+    // including derived quantities that need the private gating
+    // params (idlePowerW) and the full policy table.
+    EXPECT_EQ(back.workload, rep.workload);
+    EXPECT_EQ(back.gen, rep.gen);
+    EXPECT_EQ(back.setup.chips, rep.setup.chips);
+    EXPECT_EQ(back.units, rep.units);
+    EXPECT_EQ(back.run.cycles, rep.run.cycles);
+    EXPECT_EQ(back.run.opRecords.size(), rep.run.opRecords.size());
+    for (auto c : arch::kAllComponents)
+        EXPECT_TRUE(back.run.timeline[c] == rep.run.timeline[c]);
+    for (auto p : allPolicies()) {
+        EXPECT_EQ(back.run.result(p).seconds, rep.run.result(p).seconds);
+        EXPECT_EQ(back.run.savingVsNoPg(p), rep.run.savingVsNoPg(p));
+        EXPECT_EQ(back.idlePowerW(p), rep.idlePowerW(p));
+        EXPECT_EQ(back.energyPerUnit(p), rep.energyPerUnit(p));
+    }
+}
+
+TEST(JsonRoundTrip, SloResultBitExact)
+{
+    auto res = findBestSetup(models::Workload::DlrmS,
+                             arch::NpuGeneration::D);
+    auto text = toJson(res);
+    auto back = sloResultFromJson(text);
+    EXPECT_EQ(toJson(back), text);
+    EXPECT_EQ(back.setup.chips, res.setup.chips);
+    EXPECT_EQ(back.setup.batch, res.setup.batch);
+    EXPECT_EQ(back.secondsPerUnit, res.secondsPerUnit);
+    EXPECT_EQ(back.energyPerUnit, res.energyPerUnit);
+    EXPECT_EQ(back.sloRatio, res.sloRatio);
+    expectReportsIdentical(back.report, res.report);
+}
+
+TEST(JsonRoundTrip, RejectsMalformedInput)
+{
+    EXPECT_THROW(reportFromJson(""), ConfigError);
+    EXPECT_THROW(reportFromJson("{\"workload\":0}"), ConfigError);
+    EXPECT_THROW(reportFromJson("not json"), ConfigError);
+    EXPECT_THROW(parseShard("{\"regate_shard\":99}"), ConfigError);
+}
+
+/** Shard a grid N ways, serialize, parse, merge; expect == serial. */
+void
+expectShardedRunMatchesSerial(const std::vector<SweepCase> &grid,
+                              int count)
+{
+    auto reference = SweepRunner::runSerial(grid);
+
+    std::vector<ShardDoc> docs;
+    for (int i = 0; i < count; ++i) {
+        auto range = shardRange(grid.size(), i, count);
+        auto results =
+            SweepRunner::runSerial(shardGrid(grid, i, count));
+        auto text = writeRunShard(results, range.begin, grid.size(),
+                                  i, count);
+        docs.push_back(parseShard(text));
+        EXPECT_EQ(docs.back().runs.size(), range.size());
+    }
+    auto merged = mergeRunShards(docs);
+    ASSERT_EQ(merged.size(), reference.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        expectReportsIdentical(merged[i], reference[i]);
+}
+
+TEST(ShardMerge, OneShardMatchesSerial)
+{
+    expectShardedRunMatchesSerial(smallGrid(), 1);
+}
+
+TEST(ShardMerge, TwoShardsMatchSerial)
+{
+    expectShardedRunMatchesSerial(smallGrid(), 2);
+}
+
+TEST(ShardMerge, SevenShardsMatchSerial)
+{
+    expectShardedRunMatchesSerial(smallGrid(), 7);
+}
+
+TEST(ShardMerge, MoreShardsThanCasesMatchesSerial)
+{
+    // 8 cases split 11 ways: several shards are empty, and their
+    // (header-only) documents must still merge cleanly.
+    expectShardedRunMatchesSerial(smallGrid(), 11);
+}
+
+TEST(ShardMerge, MergedDocumentEqualsSingleShardDocument)
+{
+    auto grid = smallGrid();
+    auto reference = SweepRunner::runSerial(grid);
+    auto single = writeRunShard(reference, 0, grid.size(), 0, 1);
+
+    std::vector<ShardDoc> docs;
+    for (int i = 0; i < 3; ++i) {
+        auto range = shardRange(grid.size(), i, 3);
+        docs.push_back(parseShard(writeRunShard(
+            SweepRunner::runSerial(shardGrid(grid, i, 3)),
+            range.begin, grid.size(), i, 3)));
+    }
+    // Reserializing the merged result vector as the degenerate 0/1
+    // shard reproduces the single-shard document byte for byte —
+    // the same guarantee tools/merge_shards.py provides on files.
+    auto merged = mergeRunShards(docs);
+    EXPECT_EQ(writeRunShard(merged, 0, grid.size(), 0, 1), single);
+}
+
+TEST(ShardMerge, SearchPathMatchesSerial)
+{
+    auto grid = makeGrid({models::Workload::DlrmS},
+                         {arch::NpuGeneration::C,
+                          arch::NpuGeneration::D});
+    std::vector<SloResult> reference;
+    for (const auto &c : grid)
+        reference.push_back(findBestSetupSerial(c.workload, c.gen,
+                                                c.params));
+
+    std::vector<ShardDoc> docs;
+    for (int i = 0; i < 2; ++i) {
+        auto range = shardRange(grid.size(), i, 2);
+        std::vector<SloResult> results;
+        for (const auto &c : shardGrid(grid, i, 2))
+            results.push_back(findBestSetupSerial(c.workload, c.gen,
+                                                  c.params));
+        docs.push_back(parseShard(writeSearchShard(
+            results, range.begin, grid.size(), i, 2)));
+    }
+    auto merged = mergeSearchShards(docs);
+    ASSERT_EQ(merged.size(), reference.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(toJson(merged[i]), toJson(reference[i]));
+        EXPECT_EQ(merged[i].setup.chips, reference[i].setup.chips);
+        EXPECT_EQ(merged[i].energyPerUnit,
+                  reference[i].energyPerUnit);
+    }
+}
+
+TEST(ShardMerge, RejectsGapsDuplicatesAndMismatches)
+{
+    auto grid = smallGrid();
+    std::vector<ShardDoc> docs;
+    for (int i = 0; i < 2; ++i) {
+        auto range = shardRange(grid.size(), i, 2);
+        docs.push_back(parseShard(writeRunShard(
+            SweepRunner::runSerial(shardGrid(grid, i, 2)),
+            range.begin, grid.size(), i, 2)));
+    }
+
+    // Coverage gap: one shard missing.
+    EXPECT_THROW(mergeRunShards({docs[0]}), ConfigError);
+    // Duplicate entries: the same shard twice.
+    EXPECT_THROW(mergeRunShards({docs[0], docs[0]}), ConfigError);
+    // Kind mismatch: run entries through the search merge.
+    EXPECT_THROW(mergeSearchShards(docs), ConfigError);
+    // Case-count mismatch between documents.
+    auto other = docs[1];
+    other.cases = grid.size() + 1;
+    EXPECT_THROW(mergeRunShards({docs[0], other}), ConfigError);
+    // Nothing at all.
+    EXPECT_THROW(mergeRunShards({}), ConfigError);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace regate

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""End-to-end check of the sharded sweep CLI (registered as a ctest).
+
+For each grid-shaped binary under test (fig02, fig21, table4 — one
+run-path sweep, one per-case-params sweep, one SLO-search sweep):
+
+1. capture the unsharded stdout (the correctness reference),
+2. run N shards (`--shard i/N --out ...`) in separate processes,
+3. merge the shard files with tools/merge_shards.py,
+4. render the merged results (`--from merged.json`) and require the
+   stdout to be byte-identical to the reference,
+5. require the merged document to be byte-identical to the
+   degenerate single-shard document (`--shard 0/1`).
+
+This is the same split-run-merge-compare loop the CI shard matrix
+runs across jobs, kept runnable locally in one command.
+"""
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BINARIES = [
+    "fig02_energy_efficiency",
+    "fig21_sens_leakage",
+    "table4_slo_configs",
+]
+SHARDS = 3
+
+
+def run(cmd, **kwargs):
+    proc = subprocess.run(cmd, capture_output=True, **kwargs)
+    if proc.returncode != 0:
+        sys.exit(f"command failed ({proc.returncode}): "
+                 f"{' '.join(map(str, cmd))}\n"
+                 f"{proc.stderr.decode(errors='replace')}")
+    return proc.stdout
+
+
+def check_binary(binary, merge_tool, tmp):
+    reference = run([binary])
+
+    shard_files = []
+    for i in range(SHARDS):
+        out = tmp / f"{binary.name}_shard_{i}.json"
+        run([binary, "--shard", f"{i}/{SHARDS}", "--out", str(out)])
+        shard_files.append(out)
+
+    merged = tmp / f"{binary.name}_merged.json"
+    # Reverse order on purpose: the merge must not care.
+    run([sys.executable, str(merge_tool), "--out", str(merged)]
+        + [str(p) for p in reversed(shard_files)])
+
+    rendered = run([binary, "--from", str(merged)])
+    if rendered != reference:
+        sys.exit(f"{binary.name}: merged render differs from the "
+                 "unsharded run")
+
+    single = tmp / f"{binary.name}_single.json"
+    run([binary, "--shard", "0/1", "--out", str(single)])
+    if merged.read_bytes() != single.read_bytes():
+        sys.exit(f"{binary.name}: merged document differs from the "
+                 "single-shard document")
+    print(f"{binary.name}: {SHARDS}-shard merge byte-identical "
+          "(render and document)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bin-dir", required=True,
+                    help="directory holding the figure binaries")
+    ap.add_argument("--merge-tool", required=True,
+                    help="path to tools/merge_shards.py")
+    args = ap.parse_args()
+
+    bin_dir = Path(args.bin_dir)
+    merge_tool = Path(args.merge_tool)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        for name in BINARIES:
+            binary = bin_dir / name
+            if not binary.exists():
+                sys.exit(f"missing binary {binary}")
+            check_binary(binary, merge_tool, Path(tmpdir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,12 +50,20 @@ def main():
                          "2000 ns)")
     args = ap.parse_args()
 
+    # The first run on a branch (or an expired artifact) legitimately
+    # has nothing to compare against: say so explicitly and pass,
+    # rather than leaning on the caller to continue-on-error.
     if not os.path.exists(args.previous):
-        print(f"no previous benchmark at {args.previous}; "
-              "skipping regression check")
+        print(f"no previous artifact at {args.previous} — skipping "
+              "regression check")
         return 0
     cur = load_cases(args.current)
-    prev = load_cases(args.previous)
+    try:
+        prev = load_cases(args.previous)
+    except (json.JSONDecodeError, OSError) as e:
+        print(f"previous artifact at {args.previous} unreadable "
+              f"({e}) — skipping regression check")
+        return 0
 
     failed = False
     for name in sorted(set(cur) | set(prev)):

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Merge sharded sweep results into one deterministic document.
+
+The figure/table binaries write one JSON document per shard
+(`figNN --shard i/N --out shard_i.json`, format: sim/serialize.h).
+This tool validates that a set of shard files belongs to the same
+grid and covers every grid index exactly once, then reassembles them
+into a single merged document:
+
+    merge_shards.py --out merged.json shard_0.json ... shard_N-1.json
+
+The merged file is byte-identical to what the binary itself writes
+for the degenerate single-shard split (`--shard 0/1`), and feeding it
+back with `figNN --from merged.json` renders stdout byte-identical
+to an unsharded run — which is how the CI merge job pins the sharded
+path against the serial reference. Pass `--render BIN` to do that
+re-emission in one step (stdout of `BIN --from merged.json` is
+forwarded).
+
+Determinism: the writer emits one entry per line in canonical form,
+and this tool reassembles the merged document from those verbatim
+lines (sorted by grid index) — numbers are never reparsed or
+reprinted, so merging can never perturb a result and any shard
+ordering on the command line produces the same bytes.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+FORMAT_VERSION = 1
+
+
+def load_shard(path):
+    """Parse one shard file; returns (header dict, [(index, line)])."""
+    with open(path, "rb") as f:
+        text = f.read().decode("utf-8")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    if doc.get("regate_shard") != FORMAT_VERSION:
+        sys.exit(f"{path}: not a regate shard file "
+                 f"(regate_shard != {FORMAT_VERSION})")
+    for key in ("kind", "cases", "shard", "entries"):
+        if key not in doc:
+            sys.exit(f"{path}: missing '{key}'")
+
+    # Reassemble from the verbatim one-entry-per-line layout so the
+    # merge can never reprint (and thereby perturb) a number. The
+    # trailing comma belongs to the document syntax, not the entry.
+    entries = []
+    for line in text.split("\n"):
+        stripped = line[:-1] if line.endswith(",") else line
+        if not stripped.startswith('{"index":'):
+            continue
+        index = json.loads(stripped)["index"]
+        entries.append((index, stripped))
+    if len(entries) != len(doc["entries"]):
+        sys.exit(f"{path}: entry lines ({len(entries)}) disagree "
+                 f"with parsed entries ({len(doc['entries'])}); "
+                 "was the file reformatted?")
+    return doc, entries
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="merge sharded sweep JSON into one document")
+    ap.add_argument("shards", nargs="+",
+                    help="shard files written by figNN --shard i/N")
+    ap.add_argument("--out", required=True,
+                    help="path for the merged document")
+    ap.add_argument("--render", metavar="BIN",
+                    help="after merging, run 'BIN --from OUT' and "
+                         "forward its stdout (the exact output the "
+                         "unsharded binary would print)")
+    args = ap.parse_args()
+
+    kind = cases = None
+    merged = {}
+    for path in args.shards:
+        doc, entries = load_shard(path)
+        if kind is None:
+            kind, cases = doc["kind"], doc["cases"]
+        if doc["kind"] != kind:
+            sys.exit(f"{path}: kind '{doc['kind']}' does not match "
+                     f"'{kind}'")
+        if doc["cases"] != cases:
+            sys.exit(f"{path}: total case count {doc['cases']} does "
+                     f"not match {cases}")
+        for index, line in entries:
+            if index in merged:
+                sys.exit(f"{path}: duplicate entry for grid index "
+                         f"{index}")
+            if not 0 <= index < cases:
+                sys.exit(f"{path}: entry index {index} out of range "
+                         f"for {cases} cases")
+            merged[index] = line
+
+    missing = [i for i in range(cases) if i not in merged]
+    if missing:
+        head = ", ".join(map(str, missing[:8]))
+        sys.exit(f"merged shards cover {len(merged)} of {cases} grid "
+                 f"cases; missing indices: {head}"
+                 f"{', ...' if len(missing) > 8 else ''}")
+
+    # Identical scaffolding to the C++ writer's --shard 0/1 output.
+    lines = [f'{{"regate_shard":{FORMAT_VERSION},"kind":"{kind}",'
+             f'"cases":{cases},"shard":{{"index":0,"count":1}},'
+             f'"entries":[']
+    body = ",\n".join(merged[i] for i in range(cases))
+    if body:
+        lines.append(body)
+    lines.append("]}\n")
+    with open(args.out, "wb") as f:
+        f.write("\n".join(lines).encode("utf-8"))
+    print(f"merged {len(args.shards)} shard(s), {cases} case(s) "
+          f"-> {args.out}", file=sys.stderr)
+
+    if args.render:
+        proc = subprocess.run([args.render, "--from", args.out])
+        return proc.returncode
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
