@@ -9,15 +9,18 @@
 #ifndef REGATE_BENCH_BENCH_UTIL_H
 #define REGATE_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/fsio.h"
 #include "common/table.h"
 #include "sim/report.h"
 #include "sim/serialize.h"
@@ -48,10 +51,31 @@ sweeper()
  *     figNN --from merged.json [...]       skip simulation, load the
  *         full result vector from merged/shard files (together they
  *         must cover the grid exactly), and render normally — the
- *         stdout is byte-identical to an unsharded run.
+ *         stdout is byte-identical to an unsharded run;
+ *     figNN --cases                        print the binary's total
+ *         grid case count and exit (the orchestrator's planning
+ *         query);
+ *     figNN --worker --shard i/N --out f   shard mode plus the
+ *         machine-readable worker handshake (see below).
  *
  * Shard files from different processes reassemble with
- * tools/merge_shards.py (or sim::mergeRunShards in-process).
+ * tools/merge_shards.py (or sim::mergeRunShards in-process);
+ * `regate_orch` drives the whole split-run-merge loop as one
+ * command.
+ *
+ * Worker handshake (what `--worker` adds): stdout carries exactly
+ * two protocol lines,
+ *
+ *     @regate-worker v1 start kind=<run|search> shard=i/N
+ *         cases=<total> range=<begin>..<end>
+ *     @regate-worker v1 done out=<path> bytes=<n> file_digest=<hex16>
+ *
+ * where file_digest is sim::contentDigest of the exact bytes written
+ * to --out, so a driver can verify the artifact that landed on
+ * (possibly shared) storage end to end. Exit status protocol, worker
+ * or not: 0 = success, 1 = runtime/config failure (message on
+ * stderr), 2 = usage error. A worker killed by a signal reports the
+ * usual waitpid status — no shutdown line is promised.
  */
 struct BenchCli
 {
@@ -59,6 +83,8 @@ struct BenchCli
     int shardCount = 0;  ///< 0 = not sharded.
     std::string outPath;
     std::vector<std::string> fromPaths;
+    bool casesOnly = false;
+    bool worker = false;
 
     bool sharded() const { return shardCount > 0; }
     bool fromFiles() const { return !fromPaths.empty(); }
@@ -69,6 +95,43 @@ benchCli()
 {
     static BenchCli cli;
     return cli;
+}
+
+/**
+ * Validate and parse an "i/N" shard spec. This is the one shard-spec
+ * validator every binary shares (via initBench), so a malformed
+ * spec, N <= 0, or i outside [0, N) produces the same usage error
+ * everywhere instead of per-binary behavior. Returns false and sets
+ * @p error without touching the outputs on rejection.
+ */
+inline bool
+parseShardSpec(const std::string &spec, int &index, int &count,
+               std::string &error)
+{
+    int i = -1, n = 0;
+    char extra = 0;
+    if (std::sscanf(spec.c_str(), "%d/%d%c", &i, &n, &extra) != 2) {
+        error = "malformed shard spec '" + spec +
+                "' (want i/N, e.g. 0/4)";
+        return false;
+    }
+    if (n <= 0) {
+        error = "shard count must be positive in '" + spec + "'";
+        return false;
+    }
+    if (i < 0) {
+        error = "shard index must be non-negative in '" + spec + "'";
+        return false;
+    }
+    if (i >= n) {
+        error = "shard index " + std::to_string(i) +
+                " out of range for " + std::to_string(n) +
+                " shard(s) in '" + spec + "' (want 0 <= i < N)";
+        return false;
+    }
+    index = i;
+    count = n;
+    return true;
 }
 
 /**
@@ -83,8 +146,8 @@ initBench(int argc, char **argv)
     auto usage = [&](const std::string &msg) {
         std::cerr << argv[0] << ": " << msg << "\n"
                   << "usage: " << argv[0]
-                  << " [--shard i/N --out shard.json]"
-                  << " [--from results.json ...]\n";
+                  << " [--shard i/N --out shard.json [--worker]]"
+                  << " [--from results.json ...] [--cases]\n";
         std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -92,15 +155,14 @@ initBench(int argc, char **argv)
         if (arg == "--shard") {
             if (++i >= argc)
                 usage("--shard needs an i/N argument");
-            int index = -1, count = 0;
-            char extra = 0;
-            if (std::sscanf(argv[i], "%d/%d%c", &index, &count,
-                            &extra) != 2 ||
-                index < 0 || count < 1 || index >= count)
-                usage(std::string("bad --shard value '") + argv[i] +
-                      "' (want i/N with 0 <= i < N)");
-            cli.shardIndex = index;
-            cli.shardCount = count;
+            std::string error;
+            if (!parseShardSpec(argv[i], cli.shardIndex,
+                                cli.shardCount, error))
+                usage(error);
+        } else if (arg == "--cases") {
+            cli.casesOnly = true;
+        } else if (arg == "--worker") {
+            cli.worker = true;
         } else if (arg == "--out") {
             if (++i >= argc)
                 usage("--out needs a path");
@@ -125,29 +187,67 @@ initBench(int argc, char **argv)
     if (!cli.sharded() && !cli.outPath.empty())
         usage("--out requires --shard (use --shard 0/1 for a "
               "complete single-shard document)");
+    if (cli.casesOnly && (cli.sharded() || cli.fromFiles() ||
+                          cli.worker))
+        usage("--cases is a standalone query");
+    if (cli.worker && !cli.sharded())
+        usage("--worker requires --shard/--out (it only changes "
+              "how a shard run reports)");
 }
 
 namespace detail {
 
-inline std::string
-readFile(const std::string &path)
+using ::regate::readFile;
+using ::regate::writeFile;
+
+/** Handle `--cases`: print the grid size and exit successfully. */
+inline void
+maybePrintCasesAndExit(std::size_t cases)
 {
-    std::ifstream in(path, std::ios::binary);
-    REGATE_CHECK(in.good(), "cannot open ", path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    REGATE_CHECK(in.good() || in.eof(), "error reading ", path);
-    return buf.str();
+    if (!benchCli().casesOnly)
+        return;
+    std::cout << cases << "\n";
+    std::exit(0);
 }
 
+/**
+ * Worker-handshake start line, plus the REGATE_TEST_STALL_S test
+ * hook: a worker that finds the variable sleeps that many seconds
+ * before simulating, which is how the orchestrator's failure-path
+ * tests manufacture a deterministic straggler for the timeout /
+ * kill-reassignment machinery. Honored only in --worker mode.
+ */
 inline void
-writeFile(const std::string &path, const std::string &content)
+workerStart(const char *kind, sim::ShardRange range,
+            std::size_t cases)
 {
-    std::ofstream out(path, std::ios::binary);
-    REGATE_CHECK(out.good(), "cannot write ", path);
-    out << content;
-    out.flush();
-    REGATE_CHECK(out.good(), "error writing ", path);
+    const auto &cli = benchCli();
+    if (!cli.worker)
+        return;
+    std::cout << "@regate-worker v1 start kind=" << kind
+              << " shard=" << cli.shardIndex << "/" << cli.shardCount
+              << " cases=" << cases << " range=" << range.begin
+              << ".." << range.end << "\n"
+              << std::flush;
+    if (const char *stall = std::getenv("REGATE_TEST_STALL_S")) {
+        long seconds = std::strtol(stall, nullptr, 10);
+        if (seconds > 0)
+            std::this_thread::sleep_for(
+                std::chrono::seconds(seconds));
+    }
+}
+
+/** Worker-handshake done line (digest of the bytes just written). */
+inline void
+workerDone(const std::string &path, const std::string &content)
+{
+    if (!benchCli().worker)
+        return;
+    std::cout << "@regate-worker v1 done out=" << path
+              << " bytes=" << content.size()
+              << " file_digest=" << sim::contentDigest(content)
+              << "\n"
+              << std::flush;
 }
 
 inline std::vector<sim::ShardDoc>
@@ -216,6 +316,7 @@ inline std::vector<sim::WorkloadReport>
 runGrid(const std::vector<sim::SweepCase> &grid)
 {
     const auto &cli = benchCli();
+    detail::maybePrintCasesAndExit(grid.size());
     if (cli.fromFiles()) {
         return detail::orDie("--from", [&] {
             auto merged = sim::mergeRunShards(
@@ -232,14 +333,16 @@ runGrid(const std::vector<sim::SweepCase> &grid)
     if (cli.sharded()) {
         auto range = sim::shardRange(grid.size(), cli.shardIndex,
                                      cli.shardCount);
+        detail::workerStart("run", range, grid.size());
         auto results =
             sweeper().run(sim::shardGrid(grid, cli.shardIndex,
                                          cli.shardCount));
         detail::orDie("--out", [&] {
-            detail::writeFile(
-                cli.outPath,
+            auto doc =
                 sim::writeRunShard(results, range.begin, grid.size(),
-                                   cli.shardIndex, cli.shardCount));
+                                   cli.shardIndex, cli.shardCount);
+            detail::writeFile(cli.outPath, doc);
+            detail::workerDone(cli.outPath, doc);
             return 0;
         });
         std::exit(0);
@@ -252,6 +355,7 @@ inline std::vector<sim::SloResult>
 searchGrid(const std::vector<sim::SweepCase> &grid)
 {
     const auto &cli = benchCli();
+    detail::maybePrintCasesAndExit(grid.size());
     if (cli.fromFiles()) {
         return detail::orDie("--from", [&] {
             auto merged = sim::mergeSearchShards(
@@ -274,15 +378,16 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
     if (cli.sharded()) {
         auto range = sim::shardRange(grid.size(), cli.shardIndex,
                                      cli.shardCount);
+        detail::workerStart("search", range, grid.size());
         auto results =
             sweeper().search(sim::shardGrid(grid, cli.shardIndex,
                                             cli.shardCount));
         detail::orDie("--out", [&] {
-            detail::writeFile(
-                cli.outPath,
-                sim::writeSearchShard(results, range.begin,
-                                      grid.size(), cli.shardIndex,
-                                      cli.shardCount));
+            auto doc = sim::writeSearchShard(
+                results, range.begin, grid.size(), cli.shardIndex,
+                cli.shardCount);
+            detail::writeFile(cli.outPath, doc);
+            detail::workerDone(cli.outPath, doc);
             return 0;
         });
         std::exit(0);
@@ -321,10 +426,16 @@ reportFor(const std::vector<sim::WorkloadReport> &reports,
     return rep;
 }
 
-/** Print the standard bench banner. */
+/**
+ * Print the standard bench banner — except in `--cases` mode (the
+ * query must print a bare number) and shard mode (results go to
+ * --out and stdout belongs to the worker protocol).
+ */
 inline void
 banner(const std::string &artifact, const std::string &caption)
 {
+    if (benchCli().casesOnly || benchCli().sharded())
+        return;
     std::cout << "==============================================="
                  "=============\n"
               << artifact << ": " << caption << "\n"

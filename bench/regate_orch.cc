@@ -1,0 +1,122 @@
+/**
+ * @file
+ * regate_orch: fault-tolerant multi-worker driver for the sharded
+ * figure/table sweeps (src/orch/). One command replaces the
+ * hand-launched `--shard i/N` + merge_shards.py recipe:
+ *
+ *     regate_orch --bin build/fig02_energy_efficiency \
+ *         --dir /tmp/fig02_run --workers 4 --render > fig02.txt
+ *
+ * plans the grid into shards, drives worker subprocesses with
+ * timeouts and bounded retry, streams validated shard files into a
+ * merged document byte-identical to `--shard 0/1`, and (with
+ * --render) re-renders the figure byte-identical to an unsharded
+ * run. An interrupted run resumes with --resume, re-running only
+ * the shards that never validated. Progress events go to stderr.
+ *
+ * The --inject-* flags are failure-injection hooks for the
+ * orchestrator's tests and CI job; they drive the real kill/timeout
+ * machinery and are harmless (if pointless) elsewhere.
+ */
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "orch/orchestrator.h"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &msg)
+{
+    std::cerr
+        << argv0 << ": " << msg << "\n"
+        << "usage: " << argv0
+        << " --bin FIGURE_BINARY --dir RUN_DIR\n"
+        << "    [--workers N=4] [--granularity G=4 (shards per "
+           "worker)]\n"
+        << "    [--timeout-s T=600 (per attempt; 0 disables)]\n"
+        << "    [--max-attempts K=3] [--resume]\n"
+        << "    [--merged-out PATH=RUN_DIR/merged.json] [--render]\n"
+        << "    [--inject-kill-slot S] [--inject-stall-shard J]"
+        << " [--stall-seconds N]\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using regate::orch::OrchOptions;
+
+    OrchOptions opt;
+    opt.events = &std::cerr;
+
+    auto intArg = [&](int &i, const char *flag) {
+        if (++i >= argc)
+            usage(argv[0], std::string(flag) + " needs a value");
+        char *end = nullptr;
+        errno = 0;
+        long v = std::strtol(argv[i], &end, 10);
+        if (!end || end == argv[i] || *end != '\0' ||
+            errno == ERANGE || v < INT_MIN || v > INT_MAX)
+            usage(argv[0], std::string("bad ") + flag + " value '" +
+                               argv[i] + "'");
+        return static_cast<int>(v);
+    };
+    auto stringArg = [&](int &i, const char *flag) {
+        if (++i >= argc)
+            usage(argv[0], std::string(flag) + " needs a value");
+        return std::string(argv[i]);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--bin") {
+            opt.bin = stringArg(i, "--bin");
+        } else if (arg == "--dir") {
+            opt.dir = stringArg(i, "--dir");
+        } else if (arg == "--workers") {
+            opt.workers = intArg(i, "--workers");
+        } else if (arg == "--granularity") {
+            opt.granularity = intArg(i, "--granularity");
+        } else if (arg == "--timeout-s") {
+            opt.timeoutSec = intArg(i, "--timeout-s");
+        } else if (arg == "--max-attempts") {
+            opt.retry.maxAttempts = intArg(i, "--max-attempts");
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--merged-out") {
+            opt.mergedOut = stringArg(i, "--merged-out");
+        } else if (arg == "--render") {
+            opt.render = true;
+        } else if (arg == "--inject-kill-slot") {
+            opt.injectKillSlot = intArg(i, "--inject-kill-slot");
+        } else if (arg == "--inject-stall-shard") {
+            opt.injectStallShard =
+                intArg(i, "--inject-stall-shard");
+        } else if (arg == "--stall-seconds") {
+            opt.stallSeconds = intArg(i, "--stall-seconds");
+        } else {
+            usage(argv[0], "unknown argument '" + arg + "'");
+        }
+    }
+    if (opt.bin.empty())
+        usage(argv[0], "--bin is required");
+    if (opt.dir.empty())
+        usage(argv[0], "--dir is required");
+    if (opt.workers <= 0)
+        usage(argv[0], "--workers must be positive");
+    if (opt.granularity <= 0)
+        usage(argv[0], "--granularity must be positive");
+    if (opt.timeoutSec < 0)
+        usage(argv[0], "--timeout-s must be >= 0");
+    if (opt.retry.maxAttempts <= 0)
+        usage(argv[0], "--max-attempts must be positive");
+
+    return regate::orch::runOrchestration(opt);
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tiny path helpers for the orchestration subsystem (whole-file IO
+ * itself lives in common/fsio.h, shared with the bench CLI).
+ */
+
+#ifndef REGATE_ORCH_FS_H
+#define REGATE_ORCH_FS_H
+
+#include <filesystem>
+#include <string>
+
+#include "common/error.h"
+#include "common/fsio.h"
+
+namespace regate {
+namespace orch {
+
+using ::regate::readFile;
+using ::regate::writeFile;
+
+inline bool
+fileExists(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+}
+
+inline void
+removeFileIfExists(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+}
+
+/** Atomic promotion of a validated attempt file to its final name. */
+inline void
+renameFile(const std::string &from, const std::string &to)
+{
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    REGATE_CHECK(!ec, "cannot rename ", from, " -> ", to, ": ",
+                 ec.message());
+}
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_FS_H

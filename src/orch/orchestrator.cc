@@ -1,0 +1,520 @@
+#include "orch/orchestrator.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "orch/fs.h"
+#include "orch/planner.h"
+#include "orch/process_pool.h"
+#include "orch/streaming_merge.h"
+#include "sim/serialize.h"
+
+namespace regate {
+namespace orch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", s);
+    return buf;
+}
+
+/**
+ * The worker's reported whole-file digest, from the handshake line
+ * in its captured log (bench/bench_util.h documents the protocol).
+ */
+std::string
+workerDoneDigest(const std::string &log)
+{
+    const std::string marker = "@regate-worker v1 done ";
+    const std::string key = "file_digest=";
+    auto line_start = log.rfind(marker);
+    REGATE_CHECK(line_start != std::string::npos,
+                 "worker exited 0 but its log has no handshake "
+                 "done line");
+    auto line_end = log.find('\n', line_start);
+    auto line = log.substr(line_start,
+                           line_end == std::string::npos
+                               ? std::string::npos
+                               : line_end - line_start);
+    auto key_at = line.find(key);
+    REGATE_CHECK(key_at != std::string::npos,
+                 "worker done line carries no file_digest");
+    auto digest = line.substr(key_at + key.size());
+    auto space = digest.find(' ');
+    if (space != std::string::npos)
+        digest.resize(space);
+    return digest;
+}
+
+class Orchestrator
+{
+  public:
+    explicit Orchestrator(const OrchOptions &options)
+        : opt_(options),
+          mergedOut_(options.mergedOut.empty()
+                         ? options.dir + "/merged.json"
+                         : options.mergedOut)
+    {}
+
+    int run();
+
+  private:
+    struct Slot
+    {
+        bool busy = false;
+        int shard = -1;
+        int attempt = 0;
+        pid_t pid = -1;
+        Clock::time_point started;
+        Clock::time_point deadline;
+        bool hasDeadline = false;
+        std::string attemptPath;
+        std::string logPath;
+    };
+
+    void
+    event(const std::string &line)
+    {
+        if (opt_.events)
+            *opt_.events << "orch: " << line << "\n" << std::flush;
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return opt_.dir + "/" + name;
+    }
+
+    std::size_t queryCaseCount();
+    OrchPlan loadOrCreatePlan(std::size_t cases);
+    std::vector<int> scanCheckpoints(StreamingMerger &merger);
+    void spawnShard(Slot &slot, int slot_id, int shard);
+    bool handleSuccess(Slot &slot, StreamingMerger &merger);
+    /** Returns false when the shard's attempts are exhausted. */
+    bool handleFailure(Slot &slot, int slot_id,
+                       const std::string &reason);
+    /**
+     * Settle a reaped attempt: clean exit -> validate and merge
+     * (an invalid artifact becomes a failed attempt); otherwise a
+     * failure with @p fail_reason (empty = describe the raw
+     * status). Returns false on terminal failure.
+     */
+    bool settleExit(Slot &slot, int slot_id, int raw_status,
+                    StreamingMerger &merger,
+                    const std::string &fail_reason = "");
+    int renderMerged();
+
+    OrchOptions opt_;
+    std::string mergedOut_;
+    OrchPlan plan_;
+    ProcessPool pool_;
+    ShardScheduler *scheduler_ = nullptr;
+    int attemptSerial_ = 0;
+    bool killInjected_ = false;
+    bool stallInjected_ = false;
+};
+
+std::size_t
+Orchestrator::queryCaseCount()
+{
+    REGATE_CHECK(::access(opt_.bin.c_str(), X_OK) == 0,
+                 opt_.bin, " is not an executable binary");
+    std::string out;
+    int code = ProcessPool::runCapture({opt_.bin, "--cases"}, out);
+    REGATE_CHECK(code == 0, opt_.bin, " --cases exited with code ",
+                 code);
+    // Strict parse: the query must print one bare case count
+    // (surrounding whitespace only). A binary without a sweep grid
+    // renders its figure instead, which fails here with a usable
+    // message — as does an absurd out-of-range count.
+    auto is_space = [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+    };
+    auto begin = std::find_if_not(out.begin(), out.end(), is_space);
+    auto end = std::find_if_not(out.rbegin(), out.rend(), is_space)
+                   .base();
+    std::string trimmed(begin, begin < end ? end : begin);
+    REGATE_CHECK(!trimmed.empty() &&
+                     trimmed.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 opt_.bin, " --cases did not report a case count — "
+                 "is it a grid-shaped figure/table binary?");
+    try {
+        return std::stoull(trimmed);
+    } catch (const std::out_of_range &) {
+        throw ConfigError(opt_.bin + " --cases reported '" +
+                          trimmed + "', which is not a usable "
+                          "case count");
+    }
+}
+
+OrchPlan
+Orchestrator::loadOrCreatePlan(std::size_t cases)
+{
+    auto plan_path = path(planFileName());
+    auto bin_name =
+        std::filesystem::path(opt_.bin).filename().string();
+    if (opt_.resume) {
+        REGATE_CHECK(fileExists(plan_path),
+                     "nothing to resume: no ", plan_path);
+        auto plan = planFromText(readFile(plan_path));
+        // Shard files are only index-aligned within one partition,
+        // so the recorded split is authoritative — and the target
+        // must be the same figure, not just one with an
+        // equally-sized grid (fig21 vs fig22 both have 25 cases;
+        // mixing their checkpoints would merge two figures with
+        // every digest still valid).
+        REGATE_CHECK(plan.bin == bin_name, "plan file records a ",
+                     plan.bin, " run but --bin names ", bin_name,
+                     " — resuming the wrong figure?");
+        REGATE_CHECK(plan.cases == cases, "plan file records ",
+                     plan.cases, " grid cases but ", opt_.bin,
+                     " reports ", cases,
+                     " — resuming with a different binary or grid?");
+        return plan;
+    }
+    REGATE_CHECK(!fileExists(plan_path), opt_.dir,
+                 " already contains ", planFileName(),
+                 "; pass --resume to continue that run, or use a "
+                 "clean run directory");
+    OrchPlan plan;
+    plan.bin = bin_name;
+    plan.cases = cases;
+    plan.shards =
+        planShardCount(cases, opt_.workers, opt_.granularity);
+    // Same atomic-promotion discipline as the shard checkpoints: a
+    // crash mid-write must not leave a truncated plan that wedges
+    // both fresh and --resume runs of this directory.
+    writeFile(plan_path + ".part", planToText(plan));
+    renameFile(plan_path + ".part", plan_path);
+    return plan;
+}
+
+std::vector<int>
+Orchestrator::scanCheckpoints(StreamingMerger &merger)
+{
+    std::vector<int> missing;
+    for (int shard = 0; shard < plan_.shards; ++shard) {
+        auto shard_path = path(shardFileName(shard));
+        if (!opt_.resume || !fileExists(shard_path)) {
+            missing.push_back(shard);
+            continue;
+        }
+        try {
+            merger.addShardFile(shard_path, shard, plan_.shards);
+            event("shard " + std::to_string(shard) +
+                  ": reused checkpoint");
+        } catch (const ConfigError &e) {
+            event("shard " + std::to_string(shard) +
+                  ": checkpoint invalid (" + e.what() +
+                  "); re-running");
+            removeFileIfExists(shard_path);
+            missing.push_back(shard);
+        }
+    }
+    return missing;
+}
+
+void
+Orchestrator::spawnShard(Slot &slot, int slot_id, int shard)
+{
+    int serial = ++attemptSerial_;
+    int attempt = scheduler_->attempts(shard);
+    slot.busy = true;
+    slot.shard = shard;
+    slot.attempt = attempt;
+    slot.attemptPath = path(attemptFileName(
+        shard, static_cast<long>(::getpid()), serial));
+    slot.logPath = slot.attemptPath + ".log";
+
+    int stall = opt_.stallSeconds > 0
+                    ? opt_.stallSeconds
+                    : (opt_.timeoutSec > 0
+                           ? static_cast<int>(opt_.timeoutSec) * 3 + 5
+                           : 30);
+    bool inject_kill =
+        slot_id == opt_.injectKillSlot && !killInjected_;
+    bool inject_stall =
+        shard == opt_.injectStallShard && !stallInjected_;
+    // Always set the stall hook explicitly — "0" for normal
+    // attempts — so a REGATE_TEST_STALL_S exported in the
+    // orchestrator's own environment (e.g. left over from
+    // reproducing a test) can never leak into every worker and
+    // stall a real run into terminal timeout failure.
+    std::vector<std::pair<std::string, std::string>> env = {
+        {"REGATE_TEST_STALL_S",
+         inject_kill || inject_stall ? std::to_string(stall) : "0"}};
+
+    std::string spec = std::to_string(shard) + "/" +
+                       std::to_string(plan_.shards);
+    slot.pid = pool_.spawn({opt_.bin, "--worker", "--shard", spec,
+                            "--out", slot.attemptPath},
+                           env, slot.logPath);
+    slot.started = Clock::now();
+    slot.hasDeadline = opt_.timeoutSec > 0;
+    if (slot.hasDeadline)
+        slot.deadline =
+            slot.started +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(opt_.timeoutSec));
+
+    std::string tag = "shard " + std::to_string(shard) +
+                      " attempt " + std::to_string(attempt);
+    event(tag + ": spawn slot=" + std::to_string(slot_id) +
+          " pid=" + std::to_string(slot.pid));
+    if (inject_kill) {
+        // The stall keeps the worker alive long enough for the kill
+        // to land, so this deterministically exercises the
+        // crashed-worker retry path.
+        killInjected_ = true;
+        // Each hook injects exactly one failure: if this spawn was
+        // also the stall target, the stall env went out with it —
+        // consume that injection too, or the shard's retry would
+        // stall again and one shard would absorb both failures.
+        if (inject_stall)
+            stallInjected_ = true;
+        pool_.kill(slot.pid);
+        event(tag + ": injected kill (slot " +
+              std::to_string(slot_id) + ")");
+    } else if (inject_stall) {
+        stallInjected_ = true;
+        event(tag + ": injected stall (" + std::to_string(stall) +
+              "s)");
+    }
+}
+
+bool
+Orchestrator::handleSuccess(Slot &slot, StreamingMerger &merger)
+{
+    // Validate the artifact end to end before it becomes a
+    // checkpoint: the worker's reported digest pins the bytes that
+    // landed on (possibly shared) storage, then the format's own
+    // digests and range checks run inside addShardFile.
+    auto content = readFile(slot.attemptPath);
+    auto reported = workerDoneDigest(readFile(slot.logPath));
+    auto on_disk = sim::contentDigest(content);
+    REGATE_CHECK(reported == on_disk, "worker reported file digest ",
+                 reported, " but ", on_disk,
+                 " landed on disk — truncated or concurrent write?");
+    merger.addShardContent(content, slot.attemptPath, slot.shard,
+                           plan_.shards);
+    // The merger now holds the shard's validated entries, so the
+    // attempt has succeeded no matter what happens to the files: a
+    // failed checkpoint promotion must not fail the attempt (a
+    // retry would hit "already merged"), it only costs a re-run on
+    // a later --resume.
+    try {
+        renameFile(slot.attemptPath, path(shardFileName(slot.shard)));
+        removeFileIfExists(slot.logPath);
+    } catch (const ConfigError &e) {
+        event("shard " + std::to_string(slot.shard) +
+              ": checkpoint promotion failed (" + e.what() +
+              "); merged in memory, but a --resume would re-run it");
+    }
+    scheduler_->onSuccess(slot.shard);
+    double took = std::chrono::duration<double>(Clock::now() -
+                                                slot.started)
+                      .count();
+    event("shard " + std::to_string(slot.shard) + " attempt " +
+          std::to_string(slot.attempt) + ": done (" +
+          fmtSeconds(took) + "s) [" +
+          std::to_string(merger.coveredCases()) + "/" +
+          std::to_string(plan_.cases) + " cases merged]");
+    return true;
+}
+
+bool
+Orchestrator::handleFailure(Slot &slot, int slot_id,
+                            const std::string &reason)
+{
+    removeFileIfExists(slot.attemptPath);
+    std::string tag = "shard " + std::to_string(slot.shard) +
+                      " attempt " + std::to_string(slot.attempt);
+    if (scheduler_->onFailure(slot.shard, slot_id)) {
+        event(tag + ": failed (" + reason +
+              "); retrying on another slot");
+        return true;
+    }
+    event(tag + ": failed (" + reason + ")");
+    event("fatal: shard " + std::to_string(slot.shard) +
+          " failed " + std::to_string(slot.attempt) +
+          " attempt(s); completed shard files remain in " +
+          opt_.dir + " for --resume (worker log: " + slot.logPath +
+          ")");
+    return false;
+}
+
+bool
+Orchestrator::settleExit(Slot &slot, int slot_id, int raw_status,
+                         StreamingMerger &merger,
+                         const std::string &fail_reason)
+{
+    if (ProcessPool::exitedCleanly(raw_status)) {
+        try {
+            handleSuccess(slot, merger);
+            return true;
+        } catch (const ConfigError &e) {
+            return handleFailure(slot, slot_id,
+                                 std::string("artifact invalid: ") +
+                                     e.what());
+        }
+    }
+    return handleFailure(slot, slot_id,
+                         fail_reason.empty()
+                             ? ProcessPool::describeStatus(raw_status)
+                             : fail_reason);
+}
+
+int
+Orchestrator::renderMerged()
+{
+    event("render: " + opt_.bin + " --from " + mergedOut_);
+    std::string out;
+    int code =
+        ProcessPool::runCapture({opt_.bin, "--from", mergedOut_},
+                                out);
+    std::cout.write(out.data(),
+                    static_cast<std::streamsize>(out.size()));
+    std::cout.flush();
+    if (code != 0)
+        event("render failed with code " + std::to_string(code));
+    return code;
+}
+
+int
+Orchestrator::run()
+{
+    std::filesystem::create_directories(opt_.dir);
+    auto cases = queryCaseCount();
+    plan_ = loadOrCreatePlan(cases);
+    event("plan cases=" + std::to_string(plan_.cases) +
+          " shards=" + std::to_string(plan_.shards) +
+          " workers=" + std::to_string(opt_.workers) +
+          (opt_.resume ? " (resume)" : ""));
+
+    StreamingMerger merger(plan_.cases);
+    auto missing = scanCheckpoints(merger);
+
+    if (!missing.empty()) {
+        ShardScheduler scheduler(missing, opt_.workers, opt_.retry);
+        scheduler_ = &scheduler;
+        std::vector<Slot> slots(
+            static_cast<std::size_t>(opt_.workers));
+
+        while (!scheduler.allDone()) {
+            for (std::size_t s = 0; s < slots.size(); ++s) {
+                if (slots[s].busy)
+                    continue;
+                int shard = scheduler.nextFor(static_cast<int>(s));
+                if (shard >= 0)
+                    spawnShard(slots[s], static_cast<int>(s), shard);
+            }
+
+            for (const auto &exit : pool_.poll()) {
+                auto it = std::find_if(
+                    slots.begin(), slots.end(), [&](const Slot &sl) {
+                        return sl.busy && sl.pid == exit.pid;
+                    });
+                REGATE_ASSERT(it != slots.end(),
+                              "reaped unknown pid ", exit.pid);
+                auto slot_id =
+                    static_cast<int>(it - slots.begin());
+                it->busy = false;
+                if (!settleExit(*it, slot_id, exit.rawStatus,
+                                merger))
+                    return 1;
+            }
+
+            auto now = Clock::now();
+            for (std::size_t s = 0; s < slots.size(); ++s) {
+                auto &slot = slots[s];
+                if (!slot.busy || !slot.hasDeadline ||
+                    now < slot.deadline)
+                    continue;
+                double took = std::chrono::duration<double>(
+                                  now - slot.started)
+                                  .count();
+                pool_.kill(slot.pid);
+                int raw = pool_.wait(slot.pid);
+                slot.busy = false;
+                std::string tag =
+                    "shard " + std::to_string(slot.shard) +
+                    " attempt " + std::to_string(slot.attempt);
+                if (ProcessPool::exitedCleanly(raw)) {
+                    // The worker finished in the gap between this
+                    // iteration's poll() and the deadline check —
+                    // the kill hit a zombie. Its artifact is done
+                    // and valid(atable); don't burn a retry on it.
+                    event(tag + ": finished at the deadline (" +
+                          fmtSeconds(took) + "s); accepting");
+                } else {
+                    event(tag + ": timeout after " +
+                          fmtSeconds(took) + "s; killed");
+                }
+                if (!settleExit(slot, static_cast<int>(s), raw,
+                                merger,
+                                "timeout after " + fmtSeconds(took) +
+                                    "s"))
+                    return 1;
+            }
+
+            if (!scheduler.allDone())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(15));
+        }
+        scheduler_ = nullptr;
+    }
+
+    auto doc = merger.mergedDocument();
+    // Atomic promotion, like the plan and the shard checkpoints: a
+    // crash mid-write must leave either a valid merged document or
+    // none at the final path.
+    writeFile(mergedOut_ + ".part", doc);
+    renameFile(mergedOut_ + ".part", mergedOut_);
+    event("merged " + std::to_string(plan_.cases) + " cases -> " +
+          mergedOut_ + " (file digest " + sim::contentDigest(doc) +
+          ")");
+
+    if (opt_.render)
+        return renderMerged();
+    return 0;
+}
+
+}  // namespace
+
+int
+runOrchestration(const OrchOptions &options)
+{
+    try {
+        return Orchestrator(options).run();
+    } catch (const ConfigError &e) {
+        std::cerr << "regate_orch: " << e.what() << "\n";
+        return 1;
+    } catch (const LogicError &e) {
+        std::cerr << "regate_orch: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        // E.g. std::filesystem_error from an unwritable run
+        // directory — still a clean one-line failure, not a
+        // terminate().
+        std::cerr << "regate_orch: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace orch
+}  // namespace regate

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The sweep orchestrator: one process that owns the whole
+ * split-run-merge lifecycle of a grid-shaped figure/table binary.
+ *
+ * Where the PR 3 workflow was launch-by-hand (a human picks
+ * `--shard i/N` per machine, babysits failures, runs
+ * tools/merge_shards.py at the end), the orchestrator
+ *
+ *  - queries the target's grid size (`BIN --cases`) and splits it
+ *    into more shards than worker slots (orch/planner.h), so
+ *    stragglers don't dominate the wall clock;
+ *  - drives a pool of `BIN --worker --shard i/M --out ...`
+ *    subprocesses with dynamic assignment, per-shard timeouts,
+ *    crash detection via exit status, and bounded retry with
+ *    reassignment to a different slot (orch/retry.h);
+ *  - validates every artifact as it lands — worker-reported
+ *    whole-file digest against the bytes on disk, then the format's
+ *    own entry/file digests — and streams it into the merger
+ *    (orch/streaming_merge.h); only validated files are promoted to
+ *    their checkpoint name, atomically;
+ *  - checkpoints: an interrupted run (even SIGKILL of the
+ *    orchestrator itself) resumes with --resume, reusing every
+ *    validated shard file on disk and re-running only the missing
+ *    ones;
+ *  - writes a merged document byte-identical to the unsharded
+ *    binary's `--shard 0/1` output, and optionally re-renders the
+ *    figure from it (`--render`), byte-identical to an unsharded
+ *    run.
+ *
+ * Failure injection (the `inject*` options) exists for the
+ * failure-path tests and the CI end-to-end job; it exercises the
+ * real kill/timeout/retry machinery, not a simulation of it.
+ */
+
+#ifndef REGATE_ORCH_ORCHESTRATOR_H
+#define REGATE_ORCH_ORCHESTRATOR_H
+
+#include <iosfwd>
+#include <string>
+
+#include "orch/retry.h"
+
+namespace regate {
+namespace orch {
+
+struct OrchOptions
+{
+    std::string bin;   ///< Grid-shaped figure/table binary.
+    std::string dir;   ///< Run directory (shards, plan, merged).
+    int workers = 4;
+    int granularity = 4;      ///< Shards per worker slot.
+    double timeoutSec = 600;  ///< Per-attempt; 0 disables.
+    RetryPolicy retry;
+    bool resume = false;
+    std::string mergedOut;  ///< Default: <dir>/merged.json.
+    bool render = false;    ///< Forward `BIN --from merged` stdout.
+
+    /// Test hooks: SIGKILL the first worker spawned on this slot.
+    int injectKillSlot = -1;
+    /// Test hooks: stall this shard's first attempt past the timeout.
+    int injectStallShard = -1;
+    /// Stall length for the hooks; 0 derives one from the timeout.
+    int stallSeconds = 0;
+
+    /// Event sink ("orch: ..." lines); null = silent.
+    std::ostream *events = nullptr;
+};
+
+/** Run one orchestration; returns a process exit code (0 = ok). */
+int runOrchestration(const OrchOptions &options);
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_ORCHESTRATOR_H

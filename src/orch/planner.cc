@@ -1,0 +1,121 @@
+#include "orch/planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace regate {
+namespace orch {
+
+int
+planShardCount(std::size_t cases, int workers, int granularity)
+{
+    REGATE_CHECK(workers > 0, "worker count must be positive, got ",
+                 workers);
+    REGATE_CHECK(granularity > 0,
+                 "granularity must be positive, got ", granularity);
+    auto want = static_cast<std::size_t>(workers) *
+                static_cast<std::size_t>(granularity);
+    return static_cast<int>(std::max<std::size_t>(
+        1, std::min(cases, want)));
+}
+
+std::string
+planToText(const OrchPlan &plan)
+{
+    std::ostringstream os;
+    os << "regate-orch-plan v1\n"
+       << "bin=" << plan.bin << "\n"
+       << "cases=" << plan.cases << "\n"
+       << "shards=" << plan.shards << "\n";
+    return os.str();
+}
+
+OrchPlan
+planFromText(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string header;
+    std::getline(is, header);
+    REGATE_CHECK(header == "regate-orch-plan v1",
+                 "not a regate orchestrator plan file (header \"",
+                 header, "\")");
+    OrchPlan plan;
+    bool have_bin = false, have_cases = false, have_shards = false;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        REGATE_CHECK(eq != std::string::npos,
+                     "malformed plan line \"", line, "\"");
+        auto key = line.substr(0, eq);
+        auto value = line.substr(eq + 1);
+        // Full-match numeric parse: "123garbage" is corruption,
+        // not the number 123.
+        auto parseNum = [&](auto parse) {
+            std::size_t used = 0;
+            auto v = parse(value, &used);
+            REGATE_CHECK(!value.empty() && used == value.size(),
+                         "malformed plan value \"", line, "\"");
+            return v;
+        };
+        try {
+            if (key == "bin") {
+                plan.bin = value;
+                have_bin = true;
+            } else if (key == "cases") {
+                plan.cases = parseNum([](const std::string &s,
+                                         std::size_t *used) {
+                    return std::stoull(s, used);
+                });
+                have_cases = true;
+            } else if (key == "shards") {
+                plan.shards = parseNum([](const std::string &s,
+                                          std::size_t *used) {
+                    return std::stoi(s, used);
+                });
+                have_shards = true;
+            } else {
+                throw ConfigError("unknown plan key \"" + key +
+                                  "\"");
+            }
+        } catch (const std::logic_error &) {
+            throw ConfigError("malformed plan value \"" + line +
+                              "\"");
+        }
+    }
+    REGATE_CHECK(have_bin && have_cases && have_shards,
+                 "plan file is missing bin=, cases=, or shards=");
+    REGATE_CHECK(plan.shards > 0, "plan shard count must be "
+                 "positive, got ", plan.shards);
+    return plan;
+}
+
+std::string
+planFileName()
+{
+    return "orch.plan";
+}
+
+std::string
+shardFileName(int index)
+{
+    return "shard_" + std::to_string(index) + ".json";
+}
+
+std::string
+attemptFileName(int index, long orch_pid, int serial)
+{
+    // ".part" suffix, not ".json": a stale attempt file (killed
+    // orchestrator, late orphan write) must never match the
+    // documented `shard_*.json` globs (merge_shards.py --check,
+    // the CI orch-e2e job) that operate on run directories.
+    return "shard_" + std::to_string(index) + "." +
+           std::to_string(orch_pid) + "." + std::to_string(serial) +
+           ".part";
+}
+
+}  // namespace orch
+}  // namespace regate

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shard planning for the sweep orchestrator.
+ *
+ * The orchestrator splits a grid into MORE shards than it has worker
+ * slots (the granularity factor), so work is assigned dynamically:
+ * a straggling shard ties up one slot while the remaining shards
+ * flow to the others, instead of one pre-assigned slice dominating
+ * the whole run's wall clock. Shard boundaries come from the same
+ * deterministic sim::shardRange planner the CLI `--shard i/N` flags
+ * use, so an orchestrated run and a hand-launched run partition the
+ * grid identically.
+ *
+ * The plan is persisted to a plan file in the run directory; a
+ * resumed run MUST reuse the recorded shard count (shard files are
+ * only index-aligned within one partition), so the plan file — not
+ * the resumed command line — is authoritative for the split.
+ */
+
+#ifndef REGATE_ORCH_PLANNER_H
+#define REGATE_ORCH_PLANNER_H
+
+#include <cstddef>
+#include <string>
+
+namespace regate {
+namespace orch {
+
+/** The persisted decisions of one orchestrated run. */
+struct OrchPlan
+{
+    std::size_t cases = 0;  ///< Total grid size of the target.
+    int shards = 1;         ///< How many ways the grid is split.
+
+    /**
+     * Base name of the target binary. Checked on resume so a run
+     * directory cannot be resumed with a *different* figure whose
+     * grid merely has the same case count (e.g. fig21 vs fig22,
+     * both 25 cases) — that would merge two figures' results into
+     * one document with every digest still valid.
+     */
+    std::string bin;
+};
+
+/**
+ * How many shards to split @p cases over for @p workers slots at
+ * @p granularity shards per slot. At least 1 (so an empty grid
+ * still produces one — empty — shard document), at most @p cases
+ * (a shard with no work is pure process overhead).
+ */
+int planShardCount(std::size_t cases, int workers, int granularity);
+
+/** Serialize a plan for the run directory (plain key=value lines). */
+std::string planToText(const OrchPlan &plan);
+
+/** Inverse of planToText; throws ConfigError on malformed input. */
+OrchPlan planFromText(const std::string &text);
+
+/** The plan file's name inside a run directory. */
+std::string planFileName();
+
+/** Final (validated, checkpointable) file name of shard @p index. */
+std::string shardFileName(int index);
+
+/**
+ * In-progress attempt file name. Tagged with the orchestrator's pid
+ * and a per-run attempt serial so an orphaned worker from a killed
+ * orchestrator can never collide with (or be mistaken for) a resumed
+ * run's attempt — only validated files are promoted to
+ * shardFileName via rename.
+ */
+std::string attemptFileName(int index, long orch_pid, int serial);
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_PLANNER_H

@@ -1,0 +1,178 @@
+#include "orch/process_pool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace regate {
+namespace orch {
+
+namespace {
+
+/** argv/env marshalling for execv (valid until the vectors move). */
+std::vector<char *>
+pointerVector(std::vector<std::string> &strings)
+{
+    std::vector<char *> ptrs;
+    ptrs.reserve(strings.size() + 1);
+    for (auto &s : strings)
+        ptrs.push_back(s.data());
+    ptrs.push_back(nullptr);
+    return ptrs;
+}
+
+}  // namespace
+
+ProcessPool::~ProcessPool()
+{
+    for (pid_t pid : live_)
+        ::kill(pid, SIGKILL);
+    for (pid_t pid : live_) {
+        int status = 0;
+        while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+    }
+}
+
+pid_t
+ProcessPool::spawn(
+    const std::vector<std::string> &argv,
+    const std::vector<std::pair<std::string, std::string>> &extra_env,
+    const std::string &log_path)
+{
+    REGATE_CHECK(!argv.empty(), "spawn needs a binary to run");
+    pid_t pid = fork();
+    REGATE_CHECK(pid >= 0, "fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        // Child. Only async-signal-safe calls until exec (the
+        // parent is single-threaded, so this is belt and braces).
+        int fd = open(log_path.c_str(),
+                      O_CREAT | O_WRONLY | O_APPEND, 0644);
+        if (fd < 0) {
+            // Never run the worker with the orchestrator's stdio:
+            // its output would pollute --render stdout and the
+            // handshake would be unreadable. Exit 126 makes this a
+            // clean failed attempt instead.
+            _exit(126);
+        }
+        dup2(fd, STDOUT_FILENO);
+        dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO)
+            close(fd);
+        for (const auto &[key, value] : extra_env)
+            setenv(key.c_str(), value.c_str(), 1);
+        auto args = argv;  // child-private copy for execv
+        auto ptrs = pointerVector(args);
+        execv(args[0].c_str(), ptrs.data());
+        _exit(127);
+    }
+    live_.insert(pid);
+    return pid;
+}
+
+std::vector<ProcessPool::Exit>
+ProcessPool::poll()
+{
+    std::vector<Exit> exits;
+    for (auto it = live_.begin(); it != live_.end();) {
+        int status = 0;
+        pid_t r = waitpid(*it, &status, WNOHANG);
+        if (r == *it) {
+            exits.push_back({*it, status});
+            it = live_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return exits;
+}
+
+int
+ProcessPool::wait(pid_t pid)
+{
+    REGATE_CHECK(live_.count(pid), "pid ", pid,
+                 " is not a live child of this pool");
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    live_.erase(pid);
+    return status;
+}
+
+void
+ProcessPool::kill(pid_t pid, int sig)
+{
+    if (live_.count(pid))
+        ::kill(pid, sig);
+}
+
+bool
+ProcessPool::exitedCleanly(int raw_status)
+{
+    return WIFEXITED(raw_status) && WEXITSTATUS(raw_status) == 0;
+}
+
+std::string
+ProcessPool::describeStatus(int raw_status)
+{
+    if (WIFEXITED(raw_status))
+        return "exit " + std::to_string(WEXITSTATUS(raw_status));
+    if (WIFSIGNALED(raw_status)) {
+        int sig = WTERMSIG(raw_status);
+        const char *name = strsignal(sig);
+        return "signal " + std::to_string(sig) + " (" +
+               (name ? name : "?") + ")";
+    }
+    return "status " + std::to_string(raw_status);
+}
+
+int
+ProcessPool::runCapture(const std::vector<std::string> &argv,
+                        std::string &out)
+{
+    REGATE_CHECK(!argv.empty(), "runCapture needs a binary to run");
+    int fds[2];
+    REGATE_CHECK(pipe(fds) == 0, "pipe failed: ",
+                 std::strerror(errno));
+    pid_t pid = fork();
+    REGATE_CHECK(pid >= 0, "fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        close(fds[0]);
+        dup2(fds[1], STDOUT_FILENO);
+        if (fds[1] > STDERR_FILENO)
+            close(fds[1]);
+        auto args = argv;
+        auto ptrs = pointerVector(args);
+        execv(args[0].c_str(), ptrs.data());
+        _exit(127);
+    }
+    close(fds[1]);
+    out.clear();
+    char buf[4096];
+    for (;;) {
+        ssize_t n = read(fds[0], buf, sizeof(buf));
+        if (n > 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            break;
+        } else if (errno != EINTR) {
+            break;
+        }
+    }
+    close(fds[0]);
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    return -1;
+}
+
+}  // namespace orch
+}  // namespace regate

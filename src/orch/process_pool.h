@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Worker subprocess management for the orchestrator: spawn a bench
+ * binary with its stdout+stderr redirected to a per-attempt log
+ * file (the worker handshake lines are read back from there), reap
+ * exits without blocking, and kill stragglers. POSIX only, like the
+ * rest of the sharded-sweep tooling.
+ */
+
+#ifndef REGATE_ORCH_PROCESS_POOL_H
+#define REGATE_ORCH_PROCESS_POOL_H
+
+#include <sys/types.h>
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace regate {
+namespace orch {
+
+class ProcessPool
+{
+  public:
+    struct Exit
+    {
+        pid_t pid = -1;
+        int rawStatus = 0;  ///< waitpid status, see describeStatus.
+    };
+
+    ~ProcessPool();  ///< SIGKILLs and reaps anything still running.
+
+    /**
+     * Fork+exec @p argv (argv[0] is the binary path; no shell) with
+     * @p extra_env appended to the environment and stdout+stderr
+     * appended to @p log_path. Throws ConfigError if the process
+     * cannot be created; a failed exec surfaces as exit 127.
+     */
+    pid_t spawn(
+        const std::vector<std::string> &argv,
+        const std::vector<std::pair<std::string, std::string>>
+            &extra_env,
+        const std::string &log_path);
+
+    /** Reap every child that has exited, without blocking. */
+    std::vector<Exit> poll();
+
+    /** Block until @p pid exits; returns its raw status. */
+    int wait(pid_t pid);
+
+    /** Send @p sig (default SIGKILL) to a live child. */
+    void kill(pid_t pid, int sig = 9);
+
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** Did the status come from exit(0)? */
+    static bool exitedCleanly(int raw_status);
+
+    /** "exit 3" / "signal 9 (killed)" — for event lines. */
+    static std::string describeStatus(int raw_status);
+
+    /**
+     * Run @p argv to completion with stdout captured into @p out
+     * (stderr passes through). Returns the exit code, or -1 when
+     * the child died from a signal. Used for the `--cases` planning
+     * query and the `--render` forwarding step.
+     */
+    static int runCapture(const std::vector<std::string> &argv,
+                          std::string &out);
+
+  private:
+    std::unordered_set<pid_t> live_;
+};
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_PROCESS_POOL_H

@@ -1,0 +1,83 @@
+#include "orch/retry.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace regate {
+namespace orch {
+
+ShardScheduler::ShardScheduler(std::vector<int> pending, int slots,
+                               RetryPolicy policy)
+    : pending_(pending.begin(), pending.end()),
+      total_(pending.size()), slots_(slots), policy_(policy)
+{
+    REGATE_CHECK(slots_ > 0, "scheduler needs at least one slot");
+    REGATE_CHECK(policy_.maxAttempts > 0,
+                 "retry policy must allow at least one attempt");
+    int max_id = -1;
+    for (int shard : pending) {
+        REGATE_CHECK(shard >= 0, "negative shard id ", shard);
+        max_id = std::max(max_id, shard);
+    }
+    states_.resize(static_cast<std::size_t>(max_id + 1));
+}
+
+const ShardScheduler::State &
+ShardScheduler::stateOf(int shard) const
+{
+    REGATE_CHECK(shard >= 0 &&
+                     static_cast<std::size_t>(shard) < states_.size(),
+                 "unknown shard id ", shard);
+    return states_[static_cast<std::size_t>(shard)];
+}
+
+ShardScheduler::State &
+ShardScheduler::stateOf(int shard)
+{
+    return const_cast<State &>(
+        static_cast<const ShardScheduler *>(this)->stateOf(shard));
+}
+
+int
+ShardScheduler::nextFor(int slot)
+{
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (slots_ > 1 && stateOf(*it).bannedSlot == slot)
+            continue;
+        int shard = *it;
+        pending_.erase(it);
+        ++stateOf(shard).attempts;
+        return shard;
+    }
+    return -1;
+}
+
+void
+ShardScheduler::onSuccess(int shard)
+{
+    (void)stateOf(shard);
+    ++done_;
+}
+
+bool
+ShardScheduler::onFailure(int shard, int slot)
+{
+    auto &state = stateOf(shard);
+    state.bannedSlot = slot;
+    if (state.attempts >= policy_.maxAttempts)
+        return false;
+    // Requeue at the back: fresh shards keep flowing while the
+    // retried one waits for a different slot to free up.
+    pending_.push_back(shard);
+    return true;
+}
+
+int
+ShardScheduler::attempts(int shard) const
+{
+    return stateOf(shard).attempts;
+}
+
+}  // namespace orch
+}  // namespace regate

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Retry policy and dynamic shard scheduling for the orchestrator.
+ *
+ * Pure bookkeeping, no processes: the orchestrator asks
+ * ShardScheduler which shard a freed worker slot should run next and
+ * reports every attempt's outcome back. The scheduler enforces the
+ * two fault-tolerance rules of the design:
+ *
+ *  - bounded retry: a shard gets at most RetryPolicy::maxAttempts
+ *    attempts; exhausting them is a terminal orchestration failure
+ *    (the shard files already completed stay on disk for --resume);
+ *  - reassignment: a retried shard is withheld from the slot whose
+ *    attempt just failed (when there is more than one slot), so a
+ *    shard that dies from slot-local causes — a sick machine in a
+ *    future multi-host pool, a worker wedged by its environment —
+ *    makes progress somewhere else instead of failing in place.
+ */
+
+#ifndef REGATE_ORCH_RETRY_H
+#define REGATE_ORCH_RETRY_H
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace regate {
+namespace orch {
+
+/** Bounded-retry knobs. */
+struct RetryPolicy
+{
+    int maxAttempts = 3;  ///< Attempts per shard before giving up.
+};
+
+class ShardScheduler
+{
+  public:
+    /**
+     * @param pending  shard ids still needing a successful run (a
+     *                 resumed run passes only the missing ones).
+     * @param slots    worker slot count (disables the banned-slot
+     *                 rule when 1 — there is nowhere else to go).
+     */
+    ShardScheduler(std::vector<int> pending, int slots,
+                   RetryPolicy policy);
+
+    /**
+     * Next shard for an idle @p slot, or -1 if nothing assignable
+     * right now (queue empty, or every pending shard is banned from
+     * this slot). The returned shard is marked in-flight.
+     */
+    int nextFor(int slot);
+
+    /** A successful, validated attempt. */
+    void onSuccess(int shard);
+
+    /**
+     * A failed attempt (crash, timeout, invalid artifact) on
+     * @p slot. Returns true when the shard was requeued, false when
+     * its attempts are exhausted (terminal failure).
+     */
+    bool onFailure(int shard, int slot);
+
+    /** Attempts started for @p shard so far. */
+    int attempts(int shard) const;
+
+    bool allDone() const { return done_ == total_; }
+    std::size_t completed() const { return done_; }
+
+  private:
+    struct State
+    {
+        int attempts = 0;
+        int bannedSlot = -1;  ///< Slot of the last failed attempt.
+    };
+
+    const State &stateOf(int shard) const;
+    State &stateOf(int shard);
+
+    std::deque<int> pending_;
+    std::vector<State> states_;  ///< Indexed by shard id.
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    int slots_ = 1;
+    RetryPolicy policy_;
+};
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_RETRY_H

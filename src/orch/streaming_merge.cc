@@ -1,0 +1,76 @@
+#include "orch/streaming_merge.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "orch/fs.h"
+#include "sim/sweep.h"
+
+namespace regate {
+namespace orch {
+
+void
+StreamingMerger::addShardFile(const std::string &path,
+                              int shard_index, int shard_count)
+{
+    addShardContent(readFile(path), path, shard_index, shard_count);
+}
+
+void
+StreamingMerger::addShardContent(const std::string &content,
+                                 const std::string &path,
+                                 int shard_index, int shard_count)
+{
+    // parseShard verifies the format version and both digest layers.
+    auto doc = sim::parseShard(content);
+    REGATE_CHECK(doc.cases == cases_, path, ": shard is for ",
+                 doc.cases, " grid cases, this run has ", cases_);
+    REGATE_CHECK(doc.shardIndex == shard_index &&
+                     doc.shardCount == shard_count,
+                 path, ": document says shard ", doc.shardIndex, "/",
+                 doc.shardCount, ", expected ", shard_index, "/",
+                 shard_count);
+    REGATE_CHECK(!haveKind_ || doc.kind == kind_, path,
+                 ": shard kind differs from previously merged "
+                 "shards");
+
+    auto range = sim::shardRange(cases_, shard_index, shard_count);
+    std::size_t count = doc.kind == sim::ShardKind::Run
+                            ? doc.runs.size()
+                            : doc.searches.size();
+    REGATE_CHECK(count == range.size(), path, ": ", count,
+                 " entries do not cover the planned range [",
+                 range.begin, ", ", range.end, ")");
+
+    // parseShard already built the canonical entry texts for its
+    // digest verification; validate the whole batch before touching
+    // the map so a failure leaves the merger untouched.
+    std::size_t expect = range.begin;
+    for (const auto &[index, json] : doc.entryTexts) {
+        (void)json;
+        REGATE_CHECK(index == expect, path, ": entry carries grid "
+                     "index ", index, ", expected ", expect);
+        REGATE_CHECK(!entries_.count(index), path, ": grid index ",
+                     index, " was already merged (shard absorbed "
+                     "twice?)");
+        ++expect;
+    }
+
+    for (auto &[index, json] : doc.entryTexts)
+        entries_.emplace(index, std::move(json));
+    kind_ = doc.kind;
+    haveKind_ = true;
+}
+
+std::string
+StreamingMerger::mergedDocument() const
+{
+    REGATE_CHECK(complete(), "merged document requested with only ",
+                 coveredCases(), " of ", cases_, " cases merged");
+    std::vector<std::pair<std::size_t, std::string>> ordered(
+        entries_.begin(), entries_.end());
+    return sim::assembleShardDoc(kind_, cases_, 0, 1, ordered);
+}
+
+}  // namespace orch
+}  // namespace regate

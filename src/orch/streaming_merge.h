@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Streaming shard merger: absorbs shard JSON files one at a time —
+ * as workers land them, or from disk when resuming — and assembles
+ * the final merged document once coverage is complete.
+ *
+ * Every file is fully validated on absorption (parse, both content
+ * digests, header/range agreement with the orchestrator's plan), so
+ * a corrupt or stale checkpoint is detected the moment it is read,
+ * not at render time. The merged document is assembled through
+ * sim::assembleShardDoc from the same canonical entry texts the
+ * workers wrote, so it is byte-identical to the single-shard
+ * (`--shard 0/1`) document of an unsharded run — the orchestrated
+ * path inherits the PR 3 serialize invariants wholesale, and the
+ * golden harness stays the correctness oracle.
+ */
+
+#ifndef REGATE_ORCH_STREAMING_MERGE_H
+#define REGATE_ORCH_STREAMING_MERGE_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/serialize.h"
+
+namespace regate {
+namespace orch {
+
+class StreamingMerger
+{
+  public:
+    /** @param cases total grid size every shard must agree on. */
+    explicit StreamingMerger(std::size_t cases) : cases_(cases) {}
+
+    /**
+     * Read, validate, and absorb one shard file. The document must
+     * be shard @p shard_index of @p shard_count over exactly
+     * `cases` cases, carry valid digests, and cover its planned
+     * index range exactly. Throws ConfigError on any violation
+     * (including a shard absorbed twice); on throw the merger is
+     * unchanged.
+     */
+    void addShardFile(const std::string &path, int shard_index,
+                      int shard_count);
+
+    /**
+     * Same validation and absorption on already-read bytes
+     * (@p path is for error messages only). The orchestrator uses
+     * this so the bytes it digest-checked against the worker's
+     * handshake are the exact bytes merged — no second read that
+     * could observe a different file state on shared storage.
+     */
+    void addShardContent(const std::string &content,
+                         const std::string &path, int shard_index,
+                         int shard_count);
+
+    bool complete() const { return coveredCases() == cases_; }
+    std::size_t coveredCases() const { return entries_.size(); }
+
+    /**
+     * The merged document (byte-identical to the unsharded
+     * binary's `--shard 0/1` output). Requires complete().
+     */
+    std::string mergedDocument() const;
+
+  private:
+    std::size_t cases_;
+    bool haveKind_ = false;
+    sim::ShardKind kind_ = sim::ShardKind::Run;
+    /** grid index -> canonical result JSON. */
+    std::map<std::size_t, std::string> entries_;
+};
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_STREAMING_MERGE_H

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "sim/sweep.h"
 
 namespace regate {
@@ -857,7 +858,7 @@ readSloResult(const JsonValue &v)
 }
 
 /** The shard-file format version this writer/reader implements. */
-constexpr int kShardFormatVersion = 1;
+constexpr int kShardFormatVersion = 2;
 
 std::string
 kindName(ShardKind kind)
@@ -866,46 +867,40 @@ kindName(ShardKind kind)
 }
 
 /**
- * Shared shard-document scaffolding: header on the first line, then
- * one entry per line (see the file comment in serialize.h — the
- * merge tool depends on this layout), then the closing bracket line.
+ * One canonical entry line (no separator comma, no newline).
+ * @p digest must be contentDigest(result_json) — passed in so
+ * callers that already computed it don't hash the payload twice.
  */
+std::string
+entryLine(std::size_t index, const std::string &result_json,
+          const std::string &digest)
+{
+    std::string line;
+    line += "{\"index\":";
+    appendU64(line, index);
+    line += ",\"digest\":\"";
+    line += digest;
+    line += "\",\"result\":";
+    line += result_json;
+    line += '}';
+    return line;
+}
+
 template <typename T, typename AppendFn>
 std::string
 writeShardImpl(ShardKind kind, const std::vector<T> &results,
                std::size_t first_index, std::size_t cases,
                int shard_index, int shard_count, AppendFn &&append)
 {
-    auto range = shardRange(cases, shard_index, shard_count);
-    REGATE_CHECK(first_index == range.begin &&
-                     results.size() == range.size(),
-                 "shard payload does not match its planned range: "
-                 "got [", first_index, ", ",
-                 first_index + results.size(), "), planned [",
-                 range.begin, ", ", range.end, ")");
-
-    std::string out;
-    out += "{\"regate_shard\":";
-    appendI64(out, kShardFormatVersion);
-    out += ",\"kind\":\"";
-    out += kindName(kind);
-    out += "\",\"cases\":";
-    appendU64(out, cases);
-    out += ",\"shard\":{\"index\":";
-    appendI64(out, shard_index);
-    out += ",\"count\":";
-    appendI64(out, shard_count);
-    out += "},\"entries\":[";
+    std::vector<std::pair<std::size_t, std::string>> entries;
+    entries.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
-        out += i == 0 ? "\n" : ",\n";
-        out += "{\"index\":";
-        appendU64(out, first_index + i);
-        out += ",\"result\":";
-        append(out, results[i]);
-        out += '}';
+        std::string json;
+        append(json, results[i]);
+        entries.emplace_back(first_index + i, std::move(json));
     }
-    out += "\n]}\n";
-    return out;
+    return assembleShardDoc(kind, cases, shard_index, shard_count,
+                            entries);
 }
 
 template <typename T>
@@ -995,12 +990,65 @@ writeSearchShard(const std::vector<SloResult> &results,
                           appendSloResult);
 }
 
+std::string
+contentDigest(const std::string &bytes)
+{
+    return hexDigest64(fnv1a64(bytes.data(), bytes.size()));
+}
+
+std::string
+assembleShardDoc(
+    ShardKind kind, std::size_t cases, int shard_index,
+    int shard_count,
+    const std::vector<std::pair<std::size_t, std::string>> &entries)
+{
+    auto range = shardRange(cases, shard_index, shard_count);
+    REGATE_CHECK(entries.size() == range.size(),
+                 "shard payload does not match its planned range: ",
+                 entries.size(), " entries, planned [", range.begin,
+                 ", ", range.end, ")");
+
+    std::string out;
+    out += "{\"regate_shard\":";
+    appendI64(out, kShardFormatVersion);
+    out += ",\"kind\":\"";
+    out += kindName(kind);
+    out += "\",\"cases\":";
+    appendU64(out, cases);
+    out += ",\"shard\":{\"index\":";
+    appendI64(out, shard_index);
+    out += ",\"count\":";
+    appendI64(out, shard_count);
+    out += "},\"entries\":[";
+    std::uint64_t file_digest = fnv1a64(nullptr, 0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        REGATE_CHECK(entries[i].first == range.begin + i,
+                     "entry ", i, " carries grid index ",
+                     entries[i].first, ", expected ",
+                     range.begin + i);
+        auto line = entryLine(entries[i].first, entries[i].second,
+                              contentDigest(entries[i].second));
+        out += i == 0 ? "\n" : ",\n";
+        out += line;
+        line += '\n';
+        file_digest =
+            fnv1a64Extend(file_digest, line.data(), line.size());
+    }
+    out += "\n],\"file_digest\":\"";
+    out += hexDigest64(file_digest);
+    out += "\"}\n";
+    return out;
+}
+
 ShardDoc
 parseShard(const std::string &text)
 {
     auto v = JsonParser(text).parse();
-    REGATE_CHECK(v.at("regate_shard").asInt() == kShardFormatVersion,
-                 "unsupported shard format version");
+    int version = v.at("regate_shard").asInt();
+    REGATE_CHECK(version == kShardFormatVersion,
+                 "unsupported shard format version ", version,
+                 " (this build reads version ", kShardFormatVersion,
+                 "); regenerate every shard with one binary build");
     ShardDoc doc;
     const auto &kind = v.at("kind").asString();
     if (kind == "run")
@@ -1015,15 +1063,41 @@ parseShard(const std::string &text)
     const auto &entries = v.at("entries");
     REGATE_CHECK(entries.type == JsonValue::Type::Array,
                  "expected entries array");
+    // Verify both digest layers while reading: each entry's stored
+    // digest against the canonical reserialization of its parsed
+    // result (bit-exact round trip makes that the original bytes),
+    // and the footer digest against the reassembled entry lines.
+    std::uint64_t file_digest = fnv1a64(nullptr, 0);
     for (const auto &entry : entries.items) {
         std::size_t index = entry.at("index").asU64();
-        if (doc.kind == ShardKind::Run)
-            doc.runs.emplace_back(index,
-                                  readReport(entry.at("result")));
-        else
-            doc.searches.emplace_back(
-                index, readSloResult(entry.at("result")));
+        const auto &stored = entry.at("digest").asString();
+        std::string json;
+        if (doc.kind == ShardKind::Run) {
+            auto rep = readReport(entry.at("result"));
+            appendReport(json, rep);
+            doc.runs.emplace_back(index, std::move(rep));
+        } else {
+            auto res = readSloResult(entry.at("result"));
+            appendSloResult(json, res);
+            doc.searches.emplace_back(index, std::move(res));
+        }
+        auto computed = contentDigest(json);
+        REGATE_CHECK(stored == computed,
+                     "entry for grid index ", index,
+                     ": content digest mismatch (stored ", stored,
+                     ", computed ", computed,
+                     ") — corrupted shard file?");
+        auto line = entryLine(index, json, computed);
+        line += '\n';
+        file_digest =
+            fnv1a64Extend(file_digest, line.data(), line.size());
+        doc.entryTexts.emplace_back(index, std::move(json));
     }
+    const auto &stored_file = v.at("file_digest").asString();
+    REGATE_CHECK(stored_file == hexDigest64(file_digest),
+                 "whole-file digest mismatch (stored ", stored_file,
+                 ", computed ", hexDigest64(file_digest),
+                 ") — entries dropped, duplicated, or reordered?");
     return doc;
 }
 

@@ -30,6 +30,22 @@
  * warmth — the same grid point simulated under different shard
  * partitions reports different counters — so the writer normalizes
  * them to zero. Everything a figure renders is exact.
+ *
+ * Format version 2 adds content digests so silent artifact
+ * corruption in multi-machine runs fails loudly instead of merging
+ * wrong numbers:
+ *
+ *  - every entry line carries "digest": the 64-bit FNV-1a (hex16,
+ *    common/hash.h) of the entry's canonical result JSON;
+ *  - the document footer carries "file_digest": FNV-1a over the
+ *    concatenation of every entry line plus a trailing '\n' each, in
+ *    document order — so dropped, duplicated, or reordered entry
+ *    lines are caught even when each line is individually intact.
+ *
+ * Both digests are verified by parseShard on every read (and by
+ * tools/merge_shards.py, which implements the same FNV-1a);
+ * a mismatch throws ConfigError naming the grid index. Version 1
+ * files (no digests) are rejected with a version error.
  */
 
 #ifndef REGATE_SIM_SERIALIZE_H
@@ -70,6 +86,15 @@ struct ShardDoc
     /** (global grid index, result); exactly one list is non-empty. */
     std::vector<std::pair<std::size_t, WorkloadReport>> runs;
     std::vector<std::pair<std::size_t, SloResult>> searches;
+
+    /**
+     * (global grid index, canonical result JSON), aligned with the
+     * non-empty list above. parseShard builds these texts anyway to
+     * verify the digests; keeping them lets the orchestrator's
+     * streaming merger reuse them instead of re-serializing every
+     * result.
+     */
+    std::vector<std::pair<std::size_t, std::string>> entryTexts;
 };
 
 /**
@@ -86,8 +111,35 @@ std::string writeSearchShard(const std::vector<SloResult> &results,
                              std::size_t cases, int shard_index,
                              int shard_count);
 
-/** Parse a shard document; throws ConfigError on malformed input. */
+/**
+ * Parse a shard document, verifying both content digests (see the
+ * file comment); throws ConfigError on malformed input, a format
+ * version other than the current one, or a digest mismatch.
+ */
 ShardDoc parseShard(const std::string &text);
+
+/**
+ * hex16 FNV-1a content digest of a byte string — the digest function
+ * of the shard format (entry digests are contentDigest of the
+ * canonical result JSON). Exposed so the orchestrator can cross-check
+ * artifacts end to end (e.g. a worker's reported whole-file digest
+ * against the bytes that actually landed on shared storage).
+ */
+std::string contentDigest(const std::string &bytes);
+
+/**
+ * Assemble a shard document from pre-serialized canonical entry
+ * texts ((global grid index, toJson(result)) pairs, in index order).
+ * This is the one definition of the document scaffolding: the
+ * write*Shard functions and the orchestrator's streaming merger both
+ * delegate here, so a merged document is byte-identical to the
+ * single-shard document the binary itself would write. The entries
+ * must exactly cover shardRange(cases, shard_index, shard_count).
+ */
+std::string assembleShardDoc(
+    ShardKind kind, std::size_t cases, int shard_index,
+    int shard_count,
+    const std::vector<std::pair<std::size_t, std::string>> &entries);
 
 /**
  * Reassemble the index-aligned result vector from shard documents

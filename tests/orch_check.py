@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""End-to-end check of the sweep orchestrator (registered as a ctest).
+
+Exercises regate_orch's failure machinery against real worker
+binaries — the scenarios the ISSUE acceptance criteria pin:
+
+1. fig02 (the SLO-search path) with 4 workers, one injected worker
+   kill (SIGKILL on a live worker) AND one injected straggler that
+   stalls past the per-shard timeout: both must be retried on a
+   different slot, and the orchestrated `--render` output must be
+   byte-identical to an unsharded run — as must the merged document
+   vs the binary's own `--shard 0/1` document.
+
+2. fig21 (the plain run path): the orchestrator itself is SIGKILLed
+   mid-run (a deliberately stalled shard holds one slot while the
+   other slot lands checkpoints), then `--resume` must reuse every
+   validated shard file on disk, re-run only the missing shards, and
+   still render byte-identically.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def run(cmd, **kwargs):
+    proc = subprocess.run(cmd, capture_output=True, **kwargs)
+    if proc.returncode != 0:
+        sys.exit(f"command failed ({proc.returncode}): "
+                 f"{' '.join(map(str, cmd))}\n"
+                 f"{proc.stderr.decode(errors='replace')}")
+    return proc
+
+
+def require(cond, message):
+    if not cond:
+        sys.exit(f"FAIL: {message}")
+
+
+def check_injected_failures(orch, binary, tmp):
+    """Scenario 1: worker kill + straggler timeout, byte-identical."""
+    reference = run([binary]).stdout
+    single = tmp / "fig02_single.json"
+    run([binary, "--shard", "0/1", "--out", str(single)])
+
+    rundir = tmp / "fig02_run"
+    proc = run([orch, "--bin", str(binary), "--dir", str(rundir),
+                "--workers", "4", "--granularity", "2",
+                "--timeout-s", "30", "--max-attempts", "3",
+                "--inject-kill-slot", "1",
+                "--inject-stall-shard", "2",
+                "--stall-seconds", "120",
+                "--render"])
+    events = proc.stderr.decode(errors="replace")
+
+    require(proc.stdout == reference,
+            "fig02: orchestrated render differs from unsharded run")
+    require((rundir / "merged.json").read_bytes()
+            == single.read_bytes(),
+            "fig02: merged document differs from --shard 0/1")
+    require("injected kill" in events and "signal 9" in events,
+            f"fig02: no injected worker kill in events:\n{events}")
+    require("timeout after" in events,
+            f"fig02: no straggler timeout in events:\n{events}")
+    require(events.count("retrying on another slot") >= 2,
+            f"fig02: kill+timeout were not both retried:\n{events}")
+    print("orch fig02: worker kill + straggler timeout retried; "
+          "render and merged document byte-identical")
+
+
+def check_resume(orch, binary, tmp):
+    """Scenario 2: orchestrator killed mid-run, then resumed."""
+    reference = run([binary]).stdout
+    rundir = tmp / "fig21_run"
+    shards = 4  # workers * granularity below
+
+    # Shard 0's worker stalls for minutes, pinning slot 0, while
+    # slot 1 lands the other shards as checkpoints. The orchestrator
+    # runs in its own session so SIGKILLing its process group also
+    # reaps the deliberately stalled worker it orphans.
+    with open(tmp / "first_run.log", "wb") as log:
+        orch_proc = subprocess.Popen(
+            [orch, "--bin", str(binary), "--dir", str(rundir),
+             "--workers", "2", "--granularity", "2",
+             "--timeout-s", "600",
+             "--inject-stall-shard", "0",
+             "--stall-seconds", "120"],
+            stdout=log, stderr=log, start_new_session=True)
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            landed = [i for i in range(shards)
+                      if (rundir / f"shard_{i}.json").exists()]
+            if len(landed) >= 2:
+                break
+            if orch_proc.poll() is not None:
+                sys.exit("fig21: orchestrator exited before any "
+                         "checkpoint landed")
+            time.sleep(0.05)
+        else:
+            sys.exit("fig21: no checkpoints landed within 120s")
+        os.killpg(orch_proc.pid, signal.SIGKILL)
+        orch_proc.wait()
+
+    landed = sorted(i for i in range(shards)
+                    if (rundir / f"shard_{i}.json").exists())
+    require(0 < len(landed) < shards,
+            f"fig21: want a partial run to resume, have shards "
+            f"{landed} of {shards}")
+
+    proc = run([orch, "--bin", str(binary), "--dir", str(rundir),
+                "--resume", "--workers", "2", "--timeout-s", "120"])
+    events = proc.stderr.decode(errors="replace")
+
+    reused = events.count("reused checkpoint")
+    spawned = events.count(": spawn ")
+    require(reused == len(landed),
+            f"fig21 resume: reused {reused} checkpoints, expected "
+            f"{len(landed)}:\n{events}")
+    require(spawned == shards - len(landed),
+            f"fig21 resume: spawned {spawned} workers, expected "
+            f"only the {shards - len(landed)} missing shard(s):\n"
+            f"{events}")
+
+    rendered = run([binary, "--from",
+                    str(rundir / "merged.json")]).stdout
+    require(rendered == reference,
+            "fig21: resumed render differs from unsharded run")
+    print(f"orch fig21: resume reused {reused} checkpoint(s), "
+          f"re-ran only {spawned} missing shard(s); render "
+          "byte-identical")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--orch", required=True,
+                    help="path to the regate_orch binary")
+    ap.add_argument("--bin-dir", required=True,
+                    help="directory holding the figure binaries")
+    args = ap.parse_args()
+
+    bin_dir = Path(args.bin_dir)
+    fig02 = bin_dir / "fig02_energy_efficiency"
+    fig21 = bin_dir / "fig21_sens_leakage"
+    for binary in (Path(args.orch), fig02, fig21):
+        if not binary.exists():
+            sys.exit(f"missing binary {binary}")
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        check_injected_failures(args.orch, fig02, tmp)
+        check_resume(args.orch, fig21, tmp)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

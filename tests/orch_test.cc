@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the orchestration subsystem's pure logic: the shard
+ * planner and plan-file round trip, the retry scheduler's dynamic
+ * assignment / banned-slot / bounded-retry rules, and the streaming
+ * merger's validate-then-absorb behavior, including byte-identity of
+ * its merged document with the single-shard document. The
+ * process-driving half (spawn, kill, timeout, resume) is covered end
+ * to end by tests/orch_check.py against real worker binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "orch/fs.h"
+#include "orch/planner.h"
+#include "orch/retry.h"
+#include "orch/streaming_merge.h"
+#include "sim/serialize.h"
+#include "sim/sweep.h"
+
+namespace regate {
+namespace orch {
+namespace {
+
+TEST(Planner, ShardCountScalesWithWorkersAndGranularity)
+{
+    EXPECT_EQ(planShardCount(100, 4, 4), 16);
+    EXPECT_EQ(planShardCount(100, 2, 3), 6);
+    // Never more shards than cases: an empty shard is overhead.
+    EXPECT_EQ(planShardCount(5, 4, 4), 5);
+    EXPECT_EQ(planShardCount(1, 8, 8), 1);
+    // And never fewer than one, even for an empty grid.
+    EXPECT_EQ(planShardCount(0, 4, 4), 1);
+}
+
+TEST(Planner, RejectsBadKnobs)
+{
+    EXPECT_THROW(planShardCount(10, 0, 4), ConfigError);
+    EXPECT_THROW(planShardCount(10, 4, 0), ConfigError);
+    EXPECT_THROW(planShardCount(10, -1, 4), ConfigError);
+}
+
+TEST(Planner, PlanFileRoundTrips)
+{
+    OrchPlan plan;
+    plan.bin = "fig21_sens_leakage";
+    plan.cases = 123;
+    plan.shards = 16;
+    auto back = planFromText(planToText(plan));
+    EXPECT_EQ(back.bin, plan.bin);
+    EXPECT_EQ(back.cases, plan.cases);
+    EXPECT_EQ(back.shards, plan.shards);
+}
+
+TEST(Planner, PlanFileRejectsGarbage)
+{
+    const std::string header = "regate-orch-plan v1\nbin=f\n";
+    EXPECT_THROW(planFromText(""), ConfigError);
+    EXPECT_THROW(planFromText("not a plan\ncases=1\nshards=1\n"),
+                 ConfigError);
+    // Missing bin=, cases=, or shards=.
+    EXPECT_THROW(
+        planFromText("regate-orch-plan v1\ncases=1\nshards=1\n"),
+        ConfigError);
+    EXPECT_THROW(planFromText(header + "cases=1\n"), ConfigError);
+    EXPECT_THROW(planFromText(header + "cases=x\nshards=1\n"),
+                 ConfigError);
+    // Trailing garbage after a digit prefix is corruption too.
+    EXPECT_THROW(planFromText(header + "cases=12x\nshards=1\n"),
+                 ConfigError);
+    EXPECT_THROW(planFromText(header + "cases=1\nshards=4.9\n"),
+                 ConfigError);
+    EXPECT_THROW(planFromText(header + "cases=1\nshards=0\n"),
+                 ConfigError);
+    EXPECT_THROW(planFromText(header + "cases=1\nshards=1\nw=2\n"),
+                 ConfigError);
+}
+
+TEST(Scheduler, DrainsEveryShardOnce)
+{
+    ShardScheduler sched({0, 1, 2, 3, 4}, 2, RetryPolicy{});
+    std::vector<int> order;
+    while (!sched.allDone()) {
+        int shard = sched.nextFor(static_cast<int>(order.size()) % 2);
+        ASSERT_GE(shard, 0);
+        order.push_back(shard);
+        sched.onSuccess(shard);
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(sched.completed(), 5u);
+}
+
+TEST(Scheduler, FailedShardIsWithheldFromItsSlot)
+{
+    ShardScheduler sched({7}, 2, RetryPolicy{});
+    EXPECT_EQ(sched.nextFor(0), 7);
+    EXPECT_TRUE(sched.onFailure(7, 0));
+    // The failing slot cannot take the retry while another slot
+    // exists; the other slot can.
+    EXPECT_EQ(sched.nextFor(0), -1);
+    EXPECT_EQ(sched.nextFor(1), 7);
+    sched.onSuccess(7);
+    EXPECT_TRUE(sched.allDone());
+}
+
+TEST(Scheduler, BanSkipsToAnotherPendingShard)
+{
+    ShardScheduler sched({3, 8}, 2, RetryPolicy{});
+    EXPECT_EQ(sched.nextFor(0), 3);
+    EXPECT_TRUE(sched.onFailure(3, 0));
+    // Slot 0 skips the shard it just failed and picks up fresh work.
+    EXPECT_EQ(sched.nextFor(0), 8);
+    EXPECT_EQ(sched.nextFor(1), 3);
+}
+
+TEST(Scheduler, SingleSlotRetriesInPlace)
+{
+    ShardScheduler sched({0}, 1, RetryPolicy{});
+    EXPECT_EQ(sched.nextFor(0), 0);
+    EXPECT_TRUE(sched.onFailure(0, 0));
+    // Only one slot exists — the ban would deadlock, so it is off.
+    EXPECT_EQ(sched.nextFor(0), 0);
+}
+
+TEST(Scheduler, BoundedRetryExhausts)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 2;
+    ShardScheduler sched({0}, 2, policy);
+    EXPECT_EQ(sched.nextFor(0), 0);
+    EXPECT_EQ(sched.attempts(0), 1);
+    EXPECT_TRUE(sched.onFailure(0, 0));
+    EXPECT_EQ(sched.nextFor(1), 0);
+    EXPECT_EQ(sched.attempts(0), 2);
+    EXPECT_FALSE(sched.onFailure(0, 1));
+    EXPECT_FALSE(sched.allDone());
+}
+
+/** Fixture with a per-test scratch directory and a tiny real grid. */
+class StreamingMergerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::path(::testing::TempDir()) /
+               ("orch_merge_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::create_directories(dir_);
+        grid_ = sim::makeGrid({models::Workload::Prefill8B,
+                               models::Workload::DlrmS},
+                              {arch::NpuGeneration::B,
+                               arch::NpuGeneration::D});
+        results_ = sim::SweepRunner::runSerial(grid_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string
+    writeShardFile(int index, int count)
+    {
+        auto range = sim::shardRange(grid_.size(), index, count);
+        std::vector<sim::WorkloadReport> slice(
+            results_.begin() +
+                static_cast<std::ptrdiff_t>(range.begin),
+            results_.begin() +
+                static_cast<std::ptrdiff_t>(range.end));
+        auto path = (dir_ / shardFileName(index)).string();
+        writeFile(path,
+                  sim::writeRunShard(slice, range.begin,
+                                     grid_.size(), index, count));
+        return path;
+    }
+
+    std::filesystem::path dir_;
+    std::vector<sim::SweepCase> grid_;
+    std::vector<sim::WorkloadReport> results_;
+};
+
+TEST_F(StreamingMergerTest, MergedDocumentEqualsSingleShardDocument)
+{
+    StreamingMerger merger(grid_.size());
+    EXPECT_FALSE(merger.complete());
+    // Absorb out of order, as shards land in a real run.
+    merger.addShardFile(writeShardFile(1, 3), 1, 3);
+    merger.addShardFile(writeShardFile(2, 3), 2, 3);
+    EXPECT_FALSE(merger.complete());
+    merger.addShardFile(writeShardFile(0, 3), 0, 3);
+    ASSERT_TRUE(merger.complete());
+    EXPECT_EQ(merger.mergedDocument(),
+              sim::writeRunShard(results_, 0, grid_.size(), 0, 1));
+}
+
+TEST_F(StreamingMergerTest, IncompleteMergeRefusesToAssemble)
+{
+    StreamingMerger merger(grid_.size());
+    merger.addShardFile(writeShardFile(0, 2), 0, 2);
+    EXPECT_THROW(merger.mergedDocument(), ConfigError);
+}
+
+TEST_F(StreamingMergerTest, RejectsCorruptedShardFile)
+{
+    auto path = writeShardFile(0, 2);
+    // Flip one digit of a serialized counter; the entry digest
+    // must catch it.
+    auto text = readFile(path);
+    auto at = text.find("\"cycles\":");
+    ASSERT_NE(at, std::string::npos);
+    char &digit = text[at + 9];
+    digit = digit == '9' ? '1' : static_cast<char>(digit + 1);
+    writeFile(path, text);
+
+    StreamingMerger merger(grid_.size());
+    try {
+        merger.addShardFile(path, 0, 2);
+        FAIL() << "corrupted shard file was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("digest mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+    // A rejected file leaves the merger untouched.
+    EXPECT_EQ(merger.coveredCases(), 0u);
+}
+
+TEST_F(StreamingMergerTest, RejectsWrongShardHeader)
+{
+    auto path = writeShardFile(0, 2);
+    StreamingMerger merger(grid_.size());
+    EXPECT_THROW(merger.addShardFile(path, 1, 2), ConfigError);
+    EXPECT_THROW(merger.addShardFile(path, 0, 3), ConfigError);
+}
+
+TEST_F(StreamingMergerTest, RejectsDoubleAbsorption)
+{
+    auto path = writeShardFile(0, 2);
+    StreamingMerger merger(grid_.size());
+    merger.addShardFile(path, 0, 2);
+    EXPECT_THROW(merger.addShardFile(path, 0, 2), ConfigError);
+    EXPECT_EQ(merger.coveredCases(),
+              sim::shardRange(grid_.size(), 0, 2).size());
+}
+
+TEST_F(StreamingMergerTest, RejectsCaseCountMismatch)
+{
+    auto path = writeShardFile(0, 2);
+    StreamingMerger merger(grid_.size() + 1);
+    EXPECT_THROW(merger.addShardFile(path, 0, 2), ConfigError);
+}
+
+}  // namespace
+}  // namespace orch
+}  // namespace regate

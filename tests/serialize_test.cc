@@ -168,6 +168,74 @@ TEST(JsonRoundTrip, RejectsMalformedInput)
     EXPECT_THROW(parseShard("{\"regate_shard\":99}"), ConfigError);
 }
 
+TEST(ShardDigests, VersionErrorNamesBothVersions)
+{
+    try {
+        parseShard("{\"regate_shard\":1,\"kind\":\"run\","
+                   "\"cases\":0,\"shard\":{\"index\":0,"
+                   "\"count\":1},\"entries\":[\n]}\n");
+        FAIL() << "version 1 document was accepted";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("version 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+    }
+}
+
+TEST(ShardDigests, TamperedPayloadIsRejected)
+{
+    auto grid = smallGrid();
+    auto results = SweepRunner::runSerial(grid);
+    auto text = writeRunShard(results, 0, grid.size(), 0, 1);
+    ASSERT_NO_THROW(parseShard(text));
+
+    // Flip one digit of a serialized counter. The value still
+    // parses — only the entry digest can catch it.
+    auto at = text.find("\"cycles\":") + 9;
+    text[at] = text[at] == '9' ? '1' : char(text[at] + 1);
+    try {
+        parseShard(text);
+        FAIL() << "tampered payload was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("digest mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ShardDigests, TamperedFileDigestIsRejected)
+{
+    auto grid = smallGrid();
+    auto results = SweepRunner::runSerial(grid);
+    auto text = writeRunShard(results, 0, grid.size(), 0, 1);
+
+    auto at = text.find("\"file_digest\":\"") + 15;
+    text[at] = text[at] == 'f' ? '0' : char(text[at] + 1);
+    try {
+        parseShard(text);
+        FAIL() << "tampered file digest was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("whole-file digest"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ShardDigests, EntryDigestIsContentDigestOfResultJson)
+{
+    auto grid = makeGrid({models::Workload::DlrmS},
+                         {arch::NpuGeneration::D});
+    auto results = SweepRunner::runSerial(grid);
+    auto text = writeRunShard(results, 0, grid.size(), 0, 1);
+
+    auto json = toJson(results[0]);
+    auto expect =
+        "{\"index\":0,\"digest\":\"" + contentDigest(json) +
+        "\",\"result\":" + json + "}";
+    EXPECT_NE(text.find(expect), std::string::npos)
+        << "entry line is not the documented canonical form";
+}
+
 /** Shard a grid N ways, serialize, parse, merge; expect == serial. */
 void
 expectShardedRunMatchesSerial(const std::vector<SweepCase> &grid,

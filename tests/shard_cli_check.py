@@ -14,9 +14,23 @@ run-path sweep, one per-case-params sweep, one SLO-search sweep):
 
 This is the same split-run-merge-compare loop the CI shard matrix
 runs across jobs, kept runnable locally in one command.
+
+On top of the loop, this also pins the CLI/format contracts the
+orchestrator builds on:
+
+- the shared `--shard i/N` validator: malformed specs, N <= 0, and
+  i outside [0, N) exit with the usage error (code 2) in every
+  binary, instead of per-binary behavior;
+- the `--cases` planning query prints a bare case count;
+- the `--worker` handshake emits the documented start/done protocol
+  lines, and the reported file_digest matches the artifact's bytes;
+- `merge_shards.py --check` verifies digests and coverage without
+  writing; a tampered byte fails with a digest mismatch; shard sets
+  mixing format versions are rejected with a precise message.
 """
 
 import argparse
+import re
 import subprocess
 import sys
 import tempfile
@@ -29,6 +43,24 @@ BINARIES = [
 ]
 SHARDS = 3
 
+BAD_SHARD_SPECS = [
+    "abc", "1", "1/", "/4", "1/2/3", "1.5/4",  # malformed
+    "0/0", "1/0", "0/-2",                      # N <= 0
+    "-1/4",                                    # i < 0
+    "4/4", "5/4",                              # i >= N
+]
+
+FNV_OFFSET = 0xcbf29ce484222325
+FNV_PRIME = 0x100000001b3
+FNV_MASK = (1 << 64) - 1
+
+
+def fnv1a64_hex(data):
+    h = FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * FNV_PRIME) & FNV_MASK
+    return format(h, "016x")
+
 
 def run(cmd, **kwargs):
     proc = subprocess.run(cmd, capture_output=True, **kwargs)
@@ -37,6 +69,99 @@ def run(cmd, **kwargs):
                  f"{' '.join(map(str, cmd))}\n"
                  f"{proc.stderr.decode(errors='replace')}")
     return proc.stdout
+
+
+def expect_failure(cmd, code, needle):
+    proc = subprocess.run(cmd, capture_output=True)
+    if proc.returncode != code:
+        sys.exit(f"expected exit {code} from "
+                 f"{' '.join(map(str, cmd))}, got {proc.returncode}")
+    stderr = proc.stderr.decode(errors="replace")
+    if needle not in stderr:
+        sys.exit(f"stderr of {' '.join(map(str, cmd))} lacks "
+                 f"'{needle}':\n{stderr}")
+
+
+def check_shard_spec_validation(binary):
+    """Every bad spec takes the shared usage-error path (exit 2)."""
+    for spec in BAD_SHARD_SPECS:
+        expect_failure([binary, "--shard", spec, "--out", "/x.json"],
+                       2, "usage:")
+    expect_failure([binary, "--shard"], 2, "usage:")
+    expect_failure([binary, "--shard", "0/2"], 2, "usage:")
+    expect_failure([binary, "--out", "x.json"], 2, "usage:")
+    expect_failure([binary, "--worker"], 2, "usage:")
+    expect_failure([binary, "--cases", "--shard", "0/2",
+                    "--out", "x.json"], 2, "usage:")
+    print(f"{binary.name}: bad shard specs all exit with the "
+          "shared usage error")
+
+
+def check_worker_handshake(binary, tmp):
+    """`--cases` and the `--worker` protocol lines."""
+    cases_out = run([binary, "--cases"]).decode()
+    if not cases_out.strip().isdigit():
+        sys.exit(f"{binary.name}: --cases printed "
+                 f"{cases_out!r}, not a bare case count")
+    cases = int(cases_out)
+
+    out = tmp / f"{binary.name}_worker.json"
+    stdout = run([binary, "--worker", "--shard", f"0/{cases}",
+                  "--out", str(out)]).decode()
+    start = re.search(
+        r"^@regate-worker v1 start kind=(run|search) "
+        r"shard=0/\d+ cases=(\d+) range=0\.\.\d+$",
+        stdout, re.M)
+    done = re.search(
+        r"^@regate-worker v1 done out=(\S+) bytes=(\d+) "
+        r"file_digest=([0-9a-f]{16})$",
+        stdout, re.M)
+    if not start or not done:
+        sys.exit(f"{binary.name}: worker protocol lines missing "
+                 f"from stdout:\n{stdout}")
+    if int(start.group(2)) != cases:
+        sys.exit(f"{binary.name}: worker start line reports "
+                 f"{start.group(2)} cases, --cases said {cases}")
+    content = out.read_bytes()
+    if int(done.group(2)) != len(content):
+        sys.exit(f"{binary.name}: worker reported {done.group(2)} "
+                 f"bytes, artifact has {len(content)}")
+    if fnv1a64_hex(content) != done.group(3):
+        sys.exit(f"{binary.name}: worker-reported file_digest does "
+                 "not match the artifact bytes")
+    print(f"{binary.name}: --cases and --worker handshake OK "
+          f"({cases} cases)")
+
+
+def check_merge_integrity(merge_tool, shard_files, tmp):
+    """--check, digest tamper rejection, mixed-version rejection."""
+    shard_args = [str(p) for p in shard_files]
+    run([sys.executable, str(merge_tool), "--check"] + shard_args)
+
+    # Flip one payload digit: --check must name a digest mismatch.
+    text = shard_files[0].read_text()
+    at = text.index('"cycles":') + len('"cycles":')
+    digit = text[at]
+    tampered = tmp / "tampered_shard.json"
+    tampered.write_text(text[:at] +
+                        ("1" if digit == "9" else chr(ord(digit) + 1))
+                        + text[at + 1:])
+    expect_failure([sys.executable, str(merge_tool), "--check",
+                    str(tampered)] + shard_args[1:],
+                   1, "digest mismatch")
+
+    # A version-1-looking shard among v2 shards: precise message.
+    old = tmp / "old_shard.json"
+    old.write_text(text.replace('{"regate_shard":2,',
+                                '{"regate_shard":1,', 1))
+    expect_failure([sys.executable, str(merge_tool), "--check",
+                    str(old)] + shard_args[1:],
+                   1, "multiple format versions")
+    expect_failure([sys.executable, str(merge_tool), "--check",
+                    str(old)],
+                   1, "unsupported shard format")
+    print("merge_shards.py: --check, digest tamper, and "
+          "mixed-version rejection OK")
 
 
 def check_binary(binary, merge_tool, tmp):
@@ -65,6 +190,7 @@ def check_binary(binary, merge_tool, tmp):
                  "single-shard document")
     print(f"{binary.name}: {SHARDS}-shard merge byte-identical "
           "(render and document)")
+    return shard_files
 
 
 def main():
@@ -78,11 +204,18 @@ def main():
     bin_dir = Path(args.bin_dir)
     merge_tool = Path(args.merge_tool)
     with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        first_shards = None
         for name in BINARIES:
             binary = bin_dir / name
             if not binary.exists():
                 sys.exit(f"missing binary {binary}")
-            check_binary(binary, merge_tool, Path(tmpdir))
+            shards = check_binary(binary, merge_tool, tmp)
+            if first_shards is None:
+                first_shards = shards
+        check_shard_spec_validation(bin_dir / BINARIES[1])
+        check_worker_handshake(bin_dir / BINARIES[1], tmp)
+        check_merge_integrity(merge_tool, first_shards, tmp)
     return 0
 
 

@@ -15,13 +15,24 @@ back with `figNN --from merged.json` renders stdout byte-identical
 to an unsharded run — which is how the CI merge job pins the sharded
 path against the serial reference. Pass `--render BIN` to do that
 re-emission in one step (stdout of `BIN --from merged.json` is
-forwarded).
+forwarded). Pass `--check` (no `--out` needed) to verify digests and
+index coverage of a shard set without writing anything — the
+pre-flight for a multi-machine run's artifact directory.
 
 Determinism: the writer emits one entry per line in canonical form,
 and this tool reassembles the merged document from those verbatim
 lines (sorted by grid index) — numbers are never reparsed or
 reprinted, so merging can never perturb a result and any shard
 ordering on the command line produces the same bytes.
+
+Integrity (format version 2): every entry line carries a "digest"
+(64-bit FNV-1a, hex16) of its canonical result JSON and the document
+footer carries a "file_digest" over all entry lines; both are
+verified here against the raw bytes on disk, so silent corruption of
+a shard artifact (truncated copy, bit rot, concurrent writer) fails
+the merge loudly instead of rendering wrong figures. Shard sets that
+mix format versions are rejected — every shard of a grid must come
+from the same binary build.
 """
 
 import argparse
@@ -29,21 +40,72 @@ import json
 import subprocess
 import sys
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+FNV_OFFSET = 0xcbf29ce484222325
+FNV_PRIME = 0x100000001b3
+FNV_MASK = (1 << 64) - 1
 
 
-def load_shard(path):
-    """Parse one shard file; returns (header dict, [(index, line)])."""
+def fnv1a64(data, seed=FNV_OFFSET):
+    """The shard format's digest function (common/hash.h)."""
+    h = seed
+    for byte in data:
+        h = ((h ^ byte) * FNV_PRIME) & FNV_MASK
+    return h
+
+
+def hex_digest(h):
+    return format(h, "016x")
+
+
+def read_shard(path):
+    """One read+parse per file; exits on unparseable input (a
+    truncated copy is corruption, not a version problem)."""
     with open(path, "rb") as f:
-        text = f.read().decode("utf-8")
+        text = f.read().decode("utf-8", errors="replace")
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as e:
-        sys.exit(f"{path}: not valid JSON: {e}")
-    if doc.get("regate_shard") != FORMAT_VERSION:
-        sys.exit(f"{path}: not a regate shard file "
-                 f"(regate_shard != {FORMAT_VERSION})")
-    for key in ("kind", "cases", "shard", "entries"):
+        sys.exit(f"{path}: not valid JSON: {e} — truncated or "
+                 "corrupted shard file?")
+    return text, doc
+
+
+def check_versions(loaded):
+    """All files must carry the one supported format version."""
+    versions = {}
+    for path, _, doc in loaded:
+        version = doc.get("regate_shard")
+        versions[path] = version if isinstance(version, int) \
+            else None
+    distinct = set(versions.values())
+    if len(distinct) > 1:
+        detail = ", ".join(
+            f"{path} is "
+            + (f"v{v}" if v is not None else "not a shard file")
+            for path, v in sorted(versions.items(),
+                                  key=lambda kv: str(kv[1])))
+        sys.exit("shard files span multiple format versions: "
+                 f"{detail}; regenerate every shard of the grid "
+                 "with one binary build")
+    version = distinct.pop()
+    if version != FORMAT_VERSION:
+        found = f"v{version}" if version is not None \
+            else "no regate_shard version"
+        sys.exit(f"unsupported shard format ({found}, this tool "
+                 f"reads v{FORMAT_VERSION}); regenerate the shards "
+                 "with a matching binary build")
+
+
+def load_shard(path, text, doc):
+    """Validate one pre-read shard file -> [(index, line)].
+
+    Verifies both digest layers against the raw bytes on disk:
+    each entry's "digest" over its result JSON substring, and the
+    footer "file_digest" over the concatenated entry lines.
+    """
+    for key in ("kind", "cases", "shard", "entries", "file_digest"):
         if key not in doc:
             sys.exit(f"{path}: missing '{key}'")
 
@@ -51,17 +113,42 @@ def load_shard(path):
     # merge can never reprint (and thereby perturb) a number. The
     # trailing comma belongs to the document syntax, not the entry.
     entries = []
+    file_digest = FNV_OFFSET
     for line in text.split("\n"):
         stripped = line[:-1] if line.endswith(",") else line
         if not stripped.startswith('{"index":'):
             continue
-        index = json.loads(stripped)["index"]
+        entry = json.loads(stripped)
+        index, digest = entry["index"], entry.get("digest")
+        if digest is None:
+            sys.exit(f"{path}: entry for grid index {index} carries "
+                     "no digest; was the file reformatted?")
+        # The canonical entry line is exactly
+        # {"index":I,"digest":"D","result":<json>} — slice the raw
+        # result bytes out and digest them, never a reprint.
+        prefix = f'{{"index":{index},"digest":"{digest}","result":'
+        if not stripped.startswith(prefix):
+            sys.exit(f"{path}: entry for grid index {index} is not "
+                     "in canonical form; was the file reformatted?")
+        result_text = stripped[len(prefix):-1]
+        computed = hex_digest(fnv1a64(result_text.encode("utf-8")))
+        if computed != digest:
+            sys.exit(f"{path}: entry for grid index {index}: content "
+                     f"digest mismatch (stored {digest}, computed "
+                     f"{computed}) — corrupted shard file?")
+        file_digest = fnv1a64((stripped + "\n").encode("utf-8"),
+                              file_digest)
         entries.append((index, stripped))
     if len(entries) != len(doc["entries"]):
         sys.exit(f"{path}: entry lines ({len(entries)}) disagree "
                  f"with parsed entries ({len(doc['entries'])}); "
                  "was the file reformatted?")
-    return doc, entries
+    computed_file = hex_digest(file_digest)
+    if computed_file != doc["file_digest"]:
+        sys.exit(f"{path}: whole-file digest mismatch (stored "
+                 f"{doc['file_digest']}, computed {computed_file}) — "
+                 "entries dropped, duplicated, or reordered?")
+    return entries
 
 
 def main():
@@ -69,18 +156,28 @@ def main():
         description="merge sharded sweep JSON into one document")
     ap.add_argument("shards", nargs="+",
                     help="shard files written by figNN --shard i/N")
-    ap.add_argument("--out", required=True,
+    ap.add_argument("--out",
                     help="path for the merged document")
+    ap.add_argument("--check", action="store_true",
+                    help="verify digests and index coverage only; "
+                         "write nothing")
     ap.add_argument("--render", metavar="BIN",
                     help="after merging, run 'BIN --from OUT' and "
                          "forward its stdout (the exact output the "
                          "unsharded binary would print)")
     args = ap.parse_args()
+    if not args.check and not args.out:
+        ap.error("--out is required unless --check is given")
+    if args.check and args.render:
+        ap.error("--check does not merge, so --render cannot apply")
+
+    loaded = [(path,) + read_shard(path) for path in args.shards]
+    check_versions(loaded)
 
     kind = cases = None
     merged = {}
-    for path in args.shards:
-        doc, entries = load_shard(path)
+    for path, text, doc in loaded:
+        entries = load_shard(path, text, doc)
         if kind is None:
             kind, cases = doc["kind"], doc["cases"]
         if doc["kind"] != kind:
@@ -105,14 +202,26 @@ def main():
                  f"cases; missing indices: {head}"
                  f"{', ...' if len(missing) > 8 else ''}")
 
-    # Identical scaffolding to the C++ writer's --shard 0/1 output.
+    if args.check:
+        print(f"OK: {len(args.shards)} shard file(s), kind={kind}, "
+              f"{cases} case(s) fully covered, all digests verified",
+              file=sys.stderr)
+        return 0
+
+    # Identical scaffolding to the C++ writer's --shard 0/1 output,
+    # including the recomputed whole-file digest over the (sorted)
+    # verbatim entry lines.
+    file_digest = FNV_OFFSET
+    for i in range(cases):
+        file_digest = fnv1a64((merged[i] + "\n").encode("utf-8"),
+                              file_digest)
     lines = [f'{{"regate_shard":{FORMAT_VERSION},"kind":"{kind}",'
              f'"cases":{cases},"shard":{{"index":0,"count":1}},'
              f'"entries":[']
     body = ",\n".join(merged[i] for i in range(cases))
     if body:
         lines.append(body)
-    lines.append("]}\n")
+    lines.append(f'],"file_digest":"{hex_digest(file_digest)}"}}\n')
     with open(args.out, "wb") as f:
         f.write("\n".join(lines).encode("utf-8"))
     print(f"merged {len(args.shards)} shard(s), {cases} case(s) "
