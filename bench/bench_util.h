@@ -63,14 +63,20 @@ sweeper()
  * `regate_orch` drives the whole split-run-merge loop as one
  * command.
  *
- * Worker handshake (what `--worker` adds): stdout carries exactly
- * two protocol lines,
+ * Worker handshake (what `--worker` adds): stdout carries the
+ * protocol lines
  *
  *     @regate-worker v1 start kind=<run|search> shard=i/N
  *         cases=<total> range=<begin>..<end>
+ *     @regate-worker v1 case <k>/<n>        (per completed case)
  *     @regate-worker v1 done out=<path> bytes=<n> file_digest=<hex16>
  *
- * where file_digest is sim::contentDigest of the exact bytes written
+ * where the `case` lines are the per-case heartbeat — one per
+ * completed case of this shard's slice, monotone k, emitted in
+ * completion order — that lets a driver time out on *stall* (no
+ * heartbeat for its --stall-timeout-s) instead of wall clock,
+ * distinguishing a straggling-but-alive shard from a wedged one;
+ * and file_digest is sim::contentDigest of the exact bytes written
  * to --out, so a driver can verify the artifact that landed on
  * (possibly shared) storage end to end. Exit status protocol, worker
  * or not: 0 = success, 1 = runtime/config failure (message on
@@ -195,6 +201,26 @@ initBench(int argc, char **argv)
               "how a shard run reports)");
 }
 
+/**
+ * The initBench counterpart for binaries with NO sweep grid (fig15
+ * and tables 2/3 print closed-form/VLIW-core values): any argument —
+ * including the orchestrator's/agent's `--cases` capability probe —
+ * is rejected with a one-line usage error and exit 2, so pointing
+ * `regate_orch`/`regate_agent` at one of these fails crisply at
+ * probe time instead of as an opaque worker-failure loop.
+ */
+inline void
+initBenchNoGrid(int argc, char **argv)
+{
+    if (argc <= 1)
+        return;
+    std::cerr << argv[0] << ": unexpected argument '" << argv[1]
+              << "' — this binary has no sweep grid and does not "
+                 "speak the --shard/--cases worker protocol, so it "
+                 "cannot be driven by regate_orch or regate_agent\n";
+    std::exit(2);
+}
+
 namespace detail {
 
 using ::regate::readFile;
@@ -235,6 +261,35 @@ workerStart(const char *kind, sim::ShardRange range,
             std::this_thread::sleep_for(
                 std::chrono::seconds(seconds));
     }
+}
+
+/**
+ * The per-case heartbeat emitter for --worker runs (null otherwise):
+ * one `@regate-worker v1 case k/n` line per completed case. The
+ * runner serializes progress callbacks and hands over strictly
+ * increasing done counts (sim::SweepProgress), so the lines are
+ * monotone without any locking here. The REGATE_TEST_SLOW_CASE_S
+ * hook sleeps after each heartbeat — inside the serialized
+ * callback, so heartbeats stay ~that far apart at any thread
+ * count — which is how the stall-timeout tests manufacture a
+ * straggling-but-ALIVE shard that must survive a stall timeout
+ * shorter than its wall clock.
+ */
+inline sim::SweepProgress
+workerProgress()
+{
+    if (!benchCli().worker)
+        return {};
+    long slow = 0;
+    if (const char *s = std::getenv("REGATE_TEST_SLOW_CASE_S"))
+        slow = std::strtol(s, nullptr, 10);
+    return [slow](std::size_t done, std::size_t total) {
+        std::cout << "@regate-worker v1 case " << done << "/"
+                  << total << "\n"
+                  << std::flush;
+        if (slow > 0)
+            std::this_thread::sleep_for(std::chrono::seconds(slow));
+    };
 }
 
 /** Worker-handshake done line (digest of the bytes just written). */
@@ -336,7 +391,8 @@ runGrid(const std::vector<sim::SweepCase> &grid)
         detail::workerStart("run", range, grid.size());
         auto results =
             sweeper().run(sim::shardGrid(grid, cli.shardIndex,
-                                         cli.shardCount));
+                                         cli.shardCount),
+                          detail::workerProgress());
         detail::orDie("--out", [&] {
             auto doc =
                 sim::writeRunShard(results, range.begin, grid.size(),
@@ -381,7 +437,8 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
         detail::workerStart("search", range, grid.size());
         auto results =
             sweeper().search(sim::shardGrid(grid, cli.shardIndex,
-                                            cli.shardCount));
+                                            cli.shardCount),
+                             detail::workerProgress());
         detail::orDie("--out", [&] {
             auto doc = sim::writeSearchShard(
                 results, range.begin, grid.size(), cli.shardIndex,

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tiny shared helpers for the fleet CLIs (regate_orch,
+ * regate_agent), so the strict integer-flag validation exists
+ * exactly once instead of drifting per binary.
+ */
+
+#ifndef REGATE_BENCH_CLI_UTIL_H
+#define REGATE_BENCH_CLI_UTIL_H
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <string>
+
+namespace regate {
+namespace bench {
+
+/**
+ * Full-match, range-checked decimal parse of a CLI value: rejects
+ * empty strings, trailing garbage ("12x"), and anything outside
+ * [lo, hi] (including strtol overflow). Returns false without
+ * touching @p out on rejection.
+ */
+inline bool
+parseLongArg(const char *s, long lo, long hi, long *out)
+{
+    if (!s || !*s)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(s, &end, 10);
+    if (!end || end == s || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi)
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
+ * Consume the next argv entry as an int value for @p flag, calling
+ * @p usage (which must not return) with a message on a missing or
+ * malformed value. The shared spelling of every `--flag N` in the
+ * fleet CLIs.
+ */
+template <typename UsageFn>
+int
+intFlagArg(int argc, char **argv, int &i, const char *flag,
+           UsageFn &&usage)
+{
+    if (++i >= argc)
+        usage(std::string(flag) + " needs a value");
+    long v = 0;
+    if (!parseLongArg(argv[i], INT_MIN, INT_MAX, &v))
+        usage(std::string("bad ") + flag + " value '" + argv[i] +
+              "'");
+    return static_cast<int>(v);
+}
+
+}  // namespace bench
+}  // namespace regate
+
+#endif  // REGATE_BENCH_CLI_UTIL_H

@@ -11,11 +11,12 @@
 #include "isa/vliw_core.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
     using core::PowerMode;
     using isa::FuType;
+    bench::initBenchNoGrid(argc, argv);
     bench::banner("Figure 15",
                   "setpm power-gating timeline on the VLIW core");
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * regate_agent: the per-host end of a remote worker fleet. Run one
+ * on every machine that should contribute worker slots to an
+ * orchestrated sweep, then point `regate_orch --host` at them:
+ *
+ *     hostA$ ./regate_agent --bin ./fig02_energy_efficiency \
+ *                --port 9300 --slots 8
+ *     drive$ ./regate_orch --bin ./fig02_energy_efficiency \
+ *                --dir /tmp/fig02_fleet --workers 4 \
+ *                --host hostA:9300 --render > fig02.txt
+ *
+ * The agent probes the target with `--cases` at startup and refuses
+ * binaries that do not speak the shard protocol (exit 2), exactly
+ * like the orchestrator. Event lines go to stderr — including the
+ * `listening on port N` line scripts parse when using `--port 0`.
+ *
+ * Plaintext TCP on a trusted network; tunnel the port over ssh when
+ * the network is not (see bench/README.md "Remote fleets").
+ */
+
+#include <climits>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench/cli_util.h"
+#include "net/agent.h"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &msg)
+{
+    std::cerr << argv0 << ": " << msg << "\n"
+              << "usage: " << argv0
+              << " --bin FIGURE_BINARY [--port P=0 (ephemeral)]\n"
+              << "    [--slots N=2] [--dir WORK_DIR=tmp]\n"
+              << "    [--max-sessions K=0 (serve forever)]\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    regate::net::AgentOptions opt;
+    opt.events = &std::cerr;
+
+    auto intArg = [&](int &i, const char *flag) {
+        return regate::bench::intFlagArg(
+            argc, argv, i, flag,
+            [&](const std::string &msg) { usage(argv[0], msg); });
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--bin") {
+            if (++i >= argc)
+                usage(argv[0], "--bin needs a value");
+            opt.bin = argv[i];
+        } else if (arg == "--dir") {
+            if (++i >= argc)
+                usage(argv[0], "--dir needs a value");
+            opt.dir = argv[i];
+        } else if (arg == "--port") {
+            int port = intArg(i, "--port");
+            if (port < 0 || port > 65535)
+                usage(argv[0], "--port must be in [0, 65535]");
+            opt.port = static_cast<std::uint16_t>(port);
+        } else if (arg == "--slots") {
+            opt.slots = intArg(i, "--slots");
+        } else if (arg == "--max-sessions") {
+            opt.maxSessions = intArg(i, "--max-sessions");
+        } else {
+            usage(argv[0], "unknown argument '" + arg + "'");
+        }
+    }
+    if (opt.bin.empty())
+        usage(argv[0], "--bin is required");
+    if (opt.slots <= 0)
+        usage(argv[0], "--slots must be positive");
+    if (opt.maxSessions < 0)
+        usage(argv[0], "--max-sessions must be >= 0");
+    if (opt.dir.empty())
+        opt.dir = (std::filesystem::temp_directory_path() /
+                   ("regate_agent_" + std::to_string(::getpid())))
+                      .string();
+
+    // A driver that vanishes mid-send must surface as a failed
+    // send on that connection, not kill the whole agent.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    return regate::net::runAgent(opt);
+}

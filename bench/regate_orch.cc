@@ -1,31 +1,45 @@
 /**
  * @file
- * regate_orch: fault-tolerant multi-worker driver for the sharded
- * figure/table sweeps (src/orch/). One command replaces the
- * hand-launched `--shard i/N` + merge_shards.py recipe:
+ * regate_orch: fault-tolerant fleet driver for the sharded
+ * figure/table sweeps (src/orch/ + src/net/). One command replaces
+ * the hand-launched `--shard i/N` + merge_shards.py recipe:
  *
  *     regate_orch --bin build/fig02_energy_efficiency \
  *         --dir /tmp/fig02_run --workers 4 --render > fig02.txt
  *
- * plans the grid into shards, drives worker subprocesses with
- * timeouts and bounded retry, streams validated shard files into a
- * merged document byte-identical to `--shard 0/1`, and (with
- * --render) re-renders the figure byte-identical to an unsharded
- * run. An interrupted run resumes with --resume, re-running only
- * the shards that never validated. Progress events go to stderr.
+ * and scales past one machine by mixing in remote agents
+ * (bench/regate_agent.cc) with repeated `--host` flags:
+ *
+ *     regate_orch --bin build/fig02_energy_efficiency \
+ *         --dir /tmp/fig02_fleet --workers 4 \
+ *         --host hostA:9300 --host hostB:9300:8 --render
+ *
+ * plans the grid into shards, drives local worker subprocesses and
+ * remote agent slots from one dynamic queue with per-case
+ * heartbeats, stall-based timeouts, and bounded retry (an agent
+ * lost mid-run reassigns its shards exactly like a crashed
+ * subprocess), streams validated shard files into a merged document
+ * byte-identical to `--shard 0/1`, and (with --render) re-renders
+ * the figure byte-identical to an unsharded run. An interrupted run
+ * resumes with --resume, re-running only the shards that never
+ * validated. Progress events go to stderr.
  *
  * The --inject-* flags are failure-injection hooks for the
- * orchestrator's tests and CI job; they drive the real kill/timeout
- * machinery and are harmless (if pointless) elsewhere.
+ * orchestrator's tests and CI jobs; they drive the real
+ * kill/stall/retry machinery and are harmless (if pointless)
+ * elsewhere.
  */
 
-#include <cerrno>
 #include <climits>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "bench/cli_util.h"
+#include "common/error.h"
 #include "orch/orchestrator.h"
+#include "orch/probe.h"
 
 namespace {
 
@@ -36,14 +50,52 @@ usage(const char *argv0, const std::string &msg)
         << argv0 << ": " << msg << "\n"
         << "usage: " << argv0
         << " --bin FIGURE_BINARY --dir RUN_DIR\n"
-        << "    [--workers N=4] [--granularity G=4 (shards per "
-           "worker)]\n"
-        << "    [--timeout-s T=600 (per attempt; 0 disables)]\n"
+        << "    [--workers N=4 (local slots; 0 = remote-only)]\n"
+        << "    [--host host:port[:slots] (repeatable; regate_agent "
+           "fleet members)]\n"
+        << "    [--granularity G=4 (shards per fleet slot)]\n"
+        << "    [--stall-timeout-s S=600 (kill after S s without a "
+           "heartbeat; 0 disables)]\n"
+        << "    [--timeout-s T=0 (wall-clock cap per attempt; 0 "
+           "disables)]\n"
         << "    [--max-attempts K=3] [--resume]\n"
         << "    [--merged-out PATH=RUN_DIR/merged.json] [--render]\n"
         << "    [--inject-kill-slot S] [--inject-stall-shard J]"
-        << " [--stall-seconds N]\n";
+        << " [--stall-seconds N]\n"
+        << "    [--inject-slow-shard J] [--slow-case-seconds N]\n";
     std::exit(2);
+}
+
+/** Parse "host:port[:slots]"; exits with a usage error on garbage. */
+regate::orch::HostSpec
+parseHostSpec(const char *argv0, const std::string &spec)
+{
+    auto bad = [&](const std::string &why) -> regate::orch::HostSpec {
+        usage(argv0, "bad --host '" + spec + "': " + why +
+                         " (want host:port[:slots])");
+    };
+    auto first = spec.find(':');
+    if (first == std::string::npos || first == 0)
+        return bad("missing port");
+    regate::orch::HostSpec host;
+    host.host = spec.substr(0, first);
+    auto rest = spec.substr(first + 1);
+    auto second = rest.find(':');
+    std::string port_str =
+        second == std::string::npos ? rest : rest.substr(0, second);
+    auto parseNum = [&](const std::string &s, const char *what,
+                        long lo, long hi) {
+        long v = 0;
+        if (!regate::bench::parseLongArg(s.c_str(), lo, hi, &v))
+            bad(std::string("bad ") + what + " '" + s + "'");
+        return v;
+    };
+    host.port = static_cast<std::uint16_t>(
+        parseNum(port_str, "port", 1, 65535));
+    if (second != std::string::npos)
+        host.slots = static_cast<int>(parseNum(
+            rest.substr(second + 1), "slot count", 1, INT_MAX));
+    return host;
 }
 
 }  // namespace
@@ -57,16 +109,9 @@ main(int argc, char **argv)
     opt.events = &std::cerr;
 
     auto intArg = [&](int &i, const char *flag) {
-        if (++i >= argc)
-            usage(argv[0], std::string(flag) + " needs a value");
-        char *end = nullptr;
-        errno = 0;
-        long v = std::strtol(argv[i], &end, 10);
-        if (!end || end == argv[i] || *end != '\0' ||
-            errno == ERANGE || v < INT_MIN || v > INT_MAX)
-            usage(argv[0], std::string("bad ") + flag + " value '" +
-                               argv[i] + "'");
-        return static_cast<int>(v);
+        return regate::bench::intFlagArg(
+            argc, argv, i, flag,
+            [&](const std::string &msg) { usage(argv[0], msg); });
     };
     auto stringArg = [&](int &i, const char *flag) {
         if (++i >= argc)
@@ -82,8 +127,13 @@ main(int argc, char **argv)
             opt.dir = stringArg(i, "--dir");
         } else if (arg == "--workers") {
             opt.workers = intArg(i, "--workers");
+        } else if (arg == "--host") {
+            opt.hosts.push_back(
+                parseHostSpec(argv[0], stringArg(i, "--host")));
         } else if (arg == "--granularity") {
             opt.granularity = intArg(i, "--granularity");
+        } else if (arg == "--stall-timeout-s") {
+            opt.stallTimeoutSec = intArg(i, "--stall-timeout-s");
         } else if (arg == "--timeout-s") {
             opt.timeoutSec = intArg(i, "--timeout-s");
         } else if (arg == "--max-attempts") {
@@ -101,6 +151,10 @@ main(int argc, char **argv)
                 intArg(i, "--inject-stall-shard");
         } else if (arg == "--stall-seconds") {
             opt.stallSeconds = intArg(i, "--stall-seconds");
+        } else if (arg == "--inject-slow-shard") {
+            opt.injectSlowShard = intArg(i, "--inject-slow-shard");
+        } else if (arg == "--slow-case-seconds") {
+            opt.slowCaseSeconds = intArg(i, "--slow-case-seconds");
         } else {
             usage(argv[0], "unknown argument '" + arg + "'");
         }
@@ -109,14 +163,33 @@ main(int argc, char **argv)
         usage(argv[0], "--bin is required");
     if (opt.dir.empty())
         usage(argv[0], "--dir is required");
-    if (opt.workers <= 0)
-        usage(argv[0], "--workers must be positive");
+    if (opt.workers < 0)
+        usage(argv[0], "--workers must be >= 0");
+    if (opt.workers == 0 && opt.hosts.empty())
+        usage(argv[0], "an empty fleet: pass --workers N > 0 "
+                       "and/or --host host:port[:slots]");
     if (opt.granularity <= 0)
         usage(argv[0], "--granularity must be positive");
+    if (opt.stallTimeoutSec < 0)
+        usage(argv[0], "--stall-timeout-s must be >= 0");
     if (opt.timeoutSec < 0)
         usage(argv[0], "--timeout-s must be >= 0");
     if (opt.retry.maxAttempts <= 0)
         usage(argv[0], "--max-attempts must be positive");
+
+    // A lost agent connection must surface as a failed attempt on
+    // that transport, not SIGPIPE the whole driver.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Probe the target up front: a binary that does not speak the
+    // shard protocol (fig15, tables 2/3) is a usage error here, not
+    // an opaque worker-failure loop later. The orchestration reuses
+    // the probed count instead of spawning a second --cases query.
+    try {
+        opt.probedCases = regate::orch::probeGridCases(opt.bin);
+    } catch (const regate::ConfigError &e) {
+        usage(argv[0], e.what());
+    }
 
     return regate::orch::runOrchestration(opt);
 }

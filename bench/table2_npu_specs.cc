@@ -9,9 +9,10 @@
 #include "energy/power_model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBenchNoGrid(argc, argv);
     bench::banner("Table 2", "NPU specifications (A..E)");
 
     TablePrinter t({"Spec", "NPU-A", "NPU-B", "NPU-C", "NPU-D",

@@ -10,9 +10,10 @@
 #include "energy/power_model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace regate;
+    bench::initBenchNoGrid(argc, argv);
     bench::banner("Table 3",
                   "power on/off delays and BETs (synthesized "
                   "prototype values)");

@@ -16,7 +16,7 @@ SramAllocator::SramAllocator(std::uint64_t capacity,
                  "capacity must be a positive multiple of segment size");
 }
 
-const SramBuffer &
+SramBuffer
 SramAllocator::allocate(std::uint64_t size, std::uint64_t start,
                         std::uint64_t end, const std::string &name)
 {

@@ -47,11 +47,13 @@ class SramAllocator
     /**
      * Allocate @p size bytes live over instruction indices
      * [start, end). Throws ConfigError if no space is available.
-     * @return the assigned buffer.
+     * @return a copy of the assigned buffer — by value, because a
+     *         reference into buffers_ would dangle on the vector's
+     *         next growth (the next allocate call).
      */
-    const SramBuffer &allocate(std::uint64_t size, std::uint64_t start,
-                               std::uint64_t end,
-                               const std::string &name = "");
+    SramBuffer allocate(std::uint64_t size, std::uint64_t start,
+                        std::uint64_t end,
+                        const std::string &name = "");
 
     const std::vector<SramBuffer> &buffers() const { return buffers_; }
 

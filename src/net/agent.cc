@@ -1,0 +1,355 @@
+#include "net/agent.h"
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "net/agent_protocol.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "orch/probe.h"
+#include "sim/serialize.h"
+
+namespace regate {
+namespace net {
+
+namespace {
+
+/**
+ * Make arbitrary error text frame-safe: the frame grammar cannot
+ * quote '"' or newlines (formatFrame asserts on them), and failure
+ * reasons routinely embed quoted paths or offending frame text.
+ */
+std::string
+frameSafe(std::string text)
+{
+    for (char &c : text)
+        if (c == '"' || c == '\n' || c == '\r')
+            c = '\'';
+    return text;
+}
+
+/**
+ * One driver session: translates protocol frames into operations on
+ * a LocalTransport (the same slot machinery the orchestrator uses
+ * for its own subprocesses — spawn, heartbeat tailing,
+ * digest-verified artifact pickup, kill) and the transport's events
+ * back into frames. The agent adds only what the wire needs: slot
+ * bookkeeping for fetchable artifacts, and ConfigError validation
+ * of driver-supplied slot ids.
+ */
+class AgentSession
+{
+  public:
+    AgentSession(const AgentOptions &opt, std::size_t cases,
+                 LineChannel channel)
+        : opt_(opt), cases_(cases), channel_(std::move(channel)),
+          local_(opt.bin, opt.dir, opt.slots),
+          slots_(static_cast<std::size_t>(opt.slots))
+    {}
+
+    void run();
+
+  private:
+    struct Slot
+    {
+        bool busy = false;
+        std::string artifact;  ///< Validated bytes awaiting fetch.
+        bool hasArtifact = false;
+    };
+
+    void
+    event(const std::string &line)
+    {
+        if (opt_.events)
+            *opt_.events << "agent: " << line << "\n" << std::flush;
+    }
+
+    Slot &
+    at(int slot)
+    {
+        REGATE_CHECK(slot >= 0 && static_cast<std::size_t>(slot) <
+                                      slots_.size(),
+                     "driver addressed slot ", slot, ", this agent "
+                     "offers ", slots_.size());
+        return slots_[static_cast<std::size_t>(slot)];
+    }
+
+    void
+    send(const Frame &frame)
+    {
+        channel_.sendLine(formatFrame(frame));
+    }
+
+    void handleFrame(const Frame &frame);
+    void handleAssign(const Frame &frame);
+    void handleFetch(const Frame &frame);
+    /** Transport events -> done/fail/case frames. */
+    void pumpTransport();
+    void sendFail(int slot_id, const std::string &reason);
+
+    const AgentOptions &opt_;
+    std::size_t cases_;
+    LineChannel channel_;
+    LocalTransport local_;
+    std::vector<Slot> slots_;
+};
+
+void
+AgentSession::handleAssign(const Frame &frame)
+{
+    int slot_id = frame.getIndex("slot");
+    auto &slot = at(slot_id);
+    REGATE_CHECK(!slot.busy, "driver assigned slot ", slot_id,
+                 " while it is still running an attempt");
+    ShardAssignment a;
+    a.shard = frame.getIndex("shard");
+    a.shardCount = frame.getIndex("shards");
+    a.attempt = frame.getIndex("attempt");
+    a.stallSeconds = frame.getIndex("stall");
+    a.slowCaseSeconds = frame.getIndex("slow");
+
+    std::string desc;
+    try {
+        desc = local_.start(slot_id, a);
+    } catch (const ConfigError &e) {
+        // A failed fork/exec is one failed attempt on one slot —
+        // the same way the driver treats its own local spawn
+        // failures — not grounds to evict this whole agent (and
+        // every other slot it serves) from the fleet.
+        sendFail(slot_id, std::string("spawn failed: ") + e.what());
+        return;
+    }
+    slot.busy = true;
+    slot.hasArtifact = false;
+    slot.artifact.clear();
+    event("slot " + std::to_string(slot_id) + ": assign shard " +
+          std::to_string(a.shard) + "/" +
+          std::to_string(a.shardCount) + " attempt " +
+          std::to_string(a.attempt) + " " + desc);
+}
+
+void
+AgentSession::handleFetch(const Frame &frame)
+{
+    int slot_id = frame.getIndex("slot");
+    auto &slot = at(slot_id);
+    REGATE_CHECK(slot.hasArtifact, "driver fetched slot ", slot_id,
+                 " which holds no finished artifact");
+    Frame reply;
+    reply.verb = "artifact";
+    reply.kv = {{"slot", std::to_string(slot_id)},
+                {"bytes", std::to_string(slot.artifact.size())},
+                {"digest", sim::contentDigest(slot.artifact)}};
+    send(reply);
+    channel_.sendBytes(slot.artifact);
+    event("slot " + std::to_string(slot_id) + ": artifact sent (" +
+          std::to_string(slot.artifact.size()) + " bytes)");
+    slot.artifact.clear();
+    slot.hasArtifact = false;
+    local_.finishAttempt(slot_id, true);
+}
+
+void
+AgentSession::handleFrame(const Frame &frame)
+{
+    if (frame.verb == "assign") {
+        handleAssign(frame);
+    } else if (frame.verb == "fetch") {
+        handleFetch(frame);
+    } else if (frame.verb == "kill") {
+        int slot_id = frame.getIndex("slot");
+        if (at(slot_id).busy) {
+            local_.kill(slot_id);
+            event("slot " + std::to_string(slot_id) +
+                  ": killed on driver request");
+        }
+    } else {
+        throw ConfigError("unexpected frame '" + frame.verb +
+                          "' from driver");
+    }
+}
+
+void
+AgentSession::sendFail(int slot_id, const std::string &reason)
+{
+    Frame f;
+    f.verb = "fail";
+    f.kv = {{"slot", std::to_string(slot_id)},
+            {"reason", frameSafe(reason)}};
+    send(f);
+    event("slot " + std::to_string(slot_id) + ": failed (" + reason +
+          ")");
+}
+
+void
+AgentSession::pumpTransport()
+{
+    for (const auto &ev : local_.poll()) {
+        auto &slot = slots_[static_cast<std::size_t>(ev.slot)];
+        switch (ev.kind) {
+          case TransportEvent::Kind::Progress: {
+            Frame f;
+            f.verb = "case";
+            f.kv = {{"slot", std::to_string(ev.slot)},
+                    {"done", ev.detail}};
+            send(f);
+            break;
+          }
+          case TransportEvent::Kind::Finished:
+            slot.busy = false;
+            if (!ev.cleanExit) {
+                local_.finishAttempt(ev.slot, false);
+                sendFail(ev.slot, ev.detail);
+                break;
+            }
+            // fetchArtifact verifies the worker-reported digest
+            // against the bytes on this host's disk; the driver
+            // re-verifies what it receives, so the artifact is
+            // digest-checked end to end across both hops.
+            try {
+                slot.artifact = local_.fetchArtifact(ev.slot);
+                slot.hasArtifact = true;
+                Frame f;
+                f.verb = "done";
+                f.kv = {{"slot", std::to_string(ev.slot)},
+                        {"bytes",
+                         std::to_string(slot.artifact.size())},
+                        {"digest",
+                         sim::contentDigest(slot.artifact)}};
+                send(f);
+                event("slot " + std::to_string(ev.slot) +
+                      ": done (" +
+                      std::to_string(slot.artifact.size()) +
+                      " bytes)");
+            } catch (const ConfigError &e) {
+                local_.finishAttempt(ev.slot, false);
+                sendFail(ev.slot,
+                         std::string("artifact invalid: ") +
+                             e.what());
+            }
+            break;
+          case TransportEvent::Kind::Lost:
+            // LocalTransport never loses slots (it is the process
+            // pool on this very host).
+            break;
+        }
+    }
+}
+
+void
+AgentSession::run()
+{
+    AgentHello hello;
+    hello.bin = std::filesystem::path(opt_.bin).filename().string();
+    hello.slots = opt_.slots;
+    hello.cases = cases_;
+    try {
+        send(helloFrame(hello));
+    } catch (const ConfigError &e) {
+        // A driver that resets between connect and handshake (or a
+        // port scanner) costs this session only, never the agent.
+        event(std::string("handshake failed: ") + e.what());
+        return;
+    }
+
+    for (;;) {
+        try {
+            bool open = channel_.fill();
+            while (auto line = channel_.nextLine())
+                handleFrame(parseFrame(*line));
+            if (!open) {
+                event("driver disconnected");
+                return;
+            }
+            pumpTransport();
+        } catch (const ConfigError &e) {
+            // A protocol violation or a dead socket (possibly
+            // surfacing as a failed send mid-report) ends the
+            // session, never the agent; tell the driver why if it
+            // can still hear.
+            event(std::string("session error: ") + e.what());
+            try {
+                Frame f;
+                f.verb = "error";
+                f.kv = {{"msg", frameSafe(e.what())}};
+                send(f);
+            } catch (const ConfigError &) {
+            }
+            return;
+        }
+        waitReadable(channel_.fd(), 15);
+    }
+    // ~LocalTransport kills and reaps anything still running, so a
+    // vanished driver never leaks workers on this host.
+}
+
+}  // namespace
+
+int
+runAgent(const AgentOptions &options)
+{
+    auto event = [&](const std::string &line) {
+        if (options.events)
+            *options.events << "agent: " << line << "\n"
+                            << std::flush;
+    };
+
+    std::size_t cases = 0;
+    try {
+        cases = orch::probeGridCases(options.bin);
+    } catch (const ConfigError &e) {
+        std::cerr << "regate_agent: " << e.what() << "\n";
+        return 2;
+    }
+
+    try {
+        std::filesystem::create_directories(options.dir);
+        std::uint16_t port = 0;
+        auto listener = tcpListen(options.port, &port);
+        event("serving " + options.bin + " (" +
+              std::to_string(cases) + " cases, " +
+              std::to_string(options.slots) + " slots)");
+        event("listening on port " + std::to_string(port));
+
+        int sessions = 0;
+        for (;;) {
+            std::string peer;
+            Socket conn;
+            try {
+                conn = tcpAccept(listener, &peer);
+            } catch (const ConfigError &e) {
+                // Transient accept failures (ECONNABORTED from a
+                // client resetting mid-handshake, fd pressure) must
+                // not take the host's slots out of the fleet.
+                event(std::string("accept failed: ") + e.what());
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                continue;
+            }
+            event("driver connected from " + peer);
+            AgentSession(options, cases,
+                         LineChannel(std::move(conn), peer))
+                .run();
+            if (options.maxSessions > 0 &&
+                ++sessions >= options.maxSessions) {
+                event("served " + std::to_string(sessions) +
+                      " session(s); exiting");
+                return 0;
+            }
+        }
+    } catch (const ConfigError &e) {
+        std::cerr << "regate_agent: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "regate_agent: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace net
+}  // namespace regate

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The per-host fleet agent: a thin server that lets one
+ * orchestrator drive worker subprocesses on this machine over TCP.
+ * `regate_agent` (bench/regate_agent.cc) is the CLI wrapper; the
+ * logic lives here so the protocol paths stay linkable from tests.
+ *
+ * The agent probes its target binary with `--cases` at startup
+ * (rejecting non-grid binaries exactly like the orchestrator does),
+ * then serves driver sessions one at a time: hello/capabilities on
+ * accept, `assign` spawns `BIN --worker --shard i/M --out ...` into
+ * the agent's work directory via the same orch::ProcessPool the
+ * local transport uses, worker heartbeat lines are relayed as
+ * `case` frames, a clean exit is digest-verified locally and
+ * announced with `done`, and `fetch` streams the artifact bytes
+ * back. A dropped driver connection kills every running worker and
+ * returns to accept — an orchestrator crash never leaks workers on
+ * fleet hosts.
+ *
+ * Trust model: plaintext TCP on a trusted network; tunnel the port
+ * over ssh when the network is not (bench/README.md).
+ */
+
+#ifndef REGATE_NET_AGENT_H
+#define REGATE_NET_AGENT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace regate {
+namespace net {
+
+struct AgentOptions
+{
+    std::string bin;        ///< Grid-shaped figure/table binary.
+    std::string dir;        ///< Work directory (attempts, logs).
+    std::uint16_t port = 0; ///< TCP port; 0 = ephemeral.
+    int slots = 2;          ///< Worker slots offered to the driver.
+    /**
+     * Exit after this many driver sessions (0 = serve forever).
+     * Tests and the CI fleet job use 1 so agents reap themselves.
+     */
+    int maxSessions = 0;
+
+    /// Event sink ("agent: ..." lines); null = silent.
+    std::ostream *events = nullptr;
+};
+
+/**
+ * Probe the target, listen, and serve. Returns a process exit code
+ * (0 = clean shutdown after maxSessions). Throws nothing; all
+ * failures are reported on the event sink / stderr and encoded in
+ * the exit code (2 = usage-grade, e.g. a non-grid binary).
+ */
+int runAgent(const AgentOptions &options);
+
+}  // namespace net
+}  // namespace regate
+
+#endif  // REGATE_NET_AGENT_H

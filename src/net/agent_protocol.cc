@@ -1,0 +1,293 @@
+#include "net/agent_protocol.h"
+
+#include <cctype>
+#include <climits>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace regate {
+namespace net {
+
+namespace {
+
+const std::string kMagic = "@regate-net";
+
+bool
+plainValue(const std::string &value)
+{
+    if (value.empty())
+        return false;
+    for (char c : value)
+        if (c == ' ' || c == '"' || c == '\n' || c == '\r')
+            return false;
+    return true;
+}
+
+}  // namespace
+
+bool
+Frame::has(const std::string &key) const
+{
+    for (const auto &[k, v] : kv) {
+        (void)v;
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+const std::string &
+Frame::get(const std::string &key) const
+{
+    for (const auto &[k, v] : kv)
+        if (k == key)
+            return v;
+    throw ConfigError("frame '" + verb + "' carries no " + key +
+                      "= field");
+}
+
+long long
+Frame::getInt(const std::string &key) const
+{
+    const auto &value = get(key);
+    REGATE_CHECK(!value.empty() &&
+                     value.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 "frame '", verb, "' field ", key, "=\"", value,
+                 "\" is not a non-negative integer");
+    try {
+        return std::stoll(value);
+    } catch (const std::out_of_range &) {
+        throw ConfigError("frame '" + verb + "' field " + key + "=" +
+                          value + " is out of range");
+    }
+}
+
+int
+Frame::getIndex(const std::string &key) const
+{
+    long long v = getInt(key);
+    REGATE_CHECK(v <= static_cast<long long>(INT_MAX),
+                 "frame '", verb, "' field ", key, "=", v,
+                 " does not fit an index");
+    return static_cast<int>(v);
+}
+
+std::string
+formatFrame(const Frame &frame)
+{
+    REGATE_ASSERT(!frame.verb.empty() && plainValue(frame.verb),
+                  "frame verb must be a bare word");
+    std::string out = kMagic + " v" +
+                      std::to_string(kProtocolVersion) + " " +
+                      frame.verb;
+    for (const auto &[key, value] : frame.kv) {
+        REGATE_ASSERT(plainValue(key), "frame key \"", key,
+                      "\" must be a bare word");
+        out += " " + key + "=";
+        if (plainValue(value)) {
+            out += value;
+        } else {
+            REGATE_ASSERT(value.find('"') == std::string::npos &&
+                              value.find('\n') == std::string::npos &&
+                              value.find('\r') == std::string::npos,
+                          "frame value for ", key,
+                          " cannot carry quotes or newlines");
+            out += "\"" + value + "\"";
+        }
+    }
+    return out;
+}
+
+Frame
+parseFrame(const std::string &line)
+{
+    REGATE_CHECK(line.compare(0, kMagic.size(), kMagic) == 0 &&
+                     line.size() > kMagic.size() &&
+                     line[kMagic.size()] == ' ',
+                 "not a fleet protocol frame: \"", line, "\"");
+    std::size_t at = kMagic.size() + 1;
+
+    // Version token: "v<digits>".
+    auto sp = line.find(' ', at);
+    std::string vtok = line.substr(
+        at, sp == std::string::npos ? std::string::npos : sp - at);
+    REGATE_CHECK(vtok.size() >= 2 && vtok[0] == 'v' &&
+                     vtok.find_first_not_of("0123456789", 1) ==
+                         std::string::npos,
+                 "malformed protocol version token \"", vtok,
+                 "\" in frame \"", line, "\"");
+    int version = 0;
+    try {
+        version = std::stoi(vtok.substr(1));
+    } catch (const std::out_of_range &) {
+        // An absurd digit string is still a peer speaking some
+        // other protocol revision, not an internal error — it must
+        // stay inside the ConfigError containment every session
+        // handler relies on.
+        throw ConfigError("protocol version mismatch: peer speaks " +
+                          vtok + ", this build speaks v" +
+                          std::to_string(kProtocolVersion));
+    }
+    REGATE_CHECK(version == kProtocolVersion,
+                 "protocol version mismatch: peer speaks v", version,
+                 ", this build speaks v", kProtocolVersion);
+    REGATE_CHECK(sp != std::string::npos,
+                 "frame \"", line, "\" carries no verb");
+    at = sp + 1;
+
+    Frame frame;
+    auto verb_end = line.find(' ', at);
+    frame.verb = line.substr(at, verb_end == std::string::npos
+                                     ? std::string::npos
+                                     : verb_end - at);
+    REGATE_CHECK(!frame.verb.empty() &&
+                     frame.verb.find('=') == std::string::npos,
+                 "frame \"", line, "\" carries no verb");
+    at = verb_end == std::string::npos ? line.size() : verb_end + 1;
+
+    while (at < line.size()) {
+        if (line[at] == ' ') {
+            ++at;
+            continue;
+        }
+        auto eq = line.find('=', at);
+        REGATE_CHECK(eq != std::string::npos && eq > at,
+                     "malformed key=value token at \"",
+                     line.substr(at), "\" in frame \"", line, "\"");
+        std::string key = line.substr(at, eq - at);
+        std::string value;
+        at = eq + 1;
+        if (at < line.size() && line[at] == '"') {
+            auto close = line.find('"', at + 1);
+            REGATE_CHECK(close != std::string::npos,
+                         "unterminated quoted value for ", key,
+                         " in frame \"", line, "\"");
+            value = line.substr(at + 1, close - at - 1);
+            at = close + 1;
+            REGATE_CHECK(at >= line.size() || line[at] == ' ',
+                         "garbage after quoted value for ", key,
+                         " in frame \"", line, "\"");
+        } else {
+            auto end = line.find(' ', at);
+            value = line.substr(at, end == std::string::npos
+                                        ? std::string::npos
+                                        : end - at);
+            at = end == std::string::npos ? line.size() : end;
+        }
+        frame.kv.emplace_back(std::move(key), std::move(value));
+    }
+    return frame;
+}
+
+Frame
+helloFrame(const AgentHello &hello)
+{
+    Frame f;
+    f.verb = "hello";
+    f.kv = {{"role", "agent"},
+            {"bin", hello.bin},
+            {"slots", std::to_string(hello.slots)},
+            {"cases", std::to_string(hello.cases)}};
+    return f;
+}
+
+AgentHello
+parseHello(const Frame &frame)
+{
+    REGATE_CHECK(frame.verb == "hello",
+                 "expected a hello frame, got '", frame.verb, "'");
+    REGATE_CHECK(frame.get("role") == "agent",
+                 "hello role is '", frame.get("role"),
+                 "', expected 'agent'");
+    AgentHello hello;
+    hello.bin = frame.get("bin");
+    hello.slots = frame.getIndex("slots");
+    hello.cases =
+        static_cast<std::size_t>(frame.getInt("cases"));
+    REGATE_CHECK(hello.slots > 0, "agent hello offers ", hello.slots,
+                 " slots");
+    return hello;
+}
+
+namespace {
+
+const std::string kWorkerMarker = "@regate-worker v1 ";
+
+}  // namespace
+
+std::string
+workerDoneDigest(const std::string &log)
+{
+    const std::string marker = kWorkerMarker + "done ";
+    const std::string key = "file_digest=";
+    auto line_start = log.rfind(marker);
+    REGATE_CHECK(line_start != std::string::npos,
+                 "worker exited 0 but its log has no handshake "
+                 "done line");
+    auto line_end = log.find('\n', line_start);
+    auto line = log.substr(line_start,
+                           line_end == std::string::npos
+                               ? std::string::npos
+                               : line_end - line_start);
+    auto key_at = line.find(key);
+    REGATE_CHECK(key_at != std::string::npos,
+                 "worker done line carries no file_digest");
+    auto digest = line.substr(key_at + key.size());
+    auto space = digest.find(' ');
+    if (space != std::string::npos)
+        digest.resize(space);
+    return digest;
+}
+
+int
+scanWorkerHeartbeats(const std::string &text, std::string *progress)
+{
+    const std::string marker = kWorkerMarker + "case ";
+    int seen = 0;
+    std::size_t at = 0;
+    while ((at = text.find(marker, at)) != std::string::npos) {
+        auto start = at + marker.size();
+        auto end = text.find('\n', start);
+        if (end == std::string::npos)
+            break;  // Partial line; the next scan completes it.
+        *progress = text.substr(start, end - start);
+        ++seen;
+        at = end;
+    }
+    return seen;
+}
+
+int
+tailWorkerHeartbeats(const std::string &log_path,
+                     std::size_t *offset, std::string *progress)
+{
+    // Read only the unread suffix: this runs every scheduler tick
+    // (~15 ms) per busy slot, so re-reading the whole log each time
+    // would make a long shard's heartbeat polling O(n^2) I/O.
+    std::ifstream in(log_path, std::ios::binary);
+    if (!in.good())
+        return 0;  // Not created yet — nothing to report.
+    in.seekg(0, std::ios::end);
+    auto size = static_cast<std::size_t>(in.tellg());
+    if (size <= *offset)
+        return 0;
+    std::string text(size - *offset, '\0');
+    in.seekg(static_cast<std::streamoff>(*offset));
+    in.read(text.data(), static_cast<std::streamsize>(text.size()));
+    if (in.gcount() >= 0 &&
+        static_cast<std::size_t>(in.gcount()) < text.size())
+        text.resize(static_cast<std::size_t>(in.gcount()));
+
+    int seen = scanWorkerHeartbeats(text, progress);
+    // Advance past the last complete line only; a trailing partial
+    // heartbeat is re-scanned once its newline lands.
+    auto last_nl = text.rfind('\n');
+    if (last_nl != std::string::npos)
+        *offset += last_nl + 1;
+    return seen;
+}
+
+}  // namespace net
+}  // namespace regate

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The line-framed fleet protocol (version 1) spoken between the
+ * orchestrator's TcpTransport and a `regate_agent` process. Both
+ * ends share this one definition, so a malformed, truncated, or
+ * version-skewed frame is rejected with the same precise message
+ * everywhere.
+ *
+ * A frame is one text line:
+ *
+ *     @regate-net v1 <verb> key=value key="value with spaces" ...
+ *
+ * Values containing spaces are double-quoted (no embedded quotes or
+ * newlines — enforced at format time). The conversation:
+ *
+ *   agent -> driver on accept:
+ *     hello role=agent bin=<name> slots=<n> cases=<grid size>
+ *         The capability line. The driver cross-checks bin and
+ *         cases against its own probe of the target binary, so a
+ *         fleet can never mix two figures (or two builds whose
+ *         grids differ) into one merged document.
+ *   driver -> agent:
+ *     assign slot=<s> shard=<i> shards=<M> attempt=<k>
+ *         stall=<sec> slow=<sec>
+ *         Run one shard attempt on agent slot s (stall/slow are the
+ *         failure-injection hooks, 0 = off).
+ *     fetch slot=<s>      Request the finished slot's artifact.
+ *     kill slot=<s>       SIGKILL the slot's worker.
+ *   agent -> driver:
+ *     case slot=<s> done=<k>/<n>
+ *         Per-case heartbeat relayed from the worker's
+ *         `@regate-worker v1 case` lines.
+ *     done slot=<s> bytes=<n> digest=<hex16>
+ *         Worker exited 0 and its artifact validated locally
+ *         (worker-reported digest vs the bytes on the agent's
+ *         disk). digest is sim::contentDigest of the artifact.
+ *     fail slot=<s> reason="..."
+ *         Worker crashed, was killed, or produced an invalid
+ *         artifact.
+ *     artifact slot=<s> bytes=<n> digest=<hex16>
+ *         Reply to fetch; exactly n raw payload bytes follow the
+ *         newline. The driver recomputes the digest over the bytes
+ *         it received — a mismatch is a failed attempt, not a
+ *         merged lie.
+ *     error msg="..."
+ *         Session-fatal protocol error; the agent closes after
+ *         sending it.
+ */
+
+#ifndef REGATE_NET_AGENT_PROTOCOL_H
+#define REGATE_NET_AGENT_PROTOCOL_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace regate {
+namespace net {
+
+/** The protocol revision this build speaks. */
+constexpr int kProtocolVersion = 1;
+
+/** One parsed frame: a verb plus ordered key=value pairs. */
+struct Frame
+{
+    std::string verb;
+    std::vector<std::pair<std::string, std::string>> kv;
+
+    bool has(const std::string &key) const;
+
+    /** Value of @p key; throws ConfigError naming a missing key. */
+    const std::string &get(const std::string &key) const;
+
+    /** get() parsed as a non-negative integer; throws on garbage. */
+    long long getInt(const std::string &key) const;
+
+    /**
+     * getInt() narrowed to int. Peers address slots/shards with
+     * these; a value above INT_MAX must be rejected here, not
+     * wrapped by a cast into some *valid* index and mis-routed.
+     */
+    int getIndex(const std::string &key) const;
+};
+
+/**
+ * Render a frame as its wire line (no trailing newline). Values with
+ * spaces are quoted; a value with an embedded quote, newline, or
+ * other unrepresentable byte throws LogicError (protocol misuse).
+ */
+std::string formatFrame(const Frame &frame);
+
+/**
+ * Parse one wire line. Throws ConfigError for anything that is not
+ * a well-formed version-1 frame: wrong magic, a protocol version
+ * other than kProtocolVersion (named in the message), a missing
+ * verb, or a malformed/unterminated key=value token.
+ */
+Frame parseFrame(const std::string &line);
+
+/** The agent's capability line (see the file comment). */
+struct AgentHello
+{
+    std::string bin;        ///< Target binary base name.
+    int slots = 0;          ///< Worker slots the agent offers.
+    std::size_t cases = 0;  ///< The target's probed grid size.
+};
+
+Frame helloFrame(const AgentHello &hello);
+
+/** Parse + validate a hello; throws ConfigError with specifics. */
+AgentHello parseHello(const Frame &frame);
+
+/**
+ * Worker-handshake log parsing, shared by every driver of `--worker`
+ * subprocesses (the local transport and the agent): both tail the
+ * worker's captured log for `@regate-worker v1` lines.
+ */
+
+/**
+ * The worker's reported whole-file digest from its done line;
+ * throws ConfigError when a clean exit left no parseable done line.
+ */
+std::string workerDoneDigest(const std::string &log);
+
+/**
+ * Scan new log bytes for per-case heartbeat lines
+ * (`@regate-worker v1 case k/n`); the last complete one wins as
+ * @p progress ("k/n"). Returns how many were seen.
+ */
+int scanWorkerHeartbeats(const std::string &text,
+                         std::string *progress);
+
+/**
+ * Incrementally tail a worker's log file for heartbeats: reads
+ * @p log_path (a still-missing file is simply "nothing yet"),
+ * scans the unread suffix from @p *offset, advances the offset
+ * past the last complete line (a trailing partial line is left for
+ * the next call), and records the latest "k/n" in @p progress.
+ * Returns how many new heartbeat lines were seen. Shared by the
+ * local transport and the agent so the partial-line subtleties
+ * live in exactly one place.
+ */
+int tailWorkerHeartbeats(const std::string &log_path,
+                         std::size_t *offset,
+                         std::string *progress);
+
+}  // namespace net
+}  // namespace regate
+
+#endif  // REGATE_NET_AGENT_PROTOCOL_H

@@ -1,0 +1,346 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace regate {
+namespace net {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+}  // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+tcpListen(std::uint16_t port, std::uint16_t *bound_port)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    REGATE_CHECK(sock.valid(), "cannot create socket: ",
+                 errnoText());
+    int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    REGATE_CHECK(::bind(sock.fd(),
+                        reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)) == 0,
+                 "cannot bind TCP port ", port, ": ", errnoText());
+    REGATE_CHECK(::listen(sock.fd(), 8) == 0, "cannot listen on ",
+                 port, ": ", errnoText());
+    if (bound_port) {
+        socklen_t len = sizeof(addr);
+        REGATE_CHECK(::getsockname(sock.fd(),
+                                   reinterpret_cast<sockaddr *>(
+                                       &addr),
+                                   &len) == 0,
+                     "getsockname failed: ", errnoText());
+        *bound_port = ntohs(addr.sin_port);
+    }
+    return sock;
+}
+
+Socket
+tcpAccept(const Socket &listener, std::string *peer)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    int fd = -1;
+    do {
+        fd = ::accept(listener.fd(),
+                      reinterpret_cast<sockaddr *>(&addr), &len);
+    } while (fd < 0 && errno == EINTR);
+    REGATE_CHECK(fd >= 0, "accept failed: ", errnoText());
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (peer) {
+        char host[INET_ADDRSTRLEN] = "?";
+        ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
+        *peer = std::string(host) + ":" +
+                std::to_string(ntohs(addr.sin_port));
+    }
+    return Socket(fd);
+}
+
+Socket
+tcpConnect(const std::string &host, std::uint16_t port)
+{
+    // Bounded connect: a powered-off or firewalled fleet host must
+    // fail startup in seconds, not wait out the kernel's SYN
+    // retries (minutes) while every other slot sits idle.
+    constexpr int kConnectTimeoutMs = 10000;
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(),
+                           std::to_string(port).c_str(), &hints,
+                           &res);
+    REGATE_CHECK(rc == 0 && res, "cannot resolve ", host, ": ",
+                 gai_strerror(rc));
+    Socket sock(::socket(res->ai_family, res->ai_socktype,
+                         res->ai_protocol));
+    if (!sock.valid()) {
+        ::freeaddrinfo(res);
+        throw ConfigError("cannot create socket: " + errnoText());
+    }
+    int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+    int ok = -1;
+    do {
+        ok = ::connect(sock.fd(), res->ai_addr, res->ai_addrlen);
+    } while (ok < 0 && errno == EINTR);
+    ::freeaddrinfo(res);
+    if (ok < 0 && errno == EINPROGRESS) {
+        pollfd pfd{};
+        pfd.fd = sock.fd();
+        pfd.events = POLLOUT;
+        int pr = 0;
+        do {
+            pr = ::poll(&pfd, 1, kConnectTimeoutMs);
+        } while (pr < 0 && errno == EINTR);
+        REGATE_CHECK(pr > 0, "cannot connect to ", host, ":", port,
+                     ": no answer within ",
+                     kConnectTimeoutMs / 1000, "s");
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len);
+        REGATE_CHECK(err == 0, "cannot connect to ", host, ":",
+                     port, ": ", std::strerror(err));
+        ok = 0;
+    }
+    REGATE_CHECK(ok == 0, "cannot connect to ", host, ":", port,
+                 ": ", errnoText());
+    ::fcntl(sock.fd(), F_SETFL, flags);
+    int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    return sock;
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int rc = 0;
+    do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    return rc > 0;
+}
+
+LineChannel::LineChannel(Socket sock, std::string peer_name)
+    : sock_(std::move(sock)), peer_(std::move(peer_name))
+{
+    REGATE_CHECK(sock_.valid(), peer_, ": channel on a dead socket");
+}
+
+bool
+LineChannel::fill()
+{
+    if (eof_)
+        return false;
+    for (;;) {
+        char chunk[4096];
+        ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk),
+                           MSG_DONTWAIT);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            return false;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        eof_ = true;
+        throw ConfigError(peer_ + ": connection error: " +
+                          errnoText());
+    }
+}
+
+std::optional<std::string>
+LineChannel::nextLine()
+{
+    auto nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) {
+        // Compact the consumed prefix away so a long session does
+        // not grow the buffer without bound.
+        if (pos_ > 0) {
+            buf_.erase(0, pos_);
+            pos_ = 0;
+        }
+        return std::nullopt;
+    }
+    std::string line = buf_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return line;
+}
+
+bool
+LineChannel::fillOnce(int timeout_ms)
+{
+    if (!waitReadable(sock_.fd(), timeout_ms))
+        return false;
+    fill();
+    return true;
+}
+
+namespace {
+
+/**
+ * Turn a per-operation timeout into a fixed deadline, so the budget
+ * is TOTAL: a peer trickling one byte per poll interval cannot
+ * re-arm it forever and wedge the single-threaded driver loop.
+ */
+class Deadline
+{
+  public:
+    explicit Deadline(int timeout_ms)
+        : deadline_(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms < 0
+                                                  ? 0
+                                                  : timeout_ms)),
+          infinite_(timeout_ms < 0)
+    {}
+
+    /** Remaining budget in ms for one poll; <0 only if infinite. */
+    int
+    remainingMs() const
+    {
+        if (infinite_)
+            return -1;
+        auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline_ - std::chrono::steady_clock::now())
+                .count();
+        return left > 0 ? static_cast<int>(left) : 0;
+    }
+
+    bool
+    expired() const
+    {
+        return !infinite_ &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point deadline_;
+    bool infinite_;
+};
+
+}  // namespace
+
+std::string
+LineChannel::readLine(int timeout_ms)
+{
+    Deadline deadline(timeout_ms);
+    for (;;) {
+        if (auto line = nextLine())
+            return *line;
+        REGATE_CHECK(!eof_, peer_, ": connection closed",
+                     pos_ < buf_.size() ? " mid-frame (truncated "
+                                          "protocol line)"
+                                        : "");
+        REGATE_CHECK(!deadline.expired() &&
+                         fillOnce(deadline.remainingMs()),
+                     peer_,
+                     ": timed out waiting for a protocol line");
+    }
+}
+
+std::string
+LineChannel::readExact(std::size_t n, int timeout_ms)
+{
+    // Unlike readLine (bounded, one small frame), a payload can
+    // legitimately take several timeout periods over a slow link —
+    // so the deadline is PROGRESS-based (re-armed whenever bytes
+    // arrive) under a hard overall cap of kOverallFactor budgets,
+    // which keeps a byte-trickling wedged peer from re-arming the
+    // driver's fetch forever while a merely slow link gets an
+    // order of magnitude more than one budget.
+    constexpr int kOverallFactor = 10;
+    Deadline overall(timeout_ms < 0 ? timeout_ms
+                                    : timeout_ms * kOverallFactor);
+    Deadline chunk(timeout_ms);
+    while (buf_.size() - pos_ < n) {
+        REGATE_CHECK(!eof_, peer_, ": connection closed "
+                     "mid-transfer (", buf_.size() - pos_, " of ",
+                     n, " payload bytes received)");
+        auto had = buf_.size();
+        REGATE_CHECK(!chunk.expired() && !overall.expired() &&
+                         fillOnce(chunk.remainingMs()),
+                     peer_,
+                     ": timed out mid-transfer (", buf_.size() - pos_,
+                     " of ", n, " payload bytes received)");
+        if (buf_.size() > had)
+            chunk = Deadline(timeout_ms);
+    }
+    std::string out = buf_.substr(pos_, n);
+    pos_ += n;
+    return out;
+}
+
+void
+LineChannel::sendLine(const std::string &line)
+{
+    sendBytes(line + "\n");
+}
+
+void
+LineChannel::sendBytes(const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        // MSG_NOSIGNAL: a dead peer must surface as a ConfigError
+        // on this connection, not SIGPIPE the whole fleet driver.
+        ssize_t n = ::send(sock_.fd(), bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            eof_ = true;
+            throw ConfigError(peer_ + ": send failed: " +
+                              errnoText());
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace net
+}  // namespace regate

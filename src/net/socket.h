@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Minimal POSIX stream-socket layer for the remote worker fleet:
+ * an RAII fd wrapper, loopback/LAN TCP listen/accept/connect, and a
+ * LineChannel that buffers a full-duplex byte stream into the
+ * line-framed protocol of net/agent_protocol.h (complete lines out,
+ * exact-length binary reads for artifact payloads).
+ *
+ * Everything here throws ConfigError with the peer's name in the
+ * message instead of returning error codes: a fleet-transport
+ * failure is an attempt/connection failure the orchestrator's retry
+ * machinery handles, never a crash. Plaintext TCP — the trust model
+ * is a trusted network (bench/README.md "Remote fleets").
+ */
+
+#ifndef REGATE_NET_SOCKET_H
+#define REGATE_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace regate {
+namespace net {
+
+/** RAII file descriptor (socket or socketpair end). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listen on TCP @p port (0 = ephemeral); @p bound_port receives the
+ * actual port. Binds all interfaces — the agent serves whatever
+ * network it is on; restrict exposure with the network, not here.
+ */
+Socket tcpListen(std::uint16_t port, std::uint16_t *bound_port);
+
+/** Accept one connection; @p peer receives "addr:port" if non-null. */
+Socket tcpAccept(const Socket &listener, std::string *peer);
+
+/** Connect to @p host : @p port (numeric or resolvable name). */
+Socket tcpConnect(const std::string &host, std::uint16_t port);
+
+/**
+ * Wait until @p fd is readable or @p timeout_ms elapses (-1 = wait
+ * forever). Returns false on timeout.
+ */
+bool waitReadable(int fd, int timeout_ms);
+
+/**
+ * Line/byte framing over one connected stream socket. Reads are
+ * buffered; writes go straight out (the frames are small and the
+ * artifact payloads are one-shot).
+ */
+class LineChannel
+{
+  public:
+    LineChannel(Socket sock, std::string peer_name);
+
+    const std::string &peerName() const { return peer_; }
+    int fd() const { return sock_.fd(); }
+
+    /**
+     * Drain whatever the peer has sent into the buffer without
+     * blocking. Returns false once the peer has closed the
+     * connection (buffered complete lines may still be pending);
+     * throws ConfigError on a socket error.
+     */
+    bool fill();
+
+    /** Next complete buffered line (without '\n'), if any. */
+    std::optional<std::string> nextLine();
+
+    /**
+     * Block until a complete line arrives; throws ConfigError on
+     * timeout, on a connection closed mid-line (truncated frame),
+     * or on a socket error. @p timeout_ms is a TOTAL budget for
+     * the operation (a trickling peer cannot re-arm it); negative
+     * waits forever.
+     */
+    std::string readLine(int timeout_ms);
+
+    /**
+     * Read exactly @p n raw bytes (artifact payload). Throws
+     * ConfigError if the connection closes mid-transfer, the
+     * stream goes silent for @p timeout_ms (the budget re-arms on
+     * progress, so a slow-but-flowing link survives), or a hard
+     * overall cap of 10 budgets elapses (so a byte-trickling
+     * wedged peer cannot re-arm it forever).
+     */
+    std::string readExact(std::size_t n, int timeout_ms);
+
+    /** Send one frame line; appends '\n'. Throws on a dead peer. */
+    void sendLine(const std::string &line);
+
+    /** Send raw bytes (artifact payload). Throws on a dead peer. */
+    void sendBytes(const std::string &bytes);
+
+    /** Has the peer closed (and the buffer run dry of lines)? */
+    bool closed() const { return eof_; }
+
+  private:
+    bool fillOnce(int timeout_ms);  ///< One read; false on timeout.
+
+    Socket sock_;
+    std::string peer_;
+    std::string buf_;
+    std::size_t pos_ = 0;  ///< Consumed prefix of buf_.
+    bool eof_ = false;
+};
+
+}  // namespace net
+}  // namespace regate
+
+#endif  // REGATE_NET_SOCKET_H

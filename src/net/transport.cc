@@ -1,0 +1,488 @@
+#include "net/transport.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/error.h"
+#include "net/agent_protocol.h"
+#include "orch/fs.h"
+#include "orch/planner.h"
+#include "sim/serialize.h"
+
+namespace regate {
+namespace net {
+
+namespace {
+
+/** Handshake timeouts; generous, these are one-line exchanges. */
+constexpr int kHelloTimeoutMs = 10000;
+/** Artifact fetch budget: a hung agent must not wedge the driver. */
+constexpr int kFetchTimeoutMs = 60000;
+
+std::vector<std::pair<std::string, std::string>>
+injectionEnv(const ShardAssignment &a)
+{
+    // Always set the hooks explicitly — "0" for normal attempts —
+    // so a REGATE_TEST_* exported in the driving process's own
+    // environment (e.g. left over from reproducing a test) can
+    // never leak into every worker.
+    return {{"REGATE_TEST_STALL_S", std::to_string(a.stallSeconds)},
+            {"REGATE_TEST_SLOW_CASE_S",
+             std::to_string(a.slowCaseSeconds)}};
+}
+
+}  // namespace
+
+// ---- LocalTransport ----
+
+struct LocalTransport::Slot
+{
+    bool busy = false;
+    pid_t pid = -1;
+    int shard = -1;
+    std::string attemptPath;
+    std::string logPath;
+    std::size_t logOffset = 0;  ///< Heartbeat scan position.
+};
+
+LocalTransport::LocalTransport(std::string bin, std::string dir,
+                               int slots)
+    : bin_(std::move(bin)), dir_(std::move(dir))
+{
+    REGATE_CHECK(slots > 0, "local transport needs at least one "
+                 "slot, got ", slots);
+    slots_.resize(static_cast<std::size_t>(slots));
+}
+
+LocalTransport::~LocalTransport() = default;
+
+int
+LocalTransport::slotCount() const
+{
+    return static_cast<int>(slots_.size());
+}
+
+LocalTransport::Slot &
+LocalTransport::at(int slot)
+{
+    REGATE_ASSERT(slot >= 0 &&
+                      static_cast<std::size_t>(slot) < slots_.size(),
+                  name_, " has no slot ", slot);
+    return slots_[static_cast<std::size_t>(slot)];
+}
+
+const LocalTransport::Slot &
+LocalTransport::at(int slot) const
+{
+    return const_cast<LocalTransport *>(this)->at(slot);
+}
+
+std::string
+LocalTransport::start(int slot, const ShardAssignment &a)
+{
+    auto &s = at(slot);
+    REGATE_ASSERT(!s.busy, name_, " slot ", slot,
+                  " is already running shard ", s.shard);
+    // Process-wide serial: attempt/log names embed (pid, serial),
+    // and failed attempts keep their logs for forensics — a
+    // per-instance counter would collide across the transports an
+    // agent creates per session (same pid, same work dir), letting
+    // a new worker O_APPEND onto an old session's kept log and
+    // replay its stale heartbeats as this attempt's progress.
+    static std::atomic<int> next_serial{0};
+    int serial = ++next_serial;
+    s.shard = a.shard;
+    s.attemptPath =
+        dir_ + "/" +
+        orch::attemptFileName(a.shard,
+                              static_cast<long>(::getpid()), serial);
+    s.logPath = s.attemptPath + ".log";
+    s.logOffset = 0;
+
+    std::string spec = std::to_string(a.shard) + "/" +
+                       std::to_string(a.shardCount);
+    s.pid = pool_.spawn({bin_, "--worker", "--shard", spec, "--out",
+                         s.attemptPath},
+                        injectionEnv(a), s.logPath);
+    s.busy = true;
+    return "pid=" + std::to_string(s.pid);
+}
+
+std::vector<TransportEvent>
+LocalTransport::poll()
+{
+    std::vector<TransportEvent> events;
+
+    // Heartbeats: tail each busy slot's log for worker case lines.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        auto &s = slots_[i];
+        if (!s.busy)
+            continue;
+        std::string progress;
+        if (tailWorkerHeartbeats(s.logPath, &s.logOffset,
+                                 &progress) > 0) {
+            TransportEvent ev;
+            ev.slot = static_cast<int>(i);
+            ev.kind = TransportEvent::Kind::Progress;
+            ev.detail = progress;
+            events.push_back(std::move(ev));
+        }
+    }
+
+    for (const auto &exit : pool_.poll()) {
+        auto it = slots_.begin();
+        for (; it != slots_.end(); ++it)
+            if (it->busy && it->pid == exit.pid)
+                break;
+        REGATE_ASSERT(it != slots_.end(), "reaped unknown pid ",
+                      exit.pid);
+        it->busy = false;
+        TransportEvent ev;
+        ev.slot = static_cast<int>(it - slots_.begin());
+        ev.kind = TransportEvent::Kind::Finished;
+        ev.cleanExit = orch::ProcessPool::exitedCleanly(
+            exit.rawStatus);
+        ev.detail = orch::ProcessPool::describeStatus(
+            exit.rawStatus);
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+std::string
+LocalTransport::fetchArtifact(int slot)
+{
+    auto &s = at(slot);
+    // The worker's reported digest pins the bytes that landed on
+    // (possibly shared) storage; the caller merges exactly the
+    // bytes read here, so there is no second read that could
+    // observe a different file state.
+    auto content = readFile(s.attemptPath);
+    auto reported = workerDoneDigest(readFile(s.logPath));
+    auto on_disk = sim::contentDigest(content);
+    REGATE_CHECK(reported == on_disk,
+                 "worker reported file digest ", reported, " but ",
+                 on_disk,
+                 " landed on disk — truncated or concurrent write?");
+    return content;
+}
+
+void
+LocalTransport::kill(int slot)
+{
+    auto &s = at(slot);
+    if (s.busy)
+        pool_.kill(s.pid);
+}
+
+bool
+LocalTransport::promoteArtifact(int slot,
+                                const std::string &final_path)
+{
+    // The attempt file's bytes are exactly what fetchArtifact
+    // digest-verified; promote by rename instead of making the
+    // caller rewrite the whole artifact next to it.
+    auto &s = at(slot);
+    orch::renameFile(s.attemptPath, final_path);
+    return true;
+}
+
+void
+LocalTransport::finishAttempt(int slot, bool success)
+{
+    auto &s = at(slot);
+    orch::removeFileIfExists(s.attemptPath);
+    if (success)
+        orch::removeFileIfExists(s.logPath);
+    // Failure keeps the log for forensics (failureRef points at it).
+}
+
+std::string
+LocalTransport::failureRef(int slot) const
+{
+    return "worker log: " + at(slot).logPath;
+}
+
+// ---- TcpTransport ----
+
+struct TcpTransport::Slot
+{
+    bool busy = false;
+    int shard = -1;
+    bool done = false;          ///< done frame seen, artifact not yet
+                                ///< fetched.
+    std::string doneDigest;     ///< Digest promised by the done frame.
+    std::string lastFailure;    ///< reason= of the last fail frame.
+};
+
+std::unique_ptr<TcpTransport>
+TcpTransport::connect(const std::string &host, std::uint16_t port,
+                      int cli_slots, const std::string &expect_bin,
+                      std::size_t expect_cases)
+{
+    auto name = host + ":" + std::to_string(port);
+    return std::make_unique<TcpTransport>(tcpConnect(host, port),
+                                          name, cli_slots,
+                                          expect_bin, expect_cases);
+}
+
+TcpTransport::TcpTransport(Socket sock, std::string name,
+                           int cli_slots,
+                           const std::string &expect_bin,
+                           std::size_t expect_cases)
+    : name_(std::move(name)), channel_(std::move(sock), name_)
+{
+    auto hello =
+        parseHello(parseFrame(channel_.readLine(kHelloTimeoutMs)));
+    REGATE_CHECK(hello.bin == expect_bin, name_,
+                 ": agent serves ", hello.bin, " but this run "
+                 "drives ", expect_bin,
+                 " — point every agent at the same figure binary");
+    REGATE_CHECK(hello.cases == expect_cases, name_,
+                 ": agent's ", hello.bin, " reports ", hello.cases,
+                 " grid cases but the local binary reports ",
+                 expect_cases, " — mismatched builds?");
+    int slots = cli_slots > 0 ? std::min(cli_slots, hello.slots)
+                              : hello.slots;
+    slots_.resize(static_cast<std::size_t>(slots));
+}
+
+TcpTransport::~TcpTransport() = default;
+
+int
+TcpTransport::slotCount() const
+{
+    return static_cast<int>(slots_.size());
+}
+
+TcpTransport::Slot &
+TcpTransport::at(int slot)
+{
+    // ConfigError, not an internal assert: slot ids also arrive in
+    // agent frames, and a bad one from a buggy/skewed agent must
+    // retire THIS transport (poll's ConfigError containment), not
+    // abort the whole fleet run.
+    REGATE_CHECK(slot >= 0 &&
+                     static_cast<std::size_t>(slot) < slots_.size(),
+                 name_, " has no slot ", slot);
+    return slots_[static_cast<std::size_t>(slot)];
+}
+
+const TcpTransport::Slot &
+TcpTransport::at(int slot) const
+{
+    return const_cast<TcpTransport *>(this)->at(slot);
+}
+
+void
+TcpTransport::markDead(const std::string &reason,
+                       std::vector<TransportEvent> *events)
+{
+    if (!alive_)
+        return;
+    alive_ = false;
+    deathReason_ = reason;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].busy)
+            continue;
+        slots_[i].busy = false;
+        TransportEvent ev;
+        ev.slot = static_cast<int>(i);
+        ev.kind = TransportEvent::Kind::Lost;
+        ev.detail = reason;
+        events->push_back(std::move(ev));
+    }
+}
+
+void
+TcpTransport::handleFrame(const Frame &frame,
+                          std::vector<TransportEvent> *events)
+{
+    if (frame.verb == "error") {
+        markDead("agent reported: " + frame.get("msg"), events);
+        return;
+    }
+    int slot = frame.getIndex("slot");
+    auto &s = at(slot);
+    if (frame.verb == "case") {
+        TransportEvent ev;
+        ev.slot = slot;
+        ev.kind = TransportEvent::Kind::Progress;
+        ev.detail = frame.get("done");
+        events->push_back(std::move(ev));
+    } else if (frame.verb == "done") {
+        // An unsolicited done/fail for an idle slot is a protocol
+        // violation; letting it through would settle a slot the
+        // scheduler never assigned (shard -1) or re-settle a merged
+        // one. The throw lands in poll()'s markDead containment.
+        REGATE_CHECK(s.busy, name_, ": done frame for idle slot ",
+                     slot);
+        s.done = true;
+        s.doneDigest = frame.get("digest");
+        s.busy = false;
+        TransportEvent ev;
+        ev.slot = slot;
+        ev.kind = TransportEvent::Kind::Finished;
+        ev.cleanExit = true;
+        ev.detail = "exit 0";
+        events->push_back(std::move(ev));
+    } else if (frame.verb == "fail") {
+        REGATE_CHECK(s.busy, name_, ": fail frame for idle slot ",
+                     slot);
+        s.busy = false;
+        s.done = false;
+        s.lastFailure = frame.get("reason");
+        TransportEvent ev;
+        ev.slot = slot;
+        ev.kind = TransportEvent::Kind::Finished;
+        ev.cleanExit = false;
+        ev.detail = s.lastFailure;
+        events->push_back(std::move(ev));
+    } else {
+        throw ConfigError(name_ + ": unexpected frame '" +
+                          frame.verb + "' from agent");
+    }
+}
+
+std::string
+TcpTransport::start(int slot, const ShardAssignment &a)
+{
+    REGATE_CHECK(alive_, name_, ": agent connection is gone (",
+                 deathReason_, ")");
+    auto &s = at(slot);
+    REGATE_ASSERT(!s.busy, name_, " slot ", slot,
+                  " is already running shard ", s.shard);
+    Frame f;
+    f.verb = "assign";
+    f.kv = {{"slot", std::to_string(slot)},
+            {"shard", std::to_string(a.shard)},
+            {"shards", std::to_string(a.shardCount)},
+            {"attempt", std::to_string(a.attempt)},
+            {"stall", std::to_string(a.stallSeconds)},
+            {"slow", std::to_string(a.slowCaseSeconds)}};
+    try {
+        channel_.sendLine(formatFrame(f));
+    } catch (const ConfigError &) {
+        markDead("agent connection lost on assign", &queued_);
+        throw;
+    }
+    s.busy = true;
+    s.shard = a.shard;
+    s.done = false;
+    return "agent slot " + std::to_string(slot);
+}
+
+std::vector<TransportEvent>
+TcpTransport::poll()
+{
+    std::vector<TransportEvent> events;
+    std::swap(events, queued_);
+    if (!alive_)
+        return events;
+    try {
+        bool open = channel_.fill();
+        while (auto line = channel_.nextLine())
+            handleFrame(parseFrame(*line), &events);
+        if (!open)
+            markDead("agent connection lost", &events);
+    } catch (const ConfigError &e) {
+        markDead(e.what(), &events);
+    }
+    return events;
+}
+
+std::string
+TcpTransport::fetchArtifact(int slot)
+{
+    auto &s = at(slot);
+    REGATE_CHECK(alive_, name_, ": agent connection is gone (",
+                 deathReason_, ") before slot ", slot,
+                 "'s artifact could be fetched");
+    REGATE_CHECK(s.done, name_, ": slot ", slot,
+                 " has no finished artifact to fetch");
+    Frame req;
+    req.verb = "fetch";
+    req.kv = {{"slot", std::to_string(slot)}};
+
+    try {
+        channel_.sendLine(formatFrame(req));
+        for (;;) {
+            auto frame =
+                parseFrame(channel_.readLine(kFetchTimeoutMs));
+            if (frame.verb != "artifact") {
+                // Heartbeats / exits of other slots keep flowing
+                // during a transfer; queue them for the next poll.
+                handleFrame(frame, &queued_);
+                continue;
+            }
+            REGATE_CHECK(frame.getIndex("slot") == slot,
+                         name_, ": artifact for slot ",
+                         frame.get("slot"), " while fetching slot ",
+                         slot);
+            auto bytes = static_cast<std::size_t>(
+                frame.getInt("bytes"));
+            auto promised = frame.get("digest");
+            auto content =
+                channel_.readExact(bytes, kFetchTimeoutMs);
+            auto received = sim::contentDigest(content);
+            REGATE_CHECK(received == promised,
+                         name_, ": artifact digest mismatch — agent "
+                         "promised ", promised, " but the received "
+                         "bytes hash to ", received);
+            REGATE_CHECK(received == s.doneDigest,
+                         name_, ": artifact digest ", received,
+                         " does not match the done line's ",
+                         s.doneDigest);
+            s.done = false;
+            return content;
+        }
+    } catch (const ConfigError &) {
+        // A broken transfer kills the session: the stream position
+        // is unknowable, so no further frame can be trusted.
+        markDead("artifact transfer failed", &queued_);
+        throw;
+    }
+}
+
+void
+TcpTransport::kill(int slot)
+{
+    if (!alive_)
+        return;
+    Frame f;
+    f.verb = "kill";
+    f.kv = {{"slot", std::to_string(slot)}};
+    try {
+        channel_.sendLine(formatFrame(f));
+    } catch (const ConfigError &) {
+        markDead("agent connection lost on kill", &queued_);
+    }
+}
+
+void
+TcpTransport::abandon(const std::string &reason)
+{
+    markDead(reason, &queued_);
+}
+
+void
+TcpTransport::finishAttempt(int slot, bool success)
+{
+    (void)slot;
+    (void)success;
+    // The agent cleans up its own attempt files; failed-worker logs
+    // stay on the agent host for forensics.
+}
+
+std::string
+TcpTransport::failureRef(int slot) const
+{
+    (void)slot;
+    return "agent " + name_ + " worker logs";
+}
+
+}  // namespace net
+}  // namespace regate

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The slot-transport abstraction that makes the orchestrator's
+ * scheduler fleet-agnostic. A SlotTransport owns a fixed number of
+ * worker *slots* and knows how to run one shard attempt on a slot:
+ * spawn it, surface progress heartbeats and exits as polled events,
+ * hand back the produced artifact with end-to-end digest
+ * verification (common/hash.h fnv1a64 via sim::contentDigest), and
+ * kill a straggler. The orchestrator schedules over the union of
+ * every transport's slots with one dynamic shard queue; where an
+ * attempt runs — a forked subprocess or a worker on another host —
+ * is invisible to the retry/merge machinery.
+ *
+ *  - LocalTransport wraps orch::ProcessPool: each slot is a
+ *    `BIN --worker --shard i/M --out ...` subprocess whose log file
+ *    is tailed for handshake/heartbeat lines.
+ *  - TcpTransport speaks the net/agent_protocol.h framing to a
+ *    remote `regate_agent`, which wraps the same ProcessPool on its
+ *    host and streams validated artifacts back. Losing the
+ *    connection turns every busy slot into a failed attempt (Lost)
+ *    and retires the transport — the orchestrator's retry machinery
+ *    reassigns the shards exactly as it does for a killed
+ *    subprocess.
+ */
+
+#ifndef REGATE_NET_TRANSPORT_H
+#define REGATE_NET_TRANSPORT_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "orch/process_pool.h"
+
+namespace regate {
+namespace net {
+
+struct Frame;  // net/agent_protocol.h
+
+/** One shard attempt, as handed to a transport slot. */
+struct ShardAssignment
+{
+    int shard = 0;
+    int shardCount = 1;
+    int attempt = 1;
+    /** Test hooks (0 = off): see bench/bench_util.h. */
+    int stallSeconds = 0;     ///< REGATE_TEST_STALL_S for the worker.
+    int slowCaseSeconds = 0;  ///< REGATE_TEST_SLOW_CASE_S.
+};
+
+/** What poll() reports about a slot. */
+struct TransportEvent
+{
+    enum class Kind
+    {
+        Progress,  ///< Heartbeat (worker case line); detail = "k/n".
+        Finished,  ///< Worker exited; cleanExit says how.
+        Lost,      ///< Transport died with this slot busy.
+    };
+
+    int slot = -1;
+    Kind kind = Kind::Progress;
+    bool cleanExit = false;  ///< Finished: did the worker exit 0?
+    std::string detail;      ///< Status / progress / loss reason.
+};
+
+class SlotTransport
+{
+  public:
+    virtual ~SlotTransport() = default;
+
+    /** Display name ("local", "host:port") for event lines. */
+    virtual const std::string &name() const = 0;
+
+    virtual int slotCount() const = 0;
+
+    /** False once the transport can run no further attempts. */
+    virtual bool alive() const = 0;
+
+    /**
+     * Start one shard attempt on idle @p slot. Returns a short
+     * descriptor for the spawn event line ("pid=1234",
+     * "agent slot 0"). Throws ConfigError if the attempt cannot be
+     * started (the caller treats that as a failed attempt).
+     */
+    virtual std::string start(int slot,
+                              const ShardAssignment &assignment) = 0;
+
+    /** Drain pending events (non-blocking). */
+    virtual std::vector<TransportEvent> poll() = 0;
+
+    /**
+     * Fetch the artifact of a slot whose Finished event reported a
+     * clean exit, verified end to end: the bytes returned hash
+     * (sim::contentDigest) to exactly the digest the worker
+     * reported for what it wrote. Throws ConfigError on any
+     * mismatch, truncation, or mid-transfer disconnect — a failed
+     * attempt, never silent corruption.
+     */
+    virtual std::string fetchArtifact(int slot) = 0;
+
+    /** SIGKILL the slot's worker (async; exit arrives via poll). */
+    virtual void kill(int slot) = 0;
+
+    /**
+     * Give up on the transport entirely: a kill that never settles
+     * means the far side is wedged with the connection still open
+     * (e.g. a SIGSTOPped agent), so no frame from it can be
+     * expected — the next poll must surface every busy slot as
+     * Lost. A no-op for local subprocesses: the kernel guarantees a
+     * SIGKILLed child reaps.
+     */
+    virtual void abandon(const std::string &reason) = 0;
+
+    /**
+     * Promote the slot's artifact to @p final_path when the bytes
+     * already live in a local file (rename, no rewrite). Returns
+     * false when the transport holds no local file — the caller
+     * then writes the fetched bytes itself. Only meaningful after
+     * a successful fetchArtifact.
+     */
+    virtual bool promoteArtifact(int slot,
+                                 const std::string &final_path) = 0;
+
+    /**
+     * Attempt bookkeeping after the orchestrator settles a slot:
+     * success discards local attempt droppings, failure keeps what
+     * aids forensics (worker logs).
+     */
+    virtual void finishAttempt(int slot, bool success) = 0;
+
+    /** Where to look when an attempt failed (for event lines). */
+    virtual std::string failureRef(int slot) const = 0;
+};
+
+/** Worker subprocesses on this machine (the PR 4 pool, slotted). */
+class LocalTransport : public SlotTransport
+{
+  public:
+    /**
+     * @param bin    target binary (runs `--worker --shard i/M`).
+     * @param dir    run directory for attempt/log files.
+     * @param slots  subprocess slot count.
+     */
+    LocalTransport(std::string bin, std::string dir, int slots);
+    ~LocalTransport() override;
+
+    const std::string &name() const override { return name_; }
+    int slotCount() const override;
+    bool alive() const override { return true; }
+    std::string start(int slot,
+                      const ShardAssignment &assignment) override;
+    std::vector<TransportEvent> poll() override;
+    std::string fetchArtifact(int slot) override;
+    void kill(int slot) override;
+    void abandon(const std::string &) override {}
+    bool promoteArtifact(int slot,
+                         const std::string &final_path) override;
+    void finishAttempt(int slot, bool success) override;
+    std::string failureRef(int slot) const override;
+
+  private:
+    struct Slot;
+    Slot &at(int slot);
+    const Slot &at(int slot) const;
+
+    std::string bin_;
+    std::string dir_;
+    std::string name_ = "local";
+    std::vector<Slot> slots_;
+    orch::ProcessPool pool_;
+};
+
+/** Slots served by a remote `regate_agent` over one TCP session. */
+class TcpTransport : public SlotTransport
+{
+  public:
+    /**
+     * Connect to an agent, read its hello, and cross-check it
+     * against the driver's own probe of the target: @p expect_bin
+     * (base name) and @p expect_cases must match, or the fleet
+     * would merge results of different figures/builds. @p cli_slots
+     * caps the agent's advertised slot count (0 = take what it
+     * offers). Throws ConfigError on connect/handshake failure.
+     */
+    static std::unique_ptr<TcpTransport> connect(
+        const std::string &host, std::uint16_t port, int cli_slots,
+        const std::string &expect_bin, std::size_t expect_cases);
+
+    /**
+     * Wrap an already-connected socket (the tests drive this end of
+     * a socketpair against a scripted fake agent). Performs the
+     * same hello handshake and checks as connect().
+     */
+    TcpTransport(Socket sock, std::string name, int cli_slots,
+                 const std::string &expect_bin,
+                 std::size_t expect_cases);
+    ~TcpTransport() override;
+
+    const std::string &name() const override { return name_; }
+    int slotCount() const override;
+    bool alive() const override { return alive_; }
+    std::string start(int slot,
+                      const ShardAssignment &assignment) override;
+    std::vector<TransportEvent> poll() override;
+    std::string fetchArtifact(int slot) override;
+    void kill(int slot) override;
+    void abandon(const std::string &reason) override;
+    bool promoteArtifact(int slot,
+                         const std::string &final_path) override
+    {
+        // Remote artifacts arrive as bytes; the caller persists
+        // them.
+        (void)slot;
+        (void)final_path;
+        return false;
+    }
+    void finishAttempt(int slot, bool success) override;
+    std::string failureRef(int slot) const override;
+
+  private:
+    struct Slot;
+    Slot &at(int slot);
+    const Slot &at(int slot) const;
+    void markDead(const std::string &reason,
+                  std::vector<TransportEvent> *events);
+    void handleFrame(const Frame &frame,
+                     std::vector<TransportEvent> *events);
+
+    std::string name_;
+    LineChannel channel_;
+    std::vector<Slot> slots_;
+    bool alive_ = true;
+    std::string deathReason_;
+    /** Events decoded while fetchArtifact drained the channel. */
+    std::vector<TransportEvent> queued_;
+};
+
+}  // namespace net
+}  // namespace regate
+
+#endif  // REGATE_NET_TRANSPORT_H

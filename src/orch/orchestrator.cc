@@ -1,19 +1,19 @@
 #include "orch/orchestrator.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "net/transport.h"
 #include "orch/fs.h"
 #include "orch/planner.h"
+#include "orch/probe.h"
 #include "orch/process_pool.h"
 #include "orch/streaming_merge.h"
 #include "sim/serialize.h"
@@ -25,40 +25,16 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/** How long a killed attempt may take to settle before its
+ *  transport is declared wedged and abandoned. */
+constexpr double kKillGraceSec = 30;
+
 std::string
 fmtSeconds(double s)
 {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1f", s);
     return buf;
-}
-
-/**
- * The worker's reported whole-file digest, from the handshake line
- * in its captured log (bench/bench_util.h documents the protocol).
- */
-std::string
-workerDoneDigest(const std::string &log)
-{
-    const std::string marker = "@regate-worker v1 done ";
-    const std::string key = "file_digest=";
-    auto line_start = log.rfind(marker);
-    REGATE_CHECK(line_start != std::string::npos,
-                 "worker exited 0 but its log has no handshake "
-                 "done line");
-    auto line_end = log.find('\n', line_start);
-    auto line = log.substr(line_start,
-                           line_end == std::string::npos
-                               ? std::string::npos
-                               : line_end - line_start);
-    auto key_at = line.find(key);
-    REGATE_CHECK(key_at != std::string::npos,
-                 "worker done line carries no file_digest");
-    auto digest = line.substr(key_at + key.size());
-    auto space = digest.find(' ');
-    if (space != std::string::npos)
-        digest.resize(space);
-    return digest;
 }
 
 class Orchestrator
@@ -74,17 +50,21 @@ class Orchestrator
     int run();
 
   private:
-    struct Slot
+    /** One schedulable fleet slot = (transport, transport slot). */
+    struct FleetSlot
     {
+        net::SlotTransport *transport = nullptr;
+        int local = 0;        ///< Slot id within the transport.
+        std::string name;     ///< "local#0", "host:port#1".
+        bool alive = true;
         bool busy = false;
         int shard = -1;
         int attempt = 0;
-        pid_t pid = -1;
         Clock::time_point started;
-        Clock::time_point deadline;
-        bool hasDeadline = false;
-        std::string attemptPath;
-        std::string logPath;
+        Clock::time_point lastProgress;
+        Clock::time_point killDeadline;  ///< Settle-by after a kill.
+        std::string progressDetail;  ///< Last heartbeat ("k/n").
+        std::string killedReason;    ///< Why the driver killed it.
     };
 
     void
@@ -99,66 +79,68 @@ class Orchestrator
         return opt_.dir + "/" + name;
     }
 
-    std::size_t queryCaseCount();
+    std::string
+    tagOf(const FleetSlot &slot) const
+    {
+        return "shard " + std::to_string(slot.shard) + " attempt " +
+               std::to_string(slot.attempt);
+    }
+
+    void buildFleet(std::size_t cases);
     OrchPlan loadOrCreatePlan(std::size_t cases);
     std::vector<int> scanCheckpoints(StreamingMerger &merger);
-    void spawnShard(Slot &slot, int slot_id, int shard);
-    bool handleSuccess(Slot &slot, StreamingMerger &merger);
+    /** Returns false on a terminal failure. */
+    bool driveFleet(const std::vector<int> &missing,
+                    StreamingMerger &merger);
+    void spawnShard(FleetSlot &slot, int gid, int shard);
+    bool settleFinished(FleetSlot &slot, int gid, bool clean_exit,
+                        const std::string &status,
+                        StreamingMerger &merger);
+    bool handleSuccess(FleetSlot &slot, StreamingMerger &merger);
     /** Returns false when the shard's attempts are exhausted. */
-    bool handleFailure(Slot &slot, int slot_id,
+    bool handleFailure(FleetSlot &slot, int gid,
                        const std::string &reason);
-    /**
-     * Settle a reaped attempt: clean exit -> validate and merge
-     * (an invalid artifact becomes a failed attempt); otherwise a
-     * failure with @p fail_reason (empty = describe the raw
-     * status). Returns false on terminal failure.
-     */
-    bool settleExit(Slot &slot, int slot_id, int raw_status,
-                    StreamingMerger &merger,
-                    const std::string &fail_reason = "");
+    void retireSlot(FleetSlot &slot, const std::string &why);
     int renderMerged();
 
     OrchOptions opt_;
     std::string mergedOut_;
     OrchPlan plan_;
-    ProcessPool pool_;
+    std::vector<std::unique_ptr<net::SlotTransport>> transports_;
+    std::vector<FleetSlot> slots_;
     ShardScheduler *scheduler_ = nullptr;
-    int attemptSerial_ = 0;
     bool killInjected_ = false;
     bool stallInjected_ = false;
+    bool slowInjected_ = false;
 };
 
-std::size_t
-Orchestrator::queryCaseCount()
+void
+Orchestrator::buildFleet(std::size_t cases)
 {
-    REGATE_CHECK(::access(opt_.bin.c_str(), X_OK) == 0,
-                 opt_.bin, " is not an executable binary");
-    std::string out;
-    int code = ProcessPool::runCapture({opt_.bin, "--cases"}, out);
-    REGATE_CHECK(code == 0, opt_.bin, " --cases exited with code ",
-                 code);
-    // Strict parse: the query must print one bare case count
-    // (surrounding whitespace only). A binary without a sweep grid
-    // renders its figure instead, which fails here with a usable
-    // message — as does an absurd out-of-range count.
-    auto is_space = [](char c) {
-        return std::isspace(static_cast<unsigned char>(c)) != 0;
-    };
-    auto begin = std::find_if_not(out.begin(), out.end(), is_space);
-    auto end = std::find_if_not(out.rbegin(), out.rend(), is_space)
-                   .base();
-    std::string trimmed(begin, begin < end ? end : begin);
-    REGATE_CHECK(!trimmed.empty() &&
-                     trimmed.find_first_not_of("0123456789") ==
-                         std::string::npos,
-                 opt_.bin, " --cases did not report a case count — "
-                 "is it a grid-shaped figure/table binary?");
-    try {
-        return std::stoull(trimmed);
-    } catch (const std::out_of_range &) {
-        throw ConfigError(opt_.bin + " --cases reported '" +
-                          trimmed + "', which is not a usable "
-                          "case count");
+    auto bin_name =
+        std::filesystem::path(opt_.bin).filename().string();
+    if (opt_.workers > 0)
+        transports_.push_back(std::make_unique<net::LocalTransport>(
+            opt_.bin, opt_.dir, opt_.workers));
+    for (const auto &spec : opt_.hosts) {
+        auto agent = net::TcpTransport::connect(
+            spec.host, spec.port, spec.slots, bin_name, cases);
+        event("agent " + agent->name() + ": " +
+              std::to_string(agent->slotCount()) + " slot(s)");
+        transports_.push_back(std::move(agent));
+    }
+    REGATE_CHECK(!transports_.empty(),
+                 "the fleet is empty: pass --workers N > 0 and/or "
+                 "--host host:port[:slots]");
+    for (auto &transport : transports_) {
+        for (int i = 0; i < transport->slotCount(); ++i) {
+            FleetSlot slot;
+            slot.transport = transport.get();
+            slot.local = i;
+            slot.name =
+                transport->name() + "#" + std::to_string(i);
+            slots_.push_back(std::move(slot));
+        }
     }
 }
 
@@ -194,8 +176,8 @@ Orchestrator::loadOrCreatePlan(std::size_t cases)
     OrchPlan plan;
     plan.bin = bin_name;
     plan.cases = cases;
-    plan.shards =
-        planShardCount(cases, opt_.workers, opt_.granularity);
+    plan.shards = planShardCount(
+        cases, static_cast<int>(slots_.size()), opt_.granularity);
     // Same atomic-promotion discipline as the shard checkpoints: a
     // crash mid-write must not leave a truncated plan that wedges
     // both fresh and --resume runs of this directory.
@@ -230,66 +212,59 @@ Orchestrator::scanCheckpoints(StreamingMerger &merger)
 }
 
 void
-Orchestrator::spawnShard(Slot &slot, int slot_id, int shard)
+Orchestrator::spawnShard(FleetSlot &slot, int gid, int shard)
 {
-    int serial = ++attemptSerial_;
     int attempt = scheduler_->attempts(shard);
-    slot.busy = true;
     slot.shard = shard;
     slot.attempt = attempt;
-    slot.attemptPath = path(attemptFileName(
-        shard, static_cast<long>(::getpid()), serial));
-    slot.logPath = slot.attemptPath + ".log";
+    slot.killedReason.clear();
+    slot.progressDetail.clear();
 
+    net::ShardAssignment assignment;
+    assignment.shard = shard;
+    assignment.shardCount = plan_.shards;
+    assignment.attempt = attempt;
+
+    // The injected stall must outlive whichever timeout is armed,
+    // or the hook would inject nothing (the worker naps, resumes,
+    // and finishes before any kill fires).
+    double armed = opt_.stallTimeoutSec > 0 ? opt_.stallTimeoutSec
+                                            : opt_.timeoutSec;
     int stall = opt_.stallSeconds > 0
                     ? opt_.stallSeconds
-                    : (opt_.timeoutSec > 0
-                           ? static_cast<int>(opt_.timeoutSec) * 3 + 5
-                           : 30);
-    bool inject_kill =
-        slot_id == opt_.injectKillSlot && !killInjected_;
+                    : (armed > 0 ? static_cast<int>(armed) * 3 + 5
+                                 : 30);
+    bool inject_kill = gid == opt_.injectKillSlot && !killInjected_;
     bool inject_stall =
         shard == opt_.injectStallShard && !stallInjected_;
-    // Always set the stall hook explicitly — "0" for normal
-    // attempts — so a REGATE_TEST_STALL_S exported in the
-    // orchestrator's own environment (e.g. left over from
-    // reproducing a test) can never leak into every worker and
-    // stall a real run into terminal timeout failure.
-    std::vector<std::pair<std::string, std::string>> env = {
-        {"REGATE_TEST_STALL_S",
-         inject_kill || inject_stall ? std::to_string(stall) : "0"}};
+    if (inject_kill || inject_stall)
+        assignment.stallSeconds = stall;
+    if (shard == opt_.injectSlowShard && !slowInjected_) {
+        slowInjected_ = true;
+        assignment.slowCaseSeconds = opt_.slowCaseSeconds;
+    }
 
-    std::string spec = std::to_string(shard) + "/" +
-                       std::to_string(plan_.shards);
-    slot.pid = pool_.spawn({opt_.bin, "--worker", "--shard", spec,
-                            "--out", slot.attemptPath},
-                           env, slot.logPath);
+    auto desc = slot.transport->start(slot.local, assignment);
+    slot.busy = true;
     slot.started = Clock::now();
-    slot.hasDeadline = opt_.timeoutSec > 0;
-    if (slot.hasDeadline)
-        slot.deadline =
-            slot.started +
-            std::chrono::duration_cast<Clock::duration>(
-                std::chrono::duration<double>(opt_.timeoutSec));
+    slot.lastProgress = slot.started;
 
-    std::string tag = "shard " + std::to_string(shard) +
-                      " attempt " + std::to_string(attempt);
-    event(tag + ": spawn slot=" + std::to_string(slot_id) +
-          " pid=" + std::to_string(slot.pid));
+    std::string tag = tagOf(slot);
+    event(tag + ": spawn slot=" + slot.name + " " + desc);
     if (inject_kill) {
         // The stall keeps the worker alive long enough for the kill
         // to land, so this deterministically exercises the
-        // crashed-worker retry path.
+        // crashed-worker retry path (locally: SIGKILL; on an agent:
+        // a kill frame).
         killInjected_ = true;
         // Each hook injects exactly one failure: if this spawn was
-        // also the stall target, the stall env went out with it —
+        // also the stall target, the stall hook went out with it —
         // consume that injection too, or the shard's retry would
         // stall again and one shard would absorb both failures.
         if (inject_stall)
             stallInjected_ = true;
-        pool_.kill(slot.pid);
-        event(tag + ": injected kill (slot " +
-              std::to_string(slot_id) + ")");
+        slot.transport->kill(slot.local);
+        event(tag + ": injected kill (slot " + slot.name + ")");
     } else if (inject_stall) {
         stallInjected_ = true;
         event(tag + ": injected stall (" + std::to_string(stall) +
@@ -298,28 +273,34 @@ Orchestrator::spawnShard(Slot &slot, int slot_id, int shard)
 }
 
 bool
-Orchestrator::handleSuccess(Slot &slot, StreamingMerger &merger)
+Orchestrator::handleSuccess(FleetSlot &slot,
+                            StreamingMerger &merger)
 {
     // Validate the artifact end to end before it becomes a
-    // checkpoint: the worker's reported digest pins the bytes that
-    // landed on (possibly shared) storage, then the format's own
-    // digests and range checks run inside addShardFile.
-    auto content = readFile(slot.attemptPath);
-    auto reported = workerDoneDigest(readFile(slot.logPath));
-    auto on_disk = sim::contentDigest(content);
-    REGATE_CHECK(reported == on_disk, "worker reported file digest ",
-                 reported, " but ", on_disk,
-                 " landed on disk — truncated or concurrent write?");
-    merger.addShardContent(content, slot.attemptPath, slot.shard,
-                           plan_.shards);
+    // checkpoint: fetchArtifact verifies the worker-reported digest
+    // against the exact bytes the driver holds (across however many
+    // hops they travelled), then the format's own digests and range
+    // checks run inside addShardContent.
+    auto content = slot.transport->fetchArtifact(slot.local);
+    merger.addShardContent(content, slot.name + " shard " +
+                                        std::to_string(slot.shard),
+                           slot.shard, plan_.shards);
     // The merger now holds the shard's validated entries, so the
     // attempt has succeeded no matter what happens to the files: a
     // failed checkpoint promotion must not fail the attempt (a
     // retry would hit "already merged"), it only costs a re-run on
     // a later --resume.
+    auto final_path = path(shardFileName(slot.shard));
     try {
-        renameFile(slot.attemptPath, path(shardFileName(slot.shard)));
-        removeFileIfExists(slot.logPath);
+        // Local artifacts promote by renaming the digest-verified
+        // attempt file; remote ones were fetched as bytes and are
+        // written out here (atomically, via .part).
+        if (!slot.transport->promoteArtifact(slot.local,
+                                             final_path)) {
+            writeFile(final_path + ".part", content);
+            renameFile(final_path + ".part", final_path);
+        }
+        slot.transport->finishAttempt(slot.local, true);
     } catch (const ConfigError &e) {
         event("shard " + std::to_string(slot.shard) +
               ": checkpoint promotion failed (" + e.what() +
@@ -329,22 +310,18 @@ Orchestrator::handleSuccess(Slot &slot, StreamingMerger &merger)
     double took = std::chrono::duration<double>(Clock::now() -
                                                 slot.started)
                       .count();
-    event("shard " + std::to_string(slot.shard) + " attempt " +
-          std::to_string(slot.attempt) + ": done (" +
-          fmtSeconds(took) + "s) [" +
+    event(tagOf(slot) + ": done (" + fmtSeconds(took) + "s) [" +
           std::to_string(merger.coveredCases()) + "/" +
           std::to_string(plan_.cases) + " cases merged]");
     return true;
 }
 
 bool
-Orchestrator::handleFailure(Slot &slot, int slot_id,
+Orchestrator::handleFailure(FleetSlot &slot, int gid,
                             const std::string &reason)
 {
-    removeFileIfExists(slot.attemptPath);
-    std::string tag = "shard " + std::to_string(slot.shard) +
-                      " attempt " + std::to_string(slot.attempt);
-    if (scheduler_->onFailure(slot.shard, slot_id)) {
+    std::string tag = tagOf(slot);
+    if (scheduler_->onFailure(slot.shard, gid)) {
         event(tag + ": failed (" + reason +
               "); retrying on another slot");
         return true;
@@ -353,30 +330,233 @@ Orchestrator::handleFailure(Slot &slot, int slot_id,
     event("fatal: shard " + std::to_string(slot.shard) +
           " failed " + std::to_string(slot.attempt) +
           " attempt(s); completed shard files remain in " +
-          opt_.dir + " for --resume (worker log: " + slot.logPath +
-          ")");
+          opt_.dir + " for --resume (" +
+          slot.transport->failureRef(slot.local) + ")");
     return false;
 }
 
 bool
-Orchestrator::settleExit(Slot &slot, int slot_id, int raw_status,
-                         StreamingMerger &merger,
-                         const std::string &fail_reason)
+Orchestrator::settleFinished(FleetSlot &slot, int gid,
+                             bool clean_exit,
+                             const std::string &status,
+                             StreamingMerger &merger)
 {
-    if (ProcessPool::exitedCleanly(raw_status)) {
+    slot.busy = false;
+    std::string killed = slot.killedReason;
+    slot.killedReason.clear();
+    if (clean_exit) {
+        // A worker can finish in the gap between our kill decision
+        // and the kill landing; its artifact is done and
+        // valid(atable) — don't burn a retry on it.
+        if (!killed.empty())
+            event(tagOf(slot) +
+                  ": finished before the kill landed; accepting");
         try {
-            handleSuccess(slot, merger);
-            return true;
+            return handleSuccess(slot, merger);
         } catch (const ConfigError &e) {
-            return handleFailure(slot, slot_id,
+            slot.transport->finishAttempt(slot.local, false);
+            return handleFailure(slot, gid,
                                  std::string("artifact invalid: ") +
                                      e.what());
         }
     }
-    return handleFailure(slot, slot_id,
-                         fail_reason.empty()
-                             ? ProcessPool::describeStatus(raw_status)
-                             : fail_reason);
+    slot.transport->finishAttempt(slot.local, false);
+    return handleFailure(slot, gid,
+                         killed.empty() ? status : killed);
+}
+
+void
+Orchestrator::retireSlot(FleetSlot &slot, const std::string &why)
+{
+    if (!slot.alive)
+        return;
+    slot.alive = false;
+    scheduler_->retireSlot();
+    event("slot " + slot.name + ": retired (" + why + "); " +
+          std::to_string(scheduler_->liveSlots()) +
+          " slot(s) remain");
+}
+
+bool
+Orchestrator::driveFleet(const std::vector<int> &missing,
+                         StreamingMerger &merger)
+{
+    ShardScheduler scheduler(missing,
+                             static_cast<int>(slots_.size()),
+                             opt_.retry);
+    scheduler_ = &scheduler;
+
+    auto last_tick = Clock::now();
+    while (!scheduler.allDone()) {
+        REGATE_CHECK(scheduler.liveSlots() > 0,
+                     "every worker slot is gone (all agents lost); "
+                     "completed shard files remain in ", opt_.dir,
+                     " for --resume");
+
+        // Assign fresh work to every idle live slot. A transport
+        // that died since the last poll (e.g. under a sibling
+        // slot's assign moments ago) retires here instead of being
+        // offered a shard — a doomed spawn would charge the shard a
+        // real attempt, and could even terminal-fail one that is on
+        // its last try while healthy slots sit idle.
+        for (std::size_t s = 0; s < slots_.size(); ++s) {
+            auto &slot = slots_[s];
+            if (!slot.alive || slot.busy)
+                continue;
+            if (!slot.transport->alive()) {
+                retireSlot(slot, "transport lost");
+                continue;
+            }
+            int shard = scheduler.nextFor(static_cast<int>(s));
+            if (shard < 0)
+                continue;
+            try {
+                spawnShard(slot, static_cast<int>(s), shard);
+            } catch (const ConfigError &e) {
+                // E.g. the agent connection died under the assign.
+                // The attempt is charged and the shard is banned
+                // from this slot like any other failure.
+                slot.busy = false;
+                if (!slot.transport->alive())
+                    retireSlot(slot, "transport lost");
+                if (!handleFailure(slot, static_cast<int>(s),
+                                   std::string("spawn failed: ") +
+                                       e.what()))
+                    return false;
+            }
+        }
+
+        // Drain transport events. Slots are keyed globally by the
+        // (transport, local slot) pair.
+        for (auto &transport : transports_) {
+            auto events = transport->poll();
+            for (const auto &ev : events) {
+                auto it = std::find_if(
+                    slots_.begin(), slots_.end(),
+                    [&](const FleetSlot &sl) {
+                        return sl.transport == transport.get() &&
+                               sl.local == ev.slot;
+                    });
+                REGATE_ASSERT(it != slots_.end(),
+                              "event for unknown slot ", ev.slot,
+                              " of ", transport->name());
+                auto gid =
+                    static_cast<int>(it - slots_.begin());
+                switch (ev.kind) {
+                  case net::TransportEvent::Kind::Progress:
+                    it->lastProgress = Clock::now();
+                    it->progressDetail = ev.detail;
+                    break;
+                  case net::TransportEvent::Kind::Finished:
+                    if (!settleFinished(*it, gid, ev.cleanExit,
+                                        ev.detail, merger))
+                        return false;
+                    break;
+                  case net::TransportEvent::Kind::Lost:
+                    it->busy = false;
+                    retireSlot(*it, ev.detail);
+                    if (!handleFailure(*it, gid, ev.detail))
+                        return false;
+                    break;
+                }
+            }
+            // A dead transport's idle slots retire too (Lost events
+            // only cover the busy ones).
+            if (!transport->alive()) {
+                for (auto &slot : slots_)
+                    if (slot.transport == transport.get() &&
+                        !slot.busy)
+                        retireSlot(slot, "transport lost");
+            }
+        }
+
+        // Stall- and wall-clock timeouts. The kill is asynchronous:
+        // the slot settles when its Finished (or Lost) event
+        // arrives, so local subprocesses and remote agent workers
+        // follow the same path. A kill that never settles means the
+        // far side is wedged with its connection still open (e.g. a
+        // SIGSTOPped agent: heartbeats stop, but no EOF ever comes)
+        // — abandon the transport so its slots surface as Lost
+        // instead of hanging the run forever.
+        auto now = Clock::now();
+        // An artifact fetch can block this loop for tens of seconds
+        // on a wedged agent. That is DRIVER silence, not worker
+        // silence: heartbeats kept landing in logs and sockets
+        // unread, so credit the starved interval back to every busy
+        // slot's progress clock instead of stall-killing healthy
+        // workers. (The wall-clock cap is left alone — the attempt
+        // really did age.)
+        if (now - last_tick > std::chrono::seconds(1)) {
+            auto starved = now - last_tick;
+            for (auto &slot : slots_) {
+                if (!slot.busy)
+                    continue;
+                slot.lastProgress += starved;
+                if (slot.lastProgress > now)
+                    slot.lastProgress = now;
+            }
+        }
+        last_tick = now;
+        for (auto &slot : slots_) {
+            if (!slot.busy)
+                continue;
+            if (!slot.killedReason.empty()) {
+                if (now >= slot.killDeadline) {
+                    event(tagOf(slot) + ": no exit " +
+                          fmtSeconds(kKillGraceSec) +
+                          "s after the kill; abandoning " +
+                          slot.transport->name());
+                    slot.transport->abandon(
+                        "no exit after a kill — agent wedged?");
+                    // Re-arm so this logs once per grace period,
+                    // not every scheduler tick, while the Lost
+                    // events from the abandonment settle.
+                    slot.killDeadline =
+                        now +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                kKillGraceSec));
+                }
+                continue;
+            }
+            double since_progress =
+                std::chrono::duration<double>(now -
+                                              slot.lastProgress)
+                    .count();
+            double since_start =
+                std::chrono::duration<double>(now - slot.started)
+                    .count();
+            if (opt_.stallTimeoutSec > 0 &&
+                since_progress > opt_.stallTimeoutSec) {
+                slot.killedReason =
+                    "stalled: no heartbeat for " +
+                    fmtSeconds(since_progress) + "s" +
+                    (slot.progressDetail.empty()
+                         ? ""
+                         : " (last progress: case " +
+                               slot.progressDetail + ")");
+            } else if (opt_.timeoutSec > 0 &&
+                       since_start > opt_.timeoutSec) {
+                slot.killedReason = "timeout after " +
+                                    fmtSeconds(since_start) + "s";
+            } else {
+                continue;
+            }
+            event(tagOf(slot) + ": " + slot.killedReason +
+                  "; killed");
+            slot.killDeadline =
+                now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              kKillGraceSec));
+            slot.transport->kill(slot.local);
+        }
+
+        if (!scheduler.allDone())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(15));
+    }
+    scheduler_ = nullptr;
+    return true;
 }
 
 int
@@ -399,85 +579,24 @@ int
 Orchestrator::run()
 {
     std::filesystem::create_directories(opt_.dir);
-    auto cases = queryCaseCount();
+    auto cases = opt_.probedCases > 0 ? opt_.probedCases
+                                      : probeGridCases(opt_.bin);
+    buildFleet(cases);
     plan_ = loadOrCreatePlan(cases);
     event("plan cases=" + std::to_string(plan_.cases) +
-          " shards=" + std::to_string(plan_.shards) +
-          " workers=" + std::to_string(opt_.workers) +
-          (opt_.resume ? " (resume)" : ""));
+          " shards=" + std::to_string(plan_.shards) + " slots=" +
+          std::to_string(slots_.size()) + " (" +
+          std::to_string(opt_.workers) + " local, " +
+          std::to_string(slots_.size() -
+                         static_cast<std::size_t>(
+                             opt_.workers > 0 ? opt_.workers : 0)) +
+          " remote)" + (opt_.resume ? " (resume)" : ""));
 
     StreamingMerger merger(plan_.cases);
     auto missing = scanCheckpoints(merger);
 
-    if (!missing.empty()) {
-        ShardScheduler scheduler(missing, opt_.workers, opt_.retry);
-        scheduler_ = &scheduler;
-        std::vector<Slot> slots(
-            static_cast<std::size_t>(opt_.workers));
-
-        while (!scheduler.allDone()) {
-            for (std::size_t s = 0; s < slots.size(); ++s) {
-                if (slots[s].busy)
-                    continue;
-                int shard = scheduler.nextFor(static_cast<int>(s));
-                if (shard >= 0)
-                    spawnShard(slots[s], static_cast<int>(s), shard);
-            }
-
-            for (const auto &exit : pool_.poll()) {
-                auto it = std::find_if(
-                    slots.begin(), slots.end(), [&](const Slot &sl) {
-                        return sl.busy && sl.pid == exit.pid;
-                    });
-                REGATE_ASSERT(it != slots.end(),
-                              "reaped unknown pid ", exit.pid);
-                auto slot_id =
-                    static_cast<int>(it - slots.begin());
-                it->busy = false;
-                if (!settleExit(*it, slot_id, exit.rawStatus,
-                                merger))
-                    return 1;
-            }
-
-            auto now = Clock::now();
-            for (std::size_t s = 0; s < slots.size(); ++s) {
-                auto &slot = slots[s];
-                if (!slot.busy || !slot.hasDeadline ||
-                    now < slot.deadline)
-                    continue;
-                double took = std::chrono::duration<double>(
-                                  now - slot.started)
-                                  .count();
-                pool_.kill(slot.pid);
-                int raw = pool_.wait(slot.pid);
-                slot.busy = false;
-                std::string tag =
-                    "shard " + std::to_string(slot.shard) +
-                    " attempt " + std::to_string(slot.attempt);
-                if (ProcessPool::exitedCleanly(raw)) {
-                    // The worker finished in the gap between this
-                    // iteration's poll() and the deadline check —
-                    // the kill hit a zombie. Its artifact is done
-                    // and valid(atable); don't burn a retry on it.
-                    event(tag + ": finished at the deadline (" +
-                          fmtSeconds(took) + "s); accepting");
-                } else {
-                    event(tag + ": timeout after " +
-                          fmtSeconds(took) + "s; killed");
-                }
-                if (!settleExit(slot, static_cast<int>(s), raw,
-                                merger,
-                                "timeout after " + fmtSeconds(took) +
-                                    "s"))
-                    return 1;
-            }
-
-            if (!scheduler.allDone())
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(15));
-        }
-        scheduler_ = nullptr;
-    }
+    if (!missing.empty() && !driveFleet(missing, merger))
+        return 1;
 
     auto doc = merger.mergedDocument();
     // Atomic promotion, like the plan and the shard checkpoints: a

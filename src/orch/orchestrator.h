@@ -1,56 +1,92 @@
 /**
  * @file
  * The sweep orchestrator: one process that owns the whole
- * split-run-merge lifecycle of a grid-shaped figure/table binary.
+ * split-run-merge lifecycle of a grid-shaped figure/table binary,
+ * across a *fleet* of worker slots.
  *
  * Where the PR 3 workflow was launch-by-hand (a human picks
  * `--shard i/N` per machine, babysits failures, runs
  * tools/merge_shards.py at the end), the orchestrator
  *
  *  - queries the target's grid size (`BIN --cases`) and splits it
- *    into more shards than worker slots (orch/planner.h), so
+ *    into more shards than the fleet has slots (orch/planner.h), so
  *    stragglers don't dominate the wall clock;
- *  - drives a pool of `BIN --worker --shard i/M --out ...`
- *    subprocesses with dynamic assignment, per-shard timeouts,
- *    crash detection via exit status, and bounded retry with
- *    reassignment to a different slot (orch/retry.h);
- *  - validates every artifact as it lands — worker-reported
- *    whole-file digest against the bytes on disk, then the format's
- *    own entry/file digests — and streams it into the merger
- *    (orch/streaming_merge.h); only validated files are promoted to
- *    their checkpoint name, atomically;
+ *  - drives every slot through the net/transport.h abstraction:
+ *    `--workers N` local subprocess slots (net::LocalTransport over
+ *    orch::ProcessPool) and any number of `--host host:port[:slots]`
+ *    remote agents (net::TcpTransport speaking the
+ *    net/agent_protocol.h framing to `regate_agent`), all fed from
+ *    ONE dynamic shard queue with per-case heartbeat tracking,
+ *    stall-based timeouts, crash/disconnect detection, and bounded
+ *    retry with reassignment to a different slot (orch/retry.h) —
+ *    an agent lost mid-run retires its slots and its in-flight
+ *    shards retry elsewhere, exactly like a killed subprocess;
+ *  - validates every artifact as it lands — the worker-reported
+ *    whole-file digest travels with the artifact across transports
+ *    and is re-verified against the exact bytes the driver received
+ *    (common/hash.h fnv1a64), then the format's own entry/file
+ *    digests run inside the merger (orch/streaming_merge.h); only
+ *    validated content is promoted to a checkpoint, atomically;
  *  - checkpoints: an interrupted run (even SIGKILL of the
  *    orchestrator itself) resumes with --resume, reusing every
  *    validated shard file on disk and re-running only the missing
- *    ones;
+ *    ones — remote shards checkpoint on the driver, so resume is
+ *    fleet-composition-agnostic;
  *  - writes a merged document byte-identical to the unsharded
  *    binary's `--shard 0/1` output, and optionally re-renders the
  *    figure from it (`--render`), byte-identical to an unsharded
  *    run.
  *
  * Failure injection (the `inject*` options) exists for the
- * failure-path tests and the CI end-to-end job; it exercises the
- * real kill/timeout/retry machinery, not a simulation of it.
+ * failure-path tests and the CI end-to-end jobs; it exercises the
+ * real kill/stall/retry machinery, not a simulation of it.
  */
 
 #ifndef REGATE_ORCH_ORCHESTRATOR_H
 #define REGATE_ORCH_ORCHESTRATOR_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "orch/retry.h"
 
 namespace regate {
 namespace orch {
 
+/** One `--host host:port[:slots]` fleet member. */
+struct HostSpec
+{
+    std::string host;
+    std::uint16_t port = 0;
+    /** Slot cap; 0 = take what the agent's hello advertises. */
+    int slots = 0;
+};
+
 struct OrchOptions
 {
     std::string bin;   ///< Grid-shaped figure/table binary.
     std::string dir;   ///< Run directory (shards, plan, merged).
-    int workers = 4;
-    int granularity = 4;      ///< Shards per worker slot.
-    double timeoutSec = 600;  ///< Per-attempt; 0 disables.
+    int workers = 4;   ///< Local slots; 0 = remote-only fleet.
+    std::vector<HostSpec> hosts;  ///< Remote agents.
+    int granularity = 4;  ///< Shards per fleet slot.
+
+    /**
+     * Stall timeout: an attempt with no progress for this long is
+     * killed and retried. Progress = the spawn itself, then one
+     * per-case heartbeat line as each case completes — so the
+     * timeout must exceed the slowest single grid case (a case
+     * computing past it is indistinguishable from a wedged
+     * worker). This is the primary timeout — a straggling-but-alive
+     * shard keeps heartbeating and is left alone. The default
+     * matches the old wall-clock default, so no grid that completed
+     * per-attempt under PR 4 defaults stalls out now. 0 disables.
+     */
+    double stallTimeoutSec = 600;
+    /** Optional wall-clock hard cap per attempt; 0 disables. */
+    double timeoutSec = 0;
+
     RetryPolicy retry;
     bool resume = false;
     std::string mergedOut;  ///< Default: <dir>/merged.json.
@@ -58,10 +94,23 @@ struct OrchOptions
 
     /// Test hooks: SIGKILL the first worker spawned on this slot.
     int injectKillSlot = -1;
-    /// Test hooks: stall this shard's first attempt past the timeout.
+    /// Test hooks: stall this shard's first attempt (no heartbeats)
+    /// past the stall timeout.
     int injectStallShard = -1;
-    /// Stall length for the hooks; 0 derives one from the timeout.
+    /// Stall length for the hooks; 0 derives one.
     int stallSeconds = 0;
+    /// Test hooks: slow this shard's cases without stalling it —
+    /// heartbeats keep flowing, so it must NOT be killed.
+    int injectSlowShard = -1;
+    /// Per-case delay for the slow hook (seconds).
+    int slowCaseSeconds = 0;
+
+    /**
+     * The bin's grid size, when the caller already probed it
+     * (regate_orch probes in main() so a non-protocol binary is a
+     * usage error). 0 = run the `--cases` probe here.
+     */
+    std::size_t probedCases = 0;
 
     /// Event sink ("orch: ..." lines); null = silent.
     std::ostream *events = nullptr;

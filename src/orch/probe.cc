@@ -1,0 +1,50 @@
+#include "orch/probe.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+#include "orch/process_pool.h"
+
+namespace regate {
+namespace orch {
+
+std::size_t
+probeGridCases(const std::string &bin)
+{
+    REGATE_CHECK(::access(bin.c_str(), X_OK) == 0, bin,
+                 " is not an executable binary");
+    std::string out;
+    int code = ProcessPool::runCapture({bin, "--cases"}, out);
+    REGATE_CHECK(code == 0, bin, " --cases exited with code ", code,
+                 " — it does not speak the shard worker protocol; "
+                 "pick a grid-shaped figure/table binary (fig15 and "
+                 "tables 2/3 have no sweep grid)");
+    // Strict parse: the query must print one bare case count
+    // (surrounding whitespace only). A binary without a sweep grid
+    // renders its figure instead, which fails here with a usable
+    // message — as does an absurd out-of-range count.
+    auto is_space = [](char c) {
+        return std::isspace(static_cast<unsigned char>(c)) != 0;
+    };
+    auto begin = std::find_if_not(out.begin(), out.end(), is_space);
+    auto end =
+        std::find_if_not(out.rbegin(), out.rend(), is_space).base();
+    std::string trimmed(begin, begin < end ? end : begin);
+    REGATE_CHECK(!trimmed.empty() &&
+                     trimmed.find_first_not_of("0123456789") ==
+                         std::string::npos,
+                 bin, " --cases did not report a case count — is it "
+                 "a grid-shaped figure/table binary?");
+    try {
+        return std::stoull(trimmed);
+    } catch (const std::out_of_range &) {
+        throw ConfigError(bin + " --cases reported '" + trimmed +
+                          "', which is not a usable case count");
+    }
+}
+
+}  // namespace orch
+}  // namespace regate

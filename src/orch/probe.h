@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The driver-side capability probe: before any worker is spawned
+ * (locally, or on an agent host), the target binary is run with
+ * `--cases` and must print exactly one bare case count. A binary
+ * that does not speak the shard protocol — fig15 and tables 2/3
+ * print closed-form values and have no sweep grid — fails here with
+ * a one-line usage error naming the binary, instead of an opaque
+ * failed-worker loop later. Shared by `regate_orch` and
+ * `regate_agent` so both ends of a fleet reject the same way.
+ */
+
+#ifndef REGATE_ORCH_PROBE_H
+#define REGATE_ORCH_PROBE_H
+
+#include <cstddef>
+#include <string>
+
+namespace regate {
+namespace orch {
+
+/**
+ * Probe @p bin with `--cases`; returns its grid size. Throws
+ * ConfigError (one line, actionable) when the binary is missing,
+ * not executable, exits non-zero, or prints anything but a case
+ * count.
+ */
+std::size_t probeGridCases(const std::string &bin);
+
+}  // namespace orch
+}  // namespace regate
+
+#endif  // REGATE_ORCH_PROBE_H

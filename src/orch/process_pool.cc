@@ -93,18 +93,6 @@ ProcessPool::poll()
     return exits;
 }
 
-int
-ProcessPool::wait(pid_t pid)
-{
-    REGATE_CHECK(live_.count(pid), "pid ", pid,
-                 " is not a live child of this pool");
-    int status = 0;
-    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    live_.erase(pid);
-    return status;
-}
-
 void
 ProcessPool::kill(pid_t pid, int sig)
 {

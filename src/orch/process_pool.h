@@ -43,16 +43,16 @@ class ProcessPool
             &extra_env,
         const std::string &log_path);
 
-    /** Reap every child that has exited, without blocking. */
+    /**
+     * Reap every child that has exited, without blocking. This is
+     * the only way exits surface — there is deliberately no
+     * blocking wait(), so a pool user cannot stall the
+     * single-threaded driver loops built on top of it.
+     */
     std::vector<Exit> poll();
-
-    /** Block until @p pid exits; returns its raw status. */
-    int wait(pid_t pid);
 
     /** Send @p sig (default SIGKILL) to a live child. */
     void kill(pid_t pid, int sig = 9);
-
-    std::size_t liveCount() const { return live_.size(); }
 
     /** Did the status come from exit(0)? */
     static bool exitedCleanly(int raw_status);

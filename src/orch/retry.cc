@@ -79,5 +79,12 @@ ShardScheduler::attempts(int shard) const
     return stateOf(shard).attempts;
 }
 
+void
+ShardScheduler::retireSlot()
+{
+    REGATE_CHECK(slots_ > 0, "retiring a slot from an empty fleet");
+    --slots_;
+}
+
 }  // namespace orch
 }  // namespace regate

@@ -65,6 +65,19 @@ class ShardScheduler
     /** Attempts started for @p shard so far. */
     int attempts(int shard) const;
 
+    /**
+     * A slot is permanently gone (its transport died — e.g. an
+     * agent host lost mid-run). Shrinks the live-slot count the
+     * banned-slot rule compares against, so when the fleet is down
+     * to one live slot, retries stop being withheld from it instead
+     * of deadlocking; the caller simply stops offering the dead
+     * slot to nextFor.
+     */
+    void retireSlot();
+
+    /** Slots still in service (initial count minus retirements). */
+    int liveSlots() const { return slots_; }
+
     bool allDone() const { return done_ == total_; }
     std::size_t completed() const { return done_; }
 

@@ -1,5 +1,8 @@
 #include "sim/sweep.h"
 
+#include <memory>
+#include <mutex>
+
 #include "common/error.h"
 
 namespace regate {
@@ -12,6 +15,37 @@ simulateCase(const SweepCase &c)
 {
     return simulateWorkload(c.workload, c.gen, c.params,
                             c.hasSetup ? &c.setup : nullptr);
+}
+
+/**
+ * Wrap @p fn so every completion ticks the progress callback with a
+ * monotonically increasing done count. The count advances and the
+ * callback runs under one lock, so invocations are serialized and
+ * the done counts the callback observes are strictly in order —
+ * never "2/n before 1/n" even when two pool threads finish
+ * back-to-back. Results (and therefore outputs) stay input-ordered
+ * and bitwise identical; only the callback runs in completion
+ * order.
+ */
+template <typename Fn>
+auto
+withProgress(Fn fn, const SweepProgress &progress,
+             std::size_t total)
+{
+    struct Tick
+    {
+        std::mutex mutex;
+        std::size_t done = 0;
+    };
+    auto tick = std::make_shared<Tick>();
+    return [fn, progress, tick, total](const SweepCase &c) {
+        auto result = fn(c);
+        {
+            std::lock_guard<std::mutex> lock(tick->mutex);
+            progress(++tick->done, total);
+        }
+        return result;
+    };
 }
 
 }  // namespace
@@ -62,17 +96,28 @@ shardGrid(const std::vector<SweepCase> &cases, int index, int count)
 }
 
 std::vector<WorkloadReport>
-SweepRunner::run(const std::vector<SweepCase> &cases)
+SweepRunner::run(const std::vector<SweepCase> &cases,
+                 const SweepProgress &progress)
 {
-    return parallelMapOrdered(pool_, cases, simulateCase);
+    if (!progress)
+        return parallelMapOrdered(pool_, cases, simulateCase);
+    return parallelMapOrdered(
+        pool_, cases,
+        withProgress(simulateCase, progress, cases.size()));
 }
 
 std::vector<SloResult>
-SweepRunner::search(const std::vector<SweepCase> &cases)
+SweepRunner::search(const std::vector<SweepCase> &cases,
+                    const SweepProgress &progress)
 {
-    return parallelMapOrdered(pool_, cases, [](const SweepCase &c) {
+    auto searchCase = [](const SweepCase &c) {
         return findBestSetup(c.workload, c.gen, c.params);
-    });
+    };
+    if (!progress)
+        return parallelMapOrdered(pool_, cases, searchCase);
+    return parallelMapOrdered(
+        pool_, cases,
+        withProgress(searchCase, progress, cases.size()));
 }
 
 std::vector<WorkloadReport>

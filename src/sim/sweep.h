@@ -12,6 +12,7 @@
 #ifndef REGATE_SIM_SWEEP_H
 #define REGATE_SIM_SWEEP_H
 
+#include <functional>
 #include <future>
 #include <vector>
 
@@ -74,6 +75,20 @@ ShardRange shardRange(std::size_t total, int index, int count);
 std::vector<SweepCase> shardGrid(const std::vector<SweepCase> &cases,
                                  int index, int count);
 
+/**
+ * Completion callback for run()/search(): invoked once per finished
+ * case with (cases completed so far, total cases), on whichever
+ * worker thread finished the case. Invocations are serialized by
+ * the runner and the done count advances under the same lock, so
+ * the callback always observes 1, 2, ..., total in order and needs
+ * no locking of its own (it must still not touch thread-unsafe
+ * state shared outside the sweep). The sharded `--worker` mode uses
+ * it to emit per-case heartbeat lines so a fleet driver can
+ * distinguish a straggling-but-alive shard from a wedged one.
+ */
+using SweepProgress =
+    std::function<void(std::size_t done, std::size_t total)>;
+
 /** The runner. One instance owns one worker pool and can be reused. */
 class SweepRunner
 {
@@ -83,14 +98,17 @@ class SweepRunner
 
     /** Simulate every case; results are index-aligned with @p cases. */
     std::vector<WorkloadReport> run(
-        const std::vector<SweepCase> &cases);
+        const std::vector<SweepCase> &cases,
+        const SweepProgress &progress = {});
 
     /**
      * SLO-search every case (the Fig. 2 path); results index-aligned
      * with @p cases. The per-case setup override is ignored — the
      * search explores its own candidates.
      */
-    std::vector<SloResult> search(const std::vector<SweepCase> &cases);
+    std::vector<SloResult> search(
+        const std::vector<SweepCase> &cases,
+        const SweepProgress &progress = {});
 
     /** Serial reference implementation of run() for equivalence tests. */
     static std::vector<WorkloadReport> runSerial(

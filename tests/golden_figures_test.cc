@@ -23,8 +23,10 @@
 #include <string>
 
 #include "carbon/carbon_model.h"
+#include "compiler/compiler.h"
 #include "core/bet.h"
 #include "energy/power_model.h"
+#include "isa/vliw_core.h"
 #include "sim/report.h"
 
 #ifndef REGATE_GOLDEN_DIR
@@ -235,6 +237,86 @@ renderFig24Small()
     return out.str();
 }
 
+/**
+ * Downsized Fig. 15 (SetPM timeline — the last uncovered figure
+ * family): the paper's exact setpm VU-gating program executed
+ * instruction by instruction on the VLIW core (dispatch cycles,
+ * gated intervals, wake stalls), then a small kernel run through
+ * the compiler's idleness + instrumentation passes. All integers —
+ * any drift in the core's cycle accounting or the compiler's setpm
+ * placement changes the bytes.
+ */
+std::string
+renderFig15Small()
+{
+    using core::PowerMode;
+    using isa::FuType;
+
+    // The paper's program: 2 SAs, 2 VUs, 8-cycle pops, 2-cycle VU
+    // on/off delay (bench/fig15_setpm_timeline.cc renders the same
+    // program as a table).
+    isa::VliwCoreConfig cfg;
+    cfg.numSa = 2;
+    cfg.numVu = 2;
+    cfg.vuWakeDelay = 2;
+
+    isa::Program p;
+    p.bundle().saPop(0).saPop(1).vuOp(0).vuOp(1);
+    p.bundle().vuOp(0).vuOp(1).setpm(0b11, FuType::Vu,
+                                     PowerMode::Off);
+    p.bundle().saPop(0).saPop(1).nop(6);
+    p.bundle().setpm(0b11, FuType::Vu, PowerMode::On);
+    p.bundle().saPop(0).saPop(1).vuOp(0).vuOp(1);
+    p.bundle().vuOp(0).vuOp(1).setpm(0b11, FuType::Vu,
+                                     PowerMode::Off);
+
+    isa::VliwCore core(cfg);
+    core.run(p);
+
+    std::ostringstream out;
+    out << "record,value\n";
+    for (std::size_t i = 0; i < p.bundles().size(); ++i) {
+        out << "dispatch_I" << i + 1 << ','
+            << core.bundleDispatch()[i] << '\n';
+        out << "misc_I" << i + 1 << ','
+            << (p.bundles()[i].misc.has_value()
+                    ? p.bundles()[i].misc->toString()
+                    : "-")
+            << '\n';
+    }
+    out << "total_cycles," << core.totalCycles() << '\n'
+        << "wake_stalls," << core.wakeStallCycles() << '\n';
+    for (int vu = 0; vu < cfg.numVu; ++vu) {
+        std::size_t k = 0;
+        for (const auto &iv : core.vuTrace(vu).gated)
+            out << "vu" << vu << "_gated_" << k++ << ',' << iv.start
+                << ".." << iv.end << '\n';
+        out << "vu" << vu << "_gated_cycles,"
+            << core.vuTrace(vu).gatedCycles() << '\n';
+    }
+
+    // Downsized compiler-instrumented kernel (fig15's second half
+    // uses 16 tiles x 100-cycle pops; 4 x 50 keeps the golden fast).
+    compiler::KernelSpec spec;
+    spec.tiles = 4;
+    spec.popCycles = 50;
+    spec.vuOpsPerTile = 2;
+    arch::GatingParams params;
+    auto result = compiler::compileKernel(spec, cfg, params);
+
+    isa::VliwCore gated(cfg);
+    gated.run(result.program);
+    out << "kernel_setpm_inserted,"
+        << result.instrumentation.setpmInserted << '\n'
+        << "kernel_gated_intervals,"
+        << result.instrumentation.gatedIntervals << '\n'
+        << "kernel_vu0_gated_cycles,"
+        << gated.vuTrace(0).gatedCycles() << '\n'
+        << "kernel_total_cycles," << gated.totalCycles() << '\n'
+        << "kernel_wake_stalls," << gated.wakeStallCycles() << '\n';
+    return out.str();
+}
+
 void
 checkGolden(const std::string &name, const std::string &rendered)
 {
@@ -291,6 +373,12 @@ TEST(GoldenFigures, Fig24CarbonReductionSmall)
 {
     checkGolden("fig24_carbon_reduction_small.csv",
                 renderFig24Small());
+}
+
+TEST(GoldenFigures, Fig15SetpmTimelineSmall)
+{
+    checkGolden("fig15_setpm_timeline_small.csv",
+                renderFig15Small());
 }
 
 }  // namespace

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Unit tests for the fleet transport subsystem (src/net/): the
+ * line-framed protocol's parser (malformed / truncated /
+ * version-mismatched frames), and TcpTransport's failure paths
+ * driven through a scripted fake agent on a socketpair —
+ * digest-mismatched artifact transfer, mid-transfer disconnect,
+ * fail frames, and connection loss. Every rejection must carry a
+ * precise message; every loss must surface as events the
+ * orchestrator's retry machinery can act on. The happy paths run
+ * end to end against real agents in tests/orch_check.py and the CI
+ * fleet-e2e job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "net/agent_protocol.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "sim/serialize.h"
+
+namespace regate {
+namespace net {
+namespace {
+
+// ---- Frame format / parse ----
+
+TEST(AgentProtocol, FrameRoundTripsPlainAndQuotedValues)
+{
+    Frame f;
+    f.verb = "fail";
+    f.kv = {{"slot", "3"}, {"reason", "signal 9 (Killed)"}};
+    auto line = formatFrame(f);
+    EXPECT_EQ(line, "@regate-net v1 fail slot=3 "
+                    "reason=\"signal 9 (Killed)\"");
+    auto back = parseFrame(line);
+    EXPECT_EQ(back.verb, "fail");
+    EXPECT_EQ(back.getInt("slot"), 3);
+    EXPECT_EQ(back.get("reason"), "signal 9 (Killed)");
+}
+
+TEST(AgentProtocol, RejectsNonFrameLine)
+{
+    EXPECT_THROW(parseFrame("hello world"), ConfigError);
+    EXPECT_THROW(parseFrame(""), ConfigError);
+    EXPECT_THROW(parseFrame("@regate-worker v1 start"), ConfigError);
+}
+
+TEST(AgentProtocol, RejectsVersionMismatchNamingBothVersions)
+{
+    try {
+        parseFrame("@regate-net v2 hello role=agent");
+        FAIL() << "v2 frame was accepted";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("version mismatch"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(parseFrame("@regate-net vX hello"), ConfigError);
+}
+
+TEST(AgentProtocol, RejectsMissingVerbAndMalformedTokens)
+{
+    EXPECT_THROW(parseFrame("@regate-net v1"), ConfigError);
+    EXPECT_THROW(parseFrame("@regate-net v1 "), ConfigError);
+    // A key=value where the verb should be.
+    EXPECT_THROW(parseFrame("@regate-net v1 slot=3"), ConfigError);
+    // A bare word where key=value tokens should be.
+    EXPECT_THROW(parseFrame("@regate-net v1 done noequals"),
+                 ConfigError);
+    // An unterminated quoted value.
+    EXPECT_THROW(
+        parseFrame("@regate-net v1 fail slot=0 reason=\"oops"),
+        ConfigError);
+    // Garbage glued to a closing quote.
+    EXPECT_THROW(
+        parseFrame("@regate-net v1 fail reason=\"x\"y slot=0"),
+        ConfigError);
+}
+
+TEST(AgentProtocol, FieldAccessorsNameTheMissingOrBadField)
+{
+    auto f = parseFrame("@regate-net v1 done slot=2 digest=abc");
+    EXPECT_TRUE(f.has("slot"));
+    EXPECT_FALSE(f.has("bytes"));
+    EXPECT_THROW(f.get("bytes"), ConfigError);
+    EXPECT_THROW(f.getInt("digest"), ConfigError);  // not a number
+    EXPECT_THROW(
+        parseFrame("@regate-net v1 done slot=99999999999999999999")
+            .getInt("slot"),
+        ConfigError);  // out of range
+}
+
+TEST(AgentProtocol, HelloValidation)
+{
+    AgentHello hello;
+    hello.bin = "fig21_sens_leakage";
+    hello.slots = 4;
+    hello.cases = 25;
+    auto back = parseHello(parseFrame(formatFrame(
+        helloFrame(hello))));
+    EXPECT_EQ(back.bin, hello.bin);
+    EXPECT_EQ(back.slots, 4);
+    EXPECT_EQ(back.cases, 25u);
+
+    EXPECT_THROW(parseHello(parseFrame(
+                     "@regate-net v1 hello role=driver bin=x "
+                     "slots=1 cases=1")),
+                 ConfigError);
+    EXPECT_THROW(parseHello(parseFrame(
+                     "@regate-net v1 hello role=agent bin=x "
+                     "slots=0 cases=1")),
+                 ConfigError);
+    EXPECT_THROW(parseHello(parseFrame(
+                     "@regate-net v1 done slot=0")),
+                 ConfigError);
+}
+
+TEST(AgentProtocol, WorkerLogScraping)
+{
+    std::string log =
+        "@regate-worker v1 start kind=run shard=0/2 cases=4 "
+        "range=0..2\n"
+        "@regate-worker v1 case 1/2\n"
+        "@regate-worker v1 case 2/2\n"
+        "@regate-worker v1 done out=f bytes=9 "
+        "file_digest=00000000deadbeef\n";
+    std::string progress;
+    EXPECT_EQ(scanWorkerHeartbeats(log, &progress), 2);
+    EXPECT_EQ(progress, "2/2");
+    EXPECT_EQ(workerDoneDigest(log), "00000000deadbeef");
+
+    // A partial trailing heartbeat line is left for the next scan.
+    EXPECT_EQ(scanWorkerHeartbeats("@regate-worker v1 case 3/",
+                                   &progress),
+              0);
+    EXPECT_THROW(workerDoneDigest("no done line here"), ConfigError);
+    EXPECT_THROW(workerDoneDigest("@regate-worker v1 done out=f\n"),
+                 ConfigError);
+}
+
+// ---- TcpTransport against a scripted fake agent ----
+
+/** The fake agent's end of a socketpair; writes raw protocol bytes. */
+class FakeAgent
+{
+  public:
+    FakeAgent()
+    {
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+            throw std::runtime_error("socketpair failed");
+        driverEnd_ = Socket(fds[0]);
+        agentFd_ = fds[1];
+    }
+
+    ~FakeAgent() { closeAgent(); }
+
+    /** The driver-side socket (hand to TcpTransport). */
+    Socket takeDriverEnd() { return std::move(driverEnd_); }
+
+    void
+    say(const std::string &bytes)
+    {
+        ASSERT_EQ(::send(agentFd_, bytes.data(), bytes.size(),
+                         MSG_NOSIGNAL),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+
+    void
+    sayLine(const std::string &line)
+    {
+        say(line + "\n");
+    }
+
+    /** Drain whatever the driver sent (assign/fetch frames). */
+    void
+    drain()
+    {
+        char buf[4096];
+        while (::recv(agentFd_, buf, sizeof(buf), MSG_DONTWAIT) > 0) {
+        }
+    }
+
+    void
+    closeAgent()
+    {
+        if (agentFd_ >= 0) {
+            ::close(agentFd_);
+            agentFd_ = -1;
+        }
+    }
+
+  private:
+    Socket driverEnd_;
+    int agentFd_ = -1;
+};
+
+/** A transport handshaken against the fake agent's stock hello. */
+std::unique_ptr<TcpTransport>
+makeTransport(FakeAgent &agent)
+{
+    agent.sayLine("@regate-net v1 hello role=agent "
+                  "bin=fig_testcase slots=2 cases=8");
+    return std::make_unique<TcpTransport>(agent.takeDriverEnd(),
+                                          "fake:0", 0,
+                                          "fig_testcase", 8);
+}
+
+ShardAssignment
+assignment(int shard)
+{
+    ShardAssignment a;
+    a.shard = shard;
+    a.shardCount = 4;
+    a.attempt = 1;
+    return a;
+}
+
+TEST(TcpTransport, RejectsVersionMismatchedHello)
+{
+    FakeAgent agent;
+    agent.sayLine("@regate-net v2 hello role=agent bin=x slots=1 "
+                  "cases=8");
+    try {
+        TcpTransport t(agent.takeDriverEnd(), "fake:0", 0, "x", 8);
+        FAIL() << "v2 hello was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("version mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TcpTransport, RejectsTruncatedHello)
+{
+    FakeAgent agent;
+    agent.say("@regate-net v1 hel");  // no newline, then EOF
+    agent.closeAgent();
+    try {
+        TcpTransport t(agent.takeDriverEnd(), "fake:0", 0, "x", 8);
+        FAIL() << "truncated hello was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("mid-frame"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TcpTransport, RejectsBinAndCaseCountMismatch)
+{
+    {
+        FakeAgent agent;
+        agent.sayLine("@regate-net v1 hello role=agent bin=fig22 "
+                      "slots=1 cases=8");
+        EXPECT_THROW(TcpTransport(agent.takeDriverEnd(), "fake:0",
+                                  0, "fig21", 8),
+                     ConfigError);
+    }
+    {
+        FakeAgent agent;
+        agent.sayLine("@regate-net v1 hello role=agent bin=fig21 "
+                      "slots=1 cases=9");
+        EXPECT_THROW(TcpTransport(agent.takeDriverEnd(), "fake:0",
+                                  0, "fig21", 8),
+                     ConfigError);
+    }
+}
+
+TEST(TcpTransport, CliSlotCapTakesTheMinimum)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);  // advertises 2
+    EXPECT_EQ(transport->slotCount(), 2);
+
+    FakeAgent capped;
+    capped.sayLine("@regate-net v1 hello role=agent "
+                   "bin=fig_testcase slots=8 cases=8");
+    TcpTransport t(capped.takeDriverEnd(), "fake:0", 3,
+                   "fig_testcase", 8);
+    EXPECT_EQ(t.slotCount(), 3);
+}
+
+TEST(TcpTransport, DigestMismatchedArtifactIsRejected)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    transport->start(0, assignment(1));
+
+    std::string payload = "not the promised bytes\n";
+    auto real = sim::contentDigest(payload);
+    std::string bogus(16, '0');
+    ASSERT_NE(real, bogus);
+
+    // The agent promises a digest the payload does not hash to.
+    agent.sayLine("@regate-net v1 done slot=0 bytes=" +
+                  std::to_string(payload.size()) +
+                  " digest=" + bogus);
+    auto events = transport->poll();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Finished);
+    EXPECT_TRUE(events[0].cleanExit);
+
+    agent.sayLine("@regate-net v1 artifact slot=0 bytes=" +
+                  std::to_string(payload.size()) +
+                  " digest=" + bogus);
+    agent.say(payload);
+    try {
+        transport->fetchArtifact(0);
+        FAIL() << "digest-mismatched artifact was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("digest mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+    // A broken transfer poisons the whole session.
+    EXPECT_FALSE(transport->alive());
+}
+
+TEST(TcpTransport, ArtifactDisagreeingWithDoneLineIsRejected)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    transport->start(0, assignment(1));
+
+    std::string payload = "switched artifact bytes\n";
+    auto real = sim::contentDigest(payload);
+    std::string other(16, 'a');
+
+    // done promises one digest; the artifact self-consistently
+    // carries different bytes (hash matches the artifact frame but
+    // not the done line) — a swapped-file bug the driver must catch.
+    agent.sayLine("@regate-net v1 done slot=0 bytes=" +
+                  std::to_string(payload.size()) +
+                  " digest=" + other);
+    ASSERT_EQ(transport->poll().size(), 1u);
+    agent.sayLine("@regate-net v1 artifact slot=0 bytes=" +
+                  std::to_string(payload.size()) +
+                  " digest=" + real);
+    agent.say(payload);
+    try {
+        transport->fetchArtifact(0);
+        FAIL() << "artifact disagreeing with done was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("done line"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TcpTransport, MidTransferDisconnectIsAFailedAttempt)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    transport->start(0, assignment(2));
+
+    std::string payload(100, 'x');
+    auto digest = sim::contentDigest(payload);
+    agent.sayLine("@regate-net v1 done slot=0 bytes=100 digest=" +
+                  digest);
+    ASSERT_EQ(transport->poll().size(), 1u);
+    agent.sayLine("@regate-net v1 artifact slot=0 bytes=100 "
+                  "digest=" + digest);
+    agent.say(payload.substr(0, 10));  // 10 of 100 bytes...
+    // ...then the host dies while the driver waits for the rest.
+    // (Closing only after fetchArtifact has sent its request — a
+    // pre-closed peer would fail that send instead of the read.)
+    std::thread reaper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        // Consume the fetch request first: closing with unread data
+        // is an RST (also a failed attempt, but a different
+        // message); this test pins the clean-FIN truncation path.
+        agent.drain();
+        agent.closeAgent();
+    });
+    try {
+        transport->fetchArtifact(0);
+        FAIL() << "mid-transfer disconnect went unnoticed";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("mid-transfer"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("10 of 100"), std::string::npos) << msg;
+    }
+    reaper.join();
+    EXPECT_FALSE(transport->alive());
+}
+
+TEST(TcpTransport, FailFrameAndConnectionLossBecomeEvents)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    transport->start(0, assignment(0));
+    transport->start(1, assignment(3));
+    agent.drain();
+
+    agent.sayLine("@regate-net v1 fail slot=0 "
+                  "reason=\"signal 9 (Killed)\"");
+    auto events = transport->poll();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].slot, 0);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Finished);
+    EXPECT_FALSE(events[0].cleanExit);
+    EXPECT_EQ(events[0].detail, "signal 9 (Killed)");
+
+    // The agent dies; the busy slot surfaces as Lost exactly once.
+    agent.closeAgent();
+    events = transport->poll();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].slot, 1);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Lost);
+    EXPECT_FALSE(transport->alive());
+    EXPECT_TRUE(transport->poll().empty());
+
+    // Every later interaction names the loss instead of hanging.
+    EXPECT_THROW(transport->start(0, assignment(1)), ConfigError);
+    EXPECT_THROW(transport->fetchArtifact(1), ConfigError);
+}
+
+TEST(TcpTransport, MalformedFrameFromAgentKillsTheSession)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    transport->start(0, assignment(0));
+    agent.sayLine("@regate-net v1 done");  // no slot= field
+    auto events = transport->poll();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Lost);
+    EXPECT_FALSE(transport->alive());
+}
+
+TEST(TcpTransport, ErrorFrameNamesTheAgentsComplaint)
+{
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    transport->start(0, assignment(0));
+    agent.sayLine("@regate-net v1 error msg=\"driver addressed "
+                  "slot 7, this agent offers 2\"");
+    auto events = transport->poll();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Lost);
+    EXPECT_NE(events[0].detail.find("slot 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace regate

@@ -2,28 +2,47 @@
 """End-to-end check of the sweep orchestrator (registered as a ctest).
 
 Exercises regate_orch's failure machinery against real worker
-binaries — the scenarios the ISSUE acceptance criteria pin:
+binaries and real regate_agent processes — the scenarios the ISSUE
+acceptance criteria pin:
 
-1. fig02 (the SLO-search path) with 4 workers, one injected worker
-   kill (SIGKILL on a live worker) AND one injected straggler that
-   stalls past the per-shard timeout: both must be retried on a
-   different slot, and the orchestrated `--render` output must be
-   byte-identical to an unsharded run — as must the merged document
-   vs the binary's own `--shard 0/1` document.
+1. fig02 (the SLO-search path) with 4 local workers, one injected
+   worker kill (SIGKILL on a live worker) AND one injected stall
+   that goes heartbeat-silent past --stall-timeout-s: both must be
+   retried on a different slot, and the orchestrated `--render`
+   output must be byte-identical to an unsharded run — as must the
+   merged document vs the binary's own `--shard 0/1` document.
 
-2. fig21 (the plain run path): the orchestrator itself is SIGKILLed
-   mid-run (a deliberately stalled shard holds one slot while the
-   other slot lands checkpoints), then `--resume` must reuse every
-   validated shard file on disk, re-run only the missing shards, and
-   still render byte-identically.
+2. fig21 straggler-vs-stall: a shard whose cases are slowed (but
+   which keeps emitting per-case heartbeats) runs far past the
+   stall timeout and must NOT be killed — the stall timeout
+   measures heartbeat silence, not wall clock.
+
+3. fig21 resume: the orchestrator itself is SIGKILLed mid-run (a
+   deliberately stalled shard holds one slot while the other slot
+   lands checkpoints), then `--resume` must reuse every validated
+   shard file on disk, re-run only the missing shards, and still
+   render byte-identically.
+
+4. Probe rejection: binaries that do not speak the shard protocol
+   (fig15) are rejected by regate_orch and regate_agent with a
+   one-line usage error (exit 2) before any worker is spawned.
+
+5. Loopback fleet (needs --agent): fig02 through 2 local slots plus
+   two single-slot regate_agent processes; one agent is SIGKILLed
+   mid-run (on its first assignment) and one shard stalls past the
+   heartbeat timeout. The run must complete via retry/reassignment
+   with render and merged document byte-identical to an unsharded
+   run.
 """
 
 import argparse
 import os
+import re
 import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -43,7 +62,7 @@ def require(cond, message):
 
 
 def check_injected_failures(orch, binary, tmp):
-    """Scenario 1: worker kill + straggler timeout, byte-identical."""
+    """Scenario 1: worker kill + heartbeat stall, byte-identical."""
     reference = run([binary]).stdout
     single = tmp / "fig02_single.json"
     run([binary, "--shard", "0/1", "--out", str(single)])
@@ -51,10 +70,10 @@ def check_injected_failures(orch, binary, tmp):
     rundir = tmp / "fig02_run"
     proc = run([orch, "--bin", str(binary), "--dir", str(rundir),
                 "--workers", "4", "--granularity", "2",
-                "--timeout-s", "30", "--max-attempts", "3",
+                "--stall-timeout-s", "15", "--max-attempts", "3",
                 "--inject-kill-slot", "1",
                 "--inject-stall-shard", "2",
-                "--stall-seconds", "120",
+                "--stall-seconds", "90",
                 "--render"])
     events = proc.stderr.decode(errors="replace")
 
@@ -65,16 +84,48 @@ def check_injected_failures(orch, binary, tmp):
             "fig02: merged document differs from --shard 0/1")
     require("injected kill" in events and "signal 9" in events,
             f"fig02: no injected worker kill in events:\n{events}")
-    require("timeout after" in events,
-            f"fig02: no straggler timeout in events:\n{events}")
+    require("stalled: no heartbeat" in events,
+            f"fig02: no heartbeat-stall kill in events:\n{events}")
     require(events.count("retrying on another slot") >= 2,
-            f"fig02: kill+timeout were not both retried:\n{events}")
-    print("orch fig02: worker kill + straggler timeout retried; "
+            f"fig02: kill+stall were not both retried:\n{events}")
+    print("orch fig02: worker kill + heartbeat stall retried; "
           "render and merged document byte-identical")
 
 
+def check_straggler_survives(orch, binary, tmp):
+    """Scenario 2: slow-but-heartbeating shard outlives the stall
+    timeout."""
+    reference = run([binary]).stdout
+    rundir = tmp / "fig21_straggler_run"
+    proc = run([orch, "--bin", str(binary), "--dir", str(rundir),
+                "--workers", "2", "--granularity", "1",
+                "--stall-timeout-s", "5",
+                "--inject-slow-shard", "0",
+                "--slow-case-seconds", "1",
+                "--render"])
+    events = proc.stderr.decode(errors="replace")
+
+    require(proc.stdout == reference,
+            "fig21 straggler: render differs from unsharded run")
+    require("stalled" not in events,
+            f"fig21 straggler: alive shard was killed as "
+            f"stalled:\n{events}")
+    done = re.search(r"shard 0 attempt 1: done \((\d+\.\d)s\)",
+                     events)
+    require(done is not None,
+            f"fig21 straggler: no done event for shard 0:\n{events}")
+    took = float(done.group(1))
+    require(took > 5.0,
+            f"fig21 straggler: shard 0 finished in {took}s, which "
+            f"does not outlive the 5s stall timeout — the scenario "
+            f"proved nothing")
+    print(f"orch fig21: straggling-but-alive shard ran {took}s past "
+          "a 5s stall timeout (heartbeats kept it alive); render "
+          "byte-identical")
+
+
 def check_resume(orch, binary, tmp):
-    """Scenario 2: orchestrator killed mid-run, then resumed."""
+    """Scenario 3: orchestrator killed mid-run, then resumed."""
     reference = run([binary]).stdout
     rundir = tmp / "fig21_run"
     shards = 4  # workers * granularity below
@@ -87,7 +138,7 @@ def check_resume(orch, binary, tmp):
         orch_proc = subprocess.Popen(
             [orch, "--bin", str(binary), "--dir", str(rundir),
              "--workers", "2", "--granularity", "2",
-             "--timeout-s", "600",
+             "--stall-timeout-s", "600",
              "--inject-stall-shard", "0",
              "--stall-seconds", "120"],
             stdout=log, stderr=log, start_new_session=True)
@@ -113,7 +164,8 @@ def check_resume(orch, binary, tmp):
             f"{landed} of {shards}")
 
     proc = run([orch, "--bin", str(binary), "--dir", str(rundir),
-                "--resume", "--workers", "2", "--timeout-s", "120"])
+                "--resume", "--workers", "2",
+                "--stall-timeout-s", "120"])
     events = proc.stderr.decode(errors="replace")
 
     reused = events.count("reused checkpoint")
@@ -135,25 +187,188 @@ def check_resume(orch, binary, tmp):
           "byte-identical")
 
 
+def check_probe_rejects(orch, agent, no_grid_binary, tmp):
+    """Scenario 4: non-protocol binaries fail the --cases probe."""
+    proc = subprocess.run(
+        [orch, "--bin", str(no_grid_binary),
+         "--dir", str(tmp / "probe_run")],
+        capture_output=True)
+    err = proc.stderr.decode(errors="replace")
+    require(proc.returncode == 2,
+            f"regate_orch accepted {no_grid_binary.name} "
+            f"(exit {proc.returncode}):\n{err}")
+    require("does not speak the shard worker protocol" in err,
+            f"regate_orch probe rejection lacks the usage "
+            f"message:\n{err}")
+    require("spawn" not in err,
+            f"regate_orch spawned workers for a non-protocol "
+            f"binary:\n{err}")
+    print("orch probe: regate_orch rejects "
+          f"{no_grid_binary.name} with a usage error")
+
+    if agent is None:
+        return
+    proc = subprocess.run(
+        [agent, "--bin", str(no_grid_binary), "--port", "0",
+         "--dir", str(tmp / "probe_agent")],
+        capture_output=True)
+    err = proc.stderr.decode(errors="replace")
+    require(proc.returncode == 2,
+            f"regate_agent accepted {no_grid_binary.name} "
+            f"(exit {proc.returncode}):\n{err}")
+    require("does not speak the shard worker protocol" in err,
+            f"regate_agent probe rejection lacks the usage "
+            f"message:\n{err}")
+    print("orch probe: regate_agent rejects "
+          f"{no_grid_binary.name} with a usage error")
+
+
+class Agent:
+    """One regate_agent process on an ephemeral loopback port."""
+
+    def __init__(self, agent_bin, target, workdir, log_path):
+        self.log_path = log_path
+        self.log = open(log_path, "wb")
+        self.proc = subprocess.Popen(
+            [agent_bin, "--bin", str(target), "--port", "0",
+             "--slots", "1", "--dir", str(workdir),
+             "--max-sessions", "1"],
+            stdout=self.log, stderr=self.log)
+        self.port = self._await_port()
+
+    def _await_port(self):
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            m = re.search(rb"listening on port (\d+)",
+                          self.log_path.read_bytes())
+            if m:
+                return int(m.group(1))
+            if self.proc.poll() is not None:
+                sys.exit(f"agent died at startup:\n"
+                         f"{self.log_path.read_bytes().decode()}")
+            time.sleep(0.05)
+        sys.exit("agent never reported its port")
+
+    def events(self):
+        return self.log_path.read_bytes().decode(errors="replace")
+
+    def kill_on_first_assign(self):
+        """SIGKILL this agent the moment it spawns its first worker
+        — deterministically mid-run from the driver's view."""
+        def watch():
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if b": assign " in self.log_path.read_bytes():
+                    self.proc.kill()
+                    return
+                if self.proc.poll() is not None:
+                    return
+                time.sleep(0.02)
+        thread = threading.Thread(target=watch, daemon=True)
+        thread.start()
+        return thread
+
+    def reap(self):
+        try:
+            self.proc.kill()
+        except ProcessLookupError:
+            pass
+        self.proc.wait()
+        self.log.close()
+
+
+def check_fleet(orch, agent_bin, binary, tmp):
+    """Scenario 5: mixed loopback fleet, one agent SIGKILLed mid-run
+    plus one heartbeat-stalled shard; byte-identical output."""
+    reference = run([binary]).stdout
+    single = tmp / "fleet_single.json"
+    run([binary, "--shard", "0/1", "--out", str(single)])
+
+    agents = [Agent(agent_bin, binary, tmp / f"agent{i}_work",
+                    tmp / f"agent{i}.log") for i in (0, 1)]
+    watcher = agents[1].kill_on_first_assign()
+    try:
+        rundir = tmp / "fleet_run"
+        # 2 local + 2 agent slots, granularity 2 -> 8 shards on
+        # fig02's 68 cases. The stalled shard is the last one, so it
+        # is assigned after the doomed agent is already gone and the
+        # two injections cannot land on the same attempt.
+        proc = run([orch, "--bin", str(binary),
+                    "--dir", str(rundir),
+                    "--workers", "2", "--granularity", "2",
+                    "--host", f"127.0.0.1:{agents[0].port}:1",
+                    "--host", f"127.0.0.1:{agents[1].port}",
+                    "--stall-timeout-s", "15",
+                    "--inject-stall-shard", "7",
+                    "--stall-seconds", "90",
+                    "--render"])
+        events = proc.stderr.decode(errors="replace")
+    finally:
+        watcher.join(timeout=10)
+        for agent in agents:
+            agent.reap()
+
+    require(proc.stdout == reference,
+            "fleet: orchestrated render differs from unsharded run")
+    require((tmp / "fleet_run" / "merged.json").read_bytes()
+            == single.read_bytes(),
+            "fleet: merged document differs from --shard 0/1")
+    require("agent 127.0.0.1:" in events,
+            f"fleet: no agents joined the fleet:\n{events}")
+    require("connection lost" in events and "retired" in events,
+            f"fleet: the killed agent's loss was not "
+            f"detected:\n{events}")
+    require("stalled: no heartbeat" in events,
+            f"fleet: no heartbeat-stall kill in events:\n{events}")
+    require(events.count("retrying on another slot") >= 2,
+            f"fleet: agent loss + stall were not both "
+            f"retried:\n{events}")
+    # The surviving agent must actually have done work.
+    require(": done (" in agents[0].events() or
+            ": artifact sent" in agents[0].events(),
+            f"fleet: surviving agent did no work:\n"
+            f"{agents[0].events()}")
+    print("orch fleet: 2 local + 2 agent slots; agent SIGKILL and "
+          "heartbeat stall both reassigned; render and merged "
+          "document byte-identical")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--orch", required=True,
                     help="path to the regate_orch binary")
+    ap.add_argument("--agent",
+                    help="path to the regate_agent binary")
     ap.add_argument("--bin-dir", required=True,
                     help="directory holding the figure binaries")
+    ap.add_argument("--only", choices=["fleet"],
+                    help="run just one scenario (CI fleet-e2e)")
     args = ap.parse_args()
 
     bin_dir = Path(args.bin_dir)
     fig02 = bin_dir / "fig02_energy_efficiency"
+    fig15 = bin_dir / "fig15_setpm_timeline"
     fig21 = bin_dir / "fig21_sens_leakage"
-    for binary in (Path(args.orch), fig02, fig21):
+    needed = [Path(args.orch), fig02, fig21, fig15]
+    if args.agent:
+        needed.append(Path(args.agent))
+    for binary in needed:
         if not binary.exists():
             sys.exit(f"missing binary {binary}")
 
     with tempfile.TemporaryDirectory() as tmpdir:
         tmp = Path(tmpdir)
+        if args.only == "fleet":
+            if not args.agent:
+                sys.exit("--only fleet needs --agent")
+            check_fleet(args.orch, args.agent, fig02, tmp)
+            return 0
         check_injected_failures(args.orch, fig02, tmp)
+        check_straggler_survives(args.orch, fig21, tmp)
         check_resume(args.orch, fig21, tmp)
+        check_probe_rejects(args.orch, args.agent, fig15, tmp)
+        if args.agent:
+            check_fleet(args.orch, args.agent, fig02, tmp)
     return 0
 
 

@@ -127,6 +127,30 @@ TEST(Scheduler, SingleSlotRetriesInPlace)
     EXPECT_EQ(sched.nextFor(0), 0);
 }
 
+TEST(Scheduler, RetiredSlotsShrinkTheBanRule)
+{
+    // Three slots; slot 2's transport (an agent) dies, then slot 1's.
+    ShardScheduler sched({0}, 3, RetryPolicy{});
+    EXPECT_EQ(sched.liveSlots(), 3);
+    EXPECT_EQ(sched.nextFor(2), 0);
+    EXPECT_TRUE(sched.onFailure(0, 2));
+    sched.retireSlot();
+    EXPECT_EQ(sched.liveSlots(), 2);
+    // The retry lands on a surviving slot (the dead one is simply
+    // never offered again by the orchestrator).
+    EXPECT_EQ(sched.nextFor(0), 0);
+    EXPECT_TRUE(sched.onFailure(0, 0));
+    // Slot 1's transport dies while idle; only slot 0 survives,
+    // and the shard is banned from it.
+    sched.retireSlot();
+    EXPECT_EQ(sched.liveSlots(), 1);
+    // Down to one live slot, the banned-slot rule must yield —
+    // otherwise the last survivor could never take the retry.
+    EXPECT_EQ(sched.nextFor(0), 0);
+    sched.onSuccess(0);
+    EXPECT_TRUE(sched.allDone());
+}
+
 TEST(Scheduler, BoundedRetryExhausts)
 {
     RetryPolicy policy;

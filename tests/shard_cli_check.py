@@ -23,7 +23,8 @@ orchestrator builds on:
   binary, instead of per-binary behavior;
 - the `--cases` planning query prints a bare case count;
 - the `--worker` handshake emits the documented start/done protocol
-  lines, and the reported file_digest matches the artifact's bytes;
+  lines, per-case heartbeat lines (monotone k, ending at n/n), and
+  the reported file_digest matches the artifact's bytes;
 - `merge_shards.py --check` verifies digests and coverage without
   writing; a tampered byte fails with a digest mismatch; shard sets
   mixing format versions are rejected with a precise message.
@@ -129,8 +130,35 @@ def check_worker_handshake(binary, tmp):
     if fnv1a64_hex(content) != done.group(3):
         sys.exit(f"{binary.name}: worker-reported file_digest does "
                  "not match the artifact bytes")
-    print(f"{binary.name}: --cases and --worker handshake OK "
-          f"({cases} cases)")
+
+    # Per-case heartbeats: a multi-case shard must tick once per
+    # completed case — monotone counts ending exactly at n/n, all
+    # before the done line (the orchestrator's stall timeout
+    # measures the gaps between these lines).
+    shard_out = tmp / f"{binary.name}_worker_hb.json"
+    hb_stdout = run([binary, "--worker", "--shard", "0/2",
+                     "--out", str(shard_out)]).decode()
+    beats = re.findall(r"^@regate-worker v1 case (\d+)/(\d+)$",
+                       hb_stdout, re.M)
+    # shardRange floor arithmetic: shard 0 of 2 covers [0, cases//2).
+    shard_cases = cases // 2
+    if len(beats) != shard_cases:
+        sys.exit(f"{binary.name}: expected {shard_cases} heartbeat "
+                 f"lines for shard 0/2, saw {len(beats)}:\n"
+                 f"{hb_stdout}")
+    counts = [int(k) for k, _ in beats]
+    # Strict contract: exactly 1..n, no duplicate or skipped ticks
+    # (the runner serializes count++ with the emission).
+    if counts != list(range(1, shard_cases + 1)) or \
+            any(int(n) != shard_cases for _, n in beats):
+        sys.exit(f"{binary.name}: heartbeat counts are not the "
+                 f"strict walk 1..{shard_cases}:\n{hb_stdout}")
+    if hb_stdout.index("@regate-worker v1 done") < \
+            hb_stdout.rindex("@regate-worker v1 case"):
+        sys.exit(f"{binary.name}: heartbeat after the done line:\n"
+                 f"{hb_stdout}")
+    print(f"{binary.name}: --cases, --worker handshake, and "
+          f"{shard_cases} per-case heartbeats OK ({cases} cases)")
 
 
 def check_merge_integrity(merge_tool, shard_files, tmp):

@@ -22,8 +22,8 @@ using units::KiB;
 TEST(Allocator, SequentialPlacement)
 {
     SramAllocator a(KiB(64), KiB(4));
-    auto &b0 = a.allocate(KiB(8), 0, 10, "b0");
-    auto &b1 = a.allocate(KiB(8), 0, 10, "b1");
+    auto b0 = a.allocate(KiB(8), 0, 10, "b0");
+    auto b1 = a.allocate(KiB(8), 0, 10, "b1");
     EXPECT_EQ(b0.offset, 0u);
     EXPECT_EQ(b1.offset, KiB(8));
     EXPECT_EQ(a.peakBytes(), KiB(16));
@@ -34,7 +34,7 @@ TEST(Allocator, ReusesDeadSpace)
     SramAllocator a(KiB(64), KiB(4));
     a.allocate(KiB(32), 0, 5, "early");
     // Lifetime disjoint: reuses offset 0.
-    auto &late = a.allocate(KiB(32), 5, 10, "late");
+    auto late = a.allocate(KiB(32), 5, 10, "late");
     EXPECT_EQ(late.offset, 0u);
     EXPECT_EQ(a.peakBytes(), KiB(32));
 }
@@ -43,11 +43,11 @@ TEST(Allocator, FirstFitFillsGaps)
 {
     SramAllocator a(KiB(64), KiB(4));
     a.allocate(KiB(8), 0, 10, "a");      // [0, 8K)
-    auto &b = a.allocate(KiB(8), 0, 10); // [8K, 16K)
+    auto b = a.allocate(KiB(8), 0, 10); // [8K, 16K)
     a.allocate(KiB(8), 0, 10, "c");      // [16K, 24K)
     // b's space is free for a non-overlapping lifetime... but all
     // three are live together, so a new live buffer goes after c.
-    auto &d = a.allocate(KiB(4), 5, 8, "d");
+    auto d = a.allocate(KiB(4), 5, 8, "d");
     EXPECT_EQ(d.offset, KiB(24));
     (void)b;
 }
