@@ -15,8 +15,15 @@
  * like the orchestrator. Event lines go to stderr — including the
  * `listening on port N` line scripts parse when using `--port 0`.
  *
- * Plaintext TCP on a trusted network; tunnel the port over ssh when
- * the network is not (see bench/README.md "Remote fleets").
+ * `--join host:port` inverts the connection: the agent dials an
+ * orchestrator's `--join-port` listener and offers its slots
+ * mid-sweep, re-dialing with backoff if the driver is not up yet
+ * (so join agents can start first).
+ *
+ * With `--secret-file` (or REGATE_FLEET_SECRET) every hello runs
+ * the HMAC challenge–response of net/agent_protocol.h; without one
+ * the hello is plaintext — tunnel the port over ssh when the
+ * network is not trusted (see bench/README.md "Remote fleets").
  */
 
 #include <climits>
@@ -40,8 +47,28 @@ usage(const char *argv0, const std::string &msg)
               << "usage: " << argv0
               << " --bin FIGURE_BINARY [--port P=0 (ephemeral)]\n"
               << "    [--slots N=2] [--dir WORK_DIR=tmp]\n"
-              << "    [--max-sessions K=0 (serve forever)]\n";
+              << "    [--max-sessions K=0 (serve forever)]\n"
+              << "    [--join host:port (dial an orchestrator's "
+                 "--join-port instead of listening)]\n"
+              << "    [--secret-file PATH (HMAC-authenticate the "
+                 "hello; or REGATE_FLEET_SECRET)]\n";
     std::exit(2);
+}
+
+/** Parse "host:port" for --join; exits with usage on garbage. */
+void
+parseJoinSpec(const char *argv0, const std::string &spec,
+              regate::net::AgentOptions *opt)
+{
+    auto colon = spec.rfind(':');
+    long port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !regate::bench::parseLongArg(spec.substr(colon + 1).c_str(),
+                                     1, 65535, &port))
+        usage(argv0, "bad --join '" + spec +
+                         "' (want host:port)");
+    opt->joinHost = spec.substr(0, colon);
+    opt->joinPort = static_cast<std::uint16_t>(port);
 }
 
 }  // namespace
@@ -77,6 +104,14 @@ main(int argc, char **argv)
             opt.slots = intArg(i, "--slots");
         } else if (arg == "--max-sessions") {
             opt.maxSessions = intArg(i, "--max-sessions");
+        } else if (arg == "--join") {
+            if (++i >= argc)
+                usage(argv[0], "--join needs a value");
+            parseJoinSpec(argv[0], argv[i], &opt);
+        } else if (arg == "--secret-file") {
+            if (++i >= argc)
+                usage(argv[0], "--secret-file needs a value");
+            opt.secretFile = argv[i];
         } else {
             usage(argv[0], "unknown argument '" + arg + "'");
         }

@@ -59,6 +59,14 @@ usage(const char *argv0, const std::string &msg)
         << "    [--timeout-s T=0 (wall-clock cap per attempt; 0 "
            "disables)]\n"
         << "    [--max-attempts K=3] [--resume]\n"
+        << "    [--join-port P (accept regate_agent --join "
+           "dial-ins; 0 = ephemeral)]\n"
+        << "    [--secret-file PATH (HMAC-authenticate hellos; or "
+           "REGATE_FLEET_SECRET)]\n"
+        << "    [--max-speculative S=0 (work-stealing: duplicate up "
+           "to S straggling shards)]\n"
+        << "    [--reconnect-tries R=8 (re-dials per lost agent; 0 "
+           "= retire on first loss)]\n"
         << "    [--merged-out PATH=RUN_DIR/merged.json] [--render]\n"
         << "    [--inject-kill-slot S] [--inject-stall-shard J]"
         << " [--stall-seconds N]\n"
@@ -140,6 +148,14 @@ main(int argc, char **argv)
             opt.retry.maxAttempts = intArg(i, "--max-attempts");
         } else if (arg == "--resume") {
             opt.resume = true;
+        } else if (arg == "--join-port") {
+            opt.joinPort = intArg(i, "--join-port");
+        } else if (arg == "--secret-file") {
+            opt.secretFile = stringArg(i, "--secret-file");
+        } else if (arg == "--max-speculative") {
+            opt.maxSpeculative = intArg(i, "--max-speculative");
+        } else if (arg == "--reconnect-tries") {
+            opt.reconnectTries = intArg(i, "--reconnect-tries");
         } else if (arg == "--merged-out") {
             opt.mergedOut = stringArg(i, "--merged-out");
         } else if (arg == "--render") {
@@ -165,9 +181,10 @@ main(int argc, char **argv)
         usage(argv[0], "--dir is required");
     if (opt.workers < 0)
         usage(argv[0], "--workers must be >= 0");
-    if (opt.workers == 0 && opt.hosts.empty())
-        usage(argv[0], "an empty fleet: pass --workers N > 0 "
-                       "and/or --host host:port[:slots]");
+    if (opt.workers == 0 && opt.hosts.empty() && opt.joinPort < 0)
+        usage(argv[0], "an empty fleet: pass --workers N > 0, "
+                       "--host host:port[:slots], and/or "
+                       "--join-port P");
     if (opt.granularity <= 0)
         usage(argv[0], "--granularity must be positive");
     if (opt.stallTimeoutSec < 0)
@@ -176,6 +193,12 @@ main(int argc, char **argv)
         usage(argv[0], "--timeout-s must be >= 0");
     if (opt.retry.maxAttempts <= 0)
         usage(argv[0], "--max-attempts must be positive");
+    if (opt.joinPort > 65535)
+        usage(argv[0], "--join-port must be in [0, 65535]");
+    if (opt.maxSpeculative < 0)
+        usage(argv[0], "--max-speculative must be >= 0");
+    if (opt.reconnectTries < 0)
+        usage(argv[0], "--reconnect-tries must be >= 0");
 
     // A lost agent connection must surface as a failed attempt on
     // that transport, not SIGPIPE the whole driver.

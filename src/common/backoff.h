@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Capped exponential backoff with deterministic jitter, for
+ * re-dialing lost fleet peers (net::ReconnectingTransport, the
+ * agent's --join re-dial loop). Header-only and built on
+ * common/prng.h so the jitter sequence is reproducible under a
+ * fixed seed — the unit tests pin it exactly.
+ */
+
+#ifndef REGATE_COMMON_BACKOFF_H
+#define REGATE_COMMON_BACKOFF_H
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace regate {
+
+/** Knobs for one backoff sequence. */
+struct BackoffPolicy
+{
+    double initialDelaySec = 0.5;  ///< First retry delay.
+    double maxDelaySec = 30.0;     ///< Exponential growth cap.
+    double multiplier = 2.0;       ///< Per-attempt growth factor.
+    /**
+     * Jitter as a fraction of the base delay: each delay is scaled
+     * by a uniform factor in [1 - jitterFrac, 1 + jitterFrac], so a
+     * fleet of agents re-dialing one driver does not thunder in
+     * lockstep. 0 disables.
+     */
+    double jitterFrac = 0.25;
+    /** Consecutive attempts before exhausted(); 0 = unbounded. */
+    int maxAttempts = 8;
+};
+
+/**
+ * One retry sequence: nextDelaySec() yields the wait before each
+ * successive attempt, reset() rearms after a success, exhausted()
+ * reports when the policy's attempt budget is spent.
+ */
+class Backoff
+{
+  public:
+    Backoff(BackoffPolicy policy, std::uint64_t seed)
+        : policy_(policy), prng_(seed)
+    {
+        REGATE_CHECK(policy_.initialDelaySec > 0 &&
+                         policy_.maxDelaySec >=
+                             policy_.initialDelaySec,
+                     "backoff delays must satisfy 0 < initial <= "
+                     "max, got initial=",
+                     policy_.initialDelaySec, " max=",
+                     policy_.maxDelaySec);
+        REGATE_CHECK(policy_.multiplier >= 1,
+                     "backoff multiplier must be >= 1, got ",
+                     policy_.multiplier);
+        REGATE_CHECK(policy_.jitterFrac >= 0 &&
+                         policy_.jitterFrac < 1,
+                     "backoff jitter fraction must be in [0, 1), "
+                     "got ", policy_.jitterFrac);
+        REGATE_CHECK(policy_.maxAttempts >= 0,
+                     "backoff attempt bound must be >= 0, got ",
+                     policy_.maxAttempts);
+    }
+
+    /** Delay (seconds) to wait before the next attempt. */
+    double
+    nextDelaySec()
+    {
+        double base = policy_.initialDelaySec;
+        // Multiply up rather than pow(): attempt counts are small,
+        // and stopping at the cap cannot overflow no matter how
+        // long an outage lasts.
+        for (int i = 0; i < attempts_ && base < policy_.maxDelaySec;
+             ++i)
+            base *= policy_.multiplier;
+        base = std::min(base, policy_.maxDelaySec);
+        ++attempts_;
+        double factor =
+            1.0 +
+            policy_.jitterFrac * (2.0 * prng_.uniform01() - 1.0);
+        return base * factor;
+    }
+
+    /** Rearm after a success: the next failure starts small again. */
+    void reset() { attempts_ = 0; }
+
+    /** Attempts handed out since construction / the last reset(). */
+    int attempts() const { return attempts_; }
+
+    /** Has the policy's attempt budget been spent? */
+    bool
+    exhausted() const
+    {
+        return policy_.maxAttempts > 0 &&
+               attempts_ >= policy_.maxAttempts;
+    }
+
+  private:
+    BackoffPolicy policy_;
+    Prng prng_;
+    int attempts_ = 0;
+};
+
+}  // namespace regate
+
+#endif  // REGATE_COMMON_BACKOFF_H

@@ -1,0 +1,174 @@
+#include "common/sha256.h"
+
+#include <cstring>
+
+namespace regate {
+
+namespace {
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+constexpr std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+inline std::uint32_t
+rotr(std::uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+void
+compress(std::uint32_t state[8], const std::uint8_t block[64])
+{
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i)
+        w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+               (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+               static_cast<std::uint32_t>(block[4 * i + 3]);
+    for (int i = 16; i < 64; ++i) {
+        std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                           (w[i - 15] >> 3);
+        std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                           (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2],
+                  d = state[3], e = state[4], f = state[5],
+                  g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t s1 =
+            rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        std::uint32_t ch = (e & f) ^ (~e & g);
+        std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+        std::uint32_t s0 =
+            rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        std::uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+std::string
+toHex(const std::array<std::uint8_t, 32> &digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(64);
+    for (std::uint8_t byte : digest) {
+        out.push_back(hex[byte >> 4]);
+        out.push_back(hex[byte & 0xf]);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32>
+sha256(const void *data, std::size_t len)
+{
+    std::uint32_t state[8];
+    std::memcpy(state, kInit, sizeof(state));
+
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t at = 0;
+    for (; at + 64 <= len; at += 64)
+        compress(state, bytes + at);
+
+    // Final block(s): 0x80 pad, zeros, 64-bit big-endian bit length.
+    std::uint8_t tail[128] = {};
+    std::size_t rest = len - at;
+    if (rest > 0)
+        std::memcpy(tail, bytes + at, rest);
+    tail[rest] = 0x80;
+    std::size_t tail_len = rest + 1 + 8 <= 64 ? 64 : 128;
+    std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+    for (int i = 0; i < 8; ++i)
+        tail[tail_len - 1 - i] =
+            static_cast<std::uint8_t>(bits >> (8 * i));
+    compress(state, tail);
+    if (tail_len == 128)
+        compress(state, tail + 64);
+
+    std::array<std::uint8_t, 32> digest;
+    for (int i = 0; i < 8; ++i) {
+        digest[static_cast<std::size_t>(4 * i)] =
+            static_cast<std::uint8_t>(state[i] >> 24);
+        digest[static_cast<std::size_t>(4 * i + 1)] =
+            static_cast<std::uint8_t>(state[i] >> 16);
+        digest[static_cast<std::size_t>(4 * i + 2)] =
+            static_cast<std::uint8_t>(state[i] >> 8);
+        digest[static_cast<std::size_t>(4 * i + 3)] =
+            static_cast<std::uint8_t>(state[i]);
+    }
+    return digest;
+}
+
+std::string
+sha256Hex(const std::string &bytes)
+{
+    return toHex(sha256(bytes.data(), bytes.size()));
+}
+
+std::string
+hmacSha256Hex(const std::string &key, const std::string &msg)
+{
+    // RFC 2104: K' = key hashed down to / padded up to one block.
+    std::uint8_t k[64] = {};
+    if (key.size() > 64) {
+        auto hashed = sha256(key.data(), key.size());
+        std::memcpy(k, hashed.data(), hashed.size());
+    } else if (!key.empty()) {
+        std::memcpy(k, key.data(), key.size());
+    }
+
+    std::string inner;
+    inner.reserve(64 + msg.size());
+    for (std::uint8_t byte : k)
+        inner.push_back(static_cast<char>(byte ^ 0x36));
+    inner += msg;
+    auto inner_digest = sha256(inner.data(), inner.size());
+
+    std::string outer;
+    outer.reserve(64 + inner_digest.size());
+    for (std::uint8_t byte : k)
+        outer.push_back(static_cast<char>(byte ^ 0x5c));
+    outer.append(
+        reinterpret_cast<const char *>(inner_digest.data()),
+        inner_digest.size());
+    return toHex(sha256(outer.data(), outer.size()));
+}
+
+}  // namespace regate

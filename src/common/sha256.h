@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Self-contained SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104)
+ * for the fleet protocol's challenge–response authentication
+ * (net/agent_protocol.h v2). No external crypto dependency: the
+ * fleet secret authenticates hellos on a LAN, it does not encrypt
+ * the stream, and the unit tests pin the NIST/RFC 4231 vectors.
+ *
+ * Not for hashing artifacts — content integrity stays on
+ * common/hash.h fnv1a64, which is cheaper and byte-compatible with
+ * every digest already on disk.
+ */
+
+#ifndef REGATE_COMMON_SHA256_H
+#define REGATE_COMMON_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace regate {
+
+/** SHA-256 digest of @p len bytes at @p data. */
+std::array<std::uint8_t, 32> sha256(const void *data,
+                                    std::size_t len);
+
+/** SHA-256 of @p bytes as 64 lowercase hex characters. */
+std::string sha256Hex(const std::string &bytes);
+
+/** HMAC-SHA256(@p key, @p msg) as 64 lowercase hex characters. */
+std::string hmacSha256Hex(const std::string &key,
+                          const std::string &msg);
+
+}  // namespace regate
+
+#endif  // REGATE_COMMON_SHA256_H

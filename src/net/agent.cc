@@ -3,10 +3,12 @@
 #include <chrono>
 #include <filesystem>
 #include <iostream>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/error.h"
 #include "net/agent_protocol.h"
 #include "net/socket.h"
@@ -46,11 +48,15 @@ class AgentSession
 {
   public:
     AgentSession(const AgentOptions &opt, std::size_t cases,
-                 LineChannel channel)
+                 LineChannel channel,
+                 const std::optional<std::string> &secret)
         : opt_(opt), cases_(cases), channel_(std::move(channel)),
-          local_(opt.bin, opt.dir, opt.slots),
+          secret_(secret), local_(opt.bin, opt.dir, opt.slots),
           slots_(static_cast<std::size_t>(opt.slots))
     {}
+
+    /** Did the handshake complete (the driver heard our slots)? */
+    bool helloAccepted() const { return helloAccepted_; }
 
     void run();
 
@@ -95,8 +101,10 @@ class AgentSession
     const AgentOptions &opt_;
     std::size_t cases_;
     LineChannel channel_;
+    std::optional<std::string> secret_;
     LocalTransport local_;
     std::vector<Slot> slots_;
+    bool helloAccepted_ = false;
 };
 
 void
@@ -249,11 +257,22 @@ AgentSession::run()
     hello.slots = opt_.slots;
     hello.cases = cases_;
     try {
-        send(helloFrame(hello));
+        agentHandshake(channel_, hello, secret_, 10000);
+        helloAccepted_ = true;
     } catch (const ConfigError &e) {
-        // A driver that resets between connect and handshake (or a
-        // port scanner) costs this session only, never the agent.
+        // A driver that resets between connect and handshake, a
+        // port scanner, or a driver failing the challenge proof
+        // (wrong secret) costs this session only, never the agent.
+        // Tell the driver why if it can still hear — its log then
+        // names the real reason instead of a bare disconnect.
         event(std::string("handshake failed: ") + e.what());
+        try {
+            Frame f;
+            f.verb = "error";
+            f.kv = {{"msg", frameSafe(e.what())}};
+            send(f);
+        } catch (const ConfigError &) {
+        }
         return;
     }
 
@@ -288,6 +307,77 @@ AgentSession::run()
     // vanished driver never leaks workers on this host.
 }
 
+/** Seed re-dial jitter from the dial target, deterministically per
+ *  driver so a fleet of joiners still de-correlates. */
+std::uint64_t
+jitterSeed(const std::string &host, std::uint16_t port)
+{
+    std::uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+    for (char c : host)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    return h ^ port;
+}
+
+/**
+ * Join mode: dial the orchestrator's --join-port and serve one
+ * session per connection, re-dialing with capped exponential
+ * backoff (common/backoff.h) after a lost or refused dial — so an
+ * agent started before its driver, or surviving a driver restart,
+ * folds itself back into the sweep. Every dial counts toward
+ * maxSessions whether or not it reached a session (a rejected
+ * handshake still consumed the dial), so a bounded joiner can never
+ * spin forever against a dead or hostile driver.
+ */
+int
+joinDriver(const AgentOptions &options, std::size_t cases,
+           const std::optional<std::string> &secret)
+{
+    auto event = [&](const std::string &line) {
+        if (options.events)
+            *options.events << "agent: " << line << "\n"
+                            << std::flush;
+    };
+    auto target =
+        options.joinHost + ":" + std::to_string(options.joinPort);
+    event("joining driver at " + target);
+    Backoff backoff(BackoffPolicy{},
+                    jitterSeed(options.joinHost, options.joinPort));
+    int sessions = 0;
+    for (;;) {
+        bool served = false;
+        try {
+            auto conn = tcpConnect(options.joinHost,
+                                   options.joinPort);
+            event("driver accepted the join from " + target);
+            AgentSession session(options, cases,
+                                 LineChannel(std::move(conn),
+                                             target),
+                                 secret);
+            session.run();
+            served = session.helloAccepted();
+        } catch (const ConfigError &e) {
+            event(std::string("join dial failed: ") + e.what());
+        }
+        if (options.maxSessions > 0 &&
+            ++sessions >= options.maxSessions) {
+            event("served " + std::to_string(sessions) +
+                  " session(s); exiting");
+            return served ? 0 : 1;
+        }
+        if (served) {
+            backoff.reset();
+        } else if (backoff.exhausted()) {
+            event("giving up on " + target + " after " +
+                  std::to_string(backoff.attempts()) +
+                  " failed join(s)");
+            return 1;
+        }
+        auto delay = backoff.nextDelaySec();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+    }
+}
+
 }  // namespace
 
 int
@@ -307,8 +397,18 @@ runAgent(const AgentOptions &options)
         return 2;
     }
 
+    std::optional<std::string> secret;
+    try {
+        secret = loadFleetSecret(options.secretFile);
+    } catch (const ConfigError &e) {
+        std::cerr << "regate_agent: " << e.what() << "\n";
+        return 2;
+    }
+
     try {
         std::filesystem::create_directories(options.dir);
+        if (!options.joinHost.empty())
+            return joinDriver(options, cases, secret);
         std::uint16_t port = 0;
         auto listener = tcpListen(options.port, &port);
         event("serving " + options.bin + " (" +
@@ -333,7 +433,8 @@ runAgent(const AgentOptions &options)
             }
             event("driver connected from " + peer);
             AgentSession(options, cases,
-                         LineChannel(std::move(conn), peer))
+                         LineChannel(std::move(conn), peer),
+                         secret)
                 .run();
             if (options.maxSessions > 0 &&
                 ++sessions >= options.maxSessions) {

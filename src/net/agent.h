@@ -17,8 +17,18 @@
  * returns to accept — an orchestrator crash never leaks workers on
  * fleet hosts.
  *
- * Trust model: plaintext TCP on a trusted network; tunnel the port
- * over ssh when the network is not (bench/README.md).
+ * Two connection directions: the default listen mode serves
+ * `--host` drivers that dial in; `--join host:port` inverts it —
+ * the agent dials an orchestrator's `--join-port` listener and
+ * offers its slots mid-sweep, re-dialing with backoff between
+ * sessions.
+ *
+ * Trust model: with a shared secret (--secret-file /
+ * REGATE_FLEET_SECRET) every hello runs the v2 challenge–response
+ * of net/agent_protocol.h, so neither end talks to a stranger. The
+ * payload frames stay plaintext; without a secret the hello does
+ * too — fall back to an ssh tunnel on untrusted networks
+ * (bench/README.md "Remote fleets").
  */
 
 #ifndef REGATE_NET_AGENT_H
@@ -40,8 +50,26 @@ struct AgentOptions
     /**
      * Exit after this many driver sessions (0 = serve forever).
      * Tests and the CI fleet job use 1 so agents reap themselves.
+     * In join mode a dial attempt that never reaches a session
+     * (connection refused, handshake rejected) counts too, so a
+     * bounded agent can never spin forever against a dead or
+     * hostile driver.
      */
     int maxSessions = 0;
+
+    /**
+     * Join mode: dial this orchestrator host (its --join-port) and
+     * offer the slots, instead of listening. Empty = listen mode.
+     */
+    std::string joinHost;
+    std::uint16_t joinPort = 0;  ///< Port of the driver's listener.
+
+    /**
+     * Shared fleet secret file for the v2 authenticated hello;
+     * empty falls back to REGATE_FLEET_SECRET, and neither set
+     * speaks the plaintext v1 hello.
+     */
+    std::string secretFile;
 
     /// Event sink ("agent: ..." lines); null = silent.
     std::ostream *events = nullptr;

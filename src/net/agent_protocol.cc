@@ -1,10 +1,18 @@
 #include "net/agent_protocol.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <climits>
+#include <cstdlib>
 #include <fstream>
+#include <random>
 
 #include "common/error.h"
+#include "common/sha256.h"
+#include "net/socket.h"
 
 namespace regate {
 namespace net {
@@ -77,10 +85,14 @@ Frame::getIndex(const std::string &key) const
 std::string
 formatFrame(const Frame &frame)
 {
+    REGATE_ASSERT(frame.version == kProtocolVersion ||
+                      frame.version == kAuthProtocolVersion,
+                  "frame version v", frame.version,
+                  " is not one this build speaks");
     REGATE_ASSERT(!frame.verb.empty() && plainValue(frame.verb),
                   "frame verb must be a bare word");
     std::string out = kMagic + " v" +
-                      std::to_string(kProtocolVersion) + " " +
+                      std::to_string(frame.version) + " " +
                       frame.verb;
     for (const auto &[key, value] : frame.kv) {
         REGATE_ASSERT(plainValue(key), "frame key \"", key,
@@ -128,16 +140,20 @@ parseFrame(const std::string &line)
         // handler relies on.
         throw ConfigError("protocol version mismatch: peer speaks " +
                           vtok + ", this build speaks v" +
-                          std::to_string(kProtocolVersion));
+                          std::to_string(kProtocolVersion) + "/v" +
+                          std::to_string(kAuthProtocolVersion));
     }
-    REGATE_CHECK(version == kProtocolVersion,
+    REGATE_CHECK(version == kProtocolVersion ||
+                     version == kAuthProtocolVersion,
                  "protocol version mismatch: peer speaks v", version,
-                 ", this build speaks v", kProtocolVersion);
+                 ", this build speaks v", kProtocolVersion, "/v",
+                 kAuthProtocolVersion);
     REGATE_CHECK(sp != std::string::npos,
                  "frame \"", line, "\" carries no verb");
     at = sp + 1;
 
     Frame frame;
+    frame.version = version;
     auto verb_end = line.find(' ', at);
     frame.verb = line.substr(at, verb_end == std::string::npos
                                      ? std::string::npos
@@ -211,57 +227,219 @@ parseHello(const Frame &frame)
     return hello;
 }
 
+std::optional<std::string>
+loadFleetSecret(const std::string &secret_file)
+{
+    std::string secret;
+    if (!secret_file.empty()) {
+        std::ifstream in(secret_file, std::ios::binary);
+        REGATE_CHECK(in.good(), "cannot read secret file ",
+                     secret_file);
+        secret.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    } else if (const char *env =
+                   std::getenv("REGATE_FLEET_SECRET")) {
+        secret = env;
+    } else {
+        return std::nullopt;
+    }
+    while (!secret.empty() &&
+           (secret.back() == '\n' || secret.back() == '\r'))
+        secret.pop_back();
+    REGATE_CHECK(!secret.empty(),
+                 "the fleet secret is empty — an empty secret "
+                 "would authenticate anyone; remove ",
+                 secret_file.empty() ? "REGATE_FLEET_SECRET"
+                                     : secret_file.c_str(),
+                 " to run a plaintext fleet instead");
+    return secret;
+}
+
+std::string
+makeNonce()
+{
+    // Uniqueness is what defeats replay; a counter guarantees it
+    // within the process, std::random_device + pid + time make
+    // cross-process collisions (driver restarts, many agents)
+    // vanishingly unlikely.
+    static std::atomic<std::uint64_t> counter{0};
+    std::random_device rd;
+    std::uint64_t a =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    std::uint64_t b =
+        (static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now()
+                 .time_since_epoch()
+                 .count())
+         << 16) ^
+        (static_cast<std::uint64_t>(::getpid()) << 1) ^ ++counter;
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (int i = 15; i >= 0; --i)
+        out.push_back(hex[(a >> (4 * i)) & 0xf]);
+    for (int i = 15; i >= 0; --i)
+        out.push_back(hex[(b >> (4 * i)) & 0xf]);
+    return out;
+}
+
+std::string
+driverProof(const std::string &secret,
+            const std::string &agent_nonce)
+{
+    // Domain-separated from agentAuth so neither side's tag can be
+    // reflected back as the other's.
+    return hmacSha256Hex(secret, "regate-driver|" + agent_nonce);
+}
+
+std::string
+agentAuth(const std::string &secret,
+          const std::string &driver_nonce, const AgentHello &hello)
+{
+    // The capabilities are inside the MAC: a tampering middlebox
+    // cannot swap slots/cases on an otherwise-valid hello.
+    return hmacSha256Hex(secret, "regate-agent|" + driver_nonce +
+                                     "|" + hello.bin + "|" +
+                                     std::to_string(hello.slots) +
+                                     "|" +
+                                     std::to_string(hello.cases));
+}
+
+HandshakeResult
+driverHandshake(LineChannel &channel,
+                const std::optional<std::string> &secret,
+                int timeout_ms)
+{
+    const auto &peer = channel.peerName();
+    auto opening = parseFrame(channel.readLine(timeout_ms));
+    if (opening.verb == "error")
+        // The agent names its own reason (e.g. it rejected OUR
+        // proof); surface that instead of a generic parse error.
+        throw ConfigError(peer + ": agent reported: " +
+                          opening.get("msg"));
+    if (opening.verb == "hello") {
+        REGATE_CHECK(!secret, peer,
+                     ": agent sent an unauthenticated (v1) hello "
+                     "but this fleet has a shared secret — start "
+                     "the agent with --secret-file or "
+                     "REGATE_FLEET_SECRET");
+        return {parseHello(opening), false};
+    }
+    REGATE_CHECK(opening.verb == "hello-auth", peer,
+                 ": expected a hello, got '", opening.verb, "'");
+    REGATE_CHECK(secret, peer,
+                 ": agent requires an authenticated (v2) hello but "
+                 "no secret is configured here — pass --secret-file "
+                 "or set REGATE_FLEET_SECRET");
+
+    Frame challenge;
+    challenge.version = kAuthProtocolVersion;
+    challenge.verb = "challenge";
+    auto driver_nonce = makeNonce();
+    challenge.kv = {
+        {"nonce", driver_nonce},
+        {"proof", driverProof(*secret, opening.get("nonce"))}};
+    channel.sendLine(formatFrame(challenge));
+
+    auto answer = parseFrame(channel.readLine(timeout_ms));
+    if (answer.verb == "error")
+        throw ConfigError(peer + ": agent reported: " +
+                          answer.get("msg"));
+    REGATE_CHECK(answer.verb == "hello", peer,
+                 ": expected the authenticated hello, got '",
+                 answer.verb, "'");
+    auto hello = parseHello(answer);
+    REGATE_CHECK(answer.has("auth") &&
+                     answer.get("auth") ==
+                         agentAuth(*secret, driver_nonce, hello),
+                 peer, ": hello authentication failed: HMAC "
+                 "mismatch — wrong secret or a replayed hello");
+    return {hello, true};
+}
+
+void
+agentHandshake(LineChannel &channel, const AgentHello &hello,
+               const std::optional<std::string> &secret,
+               int timeout_ms)
+{
+    if (!secret) {
+        channel.sendLine(formatFrame(helloFrame(hello)));
+        return;
+    }
+    const auto &peer = channel.peerName();
+    Frame opening;
+    opening.version = kAuthProtocolVersion;
+    opening.verb = "hello-auth";
+    auto agent_nonce = makeNonce();
+    opening.kv = {{"role", "agent"}, {"nonce", agent_nonce}};
+    channel.sendLine(formatFrame(opening));
+
+    auto challenge = parseFrame(channel.readLine(timeout_ms));
+    if (challenge.verb == "error")
+        throw ConfigError(peer + ": driver reported: " +
+                          challenge.get("msg"));
+    REGATE_CHECK(challenge.verb == "challenge", peer,
+                 ": expected an auth challenge, got '",
+                 challenge.verb,
+                 "' — is the driver running without a secret?");
+    REGATE_CHECK(challenge.get("proof") ==
+                     driverProof(*secret, agent_nonce),
+                 peer, ": driver failed authentication: bad "
+                 "challenge proof — wrong secret?");
+
+    auto answer = helloFrame(hello);
+    answer.version = kAuthProtocolVersion;
+    answer.kv.emplace_back(
+        "auth",
+        agentAuth(*secret, challenge.get("nonce"), hello));
+    channel.sendLine(formatFrame(answer));
+}
+
 namespace {
 
 const std::string kWorkerMarker = "@regate-worker v1 ";
 
 }  // namespace
 
-std::string
-workerDoneDigest(const std::string &log)
-{
-    const std::string marker = kWorkerMarker + "done ";
-    const std::string key = "file_digest=";
-    auto line_start = log.rfind(marker);
-    REGATE_CHECK(line_start != std::string::npos,
-                 "worker exited 0 but its log has no handshake "
-                 "done line");
-    auto line_end = log.find('\n', line_start);
-    auto line = log.substr(line_start,
-                           line_end == std::string::npos
-                               ? std::string::npos
-                               : line_end - line_start);
-    auto key_at = line.find(key);
-    REGATE_CHECK(key_at != std::string::npos,
-                 "worker done line carries no file_digest");
-    auto digest = line.substr(key_at + key.size());
-    auto space = digest.find(' ');
-    if (space != std::string::npos)
-        digest.resize(space);
-    return digest;
-}
-
 int
-scanWorkerHeartbeats(const std::string &text, std::string *progress)
+scanWorkerLog(const std::string &text, WorkerLogTail *tail)
 {
-    const std::string marker = kWorkerMarker + "case ";
+    const std::string case_marker = kWorkerMarker + "case ";
+    const std::string done_marker = kWorkerMarker + "done ";
+    const std::string digest_key = "file_digest=";
     int seen = 0;
     std::size_t at = 0;
-    while ((at = text.find(marker, at)) != std::string::npos) {
-        auto start = at + marker.size();
-        auto end = text.find('\n', start);
+    while ((at = text.find(kWorkerMarker, at)) !=
+           std::string::npos) {
+        auto end = text.find('\n', at);
         if (end == std::string::npos)
             break;  // Partial line; the next scan completes it.
-        *progress = text.substr(start, end - start);
-        ++seen;
+        if (text.compare(at, case_marker.size(), case_marker) ==
+            0) {
+            tail->progress = text.substr(at + case_marker.size(),
+                                         end - at -
+                                             case_marker.size());
+            ++seen;
+        } else if (text.compare(at, done_marker.size(),
+                                done_marker) == 0) {
+            auto line = text.substr(at, end - at);
+            auto key_at = line.find(digest_key);
+            if (key_at != std::string::npos) {
+                auto digest =
+                    line.substr(key_at + digest_key.size());
+                auto space = digest.find(' ');
+                if (space != std::string::npos)
+                    digest.resize(space);
+                tail->doneDigest = digest;
+            }
+        }
         at = end;
     }
     return seen;
 }
 
 int
-tailWorkerHeartbeats(const std::string &log_path,
-                     std::size_t *offset, std::string *progress)
+tailWorkerLog(const std::string &log_path, WorkerLogTail *tail)
 {
     // Read only the unread suffix: this runs every scheduler tick
     // (~15 ms) per busy slot, so re-reading the whole log each time
@@ -271,21 +449,21 @@ tailWorkerHeartbeats(const std::string &log_path,
         return 0;  // Not created yet — nothing to report.
     in.seekg(0, std::ios::end);
     auto size = static_cast<std::size_t>(in.tellg());
-    if (size <= *offset)
+    if (size <= tail->offset)
         return 0;
-    std::string text(size - *offset, '\0');
-    in.seekg(static_cast<std::streamoff>(*offset));
+    std::string text(size - tail->offset, '\0');
+    in.seekg(static_cast<std::streamoff>(tail->offset));
     in.read(text.data(), static_cast<std::streamsize>(text.size()));
     if (in.gcount() >= 0 &&
         static_cast<std::size_t>(in.gcount()) < text.size())
         text.resize(static_cast<std::size_t>(in.gcount()));
 
-    int seen = scanWorkerHeartbeats(text, progress);
+    int seen = scanWorkerLog(text, tail);
     // Advance past the last complete line only; a trailing partial
     // heartbeat is re-scanned once its newline lands.
     auto last_nl = text.rfind('\n');
     if (last_nl != std::string::npos)
-        *offset += last_nl + 1;
+        tail->offset += last_nl + 1;
     return seen;
 }
 

@@ -1,24 +1,42 @@
 /**
  * @file
- * The line-framed fleet protocol (version 1) spoken between the
- * orchestrator's TcpTransport and a `regate_agent` process. Both
- * ends share this one definition, so a malformed, truncated, or
- * version-skewed frame is rejected with the same precise message
- * everywhere.
+ * The line-framed fleet protocol spoken between the orchestrator's
+ * TcpTransport and a `regate_agent` process. Both ends share this
+ * one definition, so a malformed, truncated, or version-skewed
+ * frame is rejected with the same precise message everywhere.
  *
  * A frame is one text line:
  *
  *     @regate-net v1 <verb> key=value key="value with spaces" ...
  *
  * Values containing spaces are double-quoted (no embedded quotes or
- * newlines — enforced at format time). The conversation:
+ * newlines — enforced at format time). Version 1 is the plaintext
+ * session grammar; version 2 adds the authenticated handshake
+ * frames below and is only spoken when both ends hold the shared
+ * fleet secret (--secret-file / REGATE_FLEET_SECRET) — the session
+ * verbs stay v1 either way, so an authenticated fleet is wire
+ * compatible with a v1 one past the hello. The conversation:
  *
- *   agent -> driver on accept:
+ *   agent -> driver on accept (no secret configured):
  *     hello role=agent bin=<name> slots=<n> cases=<grid size>
  *         The capability line. The driver cross-checks bin and
  *         cases against its own probe of the target binary, so a
  *         fleet can never mix two figures (or two builds whose
  *         grids differ) into one merged document.
+ *   with a secret, the hello becomes a challenge–response
+ *   (HMAC-SHA256 over fresh nonces, common/sha256.h):
+ *     agent -> driver:  hello-auth role=agent nonce=<hex>
+ *     driver -> agent:  challenge nonce=<hex> proof=<hmac>
+ *         proof = HMAC(secret, "regate-driver|" + agent nonce):
+ *         the driver authenticates itself first, so an agent never
+ *         reveals capabilities to a stranger.
+ *     agent -> driver:  hello role=agent bin=... slots=... cases=...
+ *                           auth=<hmac>
+ *         auth = HMAC(secret, "regate-agent|" + driver nonce + "|"
+ *         + bin + "|" + slots + "|" + cases). The driver's nonce is
+ *         fresh per connection, so a recorded hello replayed later
+ *         fails the check — both mismatches are rejected with named
+ *         errors.
  *   driver -> agent:
  *     assign slot=<s> shard=<i> shards=<M> attempt=<k>
  *         stall=<sec> slow=<sec>
@@ -51,6 +69,7 @@
 #define REGATE_NET_AGENT_PROTOCOL_H
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,12 +77,17 @@
 namespace regate {
 namespace net {
 
-/** The protocol revision this build speaks. */
+class LineChannel;  // net/socket.h
+
+/** The base (session) protocol revision this build speaks. */
 constexpr int kProtocolVersion = 1;
+/** The authenticated-handshake extension revision. */
+constexpr int kAuthProtocolVersion = 2;
 
 /** One parsed frame: a verb plus ordered key=value pairs. */
 struct Frame
 {
+    int version = kProtocolVersion;
     std::string verb;
     std::vector<std::pair<std::string, std::string>> kv;
 
@@ -92,9 +116,9 @@ std::string formatFrame(const Frame &frame);
 
 /**
  * Parse one wire line. Throws ConfigError for anything that is not
- * a well-formed version-1 frame: wrong magic, a protocol version
- * other than kProtocolVersion (named in the message), a missing
- * verb, or a malformed/unterminated key=value token.
+ * a well-formed frame: wrong magic, a protocol version this build
+ * does not speak (v1/v2; both sides named in the message), a
+ * missing verb, or a malformed/unterminated key=value token.
  */
 Frame parseFrame(const std::string &line);
 
@@ -112,38 +136,96 @@ Frame helloFrame(const AgentHello &hello);
 AgentHello parseHello(const Frame &frame);
 
 /**
+ * The shared fleet secret: @p secret_file (from --secret-file) wins
+ * over the REGATE_FLEET_SECRET environment variable; neither
+ * configured returns nullopt (plaintext v1 fleet). Trailing
+ * newlines are stripped (secret files are usually written with
+ * echo); an effectively-empty secret is a ConfigError, not a
+ * silently unauthenticated fleet.
+ */
+std::optional<std::string> loadFleetSecret(
+    const std::string &secret_file);
+
+/** Fresh per-connection nonce (hex); never repeats in a process. */
+std::string makeNonce();
+
+/** The driver's challenge proof over the agent's nonce. */
+std::string driverProof(const std::string &secret,
+                        const std::string &agent_nonce);
+
+/** The agent's hello HMAC, binding capabilities to the nonce. */
+std::string agentAuth(const std::string &secret,
+                      const std::string &driver_nonce,
+                      const AgentHello &hello);
+
+struct HandshakeResult
+{
+    AgentHello hello;
+    bool authenticated = false;  ///< v2 challenge–response passed.
+};
+
+/**
+ * Driver side of the hello: read the agent's opening frame and run
+ * either the v1 plaintext hello or the v2 challenge–response,
+ * depending on whether @p secret is configured. A secret mismatch
+ * in either direction, a plaintext hello against a configured
+ * secret (downgrade), an auth hello without one, and a replayed
+ * hello all throw ConfigError with a named auth error.
+ */
+HandshakeResult driverHandshake(
+    LineChannel &channel, const std::optional<std::string> &secret,
+    int timeout_ms);
+
+/**
+ * Agent side of the hello: announce @p hello in plaintext (no
+ * secret), or open with hello-auth, verify the driver's challenge
+ * proof, and answer with the authenticated hello. Throws
+ * ConfigError (named) when the driver fails its side of the proof
+ * or speaks the wrong flavor for this agent's configuration.
+ */
+void agentHandshake(LineChannel &channel, const AgentHello &hello,
+                    const std::optional<std::string> &secret,
+                    int timeout_ms);
+
+/**
  * Worker-handshake log parsing, shared by every driver of `--worker`
  * subprocesses (the local transport and the agent): both tail the
  * worker's captured log for `@regate-worker v1` lines.
  */
 
 /**
- * The worker's reported whole-file digest from its done line;
- * throws ConfigError when a clean exit left no parseable done line.
+ * Incremental scan state for one worker's log. Everything the
+ * driver needs from the log — heartbeat progress and the done
+ * line's whole-file digest — is captured as the bytes stream past,
+ * so no path ever re-reads the whole log.
  */
-std::string workerDoneDigest(const std::string &log);
+struct WorkerLogTail
+{
+    std::size_t offset = 0;   ///< Bytes consumed so far.
+    std::string progress;     ///< Latest heartbeat ("k/n").
+    std::string doneDigest;   ///< file_digest= of the done line.
+};
 
 /**
- * Scan new log bytes for per-case heartbeat lines
- * (`@regate-worker v1 case k/n`); the last complete one wins as
- * @p progress ("k/n"). Returns how many were seen.
+ * Scan a chunk of new log bytes for `@regate-worker v1` case and
+ * done lines, updating @p tail->progress / @p tail->doneDigest from
+ * complete lines (a trailing partial line is ignored; the caller
+ * re-presents it once its newline lands). Returns how many new
+ * heartbeat lines were seen.
  */
-int scanWorkerHeartbeats(const std::string &text,
-                         std::string *progress);
+int scanWorkerLog(const std::string &text, WorkerLogTail *tail);
 
 /**
- * Incrementally tail a worker's log file for heartbeats: reads
- * @p log_path (a still-missing file is simply "nothing yet"),
- * scans the unread suffix from @p *offset, advances the offset
- * past the last complete line (a trailing partial line is left for
- * the next call), and records the latest "k/n" in @p progress.
+ * Incrementally tail a worker's log file: reads @p log_path (a
+ * still-missing file is simply "nothing yet"), scans the unread
+ * suffix from @p tail->offset, and advances the offset past the
+ * last complete line — a trailing partial line is left for the
+ * next call, so polling stays O(new bytes) across a whole attempt.
  * Returns how many new heartbeat lines were seen. Shared by the
  * local transport and the agent so the partial-line subtleties
  * live in exactly one place.
  */
-int tailWorkerHeartbeats(const std::string &log_path,
-                         std::size_t *offset,
-                         std::string *progress);
+int tailWorkerLog(const std::string &log_path, WorkerLogTail *tail);
 
 }  // namespace net
 }  // namespace regate

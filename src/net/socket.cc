@@ -41,7 +41,11 @@ Socket::close()
 Socket
 tcpListen(std::uint16_t port, std::uint16_t *bound_port)
 {
-    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    // CLOEXEC on every fleet socket: spawned workers must not
+    // inherit them, or a SIGKILLed agent's orphaned worker keeps
+    // the listening port bound and a restarted agent cannot take
+    // the dead one's place.
+    Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     REGATE_CHECK(sock.valid(), "cannot create socket: ",
                  errnoText());
     int one = 1;
@@ -76,8 +80,9 @@ tcpAccept(const Socket &listener, std::string *peer)
     socklen_t len = sizeof(addr);
     int fd = -1;
     do {
-        fd = ::accept(listener.fd(),
-                      reinterpret_cast<sockaddr *>(&addr), &len);
+        fd = ::accept4(listener.fd(),
+                       reinterpret_cast<sockaddr *>(&addr), &len,
+                       SOCK_CLOEXEC);
     } while (fd < 0 && errno == EINTR);
     REGATE_CHECK(fd >= 0, "accept failed: ", errnoText());
     int one = 1;
@@ -108,7 +113,8 @@ tcpConnect(const std::string &host, std::uint16_t port)
                            &res);
     REGATE_CHECK(rc == 0 && res, "cannot resolve ", host, ": ",
                  gai_strerror(rc));
-    Socket sock(::socket(res->ai_family, res->ai_socktype,
+    Socket sock(::socket(res->ai_family,
+                         res->ai_socktype | SOCK_CLOEXEC,
                          res->ai_protocol));
     if (!sock.valid()) {
         ::freeaddrinfo(res);

@@ -9,8 +9,10 @@
  * Everything here throws ConfigError with the peer's name in the
  * message instead of returning error codes: a fleet-transport
  * failure is an attempt/connection failure the orchestrator's retry
- * machinery handles, never a crash. Plaintext TCP — the trust model
- * is a trusted network (bench/README.md "Remote fleets").
+ * machinery handles, never a crash. The byte stream is plaintext;
+ * peer authentication is the handshake layer's job
+ * (net/agent_protocol.h HMAC hellos) — on untrusted networks,
+ * tunnel the port (bench/README.md "Remote fleets").
  */
 
 #ifndef REGATE_NET_SOCKET_H

@@ -45,7 +45,7 @@ struct LocalTransport::Slot
     int shard = -1;
     std::string attemptPath;
     std::string logPath;
-    std::size_t logOffset = 0;  ///< Heartbeat scan position.
+    WorkerLogTail tail;  ///< Incremental log scan state.
 };
 
 LocalTransport::LocalTransport(std::string bin, std::string dir,
@@ -100,7 +100,7 @@ LocalTransport::start(int slot, const ShardAssignment &a)
         orch::attemptFileName(a.shard,
                               static_cast<long>(::getpid()), serial);
     s.logPath = s.attemptPath + ".log";
-    s.logOffset = 0;
+    s.tail = WorkerLogTail{};
 
     std::string spec = std::to_string(a.shard) + "/" +
                        std::to_string(a.shardCount);
@@ -121,13 +121,11 @@ LocalTransport::poll()
         auto &s = slots_[i];
         if (!s.busy)
             continue;
-        std::string progress;
-        if (tailWorkerHeartbeats(s.logPath, &s.logOffset,
-                                 &progress) > 0) {
+        if (tailWorkerLog(s.logPath, &s.tail) > 0) {
             TransportEvent ev;
             ev.slot = static_cast<int>(i);
             ev.kind = TransportEvent::Kind::Progress;
-            ev.detail = progress;
+            ev.detail = s.tail.progress;
             events.push_back(std::move(ev));
         }
     }
@@ -161,7 +159,15 @@ LocalTransport::fetchArtifact(int slot)
     // bytes read here, so there is no second read that could
     // observe a different file state.
     auto content = readFile(s.attemptPath);
-    auto reported = workerDoneDigest(readFile(s.logPath));
+    // One last incremental tail catches the done line the exit
+    // raced past poll(); the scan state already holds everything
+    // before it, so even this final read is O(new bytes), never a
+    // whole-log re-read.
+    tailWorkerLog(s.logPath, &s.tail);
+    REGATE_CHECK(!s.tail.doneDigest.empty(),
+                 "worker exited 0 but its log has no handshake "
+                 "done line");
+    const auto &reported = s.tail.doneDigest;
     auto on_disk = sim::contentDigest(content);
     REGATE_CHECK(reported == on_disk,
                  "worker reported file digest ", reported, " but ",
@@ -221,22 +227,27 @@ struct TcpTransport::Slot
 std::unique_ptr<TcpTransport>
 TcpTransport::connect(const std::string &host, std::uint16_t port,
                       int cli_slots, const std::string &expect_bin,
-                      std::size_t expect_cases)
+                      std::size_t expect_cases,
+                      const std::optional<std::string> &secret)
 {
     auto name = host + ":" + std::to_string(port);
     return std::make_unique<TcpTransport>(tcpConnect(host, port),
                                           name, cli_slots,
-                                          expect_bin, expect_cases);
+                                          expect_bin, expect_cases,
+                                          secret);
 }
 
 TcpTransport::TcpTransport(Socket sock, std::string name,
                            int cli_slots,
                            const std::string &expect_bin,
-                           std::size_t expect_cases)
+                           std::size_t expect_cases,
+                           const std::optional<std::string> &secret)
     : name_(std::move(name)), channel_(std::move(sock), name_)
 {
-    auto hello =
-        parseHello(parseFrame(channel_.readLine(kHelloTimeoutMs)));
+    auto shake =
+        driverHandshake(channel_, secret, kHelloTimeoutMs);
+    authenticated_ = shake.authenticated;
+    const auto &hello = shake.hello;
     REGATE_CHECK(hello.bin == expect_bin, name_,
                  ": agent serves ", hello.bin, " but this run "
                  "drives ", expect_bin,
@@ -320,8 +331,13 @@ TcpTransport::handleFrame(const Frame &frame,
         // one. The throw lands in poll()'s markDead containment.
         REGATE_CHECK(s.busy, name_, ": done frame for idle slot ",
                      slot);
+        // Read every required field BEFORE mutating the slot: a
+        // malformed frame must throw while the slot is still busy,
+        // so markDead surfaces its in-flight attempt as Lost
+        // instead of silently dropping it.
+        const auto &digest = frame.get("digest");
         s.done = true;
-        s.doneDigest = frame.get("digest");
+        s.doneDigest = digest;
         s.busy = false;
         TransportEvent ev;
         ev.slot = slot;
@@ -332,9 +348,10 @@ TcpTransport::handleFrame(const Frame &frame,
     } else if (frame.verb == "fail") {
         REGATE_CHECK(s.busy, name_, ": fail frame for idle slot ",
                      slot);
+        const auto &reason = frame.get("reason");  // May throw.
         s.busy = false;
         s.done = false;
-        s.lastFailure = frame.get("reason");
+        s.lastFailure = reason;
         TransportEvent ev;
         ev.slot = slot;
         ev.kind = TransportEvent::Kind::Finished;
@@ -482,6 +499,188 @@ TcpTransport::failureRef(int slot) const
 {
     (void)slot;
     return "agent " + name_ + " worker logs";
+}
+
+// ---- ReconnectingTransport ----
+
+namespace {
+
+/** Seed re-dial jitter from the dial target, deterministically per
+ *  host so a fleet of reconnecting links still de-correlates. */
+std::uint64_t
+jitterSeed(const std::string &host, std::uint16_t port)
+{
+    std::uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+    for (char c : host)
+        h = (h ^ static_cast<unsigned char>(c)) *
+            1099511628211ull;
+    return h ^ port;
+}
+
+}  // namespace
+
+ReconnectingTransport::ReconnectingTransport(DialConfig config,
+                                             BackoffPolicy backoff)
+    : config_(std::move(config)),
+      name_(config_.host + ":" + std::to_string(config_.port)),
+      backoff_(backoff, jitterSeed(config_.host, config_.port))
+{
+    // First dial fails fast: a host that was never reachable is a
+    // usage error, not an outage to ride out.
+    inner_ = dial();
+    slotCount_ = inner_->slotCount();
+}
+
+std::unique_ptr<TcpTransport>
+ReconnectingTransport::dial()
+{
+    auto transport = TcpTransport::connect(
+        config_.host, config_.port, config_.cliSlots,
+        config_.expectBin, config_.expectCases, config_.secret);
+    ++sessions_;
+    return transport;
+}
+
+bool
+ReconnectingTransport::alive() const
+{
+    return inner_ && inner_->alive();
+}
+
+bool
+ReconnectingTransport::recovering() const
+{
+    return !alive() && !gaveUp_;
+}
+
+bool
+ReconnectingTransport::slotUsable(int slot) const
+{
+    // A re-hello may offer fewer slots than the first one pinned;
+    // the tail slots stay out of service until a session offers
+    // them again.
+    return alive() && slot < inner_->slotCount();
+}
+
+void
+ReconnectingTransport::noteLoss(const std::string &reason)
+{
+    lastError_ = reason;
+    inner_.reset();
+    if (backoff_.exhausted()) {
+        gaveUp_ = true;
+        return;
+    }
+    nextDialAt_ =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                backoff_.nextDelaySec()));
+}
+
+std::vector<TransportEvent>
+ReconnectingTransport::poll()
+{
+    if (inner_) {
+        // poll() still drains queued events after a death, so the
+        // Lost events of the drop are all returned here before the
+        // dead session is discarded.
+        auto events = inner_->poll();
+        if (!inner_->alive())
+            noteLoss(inner_->deathReason());
+        return events;
+    }
+    if (gaveUp_ || Clock::now() < nextDialAt_)
+        return {};
+    try {
+        inner_ = dial();
+        // The handshake re-validated bin/cases; a success rearms
+        // the backoff for the next outage.
+        backoff_.reset();
+    } catch (const ConfigError &e) {
+        noteLoss(e.what());
+        if (gaveUp_) {
+            // Surface WHY the host is finally being given up on —
+            // once recovering() goes false the orchestrator only
+            // sees a dead transport.
+            TransportEvent ev;
+            ev.slot = -1;
+            ev.kind = TransportEvent::Kind::Lost;
+            ev.detail = name_ + ": giving up after " +
+                        std::to_string(backoff_.attempts()) +
+                        " failed re-dial(s): " + e.what();
+            // No slot was busy (they all Lost at the drop), so the
+            // orchestrator must tolerate slot=-1 fleet-level
+            // events.
+            return {ev};
+        }
+    }
+    return {};
+}
+
+std::string
+ReconnectingTransport::start(int slot, const ShardAssignment &a)
+{
+    REGATE_CHECK(alive(), name_, ": agent link is down (",
+                 lastError_.empty() ? "reconnecting" : lastError_,
+                 ")");
+    REGATE_CHECK(slotUsable(slot), name_, ": slot ", slot,
+                 " is not offered by the current session");
+    return inner_->start(slot, a);
+}
+
+std::string
+ReconnectingTransport::fetchArtifact(int slot)
+{
+    REGATE_CHECK(inner_, name_, ": agent link is down (",
+                 lastError_, ") before slot ", slot,
+                 "'s artifact could be fetched");
+    return inner_->fetchArtifact(slot);
+}
+
+void
+ReconnectingTransport::kill(int slot)
+{
+    if (inner_)
+        inner_->kill(slot);
+}
+
+void
+ReconnectingTransport::abandon(const std::string &reason)
+{
+    // A wedged session is as dead as a dropped one — but the HOST
+    // may recover (an un-SIGSTOPped agent, a rebooted machine), so
+    // abandoning feeds the same re-dial loop instead of retiring
+    // the transport outright.
+    if (inner_)
+        inner_->abandon(reason);
+}
+
+bool
+ReconnectingTransport::promoteArtifact(int slot,
+                                       const std::string &final_path)
+{
+    return inner_ && inner_->promoteArtifact(slot, final_path);
+}
+
+void
+ReconnectingTransport::finishAttempt(int slot, bool success)
+{
+    if (inner_)
+        inner_->finishAttempt(slot, success);
+}
+
+std::string
+ReconnectingTransport::failureRef(int slot) const
+{
+    return inner_ ? inner_->failureRef(slot)
+                  : "agent " + name_ + " worker logs";
+}
+
+bool
+ReconnectingTransport::authenticated() const
+{
+    return inner_ && inner_->authenticated();
 }
 
 }  // namespace net

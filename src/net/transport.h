@@ -21,16 +21,26 @@
  *    and retires the transport — the orchestrator's retry machinery
  *    reassigns the shards exactly as it does for a killed
  *    subprocess.
+ *  - ReconnectingTransport wraps a dialed TcpTransport and, when
+ *    the session dies, re-dials with capped exponential backoff
+ *    (common/backoff.h), re-runs the hello/capability cross-check,
+ *    and puts the agent's slots back in service. In-flight shards
+ *    still fail (Lost) at the moment of the drop — resilience never
+ *    trusts half a session — but the host's capacity returns
+ *    instead of being retired forever.
  */
 
 #ifndef REGATE_NET_TRANSPORT_H
 #define REGATE_NET_TRANSPORT_H
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "net/socket.h"
 #include "orch/process_pool.h"
 
@@ -78,6 +88,26 @@ class SlotTransport
 
     /** False once the transport can run no further attempts. */
     virtual bool alive() const = 0;
+
+    /**
+     * True while a currently-dead transport may still come back (a
+     * re-dial is pending). The orchestrator keeps such a
+     * transport's slots retired-but-revivable instead of declaring
+     * the fleet dead.
+     */
+    virtual bool recovering() const { return false; }
+
+    /**
+     * Can @p slot take work right now? A reconnected agent may
+     * offer fewer slots than it originally did; the extras stay
+     * retired.
+     */
+    virtual bool
+    slotUsable(int slot) const
+    {
+        (void)slot;
+        return alive();
+    }
 
     /**
      * Start one shard attempt on idle @p slot. Returns a short
@@ -183,21 +213,34 @@ class TcpTransport : public SlotTransport
      * (base name) and @p expect_cases must match, or the fleet
      * would merge results of different figures/builds. @p cli_slots
      * caps the agent's advertised slot count (0 = take what it
-     * offers). Throws ConfigError on connect/handshake failure.
+     * offers). With @p secret set the hello runs the v2
+     * challenge–response (net/agent_protocol.h); without one it is
+     * the plaintext v1 exchange. Throws ConfigError on
+     * connect/handshake/auth failure.
      */
     static std::unique_ptr<TcpTransport> connect(
         const std::string &host, std::uint16_t port, int cli_slots,
-        const std::string &expect_bin, std::size_t expect_cases);
+        const std::string &expect_bin, std::size_t expect_cases,
+        const std::optional<std::string> &secret = std::nullopt);
 
     /**
      * Wrap an already-connected socket (the tests drive this end of
-     * a socketpair against a scripted fake agent). Performs the
-     * same hello handshake and checks as connect().
+     * a socketpair against a scripted fake agent; the join listener
+     * wraps accepted connections). Performs the same hello
+     * handshake and checks as connect().
      */
     TcpTransport(Socket sock, std::string name, int cli_slots,
                  const std::string &expect_bin,
-                 std::size_t expect_cases);
+                 std::size_t expect_cases,
+                 const std::optional<std::string> &secret =
+                     std::nullopt);
     ~TcpTransport() override;
+
+    /** Did the hello run the v2 challenge–response? */
+    bool authenticated() const { return authenticated_; }
+
+    /** Why the session died (empty while alive). */
+    const std::string &deathReason() const { return deathReason_; }
 
     const std::string &name() const override { return name_; }
     int slotCount() const override;
@@ -233,9 +276,80 @@ class TcpTransport : public SlotTransport
     LineChannel channel_;
     std::vector<Slot> slots_;
     bool alive_ = true;
+    bool authenticated_ = false;
     std::string deathReason_;
     /** Events decoded while fetchArtifact drained the channel. */
     std::vector<TransportEvent> queued_;
+};
+
+/**
+ * A dialed agent that survives connection loss: wraps a
+ * TcpTransport and re-dials on death with capped exponential
+ * backoff + jitter, re-running the full hello handshake (including
+ * authentication) before the slots go back into service. The slot
+ * count is pinned by the first hello — a reconnected agent
+ * offering fewer slots leaves the extras unusable (slotUsable),
+ * one offering more is capped.
+ */
+class ReconnectingTransport : public SlotTransport
+{
+  public:
+    struct DialConfig
+    {
+        std::string host;
+        std::uint16_t port = 0;
+        int cliSlots = 0;  ///< --host slot cap (0 = agent's offer).
+        std::string expectBin;
+        std::size_t expectCases = 0;
+        std::optional<std::string> secret;
+    };
+
+    /**
+     * Dials immediately — a host that is down at startup is a
+     * configuration error and throws, exactly like
+     * TcpTransport::connect; the backoff only governs RE-dials
+     * after a session that once worked is lost. @p backoff's
+     * maxAttempts bounds consecutive failed re-dials per outage
+     * before the transport is permanently retired.
+     */
+    ReconnectingTransport(DialConfig config, BackoffPolicy backoff);
+
+    const std::string &name() const override { return name_; }
+    int slotCount() const override { return slotCount_; }
+    bool alive() const override;
+    bool recovering() const override;
+    bool slotUsable(int slot) const override;
+    std::string start(int slot,
+                      const ShardAssignment &assignment) override;
+    std::vector<TransportEvent> poll() override;
+    std::string fetchArtifact(int slot) override;
+    void kill(int slot) override;
+    void abandon(const std::string &reason) override;
+    bool promoteArtifact(int slot,
+                         const std::string &final_path) override;
+    void finishAttempt(int slot, bool success) override;
+    std::string failureRef(int slot) const override;
+
+    /** Did the current session authenticate? (False while down.) */
+    bool authenticated() const;
+    /** Sessions established since construction (1 = never lost). */
+    int sessions() const { return sessions_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::unique_ptr<TcpTransport> dial();
+    void noteLoss(const std::string &reason);
+
+    DialConfig config_;
+    std::string name_;
+    int slotCount_ = 0;  ///< Pinned by the first hello.
+    std::unique_ptr<TcpTransport> inner_;
+    Backoff backoff_;
+    Clock::time_point nextDialAt_;
+    bool gaveUp_ = false;
+    int sessions_ = 0;
+    std::string lastError_;
 };
 
 }  // namespace net

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/error.h"
+#include "net/agent_protocol.h"
 #include "net/transport.h"
 #include "orch/fs.h"
 #include "orch/planner.h"
@@ -60,6 +64,7 @@ class Orchestrator
         bool busy = false;
         int shard = -1;
         int attempt = 0;
+        bool speculative = false;  ///< A work-stealing duplicate.
         Clock::time_point started;
         Clock::time_point lastProgress;
         Clock::time_point killDeadline;  ///< Settle-by after a kill.
@@ -101,47 +106,89 @@ class Orchestrator
     bool handleFailure(FleetSlot &slot, int gid,
                        const std::string &reason);
     void retireSlot(FleetSlot &slot, const std::string &why);
+    void reviveSlots();
+    void acceptJoiners();
+    void addTransportSlots(net::SlotTransport *transport);
+    /** Busy slots currently running @p shard. */
+    int inFlight(int shard) const;
+    /** Is this failure a speculative leftover to swallow? */
+    bool discardObsolete(FleetSlot &slot,
+                         const std::string &reason);
+    void stealStragglers();
+    int pickStraggler() const;
     int renderMerged();
 
     OrchOptions opt_;
     std::string mergedOut_;
+    std::string binName_;
+    std::optional<std::string> secret_;
     OrchPlan plan_;
     std::vector<std::unique_ptr<net::SlotTransport>> transports_;
     std::vector<FleetSlot> slots_;
+    net::Socket joinListener_;
     ShardScheduler *scheduler_ = nullptr;
+    std::unordered_set<int> completedShards_;
+    /** Successful attempt durations; the straggler baseline. */
+    std::vector<double> attemptTook_;
     bool killInjected_ = false;
     bool stallInjected_ = false;
     bool slowInjected_ = false;
 };
 
 void
+Orchestrator::addTransportSlots(net::SlotTransport *transport)
+{
+    for (int i = 0; i < transport->slotCount(); ++i) {
+        FleetSlot slot;
+        slot.transport = transport;
+        slot.local = i;
+        slot.name = transport->name() + "#" + std::to_string(i);
+        slots_.push_back(std::move(slot));
+    }
+}
+
+void
 Orchestrator::buildFleet(std::size_t cases)
 {
-    auto bin_name =
-        std::filesystem::path(opt_.bin).filename().string();
     if (opt_.workers > 0)
         transports_.push_back(std::make_unique<net::LocalTransport>(
             opt_.bin, opt_.dir, opt_.workers));
     for (const auto &spec : opt_.hosts) {
-        auto agent = net::TcpTransport::connect(
-            spec.host, spec.port, spec.slots, bin_name, cases);
+        std::unique_ptr<net::SlotTransport> agent;
+        bool authenticated = false;
+        if (opt_.reconnectTries > 0) {
+            net::ReconnectingTransport::DialConfig config;
+            config.host = spec.host;
+            config.port = spec.port;
+            config.cliSlots = spec.slots;
+            config.expectBin = binName_;
+            config.expectCases = cases;
+            config.secret = secret_;
+            BackoffPolicy backoff;
+            backoff.maxAttempts = opt_.reconnectTries;
+            auto link =
+                std::make_unique<net::ReconnectingTransport>(
+                    std::move(config), backoff);
+            authenticated = link->authenticated();
+            agent = std::move(link);
+        } else {
+            auto link = net::TcpTransport::connect(
+                spec.host, spec.port, spec.slots, binName_, cases,
+                secret_);
+            authenticated = link->authenticated();
+            agent = std::move(link);
+        }
         event("agent " + agent->name() + ": " +
-              std::to_string(agent->slotCount()) + " slot(s)");
+              std::to_string(agent->slotCount()) + " slot(s)" +
+              (authenticated ? " [authenticated]"
+                             : " [UNAUTHENTICATED plaintext]"));
         transports_.push_back(std::move(agent));
     }
-    REGATE_CHECK(!transports_.empty(),
-                 "the fleet is empty: pass --workers N > 0 and/or "
-                 "--host host:port[:slots]");
-    for (auto &transport : transports_) {
-        for (int i = 0; i < transport->slotCount(); ++i) {
-            FleetSlot slot;
-            slot.transport = transport.get();
-            slot.local = i;
-            slot.name =
-                transport->name() + "#" + std::to_string(i);
-            slots_.push_back(std::move(slot));
-        }
-    }
+    REGATE_CHECK(!transports_.empty() || joinListener_.valid(),
+                 "the fleet is empty: pass --workers N > 0, --host "
+                 "host:port[:slots], and/or --join-port P");
+    for (auto &transport : transports_)
+        addTransportSlots(transport.get());
 }
 
 OrchPlan
@@ -176,8 +223,12 @@ Orchestrator::loadOrCreatePlan(std::size_t cases)
     OrchPlan plan;
     plan.bin = bin_name;
     plan.cases = cases;
+    // A join-only fleet has no slots yet; plan as if one, so the
+    // shard count still tracks the grid (joiners just drain a
+    // finer queue than a same-size --host fleet would have).
     plan.shards = planShardCount(
-        cases, static_cast<int>(slots_.size()), opt_.granularity);
+        cases, std::max(1, static_cast<int>(slots_.size())),
+        opt_.granularity);
     // Same atomic-promotion discipline as the shard checkpoints: a
     // crash mid-write must not leave a truncated plan that wedges
     // both fresh and --resume runs of this directory.
@@ -217,6 +268,7 @@ Orchestrator::spawnShard(FleetSlot &slot, int gid, int shard)
     int attempt = scheduler_->attempts(shard);
     slot.shard = shard;
     slot.attempt = attempt;
+    slot.speculative = false;
     slot.killedReason.clear();
     slot.progressDetail.clear();
 
@@ -307,13 +359,67 @@ Orchestrator::handleSuccess(FleetSlot &slot,
               "); merged in memory, but a --resume would re-run it");
     }
     scheduler_->onSuccess(slot.shard);
+    completedShards_.insert(slot.shard);
     double took = std::chrono::duration<double>(Clock::now() -
                                                 slot.started)
                       .count();
-    event(tagOf(slot) + ": done (" + fmtSeconds(took) + "s) [" +
+    attemptTook_.push_back(took);
+    event(tagOf(slot) + ": done (" + fmtSeconds(took) + "s)" +
+          (slot.speculative ? " [stolen]" : "") + " [" +
           std::to_string(merger.coveredCases()) + "/" +
           std::to_string(plan_.cases) + " cases merged]");
+    // First completion wins: kill any speculative twin of this
+    // shard still running elsewhere. Its exit settles through the
+    // normal event path and is discarded as obsolete.
+    for (auto &other : slots_) {
+        if (&other == &slot || !other.busy ||
+            other.shard != slot.shard)
+            continue;
+        other.killedReason = "speculative twin lost the race";
+        other.killDeadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(kKillGraceSec));
+        other.transport->kill(other.local);
+        event("shard " + std::to_string(other.shard) +
+              " attempt " + std::to_string(other.attempt) +
+              ": twin on slot=" + other.name +
+              " lost the race; killed");
+    }
     return true;
+}
+
+int
+Orchestrator::inFlight(int shard) const
+{
+    int count = 0;
+    for (const auto &slot : slots_)
+        if (slot.busy && slot.shard == shard)
+            ++count;
+    return count;
+}
+
+bool
+Orchestrator::discardObsolete(FleetSlot &slot,
+                              const std::string &reason)
+{
+    // A failure (or leftover exit) of one copy of a shard must not
+    // touch the scheduler while the shard is already merged or its
+    // twin is still racing: onFailure would requeue — and re-run —
+    // work that is complete or still in flight.
+    if (completedShards_.count(slot.shard)) {
+        event(tagOf(slot) + ": obsolete (" + reason +
+              "); shard already merged");
+        return true;
+    }
+    // The caller cleared slot.busy before settling, so any in-
+    // flight copy counted here is a distinct twin.
+    if (inFlight(slot.shard) > 0) {
+        event(tagOf(slot) + ": failed (" + reason +
+              "); twin attempt still running");
+        return true;
+    }
+    return false;
 }
 
 bool
@@ -344,6 +450,17 @@ Orchestrator::settleFinished(FleetSlot &slot, int gid,
     slot.busy = false;
     std::string killed = slot.killedReason;
     slot.killedReason.clear();
+    // A completed shard's leftover exit — the losing side of a
+    // speculative race, or a straggler that finished after its twin
+    // — settles without touching the scheduler or the merger (which
+    // would rightly reject the double absorption).
+    if (completedShards_.count(slot.shard)) {
+        slot.transport->finishAttempt(slot.local, true);
+        event(tagOf(slot) + ": discarded (" +
+              (killed.empty() ? status : killed) +
+              "); shard already merged");
+        return true;
+    }
     if (clean_exit) {
         // A worker can finish in the gap between our kill decision
         // and the kill landing; its artifact is done and
@@ -355,14 +472,18 @@ Orchestrator::settleFinished(FleetSlot &slot, int gid,
             return handleSuccess(slot, merger);
         } catch (const ConfigError &e) {
             slot.transport->finishAttempt(slot.local, false);
-            return handleFailure(slot, gid,
-                                 std::string("artifact invalid: ") +
-                                     e.what());
+            std::string reason =
+                std::string("artifact invalid: ") + e.what();
+            if (discardObsolete(slot, reason))
+                return true;
+            return handleFailure(slot, gid, reason);
         }
     }
     slot.transport->finishAttempt(slot.local, false);
-    return handleFailure(slot, gid,
-                         killed.empty() ? status : killed);
+    std::string reason = killed.empty() ? status : killed;
+    if (discardObsolete(slot, reason))
+        return true;
+    return handleFailure(slot, gid, reason);
 }
 
 void
@@ -377,6 +498,174 @@ Orchestrator::retireSlot(FleetSlot &slot, const std::string &why)
           " slot(s) remain");
 }
 
+void
+Orchestrator::reviveSlots()
+{
+    // A ReconnectingTransport that re-dialed successfully reports
+    // alive again; put its retired slots back in service (the
+    // inverse of retireSlot, so the scheduler's banned-slot rule
+    // re-engages at the right live count).
+    for (auto &slot : slots_) {
+        if (slot.alive || !slot.transport->alive() ||
+            !slot.transport->slotUsable(slot.local))
+            continue;
+        slot.alive = true;
+        slot.busy = false;
+        scheduler_->reviveSlot();
+        event("slot " + slot.name +
+              ": revived (agent reconnected); " +
+              std::to_string(scheduler_->liveSlots()) +
+              " slot(s) live");
+    }
+}
+
+void
+Orchestrator::acceptJoiners()
+{
+    while (joinListener_.valid() &&
+           net::waitReadable(joinListener_.fd(), 0)) {
+        std::string peer;
+        net::Socket conn;
+        try {
+            conn = net::tcpAccept(joinListener_, &peer);
+        } catch (const ConfigError &e) {
+            event(std::string("join: accept failed: ") + e.what());
+            break;
+        }
+        try {
+            // The joiner is handshaked (and authenticated) exactly
+            // like a --host agent; a stranger who fails the
+            // challenge costs this event line and nothing else.
+            auto agent = std::make_unique<net::TcpTransport>(
+                std::move(conn), peer, 0, binName_, plan_.cases,
+                secret_);
+            event("join: agent " + peer + " adds " +
+                  std::to_string(agent->slotCount()) + " slot(s)" +
+                  (agent->authenticated()
+                       ? " [authenticated]"
+                       : " [UNAUTHENTICATED plaintext]"));
+            auto first = slots_.size();
+            addTransportSlots(agent.get());
+            for (auto at = first; at < slots_.size(); ++at)
+                scheduler_->reviveSlot();
+            transports_.push_back(std::move(agent));
+        } catch (const ConfigError &e) {
+            event(std::string("join rejected: ") + e.what());
+        }
+    }
+}
+
+int
+Orchestrator::pickStraggler() const
+{
+    // The heartbeat progress ("k/n") is the ETA signal: the victim
+    // is the busy shard with the largest estimated remaining time.
+    // Only proven stragglers qualify — a shard must have a real
+    // heartbeat AND have run past twice the median successful
+    // attempt (floored at 1s), or an idle fleet would duplicate
+    // every freshly-spawned shard the moment the queue drains. A
+    // shard with NO heartbeat is not a straggler but a suspected
+    // wedge, and wedges are the stall timeout's job to kill.
+    double threshold = 1.0;
+    if (!attemptTook_.empty()) {
+        auto sorted = attemptTook_;
+        auto mid = sorted.begin() +
+                   static_cast<std::ptrdiff_t>(sorted.size() / 2);
+        std::nth_element(sorted.begin(), mid, sorted.end());
+        threshold = std::max(threshold, 2.0 * *mid);
+    }
+    int victim = -1;
+    double worst = 0;
+    auto now = Clock::now();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        const auto &slot = slots_[s];
+        if (!slot.busy || !slot.alive ||
+            !slot.killedReason.empty())
+            continue;
+        if (inFlight(slot.shard) > 1)
+            continue;  // Already racing a twin.
+        if (scheduler_->attempts(slot.shard) >=
+            opt_.retry.maxAttempts)
+            continue;  // No attempt budget left to speculate with.
+        double elapsed =
+            std::chrono::duration<double>(now - slot.started)
+                .count();
+        if (elapsed < threshold)
+            continue;
+        int done = 0, total = 0;
+        if (std::sscanf(slot.progressDetail.c_str(), "%d/%d",
+                        &done, &total) != 2 ||
+            done <= 0 || done >= total)
+            continue;  // No ETA yet, or final heartbeat seen.
+        double remaining = elapsed *
+                           static_cast<double>(total - done) /
+                           static_cast<double>(done);
+        if (victim < 0 || remaining > worst) {
+            victim = static_cast<int>(s);
+            worst = remaining;
+        }
+    }
+    return victim;
+}
+
+void
+Orchestrator::stealStragglers()
+{
+    if (opt_.maxSpeculative <= 0 || !scheduler_->queueEmpty() ||
+        scheduler_->allDone())
+        return;
+    int racing = 0;
+    for (const auto &slot : slots_)
+        if (slot.busy && slot.speculative)
+            ++racing;
+    for (std::size_t s = 0;
+         s < slots_.size() && racing < opt_.maxSpeculative; ++s) {
+        auto &idle = slots_[s];
+        if (!idle.alive || idle.busy ||
+            !idle.transport->slotUsable(idle.local))
+            continue;
+        int victim_gid = pickStraggler();
+        if (victim_gid < 0)
+            break;
+        auto &victim = slots_[static_cast<std::size_t>(victim_gid)];
+        int shard = victim.shard;
+        idle.shard = shard;
+        idle.attempt = scheduler_->beginSpeculative(shard);
+        idle.speculative = true;
+        idle.killedReason.clear();
+        idle.progressDetail.clear();
+
+        net::ShardAssignment assignment;
+        assignment.shard = shard;
+        assignment.shardCount = plan_.shards;
+        assignment.attempt = idle.attempt;
+        // Deliberately no injection hooks: a stolen attempt exists
+        // to beat a straggler, not to replay its failure.
+        try {
+            auto desc =
+                idle.transport->start(idle.local, assignment);
+            idle.busy = true;
+            idle.started = Clock::now();
+            idle.lastProgress = idle.started;
+            ++racing;
+            event(tagOf(idle) + ": speculative spawn slot=" +
+                  idle.name + " " + desc + " (stealing from slot=" +
+                  victim.name + ", at case " +
+                  victim.progressDetail + ")");
+        } catch (const ConfigError &e) {
+            // The twin never started; the original attempt is
+            // still running, so this costs the charged attempt and
+            // an event line, nothing else.
+            idle.busy = false;
+            event(tagOf(idle) + ": speculative spawn failed (" +
+                  e.what() + ")");
+            if (!idle.transport->alive() &&
+                !idle.transport->recovering())
+                retireSlot(idle, "transport lost");
+        }
+    }
+}
+
 bool
 Orchestrator::driveFleet(const std::vector<int> &missing,
                          StreamingMerger &merger)
@@ -388,10 +677,20 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
 
     auto last_tick = Clock::now();
     while (!scheduler.allDone()) {
-        REGATE_CHECK(scheduler.liveSlots() > 0,
+        // A fleet with zero live slots is only fatal when nothing
+        // can bring one back: no transport mid-reconnect and no
+        // join listener for fresh agents to dial.
+        bool recoverable = joinListener_.valid();
+        for (const auto &transport : transports_)
+            if (transport->recovering())
+                recoverable = true;
+        REGATE_CHECK(scheduler.liveSlots() > 0 || recoverable,
                      "every worker slot is gone (all agents lost); "
                      "completed shard files remain in ", opt_.dir,
                      " for --resume");
+
+        acceptJoiners();
+        reviveSlots();
 
         // Assign fresh work to every idle live slot. A transport
         // that died since the last poll (e.g. under a sibling
@@ -426,11 +725,25 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
             }
         }
 
+        // With the queue drained and slots idling, steal the
+        // slowest in-flight shards speculatively (bounded by
+        // --max-speculative; first completion wins).
+        stealStragglers();
+
         // Drain transport events. Slots are keyed globally by the
         // (transport, local slot) pair.
         for (auto &transport : transports_) {
             auto events = transport->poll();
             for (const auto &ev : events) {
+                if (ev.slot < 0) {
+                    // Fleet-level notice, not tied to one slot —
+                    // e.g. a ReconnectingTransport giving up for
+                    // good. The slots themselves already surfaced
+                    // their own Lost events when the link dropped.
+                    event("agent " + transport->name() + ": " +
+                          ev.detail);
+                    continue;
+                }
                 auto it = std::find_if(
                     slots_.begin(), slots_.end(),
                     [&](const FleetSlot &sl) {
@@ -454,8 +767,13 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
                     break;
                   case net::TransportEvent::Kind::Lost:
                     it->busy = false;
+                    it->killedReason.clear();
                     retireSlot(*it, ev.detail);
-                    if (!handleFailure(*it, gid, ev.detail))
+                    // A lost copy of a merged (or still-racing)
+                    // shard is a speculative leftover, not a
+                    // failure to requeue.
+                    if (!discardObsolete(*it, ev.detail) &&
+                        !handleFailure(*it, gid, ev.detail))
                         return false;
                     break;
                 }
@@ -581,6 +899,19 @@ Orchestrator::run()
     std::filesystem::create_directories(opt_.dir);
     auto cases = opt_.probedCases > 0 ? opt_.probedCases
                                       : probeGridCases(opt_.bin);
+    binName_ =
+        std::filesystem::path(opt_.bin).filename().string();
+    secret_ = net::loadFleetSecret(opt_.secretFile);
+    if (!secret_ && (!opt_.hosts.empty() || opt_.joinPort >= 0))
+        event("WARNING: no fleet secret configured — remote hellos "
+              "run the plaintext v1 handshake (pass --secret-file "
+              "or set REGATE_FLEET_SECRET)");
+    if (opt_.joinPort >= 0) {
+        std::uint16_t bound = 0;
+        joinListener_ = net::tcpListen(
+            static_cast<std::uint16_t>(opt_.joinPort), &bound);
+        event("join: listening on port " + std::to_string(bound));
+    }
     buildFleet(cases);
     plan_ = loadOrCreatePlan(cases);
     event("plan cases=" + std::to_string(plan_.cases) +

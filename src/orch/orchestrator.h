@@ -19,8 +19,16 @@
  *    ONE dynamic shard queue with per-case heartbeat tracking,
  *    stall-based timeouts, crash/disconnect detection, and bounded
  *    retry with reassignment to a different slot (orch/retry.h) —
- *    an agent lost mid-run retires its slots and its in-flight
- *    shards retry elsewhere, exactly like a killed subprocess;
+ *    an agent lost mid-run fails its in-flight shards elsewhere,
+ *    exactly like a killed subprocess, while the connection
+ *    re-dials with backoff (net::ReconnectingTransport) and its
+ *    slots re-enter the scheduler on success;
+ *  - is elastic and admission-controlled: `--join-port` accepts
+ *    `regate_agent --join` dial-ins mid-sweep (slots enter the
+ *    queue immediately), hellos are HMAC-authenticated when a
+ *    shared secret is configured, and `--max-speculative` steals
+ *    straggling tail shards onto idle slots (first completion
+ *    wins);
  *  - validates every artifact as it lands — the worker-reported
  *    whole-file digest travels with the artifact across transports
  *    and is re-verified against the exact bytes the driver received
@@ -91,6 +99,36 @@ struct OrchOptions
     bool resume = false;
     std::string mergedOut;  ///< Default: <dir>/merged.json.
     bool render = false;    ///< Forward `BIN --from merged` stdout.
+
+    /**
+     * Elastic membership: listen for `regate_agent --join` dial-ins
+     * on this port (0 = ephemeral; the bound port is announced as a
+     * `join: listening on port N` event for scripts). -1 disables.
+     * Joiners are handshaked/authenticated like --host agents; a
+     * rejected joiner (wrong secret, wrong binary) costs an event
+     * line, never the sweep.
+     */
+    int joinPort = -1;
+    /**
+     * Shared fleet secret file for the v2 authenticated hello
+     * (net/agent_protocol.h); empty falls back to the
+     * REGATE_FLEET_SECRET environment variable, and neither set
+     * runs the plaintext v1 handshake with an explicit banner.
+     */
+    std::string secretFile;
+    /**
+     * Work-stealing bound: when the queue drains but slots idle,
+     * up to this many speculative duplicate attempts of the
+     * slowest in-flight shards run concurrently (first completion
+     * wins, the loser is killed). 0 disables.
+     */
+    int maxSpeculative = 0;
+    /**
+     * Re-dials per outage before a lost --host agent is retired
+     * for good (capped exponential backoff between attempts).
+     * 0 restores the old behavior: one loss retires the agent.
+     */
+    int reconnectTries = 8;
 
     /// Test hooks: SIGKILL the first worker spawned on this slot.
     int injectKillSlot = -1;

@@ -12,7 +12,10 @@ ShardScheduler::ShardScheduler(std::vector<int> pending, int slots,
     : pending_(pending.begin(), pending.end()),
       total_(pending.size()), slots_(slots), policy_(policy)
 {
-    REGATE_CHECK(slots_ > 0, "scheduler needs at least one slot");
+    // Zero is allowed: an elastic fleet may open with no slots at
+    // all (--join-port only) and grow via reviveSlot as agents
+    // dial in.
+    REGATE_CHECK(slots_ >= 0, "negative slot count ", slots_);
     REGATE_CHECK(policy_.maxAttempts > 0,
                  "retry policy must allow at least one attempt");
     int max_id = -1;
@@ -84,6 +87,22 @@ ShardScheduler::retireSlot()
 {
     REGATE_CHECK(slots_ > 0, "retiring a slot from an empty fleet");
     --slots_;
+}
+
+void
+ShardScheduler::reviveSlot()
+{
+    ++slots_;
+}
+
+int
+ShardScheduler::beginSpeculative(int shard)
+{
+    auto &state = stateOf(shard);
+    REGATE_CHECK(state.attempts < policy_.maxAttempts,
+                 "shard ", shard, " has no attempt budget left to "
+                 "speculate with");
+    return ++state.attempts;
 }
 
 }  // namespace orch

@@ -75,8 +75,31 @@ class ShardScheduler
      */
     void retireSlot();
 
+    /**
+     * The inverse of retireSlot: a slot came (back) into service —
+     * a lost agent re-dialed in, or a fresh agent joined the fleet
+     * mid-sweep. Re-grows the live-slot count so the banned-slot
+     * rule re-engages the moment there is somewhere else to go
+     * again.
+     */
+    void reviveSlot();
+
     /** Slots still in service (initial count minus retirements). */
     int liveSlots() const { return slots_; }
+
+    /**
+     * Begin a speculative duplicate attempt of an in-flight
+     * @p shard (work-stealing: the queue is empty but a slot
+     * idles). Charges the shard an attempt — the bounded-retry
+     * budget covers speculation too — and returns the attempt
+     * number. The shard is NOT taken from the queue: it is already
+     * in flight elsewhere.
+     */
+    int beginSpeculative(int shard);
+
+    /** Is the pending queue drained (shards may still be in
+     *  flight)? */
+    bool queueEmpty() const { return pending_.empty(); }
 
     bool allDone() const { return done_ == total_; }
     std::size_t completed() const { return done_; }

@@ -2,14 +2,17 @@
  * @file
  * Unit tests for the fleet transport subsystem (src/net/): the
  * line-framed protocol's parser (malformed / truncated /
- * version-mismatched frames), and TcpTransport's failure paths
- * driven through a scripted fake agent on a socketpair —
- * digest-mismatched artifact transfer, mid-transfer disconnect,
- * fail frames, and connection loss. Every rejection must carry a
- * precise message; every loss must surface as events the
- * orchestrator's retry machinery can act on. The happy paths run
- * end to end against real agents in tests/orch_check.py and the CI
- * fleet-e2e job.
+ * version-mismatched frames), the v2 HMAC hello handshake (wrong
+ * secrets, replayed hellos, downgrades — each rejected by name),
+ * seeded chaos fault-injection on the frame stream
+ * (drop/duplicate/truncate must fail by name, never hang), and
+ * TcpTransport's failure paths driven through a scripted fake agent
+ * on a socketpair — digest-mismatched artifact transfer,
+ * mid-transfer disconnect, fail frames, and connection loss. Every
+ * rejection must carry a precise message; every loss must surface
+ * as events the orchestrator's retry machinery can act on. The
+ * happy paths run end to end against real agents in
+ * tests/orch_check.py and the CI fleet jobs.
  */
 
 #include <gtest/gtest.h>
@@ -19,10 +22,13 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 
 #include "common/error.h"
+#include "common/prng.h"
 #include "net/agent_protocol.h"
 #include "net/socket.h"
 #include "net/transport.h"
@@ -57,15 +63,21 @@ TEST(AgentProtocol, RejectsNonFrameLine)
 
 TEST(AgentProtocol, RejectsVersionMismatchNamingBothVersions)
 {
+    // v1 (session) and v2 (auth handshake) both parse now; v3 is
+    // from the future.
+    EXPECT_EQ(parseFrame("@regate-net v2 hello-auth role=agent "
+                         "nonce=ab").version,
+              kAuthProtocolVersion);
     try {
-        parseFrame("@regate-net v2 hello role=agent");
-        FAIL() << "v2 frame was accepted";
+        parseFrame("@regate-net v3 hello role=agent");
+        FAIL() << "v3 frame was accepted";
     } catch (const ConfigError &e) {
         std::string msg = e.what();
         EXPECT_NE(msg.find("version mismatch"), std::string::npos)
             << msg;
-        EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("v3"), std::string::npos) << msg;
         EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
     }
     EXPECT_THROW(parseFrame("@regate-net vX hello"), ConfigError);
 }
@@ -127,27 +139,75 @@ TEST(AgentProtocol, HelloValidation)
                  ConfigError);
 }
 
-TEST(AgentProtocol, WorkerLogScraping)
+TEST(AgentProtocol, WorkerLogScrapingAccumulatesAcrossChunks)
 {
-    std::string log =
-        "@regate-worker v1 start kind=run shard=0/2 cases=4 "
-        "range=0..2\n"
-        "@regate-worker v1 case 1/2\n"
-        "@regate-worker v1 case 2/2\n"
-        "@regate-worker v1 done out=f bytes=9 "
-        "file_digest=00000000deadbeef\n";
-    std::string progress;
-    EXPECT_EQ(scanWorkerHeartbeats(log, &progress), 2);
-    EXPECT_EQ(progress, "2/2");
-    EXPECT_EQ(workerDoneDigest(log), "00000000deadbeef");
+    WorkerLogTail tail;
+    EXPECT_EQ(scanWorkerLog("@regate-worker v1 start kind=run "
+                            "shard=0/2 cases=4 range=0..2\n"
+                            "@regate-worker v1 case 1/2\n",
+                            &tail),
+              1);
+    EXPECT_EQ(tail.progress, "1/2");
+    EXPECT_TRUE(tail.doneDigest.empty());
 
-    // A partial trailing heartbeat line is left for the next scan.
-    EXPECT_EQ(scanWorkerHeartbeats("@regate-worker v1 case 3/",
-                                   &progress),
+    // The done digest is captured as the bytes stream past, so no
+    // later phase ever re-reads the whole log.
+    EXPECT_EQ(scanWorkerLog("@regate-worker v1 case 2/2\n"
+                            "@regate-worker v1 done out=f bytes=9 "
+                            "file_digest=00000000deadbeef\n",
+                            &tail),
+              1);
+    EXPECT_EQ(tail.progress, "2/2");
+    EXPECT_EQ(tail.doneDigest, "00000000deadbeef");
+
+    // A partial trailing heartbeat line is left for the next scan,
+    // and a done line without a digest field simply reports none
+    // (the transport turns that into a failed attempt).
+    WorkerLogTail partial;
+    EXPECT_EQ(scanWorkerLog("@regate-worker v1 case 3/", &partial),
               0);
-    EXPECT_THROW(workerDoneDigest("no done line here"), ConfigError);
-    EXPECT_THROW(workerDoneDigest("@regate-worker v1 done out=f\n"),
-                 ConfigError);
+    EXPECT_TRUE(partial.progress.empty());
+    WorkerLogTail bare;
+    EXPECT_EQ(scanWorkerLog("@regate-worker v1 done out=f\n",
+                            &bare),
+              0);
+    EXPECT_TRUE(bare.doneDigest.empty());
+}
+
+TEST(AgentProtocol, TailWorkerLogReadsOnlyNewBytes)
+{
+    auto dir = std::filesystem::path(::testing::TempDir());
+    auto log = (dir / "regate_net_test_tail.log").string();
+    std::filesystem::remove(log);
+
+    // A still-missing log is simply "nothing yet".
+    WorkerLogTail tail;
+    EXPECT_EQ(tailWorkerLog(log, &tail), 0);
+    EXPECT_EQ(tail.offset, 0u);
+
+    // A partial trailing line is not consumed: its offset stays
+    // put until the newline lands, then the whole line scans once.
+    {
+        std::ofstream f(log);
+        f << "@regate-worker v1 case 1/4\n@regate-worker v1 case 2/";
+    }
+    EXPECT_EQ(tailWorkerLog(log, &tail), 1);
+    EXPECT_EQ(tail.progress, "1/4");
+    EXPECT_EQ(tail.offset, std::string("@regate-worker v1 case "
+                                       "1/4\n")
+                               .size());
+    {
+        std::ofstream f(log, std::ios::app);
+        f << "4\n@regate-worker v1 done out=f bytes=9 "
+             "file_digest=00000000deadbeef\n";
+    }
+    EXPECT_EQ(tailWorkerLog(log, &tail), 1);
+    EXPECT_EQ(tail.progress, "2/4");
+    EXPECT_EQ(tail.doneDigest, "00000000deadbeef");
+
+    // Fully consumed: another tail is a no-op.
+    EXPECT_EQ(tailWorkerLog(log, &tail), 0);
+    std::filesystem::remove(log);
 }
 
 // ---- TcpTransport against a scripted fake agent ----
@@ -231,11 +291,11 @@ assignment(int shard)
 TEST(TcpTransport, RejectsVersionMismatchedHello)
 {
     FakeAgent agent;
-    agent.sayLine("@regate-net v2 hello role=agent bin=x slots=1 "
+    agent.sayLine("@regate-net v3 hello role=agent bin=x slots=1 "
                   "cases=8");
     try {
         TcpTransport t(agent.takeDriverEnd(), "fake:0", 0, "x", 8);
-        FAIL() << "v2 hello was accepted";
+        FAIL() << "v3 hello was accepted";
     } catch (const ConfigError &e) {
         EXPECT_NE(std::string(e.what()).find("version mismatch"),
                   std::string::npos)
@@ -451,6 +511,298 @@ TEST(TcpTransport, ErrorFrameNamesTheAgentsComplaint)
     ASSERT_EQ(events.size(), 1u);
     EXPECT_EQ(events[0].kind, TransportEvent::Kind::Lost);
     EXPECT_NE(events[0].detail.find("slot 7"), std::string::npos);
+}
+
+// ---- The v2 authenticated hello ----
+
+/** Both ends of a socketpair wrapped as LineChannels. */
+struct ChannelPair
+{
+    LineChannel driver;  ///< The orchestrator's end.
+    LineChannel agent;   ///< The agent's end.
+};
+
+ChannelPair
+makeChannelPair()
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw std::runtime_error("socketpair failed");
+    return {LineChannel(Socket(fds[0]), "fake-agent:0"),
+            LineChannel(Socket(fds[1]), "fake-driver:0")};
+}
+
+AgentHello
+stockHello()
+{
+    AgentHello hello;
+    hello.bin = "fig_testcase";
+    hello.slots = 2;
+    hello.cases = 8;
+    return hello;
+}
+
+TEST(AuthHandshake, ChallengeResponseRoundTripAuthenticates)
+{
+    auto pair = makeChannelPair();
+    std::optional<std::string> secret("fleet-secret");
+    std::thread agent([&] {
+        agentHandshake(pair.agent, stockHello(), secret, 2000);
+    });
+    auto result = driverHandshake(pair.driver, secret, 2000);
+    agent.join();
+    EXPECT_TRUE(result.authenticated);
+    EXPECT_EQ(result.hello.bin, "fig_testcase");
+    EXPECT_EQ(result.hello.slots, 2);
+    EXPECT_EQ(result.hello.cases, 8u);
+}
+
+TEST(AuthHandshake, PlaintextHelloStaysUnauthenticated)
+{
+    auto pair = makeChannelPair();
+    std::thread agent([&] {
+        agentHandshake(pair.agent, stockHello(), std::nullopt,
+                       2000);
+    });
+    auto result = driverHandshake(pair.driver, std::nullopt, 2000);
+    agent.join();
+    EXPECT_FALSE(result.authenticated);
+    EXPECT_EQ(result.hello.slots, 2);
+}
+
+TEST(AuthHandshake, WrongSecretIsRejectedByName)
+{
+    // The agent verifies the driver's challenge proof FIRST, so a
+    // secret mismatch is caught on the agent before it reveals
+    // capabilities — and the error frame it sends back (like
+    // net/agent.cc does) lets the driver log the real reason.
+    auto pair = makeChannelPair();
+    std::optional<std::string> driver_secret("correct-secret");
+    std::optional<std::string> agent_secret("wrong-secret");
+    std::thread agent([&] {
+        try {
+            agentHandshake(pair.agent, stockHello(), agent_secret,
+                           2000);
+            ADD_FAILURE() << "mismatched secrets authenticated";
+        } catch (const ConfigError &e) {
+            EXPECT_NE(std::string(e.what())
+                          .find("bad challenge proof"),
+                      std::string::npos)
+                << e.what();
+            Frame f;
+            f.verb = "error";
+            f.kv = {{"msg", e.what()}};
+            pair.agent.sendLine(formatFrame(f));
+        }
+    });
+    try {
+        driverHandshake(pair.driver, driver_secret, 2000);
+        FAIL() << "mismatched secrets authenticated";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("agent reported"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("wrong secret"), std::string::npos)
+            << msg;
+    }
+    agent.join();
+}
+
+TEST(AuthHandshake, TamperedHelloFailsTheMac)
+{
+    // An in-path attacker inflating the slot count (to starve the
+    // sweep onto its host) breaks the MAC: the capabilities are
+    // inside it.
+    auto pair = makeChannelPair();
+    std::string secret = "fleet-secret";
+    std::thread agent([&] {
+        Frame opening;
+        opening.version = kAuthProtocolVersion;
+        opening.verb = "hello-auth";
+        opening.kv = {{"role", "agent"}, {"nonce", makeNonce()}};
+        pair.agent.sendLine(formatFrame(opening));
+        auto challenge = parseFrame(pair.agent.readLine(2000));
+        auto hello = stockHello();
+        auto mac = agentAuth(secret, challenge.get("nonce"), hello);
+        hello.slots = 64;  // Tampered after the MAC was computed.
+        auto f = helloFrame(hello);
+        f.version = kAuthProtocolVersion;
+        f.kv.emplace_back("auth", mac);
+        pair.agent.sendLine(formatFrame(f));
+    });
+    try {
+        driverHandshake(pair.driver,
+                        std::optional<std::string>(secret), 2000);
+        FAIL() << "tampered hello was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("HMAC mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+    agent.join();
+}
+
+TEST(AuthHandshake, ReplayedHelloIsRejected)
+{
+    std::optional<std::string> secret("fleet-secret");
+    std::string recorded;
+
+    // Record a legitimately-authenticated hello line...
+    {
+        auto pair = makeChannelPair();
+        std::thread agent([&] {
+            Frame opening;
+            opening.version = kAuthProtocolVersion;
+            opening.verb = "hello-auth";
+            opening.kv = {{"role", "agent"},
+                          {"nonce", makeNonce()}};
+            pair.agent.sendLine(formatFrame(opening));
+            auto challenge =
+                parseFrame(pair.agent.readLine(2000));
+            auto hello = stockHello();
+            auto f = helloFrame(hello);
+            f.version = kAuthProtocolVersion;
+            f.kv.emplace_back(
+                "auth", agentAuth(*secret, challenge.get("nonce"),
+                                  hello));
+            recorded = formatFrame(f);
+            pair.agent.sendLine(recorded);
+        });
+        auto result = driverHandshake(pair.driver, secret, 2000);
+        agent.join();
+        ASSERT_TRUE(result.authenticated);
+    }
+
+    // ...then replay it on a fresh connection: the driver's nonce
+    // is fresh, so the recorded MAC no longer verifies.
+    auto pair = makeChannelPair();
+    std::thread replayer([&] {
+        Frame opening;
+        opening.version = kAuthProtocolVersion;
+        opening.verb = "hello-auth";
+        opening.kv = {{"role", "agent"}, {"nonce", makeNonce()}};
+        pair.agent.sendLine(formatFrame(opening));
+        pair.agent.readLine(2000);  // Fresh challenge, ignored.
+        pair.agent.sendLine(recorded);
+    });
+    try {
+        driverHandshake(pair.driver, secret, 2000);
+        FAIL() << "replayed hello was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("replayed"),
+                  std::string::npos)
+            << e.what();
+    }
+    replayer.join();
+}
+
+TEST(AuthHandshake, DowngradeToPlaintextIsRejected)
+{
+    // A plaintext hello against a driver holding a secret is a
+    // downgrade attempt (or a misconfigured host) — named either
+    // way.
+    auto pair = makeChannelPair();
+    std::thread agent([&] {
+        agentHandshake(pair.agent, stockHello(), std::nullopt,
+                       2000);
+    });
+    try {
+        driverHandshake(pair.driver,
+                        std::optional<std::string>("fleet-secret"),
+                        2000);
+        FAIL() << "plaintext hello was accepted against a secret";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("unauthenticated"),
+                  std::string::npos)
+            << e.what();
+    }
+    agent.join();
+}
+
+TEST(AuthHandshake, AuthHelloAgainstSecretlessDriverIsRejected)
+{
+    auto pair = makeChannelPair();
+    std::optional<std::string> agent_secret("fleet-secret");
+    std::thread agent([&] {
+        // The driver rejects and hangs up before answering the
+        // challenge; the agent side surfaces that as a read error.
+        EXPECT_THROW(agentHandshake(pair.agent, stockHello(),
+                                    agent_secret, 2000),
+                     ConfigError);
+    });
+    try {
+        driverHandshake(pair.driver, std::nullopt, 2000);
+        FAIL() << "auth hello was accepted without a secret";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("no secret is configured"),
+                  std::string::npos)
+            << e.what();
+    }
+    // Unblock the agent side: drop the driver end.
+    pair.driver = makeChannelPair().driver;
+    agent.join();
+}
+
+// ---- Chaos: corrupted frame streams fail by name, never hang ----
+
+TEST(TcpTransport, ChaosCorruptedFramesSettleWithNamedErrors)
+{
+    // Seeded fault injection on the agent->driver byte stream: one
+    // frame gets a byte dropped, duplicated, or the stream is
+    // truncated mid-frame and closed. Whatever the corruption, the
+    // driver must settle in bounded time — a parse error or the
+    // EOF surfaces the busy slot as a named Lost event; a
+    // corruption that still parses surfaces as a normal event
+    // first. Nothing may hang or die namelessly.
+    Prng prng(0xc4a05c4a05ull);
+    const std::string wires[] = {
+        "@regate-net v1 case slot=0 done=1/2\n",
+        "@regate-net v1 done slot=0 bytes=24 "
+        "digest=0011223344556677\n",
+        "@regate-net v1 fail slot=0 reason=\"signal 9 (Killed)\"\n",
+    };
+    for (int iter = 0; iter < 150; ++iter) {
+        FakeAgent agent;
+        auto transport = makeTransport(agent);
+        transport->start(0, assignment(0));
+        agent.drain();
+
+        std::string wire = wires[prng.uniform(0, 2)];
+        auto pos = static_cast<std::size_t>(
+            prng.uniform(0, wire.size() - 1));
+        switch (prng.uniform(0, 2)) {
+          case 0:
+            wire.erase(pos, 1);
+            break;
+          case 1:
+            wire.insert(pos, 1, wire[pos]);
+            break;
+          default:
+            wire.resize(pos);  // Truncate; EOF lands mid-frame.
+            break;
+        }
+        agent.say(wire);
+        agent.closeAgent();
+
+        bool settled = false;
+        for (int spin = 0; spin < 2000 && !settled; ++spin) {
+            for (const auto &ev : transport->poll()) {
+                if (ev.kind == TransportEvent::Kind::Lost) {
+                    EXPECT_FALSE(ev.detail.empty())
+                        << "nameless loss at iter " << iter;
+                    settled = true;
+                }
+                if (ev.kind == TransportEvent::Kind::Finished)
+                    settled = true;
+            }
+            if (!settled)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+        }
+        EXPECT_TRUE(settled)
+            << "iter " << iter << " corrupted wire never settled";
+    }
 }
 
 }  // namespace

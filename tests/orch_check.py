@@ -33,6 +33,16 @@ acceptance criteria pin:
    heartbeat timeout. The run must complete via retry/reassignment
    with render and merged document byte-identical to an unsharded
    run.
+
+6. Elastic authenticated fleet (needs --agent): fig02 through 2
+   local slots plus two single-slot secret-bearing agents. One agent
+   is SIGKILLed on its first assignment and restarted on the same
+   port — the orchestrator's reconnect backoff must revive its slot.
+   A third agent dials the orchestrator's --join-port mid-run and is
+   admitted [authenticated]; a wrong-secret joiner is rejected with
+   a named auth error while the sweep completes. The injected-slow
+   last shard is speculatively stolen (--max-speculative). Render
+   and merged document must stay byte-identical to an unsharded run.
 """
 
 import argparse
@@ -224,17 +234,23 @@ def check_probe_rejects(orch, agent, no_grid_binary, tmp):
 
 
 class Agent:
-    """One regate_agent process on an ephemeral loopback port."""
+    """One single-slot regate_agent process: listening on a loopback
+    port by default, or dialing an orchestrator's join port when
+    ``join`` is given. A fixed ``port`` lets a restarted agent rebind
+    where a killed one listened, so the driver's re-dial finds it."""
 
-    def __init__(self, agent_bin, target, workdir, log_path):
+    def __init__(self, agent_bin, target, workdir, log_path,
+                 port=0, secret=None, join=None):
         self.log_path = log_path
         self.log = open(log_path, "wb")
-        self.proc = subprocess.Popen(
-            [agent_bin, "--bin", str(target), "--port", "0",
-             "--slots", "1", "--dir", str(workdir),
-             "--max-sessions", "1"],
-            stdout=self.log, stderr=self.log)
-        self.port = self._await_port()
+        cmd = [agent_bin, "--bin", str(target), "--slots", "1",
+               "--dir", str(workdir), "--max-sessions", "1"]
+        cmd += ["--join", join] if join else ["--port", str(port)]
+        if secret is not None:
+            cmd += ["--secret-file", str(secret)]
+        self.proc = subprocess.Popen(cmd, stdout=self.log,
+                                     stderr=self.log)
+        self.port = None if join else self._await_port()
 
     def _await_port(self):
         deadline = time.time() + 30
@@ -333,6 +349,141 @@ def check_fleet(orch, agent_bin, binary, tmp):
           "document byte-identical")
 
 
+def check_elastic(orch, agent_bin, binary, tmp):
+    """Scenario 6: reconnect, mid-run join, work-stealing, and HMAC
+    auth in one sweep; byte-identical output."""
+    reference = run([binary]).stdout
+    single = tmp / "elastic_single.json"
+    run([binary, "--shard", "0/1", "--out", str(single)])
+
+    secret = tmp / "fleet.secret"
+    secret.write_text("elastic-e2e-shared-secret\n")
+    wrong = tmp / "wrong.secret"
+    wrong.write_text("not-the-fleet-secret\n")
+
+    agents = [Agent(agent_bin, binary, tmp / f"el_agent{i}_work",
+                    tmp / f"el_agent{i}.log", secret=secret)
+              for i in (0, 1)]
+    extras = []  # restarted agent + joiners, reaped in finally
+
+    # SIGKILL agent 0 the moment it spawns its first worker, then
+    # immediately restart a fresh agent on the SAME port: the
+    # orchestrator's reconnect backoff must find it and revive the
+    # retired slot instead of writing the host off.
+    def kill_and_restart():
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if b": assign " in agents[0].log_path.read_bytes():
+                agents[0].proc.kill()
+                agents[0].proc.wait()
+                extras.append(Agent(
+                    agent_bin, binary, tmp / "el_agent0b_work",
+                    tmp / "el_agent0b.log", port=agents[0].port,
+                    secret=secret))
+                return
+            if agents[0].proc.poll() is not None:
+                return
+            time.sleep(0.02)
+    watcher = threading.Thread(target=kill_and_restart, daemon=True)
+    watcher.start()
+
+    rundir = tmp / "elastic_run"
+    orch_log = tmp / "elastic_orch.log"
+    out_path = tmp / "elastic_render.out"
+    impostor = None
+    try:
+        # 2 local + 2 agent slots, granularity 2 -> 8 shards on
+        # fig02's 68 cases. The slow shard is the last one: it is
+        # still grinding (with live heartbeats, so no stall kill)
+        # long after the queue drains, which is exactly when
+        # --max-speculative steals it onto an idle slot.
+        with open(orch_log, "wb") as log, \
+             open(out_path, "wb") as out:
+            orch_proc = subprocess.Popen(
+                [orch, "--bin", str(binary), "--dir", str(rundir),
+                 "--workers", "2", "--granularity", "2",
+                 "--host", f"127.0.0.1:{agents[0].port}:1",
+                 "--host", f"127.0.0.1:{agents[1].port}",
+                 "--join-port", "0",
+                 "--secret-file", str(secret),
+                 "--max-speculative", "1",
+                 "--stall-timeout-s", "30",
+                 "--inject-slow-shard", "7",
+                 "--slow-case-seconds", "2",
+                 "--render"],
+                stdout=out, stderr=log)
+
+            deadline = time.time() + 30
+            join_port = None
+            while time.time() < deadline:
+                m = re.search(rb"join: listening on port (\d+)",
+                              orch_log.read_bytes())
+                if m:
+                    join_port = int(m.group(1))
+                    break
+                if orch_proc.poll() is not None:
+                    sys.exit(
+                        "elastic: orchestrator exited before "
+                        "announcing its join port:\n" +
+                        orch_log.read_bytes().decode(
+                            errors="replace"))
+                time.sleep(0.05)
+            require(join_port is not None,
+                    "elastic: no join port announced within 30s")
+
+            target = f"127.0.0.1:{join_port}"
+            extras.append(Agent(agent_bin, binary,
+                                tmp / "el_joiner_work",
+                                tmp / "el_joiner.log",
+                                join=target, secret=secret))
+            impostor = Agent(agent_bin, binary,
+                             tmp / "el_impostor_work",
+                             tmp / "el_impostor.log",
+                             join=target, secret=wrong)
+            extras.append(impostor)
+
+            rc = orch_proc.wait(timeout=300)
+            imp_rc = impostor.proc.wait(timeout=60)
+    finally:
+        watcher.join(timeout=10)
+        for agent in agents + extras:
+            agent.reap()
+
+    events = orch_log.read_bytes().decode(errors="replace")
+    require(rc == 0,
+            f"elastic: orchestrator failed (exit {rc}):\n{events}")
+    require(out_path.read_bytes() == reference,
+            "elastic: orchestrated render differs from unsharded "
+            "run")
+    require((rundir / "merged.json").read_bytes()
+            == single.read_bytes(),
+            "elastic: merged document differs from --shard 0/1")
+    require("[authenticated]" in events,
+            f"elastic: no authenticated hello in events:\n{events}")
+    require("revived (agent reconnected)" in events,
+            f"elastic: restarted agent was never revived by the "
+            f"reconnect backoff:\n{events}")
+    require(re.search(r"join: agent .* adds 1 slot\(s\) "
+                      r"\[authenticated\]", events),
+            f"elastic: mid-run joiner was not admitted:\n{events}")
+    require("join rejected" in events and "wrong secret" in events,
+            f"elastic: wrong-secret joiner was not rejected with a "
+            f"named auth error:\n{events}")
+    require(imp_rc == 1,
+            f"elastic: wrong-secret joiner exited {imp_rc}, "
+            f"expected 1:\n{impostor.events()}")
+    require(re.search(r"shard 7 attempt \d+: speculative spawn",
+                      events),
+            f"elastic: the slow last shard was never stolen:\n"
+            f"{events}")
+    require("lost the race" in events,
+            f"elastic: no speculative race was settled:\n{events}")
+    print("orch elastic: killed agent revived on reconnect, joiner "
+          "admitted mid-run [authenticated], wrong-secret joiner "
+          "rejected by name, slow last shard stolen; render and "
+          "merged document byte-identical")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--orch", required=True,
@@ -341,8 +492,8 @@ def main():
                     help="path to the regate_agent binary")
     ap.add_argument("--bin-dir", required=True,
                     help="directory holding the figure binaries")
-    ap.add_argument("--only", choices=["fleet"],
-                    help="run just one scenario (CI fleet-e2e)")
+    ap.add_argument("--only", choices=["fleet", "elastic"],
+                    help="run just one scenario (CI fleet jobs)")
     args = ap.parse_args()
 
     bin_dir = Path(args.bin_dir)
@@ -358,10 +509,12 @@ def main():
 
     with tempfile.TemporaryDirectory() as tmpdir:
         tmp = Path(tmpdir)
-        if args.only == "fleet":
+        if args.only:
             if not args.agent:
-                sys.exit("--only fleet needs --agent")
-            check_fleet(args.orch, args.agent, fig02, tmp)
+                sys.exit(f"--only {args.only} needs --agent")
+            scenario = {"fleet": check_fleet,
+                        "elastic": check_elastic}[args.only]
+            scenario(args.orch, args.agent, fig02, tmp)
             return 0
         check_injected_failures(args.orch, fig02, tmp)
         check_straggler_survives(args.orch, fig21, tmp)
@@ -369,6 +522,7 @@ def main():
         check_probe_rejects(args.orch, args.agent, fig15, tmp)
         if args.agent:
             check_fleet(args.orch, args.agent, fig02, tmp)
+            check_elastic(args.orch, args.agent, fig02, tmp)
     return 0
 
 

@@ -130,7 +130,9 @@ TEST(Scheduler, SingleSlotRetriesInPlace)
 TEST(Scheduler, RetiredSlotsShrinkTheBanRule)
 {
     // Three slots; slot 2's transport (an agent) dies, then slot 1's.
-    ShardScheduler sched({0}, 3, RetryPolicy{});
+    RetryPolicy generous;
+    generous.maxAttempts = 5;  // Room for every failure below.
+    ShardScheduler sched({0}, 3, generous);
     EXPECT_EQ(sched.liveSlots(), 3);
     EXPECT_EQ(sched.nextFor(2), 0);
     EXPECT_TRUE(sched.onFailure(0, 2));
@@ -146,6 +148,58 @@ TEST(Scheduler, RetiredSlotsShrinkTheBanRule)
     EXPECT_EQ(sched.liveSlots(), 1);
     // Down to one live slot, the banned-slot rule must yield —
     // otherwise the last survivor could never take the retry.
+    EXPECT_EQ(sched.nextFor(0), 0);
+    EXPECT_TRUE(sched.onFailure(0, 0));
+    // An agent reconnects (or a joiner dials in): reviveSlot
+    // re-grows the live count, and the ban rule re-engages — the
+    // shard that just failed on slot 0 now waits for the newcomer
+    // instead of bouncing straight back.
+    sched.reviveSlot();
+    EXPECT_EQ(sched.liveSlots(), 2);
+    EXPECT_EQ(sched.nextFor(0), -1);
+    EXPECT_EQ(sched.nextFor(2), 0);
+    sched.onSuccess(0);
+    EXPECT_TRUE(sched.allDone());
+}
+
+TEST(Scheduler, SpeculativeAttemptsChargeTheRetryBudget)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    ShardScheduler sched({0, 1}, 2, policy);
+    EXPECT_FALSE(sched.queueEmpty());
+    EXPECT_EQ(sched.nextFor(0), 0);
+    EXPECT_EQ(sched.nextFor(1), 1);
+    // Both shards in flight: the queue is dry, which is the
+    // work-stealing precondition.
+    EXPECT_TRUE(sched.queueEmpty());
+
+    // Stealing shard 0 onto an idle slot charges a real attempt
+    // (the bounded-retry budget covers speculation too) and leaves
+    // the queue alone.
+    EXPECT_EQ(sched.beginSpeculative(0), 2);
+    EXPECT_EQ(sched.attempts(0), 2);
+    EXPECT_TRUE(sched.queueEmpty());
+
+    // The budget is shared between failures and speculation: one
+    // more speculative copy uses the last attempt, after which
+    // speculation is a contract violation the scheduler refuses.
+    EXPECT_EQ(sched.beginSpeculative(0), 3);
+    EXPECT_THROW(sched.beginSpeculative(0), ConfigError);
+
+    sched.onSuccess(0);
+    sched.onSuccess(1);
+    EXPECT_TRUE(sched.allDone());
+}
+
+TEST(Scheduler, ZeroSlotElasticFleetStartsEmpty)
+{
+    // A --join-port-only fleet opens with no slots at all and grows
+    // via reviveSlot as agents dial in.
+    ShardScheduler sched({0}, 0, RetryPolicy{});
+    EXPECT_EQ(sched.liveSlots(), 0);
+    sched.reviveSlot();
+    EXPECT_EQ(sched.liveSlots(), 1);
     EXPECT_EQ(sched.nextFor(0), 0);
     sched.onSuccess(0);
     EXPECT_TRUE(sched.allDone());
