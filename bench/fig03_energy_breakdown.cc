@@ -30,7 +30,7 @@ main(int argc, char **argv)
             const auto &rep =
                 bench::reportFor(reports, idx, w, gen);
             const auto &e =
-                rep.run.result(sim::Policy::NoPG).energy;
+                rep.run().result(sim::Policy::NoPG).energy;
             double total = rep.podTotalEnergy(sim::Policy::NoPG) /
                            rep.setup.chips;
             double busy_scale =

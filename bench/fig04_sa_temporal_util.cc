@@ -20,7 +20,7 @@ main(int argc, char **argv)
         std::vector<std::string> cells = {models::workloadName(w)};
         for (auto gen : bench::paperGenerations()) {
             const auto &rep = bench::reportFor(reports, idx, w, gen);
-            cells.push_back(TablePrinter::pct(rep.run.temporalUtil(arch::Component::Sa), 1));
+            cells.push_back(TablePrinter::pct(rep.run().temporalUtil(arch::Component::Sa), 1));
         }
         t.addRow(cells);
     }

@@ -96,10 +96,10 @@ main(int argc, char **argv)
         });
     for (std::size_t i = 0; i < suite.size(); ++i) {
         std::vector<double> xs, ys;
-        for (const auto &rec : cached[i].run.opRecords)
-            xs.push_back(static_cast<double>(rec.duration));
-        for (const auto &rec : independent[i].run.opRecords)
-            ys.push_back(static_cast<double>(rec.duration));
+        for (const auto &rec : cached[i].run().opRecords)
+            xs.push_back(static_cast<double>(rec.duration()));
+        for (const auto &rec : independent[i].run().opRecords)
+            ys.push_back(static_cast<double>(rec.duration()));
         t.addRow({models::workloadName(suite[i]) + " op durations",
                   std::to_string(xs.size()),
                   TablePrinter::fmt(stats::r2(xs, ys), 4)});

@@ -27,7 +27,7 @@ main(int argc, char **argv)
     for (auto w : models::allWorkloads()) {
         const auto &rep = bench::reportFor(
             reports, idx, w, arch::NpuGeneration::D);
-        const auto &run = rep.run;
+        const auto &run = rep.run();
         double nopg = run.result(Policy::NoPG).energy.busyTotal();
         auto comp_saving = [&](Component c) {
             double saved =

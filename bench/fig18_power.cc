@@ -26,15 +26,15 @@ main(int argc, char **argv)
         const auto &rep = bench::reportFor(
             reports, idx, w, arch::NpuGeneration::D);
         auto avg = [&](Policy p) {
-            return TablePrinter::fmt(rep.run.result(p).avgPowerW, 0);
+            return TablePrinter::fmt(rep.run().result(p).avgPowerW, 0);
         };
         t.addRow({models::workloadName(w), avg(Policy::NoPG),
                   avg(Policy::Base), avg(Policy::HW),
                   avg(Policy::Full), avg(Policy::Ideal),
                   TablePrinter::fmt(
-                      rep.run.result(Policy::NoPG).peakPowerW, 0),
+                      rep.run().result(Policy::NoPG).peakPowerW, 0),
                   TablePrinter::fmt(
-                      rep.run.result(Policy::Full).peakPowerW, 0)});
+                      rep.run().result(Policy::Full).peakPowerW, 0)});
     }
     t.print(std::cout);
 
@@ -43,8 +43,8 @@ main(int argc, char **argv)
     // redundant warm re-run of identical cases.
     double saved = 0;
     for (const auto &rep : reports) {
-        saved += rep.run.result(Policy::NoPG).peakPowerW -
-                 rep.run.result(Policy::Full).peakPowerW;
+        saved += rep.run().result(Policy::NoPG).peakPowerW -
+                 rep.run().result(Policy::Full).peakPowerW;
     }
     saved /= models::allWorkloads().size();
     std::cout << "Average peak-power reduction: "

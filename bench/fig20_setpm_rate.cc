@@ -25,8 +25,8 @@ main(int argc, char **argv)
     for (auto w : models::allWorkloads()) {
         const auto &rep = bench::reportFor(
             reports, idx, w, arch::NpuGeneration::D);
-        const auto &full = rep.run.result(Policy::Full);
-        double cycles = static_cast<double>(rep.run.cycles);
+        const auto &full = rep.run().result(Policy::Full);
+        double cycles = static_cast<double>(rep.run().cycles);
         // Each gated interval needs an off and an on setpm.
         double vu_rate = 2.0 *
                          static_cast<double>(full.vuGateEvents) /

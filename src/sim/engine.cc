@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
 #include "core/gating_engine.h"
@@ -39,6 +40,112 @@ policyName(Policy p)
         return "Ideal";
     }
     throw LogicError("unknown Policy");
+}
+
+void
+OpRecordArena::append(const OpRecord &rec)
+{
+    auto [it, inserted] = interner_.emplace(
+        rec.name, static_cast<std::uint32_t>(names_.size()));
+    if (inserted)
+        names_.push_back(rec.name);
+    nameId_.push_back(it->second);
+    kind_.push_back(rec.kind);
+    count_.push_back(rec.count);
+    duration_.push_back(rec.duration);
+    sramDemandBytes_.push_back(rec.sramDemandBytes);
+    dynamicJ_.push_back(rec.dynamicJ);
+    sramUsedFrac_.push_back(rec.sramUsedFrac);
+    for (auto c : arch::kAllComponents)
+        activeFrac_.push_back(rec.activeFrac[c]);
+}
+
+void
+OpRecordArena::reserve(std::size_t n)
+{
+    nameId_.reserve(n);
+    kind_.reserve(n);
+    count_.reserve(n);
+    duration_.reserve(n);
+    sramDemandBytes_.reserve(n);
+    dynamicJ_.reserve(n);
+    sramUsedFrac_.reserve(n);
+    activeFrac_.reserve(n * arch::kNumComponents);
+}
+
+void
+OpRecordArena::seal()
+{
+    interner_ = {};
+    nameId_.shrink_to_fit();
+    kind_.shrink_to_fit();
+    count_.shrink_to_fit();
+    duration_.shrink_to_fit();
+    sramDemandBytes_.shrink_to_fit();
+    dynamicJ_.shrink_to_fit();
+    sramUsedFrac_.shrink_to_fit();
+    activeFrac_.shrink_to_fit();
+    names_.shrink_to_fit();
+}
+
+std::size_t
+OpRecordArena::heapBytes() const
+{
+    std::size_t bytes =
+        nameId_.capacity() * sizeof(std::uint32_t) +
+        kind_.capacity() * sizeof(graph::OpKind) +
+        count_.capacity() * sizeof(std::uint64_t) +
+        duration_.capacity() * sizeof(Cycles) +
+        sramDemandBytes_.capacity() * sizeof(double) +
+        dynamicJ_.capacity() * sizeof(double) +
+        sramUsedFrac_.capacity() * sizeof(double) +
+        activeFrac_.capacity() * sizeof(double) +
+        names_.capacity() * sizeof(std::string);
+    for (const auto &n : names_)
+        bytes += n.capacity();
+    return bytes;
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_run_copies{0};
+
+}  // namespace
+
+WorkloadRun::WorkloadRun(const WorkloadRun &o)
+    : name(o.name), cycles(o.cycles), seconds(o.seconds),
+      timeline(o.timeline), work(o.work), saStats(o.saStats),
+      sramUsedIntegral(o.sramUsedIntegral), opRecords(o.opRecords),
+      policies(o.policies), opCacheHits(o.opCacheHits),
+      opCacheMisses(o.opCacheMisses)
+{
+    g_run_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+WorkloadRun &
+WorkloadRun::operator=(const WorkloadRun &o)
+{
+    if (this != &o) {
+        name = o.name;
+        cycles = o.cycles;
+        seconds = o.seconds;
+        timeline = o.timeline;
+        work = o.work;
+        saStats = o.saStats;
+        sramUsedIntegral = o.sramUsedIntegral;
+        opRecords = o.opRecords;
+        policies = o.policies;
+        opCacheHits = o.opCacheHits;
+        opCacheMisses = o.opCacheMisses;
+    }
+    g_run_copies.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+}
+
+std::uint64_t
+WorkloadRun::copies()
+{
+    return g_run_copies.load(std::memory_order_relaxed);
 }
 
 const PolicyResult &
@@ -176,7 +283,7 @@ Engine::run(const graph::OperatorGraph &graph, int pod_chips) const
             rec.sramUsedFrac = used_frac;
             for (auto c : arch::kAllComponents)
                 rec.activeFrac[c] = ex.activeFraction(c);
-            run.opRecords.push_back(std::move(rec));
+            run.opRecords.append(rec);
 
             block_dur += ex.duration;
         }
@@ -270,6 +377,7 @@ Engine::run(const graph::OperatorGraph &graph, int pod_chips) const
             .sramSetpmPairs += sram_resizes * block.repeat;
     }
     run.seconds = static_cast<double>(run.cycles) * cfg_.cycleTime();
+    run.opRecords.seal();
 
     for (auto p : allPolicies())
         evaluatePolicy(run, p, overheads);
@@ -420,7 +528,7 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
     // ---- Peak power: most power-hungry operator (Fig. 18) ----
     double peak = 0;
     for (const auto &rec : run.opRecords) {
-        double dur_s = static_cast<double>(rec.duration) * tau;
+        double dur_s = static_cast<double>(rec.duration()) * tau;
         double p_static = 0;
         for (auto c : {Component::Sa, Component::Vu, Component::Hbm,
                        Component::Ici}) {
@@ -429,8 +537,8 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
                 : policy == Policy::Ideal ? 0.0
                                           : ratios.logicOff;
             double pc = power_.staticPower(c);
-            p_static += pc * (rec.activeFrac[c] +
-                              (1.0 - rec.activeFrac[c]) * leak_c);
+            p_static += pc * (rec.activeFrac(c) +
+                              (1.0 - rec.activeFrac(c)) * leak_c);
         }
         double sram_leak = policy == Policy::NoPG ? 1.0
                            : policy == Policy::Ideal
@@ -439,10 +547,10 @@ Engine::evaluatePolicy(WorkloadRun &run, Policy policy,
                                       ? ratios.sramOff
                                       : ratios.sramSleep);
         p_static += power_.staticPower(Component::Sram) *
-                    (rec.sramUsedFrac +
-                     (1.0 - rec.sramUsedFrac) * sram_leak);
+                    (rec.sramUsedFrac() +
+                     (1.0 - rec.sramUsedFrac()) * sram_leak);
         p_static += power_.staticPower(Component::Other);
-        peak = std::max(peak, p_static + rec.dynamicJ / dur_s);
+        peak = std::max(peak, p_static + rec.dynamicJ() / dur_s);
     }
     res.peakPowerW = peak;
 }

@@ -19,7 +19,9 @@
 #define REGATE_SIM_ENGINE_H
 
 #include <array>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/gating_params.h"
@@ -56,6 +58,130 @@ struct OpRecord
     arch::ComponentMap<double> activeFrac;
 };
 
+/**
+ * Struct-of-arrays storage for a run's per-operator records, with an
+ * interned name table: one parallel vector per field plus a flattened
+ * active-fraction matrix, and each distinct operator name stored once
+ * (transformer blocks repeat the same few op names hundreds of
+ * times). Figure loops touch one or two fields of every record, so
+ * the arena is both cache-friendlier and far smaller than the
+ * vector<OpRecord> it replaced — which also keeps the whole-run
+ * memo's byte accounting honest (heapBytes()).
+ *
+ * append() takes the familiar OpRecord value; seal() drops the
+ * build-time interner and trims capacity once a run is complete.
+ * Indexing and iteration yield lightweight Ref proxies with accessor
+ * methods (rec.duration(), rec.name(), rec.activeFrac(c), ...).
+ */
+class OpRecordArena
+{
+  public:
+    /** Cheap view of one record; valid while the arena lives. */
+    class Ref
+    {
+      public:
+        const std::string &
+        name() const
+        {
+            return a_->names_[a_->nameId_[i_]];
+        }
+        graph::OpKind kind() const { return a_->kind_[i_]; }
+        std::uint64_t count() const { return a_->count_[i_]; }
+        Cycles duration() const { return a_->duration_[i_]; }
+        double
+        sramDemandBytes() const
+        {
+            return a_->sramDemandBytes_[i_];
+        }
+        double dynamicJ() const { return a_->dynamicJ_[i_]; }
+        double sramUsedFrac() const { return a_->sramUsedFrac_[i_]; }
+        double
+        activeFrac(arch::Component c) const
+        {
+            return a_->activeFrac_[i_ * arch::kNumComponents +
+                                   arch::componentIndex(c)];
+        }
+
+      private:
+        friend class OpRecordArena;
+        Ref(const OpRecordArena *a, std::size_t i) : a_(a), i_(i) {}
+        const OpRecordArena *a_;
+        std::size_t i_;
+    };
+
+    /** Forward iterator yielding Ref values (range-for support). */
+    class Iterator
+    {
+      public:
+        Ref operator*() const { return Ref(a_, i_); }
+        Iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+        bool
+        operator==(const Iterator &o) const
+        {
+            return i_ == o.i_;
+        }
+        bool
+        operator!=(const Iterator &o) const
+        {
+            return i_ != o.i_;
+        }
+
+      private:
+        friend class OpRecordArena;
+        Iterator(const OpRecordArena *a, std::size_t i) : a_(a), i_(i)
+        {}
+        const OpRecordArena *a_;
+        std::size_t i_;
+    };
+
+    /** Append one record, interning its name. */
+    void append(const OpRecord &rec);
+
+    /** Pre-size every column for @p n records. */
+    void reserve(std::size_t n);
+
+    /**
+     * Drop the build-time interner map and trim every column to its
+     * size. Call once the run is complete; append() after seal()
+     * stays correct but no longer dedups new names.
+     */
+    void seal();
+
+    std::size_t size() const { return duration_.size(); }
+    bool empty() const { return duration_.empty(); }
+    Ref operator[](std::size_t i) const { return Ref(this, i); }
+    Iterator begin() const { return Iterator(this, 0); }
+    Iterator end() const { return Iterator(this, size()); }
+
+    /** Distinct interned names (diagnostics/tests). */
+    std::size_t nameCount() const { return names_.size(); }
+
+    /**
+     * Approximate heap footprint in bytes, from column and string
+     * capacities. Meaningful after seal() (the interner map is not
+     * charged; sealing empties it).
+     */
+    std::size_t heapBytes() const;
+
+  private:
+    std::vector<std::uint32_t> nameId_;
+    std::vector<graph::OpKind> kind_;
+    std::vector<std::uint64_t> count_;
+    std::vector<Cycles> duration_;
+    std::vector<double> sramDemandBytes_;
+    std::vector<double> dynamicJ_;
+    std::vector<double> sramUsedFrac_;
+    /** size() * kNumComponents, record-major. */
+    std::vector<double> activeFrac_;
+    std::vector<std::string> names_;  ///< Interned name table.
+    std::unordered_map<std::string, std::uint32_t> interner_;
+};
+
 /** Evaluation of one policy over one run (per chip, busy time). */
 struct PolicyResult
 {
@@ -73,6 +199,13 @@ struct PolicyResult
 /** One workload execution with all policies evaluated. */
 struct WorkloadRun
 {
+    WorkloadRun() = default;
+    WorkloadRun(WorkloadRun &&) = default;
+    WorkloadRun &operator=(WorkloadRun &&) = default;
+    /** Deep copy; counted process-wide (see copies()). */
+    WorkloadRun(const WorkloadRun &);
+    WorkloadRun &operator=(const WorkloadRun &);
+
     std::string name;
     Cycles cycles = 0;      ///< Base runtime (no gating overhead).
     double seconds = 0;
@@ -80,7 +213,7 @@ struct WorkloadRun
     energy::WorkCounters work;
     sa::SaTileStats saStats;
     double sramUsedIntegral = 0;  ///< Sum over time of used fraction.
-    std::vector<OpRecord> opRecords;
+    OpRecordArena opRecords;
     std::array<PolicyResult, kNumPolicies> policies;
 
     /**
@@ -102,6 +235,15 @@ struct WorkloadRun
 
     /** Fractional energy saving of @p p vs NoPG. */
     double savingVsNoPg(Policy p) const;
+
+    /**
+     * Process-wide count of WorkloadRun deep copies since program
+     * start (monotonic, thread-safe). The zero-copy warm-hit
+     * guarantee — a memoized simulateWorkload replay performs no
+     * WorkloadRun copy at all — is pinned by tests and benches that
+     * sample this counter around cache replays.
+     */
+    static std::uint64_t copies();
 };
 
 /** The engine. */

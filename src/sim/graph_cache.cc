@@ -9,12 +9,17 @@ namespace sim {
 std::size_t
 WorkloadRunCache::entryBytes(const WorkloadRun &run)
 {
+    // Charge the entry's true heap footprint: allocated capacities,
+    // not element counts. The old accounting summed sizeof(OpRecord)
+    // + name.size() per record, which both missed vector slack and
+    // undercounted the record storage itself — the dominant
+    // allocation — so the LRU budget (REGATE_RUN_CACHE_MB) could blow
+    // far past its configured bytes.
     std::size_t bytes = sizeof(Entry) + sizeof(WorkloadRun);
-    bytes += run.name.size();
-    for (const auto &op : run.opRecords)
-        bytes += sizeof(OpRecord) + op.name.size();
+    bytes += run.name.capacity();
+    bytes += run.opRecords.heapBytes();
     for (auto c : arch::kAllComponents)
-        bytes += run.timeline[c].gaps().size() *
+        bytes += run.timeline[c].gaps().capacity() *
                  sizeof(core::GapGroup);
     return bytes;
 }

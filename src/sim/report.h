@@ -10,6 +10,9 @@
 #ifndef REGATE_SIM_REPORT_H
 #define REGATE_SIM_REPORT_H
 
+#include <memory>
+#include <utility>
+
 #include "arch/gating_params.h"
 #include "models/workload.h"
 #include "sim/engine.h"
@@ -32,8 +35,29 @@ struct WorkloadReport
     models::Workload workload{};
     arch::NpuGeneration gen{};
     models::RunSetup setup;
-    WorkloadRun run;
     double units = 0;  ///< Work units per run (tokens, images, ...).
+
+    /**
+     * The simulated run. Reports hold their run by shared_ptr and
+     * alias the immutable entry in the whole-run memo when the
+     * simulation was a cache replay, so a warm simulateWorkload hit
+     * — and every subsequent WorkloadReport copy — is a pointer
+     * bump, never a deep copy of opRecords/timelines. A
+     * default-constructed report reads as an empty run.
+     */
+    const WorkloadRun &run() const;
+
+    /**
+     * Shared handle to the run (null only on a default-constructed
+     * report). Copying it shares, never deep-copies; tests use it to
+     * assert warm hits alias the memoized entry, and long-lived
+     * callers can keep the run alive past the report.
+     */
+    const std::shared_ptr<const WorkloadRun> &
+    runShared() const
+    {
+        return run_;
+    }
 
     /** Busy energy per run across the whole pod, joules. */
     double podBusyEnergy(Policy p) const;
@@ -62,7 +86,7 @@ struct WorkloadReport
     const arch::GatingParams &gatingParams() const { return params_; }
 
   private:
-    /** Serialization backdoor to params_ (sim/serialize.cc). */
+    /** Construction backdoor to run_/params_ (serialization, tests). */
     friend struct ReportSerializeAccess;
     friend WorkloadReport simulateWorkload(models::Workload,
                                            arch::NpuGeneration,
@@ -71,7 +95,37 @@ struct WorkloadReport
     friend WorkloadReport simulateWorkloadUncached(
         models::Workload, arch::NpuGeneration,
         const arch::GatingParams &, const models::RunSetup *);
+    std::shared_ptr<const WorkloadRun> run_;
     arch::GatingParams params_;
+};
+
+/**
+ * Backdoor to WorkloadReport's private run_/params_ for code that
+ * constructs reports outside simulateWorkload*: the serializer
+ * (sim/serialize.cc), the report facade itself, and tests that need
+ * a report around a hand-built run. Not for figure/analysis code —
+ * read through run() and gatingParams().
+ */
+struct ReportSerializeAccess
+{
+    static const arch::GatingParams &
+    params(const WorkloadReport &rep)
+    {
+        return rep.params_;
+    }
+
+    static void
+    setParams(WorkloadReport &rep, const arch::GatingParams &p)
+    {
+        rep.params_ = p;
+    }
+
+    static void
+    setRun(WorkloadReport &rep,
+           std::shared_ptr<const WorkloadRun> run)
+    {
+        rep.run_ = std::move(run);
+    }
 };
 
 /**

@@ -16,21 +16,9 @@
 namespace regate {
 namespace sim {
 
-/** Friend backdoor to WorkloadReport::params_ (see sim/report.h). */
-struct ReportSerializeAccess
-{
-    static const arch::GatingParams &
-    params(const WorkloadReport &rep)
-    {
-        return rep.params_;
-    }
-
-    static void
-    setParams(WorkloadReport &rep, const arch::GatingParams &p)
-    {
-        rep.params_ = p;
-    }
-};
+// WorkloadReport's private run_/params_ are reached through the
+// ReportSerializeAccess backdoor defined next to the struct in
+// sim/report.h.
 
 namespace {
 
@@ -213,25 +201,34 @@ appendPolicyResult(std::string &out, const PolicyResult &r)
 }
 
 void
-appendOpRecord(std::string &out, const OpRecord &op)
+appendOpRecord(std::string &out, OpRecordArena::Ref op)
 {
+    // Written field by field straight from the struct-of-arrays
+    // arena — no intermediate OpRecord materialization. The byte
+    // layout is identical to the pre-arena writer.
     out += "{\"name\":";
-    appendString(out, op.name);
+    appendString(out, op.name());
     out += ",\"kind\":";
-    appendI64(out, static_cast<int>(op.kind));
+    appendI64(out, static_cast<int>(op.kind()));
     out += ",\"count\":";
-    appendU64(out, op.count);
+    appendU64(out, op.count());
     out += ",\"duration\":";
-    appendU64(out, op.duration);
+    appendU64(out, op.duration());
     out += ",\"sram_demand_bytes\":";
-    appendDouble(out, op.sramDemandBytes);
+    appendDouble(out, op.sramDemandBytes());
     out += ",\"dynamic_j\":";
-    appendDouble(out, op.dynamicJ);
+    appendDouble(out, op.dynamicJ());
     out += ",\"sram_used_frac\":";
-    appendDouble(out, op.sramUsedFrac);
-    out += ",\"active_frac\":";
-    appendComponentDoubles(out, op.activeFrac);
-    out += '}';
+    appendDouble(out, op.sramUsedFrac());
+    out += ",\"active_frac\":[";
+    bool first = true;
+    for (auto c : arch::kAllComponents) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendDouble(out, op.activeFrac(c));
+    }
+    out += "]}";
 }
 
 void
@@ -277,7 +274,7 @@ appendRun(std::string &out, const WorkloadRun &run)
     appendDouble(out, run.sramUsedIntegral);
     out += ",\"op_records\":[";
     first = true;
-    for (const auto &op : run.opRecords) {
+    for (auto op : run.opRecords) {
         if (!first)
             out += ',';
         first = false;
@@ -314,7 +311,7 @@ appendReport(std::string &out, const WorkloadReport &rep)
     out += ",\"params\":";
     appendParams(out, ReportSerializeAccess::params(rep));
     out += ",\"run\":";
-    appendRun(out, rep.run);
+    appendRun(out, rep.run());
     out += '}';
 }
 
@@ -810,7 +807,8 @@ readRun(const JsonValue &v)
                  "expected op_records array");
     run.opRecords.reserve(ops.items.size());
     for (const auto &op : ops.items)
-        run.opRecords.push_back(readOpRecord(op));
+        run.opRecords.append(readOpRecord(op));
+    run.opRecords.seal();
 
     const auto &policies = v.at("policies");
     REGATE_CHECK(policies.type == JsonValue::Type::Array &&
@@ -841,7 +839,9 @@ readReport(const JsonValue &v)
     rep.setup = readSetup(v.at("setup"));
     rep.units = v.at("units").asDouble();
     ReportSerializeAccess::setParams(rep, readParams(v.at("params")));
-    rep.run = readRun(v.at("run"));
+    ReportSerializeAccess::setRun(
+        rep,
+        std::make_shared<const WorkloadRun>(readRun(v.at("run"))));
     return rep;
 }
 

@@ -13,7 +13,7 @@ namespace {
 double
 secondsPerUnit(const WorkloadReport &rep)
 {
-    return rep.run.result(Policy::NoPG).seconds / rep.units;
+    return rep.run().result(Policy::NoPG).seconds / rep.units;
 }
 
 }  // namespace

@@ -186,9 +186,9 @@ TEST(Engine, OpRecordsCoverGraph)
     Engine engine(arch::npuConfig(NpuGeneration::D));
     auto run = engine.run(gemmNormGraph(7), 1);
     ASSERT_EQ(run.opRecords.size(), 2u);
-    EXPECT_EQ(run.opRecords[0].count, 7u);
-    EXPECT_GT(run.opRecords[0].duration, 0u);
-    EXPECT_GT(run.opRecords[0].dynamicJ, 0.0);
+    EXPECT_EQ(run.opRecords[0].count(), 7u);
+    EXPECT_GT(run.opRecords[0].duration(), 0u);
+    EXPECT_GT(run.opRecords[0].dynamicJ(), 0.0);
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ renderFig03Small()
          {models::Workload::Prefill8B, models::Workload::Decode8B,
           models::Workload::DlrmS, models::Workload::DiTXL}) {
         auto rep = simulateWorkload(w, arch::NpuGeneration::D);
-        const auto &e = rep.run.result(Policy::NoPG).energy;
+        const auto &e = rep.run().result(Policy::NoPG).energy;
         double total =
             rep.podTotalEnergy(Policy::NoPG) / rep.setup.chips;
         out << models::workloadName(w) << ','
@@ -107,9 +107,9 @@ renderFig21Small()
                                         arch::GatingParams(r));
             out << models::workloadName(w) << ',' << num(s[0]) << ','
                 << num(s[1]) << ',' << num(s[2]) << ','
-                << num(rep.run.savingVsNoPg(Policy::Base)) << ','
-                << num(rep.run.savingVsNoPg(Policy::HW)) << ','
-                << num(rep.run.savingVsNoPg(Policy::Full)) << '\n';
+                << num(rep.run().savingVsNoPg(Policy::Base)) << ','
+                << num(rep.run().savingVsNoPg(Policy::HW)) << ','
+                << num(rep.run().savingVsNoPg(Policy::Full)) << '\n';
         }
     }
     return out.str();
@@ -180,7 +180,7 @@ renderFig04Small()
             auto rep = simulateWorkload(w, gen);
             out << models::workloadName(w) << ','
                 << arch::generationName(gen) << ','
-                << num(rep.run.temporalUtil(Component::Sa)) << '\n';
+                << num(rep.run().temporalUtil(Component::Sa)) << '\n';
         }
     }
     return out.str();
@@ -202,9 +202,9 @@ renderFig18Small()
         auto rep = simulateWorkload(w, arch::NpuGeneration::D);
         out << models::workloadName(w);
         for (auto p : allPolicies())
-            out << ',' << num(rep.run.result(p).avgPowerW);
-        out << ',' << num(rep.run.result(Policy::NoPG).peakPowerW)
-            << ',' << num(rep.run.result(Policy::Full).peakPowerW)
+            out << ',' << num(rep.run().result(p).avgPowerW);
+        out << ',' << num(rep.run().result(Policy::NoPG).peakPowerW)
+            << ',' << num(rep.run().result(Policy::Full).peakPowerW)
             << '\n';
     }
     return out.str();
@@ -231,7 +231,7 @@ renderFig24Small()
             out << ','
                 << num(carbon::operationalCarbonReduction(rep, p));
         }
-        out << ',' << num(rep.run.savingVsNoPg(Policy::Full))
+        out << ',' << num(rep.run().savingVsNoPg(Policy::Full))
             << '\n';
     }
     return out.str();

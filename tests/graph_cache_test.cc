@@ -54,8 +54,10 @@ expectRunsIdentical(const WorkloadRun &a, const WorkloadRun &b)
     EXPECT_EQ(a.sramUsedIntegral, b.sramUsedIntegral);
     ASSERT_EQ(a.opRecords.size(), b.opRecords.size());
     for (std::size_t i = 0; i < a.opRecords.size(); ++i) {
-        EXPECT_EQ(a.opRecords[i].duration, b.opRecords[i].duration);
-        EXPECT_EQ(a.opRecords[i].dynamicJ, b.opRecords[i].dynamicJ);
+        EXPECT_EQ(a.opRecords[i].duration(),
+                  b.opRecords[i].duration());
+        EXPECT_EQ(a.opRecords[i].dynamicJ(),
+                  b.opRecords[i].dynamicJ());
     }
     for (auto p : allPolicies()) {
         const auto &ra = a.result(p);
@@ -142,8 +144,8 @@ TEST(WorkloadMemo, WarmSimulateWorkloadBitwiseIdenticalToUncached)
         auto first = simulateWorkload(w, gen);
         auto warm = simulateWorkload(w, gen);
         auto independent = simulateWorkloadUncached(w, gen);
-        expectRunsIdentical(first.run, warm.run);
-        expectRunsIdentical(warm.run, independent.run);
+        expectRunsIdentical(first.run(), warm.run());
+        expectRunsIdentical(warm.run(), independent.run());
         EXPECT_EQ(warm.units, independent.units);
     }
 }
@@ -160,11 +162,11 @@ TEST(WorkloadMemo, RunCacheKeyedByGatingParams)
     // Different params must not replay each other's runs: the Base
     // policy pays the scaled wake-up delays directly, so its overhead
     // must differ between the two parameter sets.
-    EXPECT_NE(base.run.result(Policy::Base).overheadCycles,
-              alt.run.result(Policy::Base).overheadCycles);
+    EXPECT_NE(base.run().result(Policy::Base).overheadCycles,
+              alt.run().result(Policy::Base).overheadCycles);
 
     // And each stays self-consistent on replay.
-    expectRunsIdentical(alt.run, simulateWorkload(w, gen, scaled).run);
+    expectRunsIdentical(alt.run(), simulateWorkload(w, gen, scaled).run());
 }
 
 TEST(WorkloadMemo, ClearSharedCachesForcesColdRun)
@@ -182,7 +184,63 @@ TEST(WorkloadMemo, ClearSharedCachesForcesColdRun)
     auto misses_before = sharedRunCache().misses();
     auto rep = simulateWorkload(w, gen);
     EXPECT_GT(sharedRunCache().misses(), misses_before);
-    EXPECT_GT(rep.run.cycles, 0u);
+    EXPECT_GT(rep.run().cycles, 0u);
+}
+
+TEST(WorkloadMemo, WarmHitPerformsZeroRunCopies)
+{
+    const auto w = Workload::Decode13B;
+    const auto gen = arch::NpuGeneration::D;
+    clearSharedCaches();
+    auto first = simulateWorkload(w, gen);  // Cold: fills the memo.
+    ASSERT_NE(first.runShared(), nullptr);
+
+    // The warm hit must be a pointer bump: zero WorkloadRun deep
+    // copies, and the report aliases the cache's immutable entry.
+    auto copies_before = WorkloadRun::copies();
+    auto warm = simulateWorkload(w, gen);
+    EXPECT_EQ(WorkloadRun::copies(), copies_before)
+        << "warm simulateWorkload deep-copied the run";
+    EXPECT_EQ(warm.runShared().get(), first.runShared().get());
+
+    // Prove the counter observes real copies: one deliberate deep
+    // copy bumps it by exactly one.
+    WorkloadRun copied(first.run());
+    EXPECT_EQ(WorkloadRun::copies(), copies_before + 1);
+    EXPECT_EQ(copied.cycles, first.run().cycles);
+    EXPECT_EQ(copied.opRecords.size(), first.run().opRecords.size());
+}
+
+TEST(WorkloadMemo, UncachedLeavesSharedCachesUntouched)
+{
+    const auto w = Workload::DlrmS;
+    const auto gen = arch::NpuGeneration::C;
+    clearSharedCaches();
+    auto warm = simulateWorkload(w, gen);  // Populate shared caches.
+
+    auto run_size = sharedRunCache().size();
+    auto run_hits = sharedRunCache().hits();
+    auto run_misses = sharedRunCache().misses();
+    auto run_evictions = sharedRunCache().evictions();
+    auto graph_size = sharedGraphCache().size();
+    auto graph_hits = sharedGraphCache().hits();
+    auto graph_misses = sharedGraphCache().misses();
+    auto op_size = sharedOpCache(gen).size();
+    ASSERT_GT(run_size, 0u);
+    ASSERT_GT(op_size, 0u);
+
+    // The independent path (fig16 validation) must not read from or
+    // write to any shared cache — same results, untouched state.
+    auto independent = simulateWorkloadUncached(w, gen);
+    EXPECT_EQ(sharedRunCache().size(), run_size);
+    EXPECT_EQ(sharedRunCache().hits(), run_hits);
+    EXPECT_EQ(sharedRunCache().misses(), run_misses);
+    EXPECT_EQ(sharedRunCache().evictions(), run_evictions);
+    EXPECT_EQ(sharedGraphCache().size(), graph_size);
+    EXPECT_EQ(sharedGraphCache().hits(), graph_hits);
+    EXPECT_EQ(sharedGraphCache().misses(), graph_misses);
+    EXPECT_EQ(sharedOpCache(gen).size(), op_size);
+    expectRunsIdentical(warm.run(), independent.run());
 }
 
 TEST(EngineClearCaches, DropsMemoizedOperators)
@@ -310,8 +368,8 @@ TEST(ParallelFindBestSetup, MatchesSerialAtEveryThreadCount)
                 EXPECT_EQ(par.secondsPerUnit, serial.secondsPerUnit);
                 EXPECT_EQ(par.energyPerUnit, serial.energyPerUnit);
                 EXPECT_EQ(par.sloRatio, serial.sloRatio);
-                expectRunsIdentical(par.report.run,
-                                    serial.report.run);
+                expectRunsIdentical(par.report.run(),
+                                    serial.report.run());
             }
         }
     }
@@ -333,7 +391,7 @@ TEST(RunCacheLru, EvictsLeastRecentlyUsedWithinByteBudget)
     auto rep = simulateWorkload(Workload::DlrmS,
                                 arch::NpuGeneration::D);
     auto setup = rep.setup;
-    std::size_t bytes = WorkloadRunCache::entryBytes(rep.run);
+    std::size_t bytes = WorkloadRunCache::entryBytes(rep.run());
     EXPECT_GT(bytes, sizeof(WorkloadRun));
 
     // Four keys (distinct delay scales), one identical payload each,
@@ -347,7 +405,7 @@ TEST(RunCacheLru, EvictsLeastRecentlyUsedWithinByteBudget)
     WorkloadRunCache cache(2 * bytes + bytes / 2);
     for (double scale : {1.0, 2.0, 3.0})
         cache.store(Workload::DlrmS, setup, arch::NpuGeneration::D,
-                    paramsFor(scale), rep.run);
+                    paramsFor(scale), rep.run());
     // Budget fits two: storing the third evicted scale 1.0.
     EXPECT_EQ(cache.size(), 2u);
     EXPECT_EQ(cache.evictions(), 1u);
@@ -362,7 +420,7 @@ TEST(RunCacheLru, EvictsLeastRecentlyUsedWithinByteBudget)
                            arch::NpuGeneration::D, paramsFor(2.0)),
               nullptr);
     cache.store(Workload::DlrmS, setup, arch::NpuGeneration::D,
-                paramsFor(4.0), rep.run);
+                paramsFor(4.0), rep.run());
     EXPECT_NE(cache.lookup(Workload::DlrmS, setup,
                            arch::NpuGeneration::D, paramsFor(2.0)),
               nullptr);
@@ -399,8 +457,8 @@ TEST(RunCacheLru, EvictionPreservesResultCorrectness)
 
     ASSERT_EQ(thrashed.size(), reference.size());
     for (std::size_t i = 0; i < reference.size(); ++i) {
-        expectRunsIdentical(thrashed[i].run, reference[i].run);
-        expectRunsIdentical(again[i].run, reference[i].run);
+        expectRunsIdentical(thrashed[i].run(), reference[i].run());
+        expectRunsIdentical(again[i].run(), reference[i].run());
         EXPECT_EQ(thrashed[i].units, reference[i].units);
     }
 }

@@ -32,7 +32,7 @@ class WorkloadSweep : public ::testing::TestWithParam<Workload>
             it = cache.emplace(w, simulateWorkload(w, NpuGeneration::D))
                      .first;
         }
-        return it->second.run;
+        return it->second.run();
     }
 };
 
@@ -130,8 +130,8 @@ TEST(PolicyShape, DlrmSavesMost)
     auto dlrm = simulateWorkload(Workload::DlrmL, NpuGeneration::D);
     auto prefill =
         simulateWorkload(Workload::Prefill8B, NpuGeneration::D);
-    EXPECT_GT(dlrm.run.savingVsNoPg(Policy::Full),
-              prefill.run.savingVsNoPg(Policy::Full));
+    EXPECT_GT(dlrm.run().savingVsNoPg(Policy::Full),
+              prefill.run().savingVsNoPg(Policy::Full));
 }
 
 TEST(PolicyShape, PrefillSaUtilHigherThanDlrm)
@@ -139,15 +139,15 @@ TEST(PolicyShape, PrefillSaUtilHigherThanDlrm)
     auto dlrm = simulateWorkload(Workload::DlrmL, NpuGeneration::D);
     auto prefill =
         simulateWorkload(Workload::Prefill8B, NpuGeneration::D);
-    EXPECT_GT(prefill.run.temporalUtil(Component::Sa), 0.7);
-    EXPECT_LT(dlrm.run.temporalUtil(Component::Sa), 0.3);
+    EXPECT_GT(prefill.run().temporalUtil(Component::Sa), 0.7);
+    EXPECT_LT(dlrm.run().temporalUtil(Component::Sa), 0.3);
 }
 
 TEST(PolicyShape, DlrmIsIciHeavy)
 {
     auto dlrm = simulateWorkload(Workload::DlrmL, NpuGeneration::D);
-    EXPECT_GT(dlrm.run.temporalUtil(Component::Ici),
-              dlrm.run.temporalUtil(Component::Sa));
+    EXPECT_GT(dlrm.run().temporalUtil(Component::Ici),
+              dlrm.run().temporalUtil(Component::Sa));
 }
 
 TEST(PolicyShape, DecodeMapsSmallGemmsToVu)
@@ -155,8 +155,8 @@ TEST(PolicyShape, DecodeMapsSmallGemmsToVu)
     auto decode = simulateWorkload(Workload::Decode8B,
                                    NpuGeneration::D);
     // Single-chip, batch-8 decode: SA unused (Fig. 4 pattern).
-    EXPECT_LT(decode.run.temporalUtil(Component::Sa), 0.05);
-    EXPECT_GT(decode.run.temporalUtil(Component::Hbm), 0.9);
+    EXPECT_LT(decode.run().temporalUtil(Component::Sa), 0.05);
+    EXPECT_GT(decode.run().temporalUtil(Component::Hbm), 0.9);
 }
 
 TEST(PolicyShape, SpatialUtilPrefillVsDiffusion)
@@ -166,8 +166,8 @@ TEST(PolicyShape, SpatialUtilPrefillVsDiffusion)
     auto gligen = simulateWorkload(Workload::Gligen,
                                    NpuGeneration::D);
     // Fig. 5: prefill ~0.9+, GLIGEN ~0.5 (head sizes < SA width).
-    EXPECT_GT(prefill.run.saSpatialUtil(), 0.85);
-    EXPECT_LT(gligen.run.saSpatialUtil(), 0.7);
+    EXPECT_GT(prefill.run().saSpatialUtil(), 0.85);
+    EXPECT_LT(gligen.run().saSpatialUtil(), 0.7);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ TEST(Slo, TargetIsFiveTimesDefaultLatency)
 {
     auto rep = simulateWorkload(Workload::DlrmS, NpuGeneration::D);
     double default_spu =
-        rep.run.result(Policy::NoPG).seconds / rep.units;
+        rep.run().result(Policy::NoPG).seconds / rep.units;
     EXPECT_NEAR(sloTargetSecondsPerUnit(Workload::DlrmS),
                 5.0 * default_spu, default_spu * 0.01);
 }
@@ -54,7 +54,7 @@ TEST(Slo, PicksMostEfficientCompliant)
                                          NpuGeneration::D)) {
         auto rep = simulateWorkload(Workload::DlrmS, NpuGeneration::D,
                                     {}, &s);
-        double spu = rep.run.result(Policy::NoPG).seconds / rep.units;
+        double spu = rep.run().result(Policy::NoPG).seconds / rep.units;
         if (spu <= target) {
             EXPECT_LE(res.energyPerUnit,
                       rep.energyPerUnit(Policy::NoPG) * 1.0001);

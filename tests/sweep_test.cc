@@ -164,13 +164,13 @@ TEST(SweepRunner, ParallelBitwiseIdenticalToSerial)
         EXPECT_EQ(serial[i].workload, parallel[i].workload);
         EXPECT_EQ(serial[i].gen, parallel[i].gen);
         EXPECT_EQ(serial[i].units, parallel[i].units);
-        expectRunsIdentical(serial[i].run, parallel[i].run);
+        expectRunsIdentical(serial[i].run(), parallel[i].run());
     }
 
     // Re-running the sweep (warm shared cache) stays identical too.
     auto again = runner.run(grid);
     for (std::size_t i = 0; i < serial.size(); ++i)
-        expectRunsIdentical(serial[i].run, again[i].run);
+        expectRunsIdentical(serial[i].run(), again[i].run());
 }
 
 TEST(SweepRunner, SearchMatchesSerialSearch)

@@ -23,6 +23,12 @@ and reported as SLOWER without failing. Cases whose time sits below
 the --min-ns clock-resolution floor are skipped (their ratios are
 dominated by timer noise), as are cases present in only one file (the
 case set is allowed to evolve).
+
+`--require NAME` (repeatable) asserts NAME is present and gated in
+the *current* file, and fails the build otherwise — even when there
+is no previous artifact to diff against. This keeps load-bearing
+cases (engine_rerun_memoized, BM_WarmHitCost) from silently dropping
+out of the bench binary or losing their gate.
 """
 
 import argparse
@@ -48,7 +54,29 @@ def main():
                     help="skip cases whose new_ns sits below this "
                          "floor (clock-resolution noise, default "
                          "2000 ns)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless NAME is present and gated in "
+                         "the current file (repeatable); checked "
+                         "even without a previous artifact")
     args = ap.parse_args()
+
+    # Required-case presence is a property of the current build alone,
+    # so it is checked before (and regardless of) the previous-artifact
+    # diff below.
+    cur = load_cases(args.current)
+    missing = False
+    for name in args.require:
+        if name not in cur:
+            print(f"FAIL: required case {name} missing from "
+                  f"{args.current}")
+            missing = True
+        elif not cur[name].get("gated", 0):
+            print(f"FAIL: required case {name} present but not gated "
+                  f"in {args.current}")
+            missing = True
+    if missing:
+        return 1
 
     # The first run on a branch (or an expired artifact) legitimately
     # has nothing to compare against: say so explicitly and pass,
@@ -57,7 +85,6 @@ def main():
         print(f"no previous artifact at {args.previous} — skipping "
               "regression check")
         return 0
-    cur = load_cases(args.current)
     try:
         prev = load_cases(args.previous)
     except (json.JSONDecodeError, OSError) as e:
