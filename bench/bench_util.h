@@ -22,6 +22,8 @@
 #include "common/error.h"
 #include "common/fsio.h"
 #include "common/table.h"
+#include "models/registry.h"
+#include "models/spec.h"
 #include "sim/report.h"
 #include "sim/serialize.h"
 #include "sim/sweep.h"
@@ -92,8 +94,21 @@ struct BenchCli
     bool casesOnly = false;
     bool worker = false;
 
+    /**
+     * `--spec FILE` state: the user-defined scenarios that replace
+     * the binary's default workload axis (workloadAxis), and the spec
+     * file's content digest — stamped into every shard document this
+     * process writes and cross-checked against every `--from` file it
+     * reads, so results computed from a different (or no) spec file
+     * are rejected instead of rendered.
+     */
+    std::string specPath;
+    std::vector<std::shared_ptr<const models::ScenarioSpec>> scenarios;
+    std::string specDigest;
+
     bool sharded() const { return shardCount > 0; }
     bool fromFiles() const { return !fromPaths.empty(); }
+    bool hasSpec() const { return !scenarios.empty(); }
 };
 
 inline BenchCli &
@@ -141,6 +156,25 @@ parseShardSpec(const std::string &spec, int &index, int &count,
 }
 
 /**
+ * `--list-generators`: print every registered workload generator and
+ * the spec keys it accepts, then exit 0. The output is the reference
+ * for writing `--spec` files (and the smoke test that the registry
+ * self-registration ran).
+ */
+inline void
+listGeneratorsAndExit()
+{
+    const auto &registry = models::GeneratorRegistry::instance();
+    for (const auto &family : registry.families()) {
+        const auto *gen = registry.find(family);
+        std::cout << family << " — " << gen->familyLabel() << "\n";
+        for (const auto &key : gen->specKeys())
+            std::cout << "  " << key.key << ": " << key.doc << "\n";
+    }
+    std::exit(0);
+}
+
+/**
  * Parse the shared bench CLI (see BenchCli). Call first thing in
  * main(); exits with code 2 and a usage message on a bad command
  * line. Binaries without a sweep grid simply never read the state.
@@ -152,13 +186,20 @@ initBench(int argc, char **argv)
     auto usage = [&](const std::string &msg) {
         std::cerr << argv[0] << ": " << msg << "\n"
                   << "usage: " << argv[0]
+                  << " [--spec scenarios.spec] [--list-generators]"
                   << " [--shard i/N --out shard.json [--worker]]"
                   << " [--from results.json ...] [--cases]\n";
         std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--shard") {
+        if (arg == "--spec") {
+            if (++i >= argc)
+                usage("--spec needs a path");
+            cli.specPath = argv[i];
+        } else if (arg == "--list-generators") {
+            listGeneratorsAndExit();
+        } else if (arg == "--shard") {
             if (++i >= argc)
                 usage("--shard needs an i/N argument");
             std::string error;
@@ -199,6 +240,16 @@ initBench(int argc, char **argv)
     if (cli.worker && !cli.sharded())
         usage("--worker requires --shard/--out (it only changes "
               "how a shard run reports)");
+    if (!cli.specPath.empty()) {
+        try {
+            auto file = models::parseSpecFile(cli.specPath);
+            cli.scenarios = std::move(file.scenarios);
+            cli.specDigest = std::move(file.digest);
+        } catch (const ConfigError &e) {
+            std::cerr << argv[0] << ": --spec: " << e.what() << "\n";
+            std::exit(1);
+        }
+    }
 }
 
 /**
@@ -310,8 +361,19 @@ loadShardDocs(const std::vector<std::string> &paths)
 {
     std::vector<sim::ShardDoc> docs;
     docs.reserve(paths.size());
-    for (const auto &path : paths)
+    for (const auto &path : paths) {
         docs.push_back(sim::parseShard(readFile(path)));
+        // Results must come from this run's exact spec file (or from
+        // no spec, matching this run): a digest mismatch means the
+        // numbers answer a different question than the grid we are
+        // about to render them into.
+        REGATE_CHECK(
+            docs.back().specDigest == benchCli().specDigest, path,
+            ": spec digest mismatch (results carry \"",
+            docs.back().specDigest, "\", this run expects \"",
+            benchCli().specDigest,
+            "\") — results computed from a different spec file?");
+    }
     return docs;
 }
 
@@ -344,16 +406,27 @@ orDie(const char *what, Fn &&fn) -> decltype(fn())
  * generations, like fig21 vs fig22 — fails here instead of
  * rendering silently wrong figures.
  */
+/** Display name of a report's case (scenario name or enum name). */
+inline std::string
+caseName(const sim::WorkloadReport &rep)
+{
+    return rep.scenario ? rep.scenario->name
+                        : models::workloadName(rep.workload);
+}
+
 inline void
 checkCaseIdentity(const sim::WorkloadReport &rep,
                   const sim::SweepCase &expect, std::size_t index)
 {
-    REGATE_CHECK(rep.workload == expect.workload &&
-                     rep.gen == expect.gen &&
+    bool identity_ok =
+        expect.scenario
+            ? (rep.scenario &&
+               rep.scenario->sameScenario(*expect.scenario))
+            : (!rep.scenario && rep.workload == expect.workload);
+    REGATE_CHECK(identity_ok && rep.gen == expect.gen &&
                      rep.gatingParams() == expect.params &&
                      (!expect.hasSetup || rep.setup == expect.setup),
-                 "result ", index, " is for ",
-                 models::workloadName(rep.workload), "/",
+                 "result ", index, " is for ", caseName(rep), "/",
                  arch::generationName(rep.gen),
                  " with different case parameters than this "
                  "binary's grid expects — wrong results file?");
@@ -396,7 +469,8 @@ runGrid(const std::vector<sim::SweepCase> &grid)
         detail::orDie("--out", [&] {
             auto doc =
                 sim::writeRunShard(results, range.begin, grid.size(),
-                                   cli.shardIndex, cli.shardCount);
+                                   cli.shardIndex, cli.shardCount,
+                                   cli.specDigest);
             detail::writeFile(cli.outPath, doc);
             detail::workerDone(cli.outPath, doc);
             return 0;
@@ -442,7 +516,7 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
         detail::orDie("--out", [&] {
             auto doc = sim::writeSearchShard(
                 results, range.begin, grid.size(), cli.shardIndex,
-                cli.shardCount);
+                cli.shardCount, cli.specDigest);
             detail::writeFile(cli.outPath, doc);
             detail::workerDone(cli.outPath, doc);
             return 0;
@@ -459,6 +533,137 @@ simulateAll(const std::vector<models::Workload> &workloads,
             const arch::GatingParams &params = {})
 {
     return runGrid(sim::makeGrid(workloads, gens, params));
+}
+
+/**
+ * One entry of a binary's workload axis: a paper workload (default
+ * axis, or a `--spec` scenario identical to one) or a registry-driven
+ * custom scenario. The figure binaries iterate this instead of the
+ * Workload enum, so `--spec FILE` swaps the whole axis without
+ * touching any rendering code.
+ */
+struct Scenario
+{
+    /** The paper workload; authoritative only when builtin. */
+    models::Workload workload{};
+
+    /** The spec scenario; null on the default (enum) axis. */
+    std::shared_ptr<const models::ScenarioSpec> spec;
+
+    /**
+     * True when the identity is `workload` — the default axis, or a
+     * spec scenario normalized onto the paper workload it duplicates
+     * (models::builtinWorkloadOf), which keeps spec-driven output of
+     * built-in scenarios byte-identical to the enum-driven run.
+     */
+    bool builtin = true;
+
+    std::string
+    name() const
+    {
+        return builtin ? models::workloadName(workload) : spec->name;
+    }
+
+    std::string
+    familyLabel() const
+    {
+        return builtin
+                   ? models::workloadFamilyName(
+                         models::familyOf(workload))
+                   : models::scenarioFamilyLabel(*spec);
+    }
+
+    models::WorkUnit
+    unit() const
+    {
+        return builtin ? models::workUnitOf(workload)
+                       : models::scenarioWorkUnit(*spec);
+    }
+
+    std::string unitLabel() const
+    {
+        return models::workUnitName(unit());
+    }
+};
+
+/**
+ * The binary's workload axis: @p defaults wrapped as builtin
+ * scenarios, or — under `--spec FILE` — the spec's scenarios (those
+ * identical to a paper workload normalized onto it).
+ */
+inline std::vector<Scenario>
+workloadAxis(const std::vector<models::Workload> &defaults)
+{
+    const auto &cli = benchCli();
+    std::vector<Scenario> axis;
+    if (!cli.hasSpec()) {
+        axis.reserve(defaults.size());
+        for (auto w : defaults)
+            axis.push_back(Scenario{w, nullptr, true});
+        return axis;
+    }
+    axis.reserve(cli.scenarios.size());
+    for (const auto &spec : cli.scenarios) {
+        Scenario s;
+        s.spec = spec;
+        s.builtin = models::builtinWorkloadOf(*spec, &s.workload);
+        axis.push_back(std::move(s));
+    }
+    return axis;
+}
+
+/**
+ * The sweep case of one axis entry on @p gen: spec-backed entries go
+ * through sim::scenarioCase (gating overlays + builtin
+ * normalization); default-axis entries are the plain enum case.
+ */
+inline sim::SweepCase
+caseFor(const Scenario &s, arch::NpuGeneration gen,
+        const arch::GatingParams &params = {})
+{
+    if (s.spec)
+        return sim::scenarioCase(s.spec, gen, params);
+    sim::SweepCase c;
+    c.workload = s.workload;
+    c.gen = gen;
+    c.params = params;
+    return c;
+}
+
+/** Dense (axis x generations) grid, axis-major (see sim::makeGrid). */
+inline std::vector<sim::SweepCase>
+makeGrid(const std::vector<Scenario> &axis,
+         const std::vector<arch::NpuGeneration> &gens,
+         const arch::GatingParams &params = {})
+{
+    std::vector<sim::SweepCase> grid;
+    grid.reserve(axis.size() * gens.size());
+    for (const auto &s : axis) {
+        for (auto gen : gens)
+            grid.push_back(caseFor(s, gen, params));
+    }
+    return grid;
+}
+
+/** simulateAll over a workload axis (the `--spec`-aware spelling). */
+inline std::vector<sim::WorkloadReport>
+simulateAll(const std::vector<Scenario> &axis,
+            const std::vector<arch::NpuGeneration> &gens,
+            const arch::GatingParams &params = {})
+{
+    return runGrid(makeGrid(axis, gens, params));
+}
+
+/** One case fully re-simulated with every cache disabled (fig16). */
+inline sim::WorkloadReport
+simulateUncached(const sim::SweepCase &c)
+{
+    if (c.scenario)
+        return sim::simulateScenarioUncached(
+            c.scenario, c.gen, c.params,
+            c.hasSetup ? &c.setup : nullptr);
+    return sim::simulateWorkloadUncached(
+        c.workload, c.gen, c.params, c.hasSetup ? &c.setup : nullptr);
 }
 
 /**
@@ -479,6 +684,25 @@ reportFor(const std::vector<sim::WorkloadReport> &reports,
                  ": expected ", models::workloadName(w), "/",
                  arch::generationName(gen), ", got ",
                  models::workloadName(rep.workload), "/",
+                 arch::generationName(rep.gen));
+    return rep;
+}
+
+/** reportFor over a workload-axis entry (enum or custom scenario). */
+inline const sim::WorkloadReport &
+reportFor(const std::vector<sim::WorkloadReport> &reports,
+          std::size_t &idx, const Scenario &s, arch::NpuGeneration gen)
+{
+    const auto &rep = reports.at(idx++);
+    bool identity_ok =
+        s.builtin ? (!rep.scenario && rep.workload == s.workload)
+                  : (rep.scenario &&
+                     rep.scenario->sameScenario(*s.spec));
+    REGATE_CHECK(identity_ok && rep.gen == gen,
+                 "report order mismatch at index ", idx - 1,
+                 ": expected ", s.name(), "/",
+                 arch::generationName(gen), ", got ",
+                 detail::caseName(rep), "/",
                  arch::generationName(rep.gen));
     return rep;
 }

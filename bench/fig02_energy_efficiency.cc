@@ -18,39 +18,33 @@ main(int argc, char **argv)
                   "energy efficiency across NPU generations "
                   "(NoPG, duty cycle 60%, PUE 1.1)");
 
-    const auto families = {models::WorkloadFamily::LlmTraining,
-                           models::WorkloadFamily::LlmPrefill,
-                           models::WorkloadFamily::LlmDecode,
-                           models::WorkloadFamily::DlrmInference,
-                           models::WorkloadFamily::StableDiffusion};
-
     // SLO-search the whole (workload x generation) grid in parallel;
     // results come back in grid order, so printing stays grouped by
-    // family exactly as the serial loop produced it.
-    std::vector<models::Workload> ordered;
-    for (auto family : families)
-        for (auto w : models::workloadsOf(family))
-            ordered.push_back(w);
-    auto grid = sim::makeGrid(ordered, bench::paperGenerations());
+    // family exactly as the serial loop produced it. The axis is the
+    // 17 paper workloads (already in family order), or the scenarios
+    // of a `--spec` file.
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto grid = bench::makeGrid(axis, bench::paperGenerations());
     auto results = bench::searchGrid(grid);
 
     std::size_t idx = 0;
-    for (auto family : families) {
-        std::cout << "\n-- " << models::workloadFamilyName(family)
-                  << " --\n";
+    for (std::size_t i = 0; i < axis.size();) {
+        auto family = axis[i].familyLabel();
+        std::cout << "\n-- " << family << " --\n";
         TablePrinter t({"Workload", "Gen", "Chips", "SLO",
                         "J/unit", "Unit"});
-        for (auto w : models::workloadsOf(family)) {
+        for (; i < axis.size() && axis[i].familyLabel() == family;
+             ++i) {
+            const auto &s = axis[i];
             for (auto gen : bench::paperGenerations()) {
                 (void)gen;
                 const auto &res = results.at(idx++);
-                t.addRow({models::workloadName(w),
+                t.addRow({s.name(),
                           bench::genLabel(res.report.gen),
                           std::to_string(res.setup.chips),
                           TablePrinter::fmt(res.sloRatio, 0) + "x",
                           TablePrinter::eng(res.energyPerUnit, 3),
-                          models::workUnitName(
-                              models::workUnitOf(w))});
+                          s.unitLabel()});
             }
             t.addSeparator();
         }

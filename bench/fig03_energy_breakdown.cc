@@ -22,13 +22,13 @@ main(int argc, char **argv)
                     "Dyn ICI", "Sta ICI", "Dyn HBM", "Sta HBM",
                     "Dyn Oth", "Sta Oth", "StaticShareBusy"});
 
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      bench::paperGenerations());
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports = bench::simulateAll(axis, bench::paperGenerations());
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         for (auto gen : bench::paperGenerations()) {
             const auto &rep =
-                bench::reportFor(reports, idx, w, gen);
+                bench::reportFor(reports, idx, s, gen);
             const auto &e =
                 rep.run().result(sim::Policy::NoPG).energy;
             double total = rep.podTotalEnergy(sim::Policy::NoPG) /
@@ -38,7 +38,7 @@ main(int argc, char **argv)
             auto pct = [&](double j) {
                 return TablePrinter::pct(j * busy_scale, 1);
             };
-            t.addRow({models::workloadName(w), bench::genLabel(gen),
+            t.addRow({s.name(), bench::genLabel(gen),
                       TablePrinter::pct(
                           rep.idleShare(sim::Policy::NoPG), 1),
                       pct(e.dynamicJ[Component::Sa]),

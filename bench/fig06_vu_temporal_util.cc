@@ -13,13 +13,13 @@ main(int argc, char **argv)
     bench::banner("Figure 6", "VU temporal utilization");
 
     TablePrinter t({"Workload", "A", "B", "C", "D"});
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      bench::paperGenerations());
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports = bench::simulateAll(axis, bench::paperGenerations());
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
-        std::vector<std::string> cells = {models::workloadName(w)};
+    for (const auto &s : axis) {
+        std::vector<std::string> cells = {s.name()};
         for (auto gen : bench::paperGenerations()) {
-            const auto &rep = bench::reportFor(reports, idx, w, gen);
+            const auto &rep = bench::reportFor(reports, idx, s, gen);
             cells.push_back(TablePrinter::pct(rep.run().temporalUtil(arch::Component::Vu), 1));
         }
         t.addRow(cells);

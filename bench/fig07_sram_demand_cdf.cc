@@ -19,12 +19,13 @@ main(int argc, char **argv)
 
     TablePrinter t({"Workload", "p10 (MB)", "p25", "p50", "p75",
                     "p90", "p100", "<=8MB", "<=128MB"});
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
+            reports, idx, s, arch::NpuGeneration::D);
         std::vector<std::pair<double, double>> samples;
         for (const auto &rec : rep.run().opRecords) {
             if (rec.sramDemandBytes() <= 0)
@@ -42,7 +43,7 @@ main(int argc, char **argv)
             }
             return cdf.back().first / (1 << 20);
         };
-        t.addRow({models::workloadName(w),
+        t.addRow({s.name(),
                   TablePrinter::fmt(at(0.10), 2),
                   TablePrinter::fmt(at(0.25), 2),
                   TablePrinter::fmt(at(0.50), 2),

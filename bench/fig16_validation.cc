@@ -88,19 +88,23 @@ main(int argc, char **argv)
     const std::vector<models::Workload> suite = {
         models::Workload::Prefill13B, models::Workload::Decode13B,
         models::Workload::Prefill70B, models::Workload::Decode70B};
-    auto cached = bench::simulateAll(suite, {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(suite);
+    auto cached = bench::simulateAll(axis, {arch::NpuGeneration::D});
+    std::vector<sim::SweepCase> recheck;
+    for (const auto &s : axis)
+        recheck.push_back(bench::caseFor(s, arch::NpuGeneration::D));
     auto independent = sim::parallelMapOrdered(
-        bench::sweeper().pool(), suite, [](models::Workload w) {
-            return sim::simulateWorkloadUncached(
-                w, arch::NpuGeneration::D);
+        bench::sweeper().pool(), recheck,
+        [](const sim::SweepCase &c) {
+            return bench::simulateUncached(c);
         });
-    for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t i = 0; i < axis.size(); ++i) {
         std::vector<double> xs, ys;
         for (const auto &rec : cached[i].run().opRecords)
             xs.push_back(static_cast<double>(rec.duration()));
         for (const auto &rec : independent[i].run().opRecords)
             ys.push_back(static_cast<double>(rec.duration()));
-        t.addRow({models::workloadName(suite[i]) + " op durations",
+        t.addRow({axis[i].name() + " op durations",
                   std::to_string(xs.size()),
                   TablePrinter::fmt(stats::r2(xs, ys), 4)});
     }

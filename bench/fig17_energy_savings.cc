@@ -21,12 +21,13 @@ main(int argc, char **argv)
                     "Full:SA", "Full:VU", "Full:SRAM", "Full:ICI",
                     "Full:HBM"});
     double sum_full = 0;
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
+            reports, idx, s, arch::NpuGeneration::D);
         const auto &run = rep.run();
         double nopg = run.result(Policy::NoPG).energy.busyTotal();
         auto comp_saving = [&](Component c) {
@@ -36,7 +37,7 @@ main(int argc, char **argv)
             return TablePrinter::pct(saved / nopg, 1);
         };
         sum_full += run.savingVsNoPg(Policy::Full);
-        t.addRow({models::workloadName(w),
+        t.addRow({s.name(),
                   TablePrinter::pct(run.savingVsNoPg(Policy::Base), 1),
                   TablePrinter::pct(run.savingVsNoPg(Policy::HW), 1),
                   TablePrinter::pct(run.savingVsNoPg(Policy::Full), 1),
@@ -50,8 +51,7 @@ main(int argc, char **argv)
     }
     t.print(std::cout);
     std::cout << "Suite average (Full): "
-              << TablePrinter::pct(
-                     sum_full / models::allWorkloads().size(), 1)
+              << TablePrinter::pct(sum_full / axis.size(), 1)
               << "  (paper: 8.5%-32.8%, average 15.5%)\n";
     return 0;
 }

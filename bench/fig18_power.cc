@@ -19,16 +19,17 @@ main(int argc, char **argv)
     TablePrinter t({"Workload", "NoPG avg", "Base avg", "HW avg",
                     "Full avg", "Ideal avg", "NoPG peak",
                     "Full peak"});
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
+            reports, idx, s, arch::NpuGeneration::D);
         auto avg = [&](Policy p) {
             return TablePrinter::fmt(rep.run().result(p).avgPowerW, 0);
         };
-        t.addRow({models::workloadName(w), avg(Policy::NoPG),
+        t.addRow({s.name(), avg(Policy::NoPG),
                   avg(Policy::Base), avg(Policy::HW),
                   avg(Policy::Full), avg(Policy::Ideal),
                   TablePrinter::fmt(
@@ -46,7 +47,7 @@ main(int argc, char **argv)
         saved += rep.run().result(Policy::NoPG).peakPowerW -
                  rep.run().result(Policy::Full).peakPowerW;
     }
-    saved /= models::allWorkloads().size();
+    saved /= reports.size();
     std::cout << "Average peak-power reduction: "
               << TablePrinter::fmt(saved, 1) << " W/chip -> cooling "
               << "capex saving ~$" << TablePrinter::fmt(7 * saved, 0)

@@ -19,12 +19,13 @@ main(int argc, char **argv)
     TablePrinter t(
         {"Workload", "ReGate-Base", "ReGate-HW", "ReGate-Full"});
     double worst_base = 0, worst_full = 0;
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
+            reports, idx, s, arch::NpuGeneration::D);
         auto pct = [&](Policy p) {
             return TablePrinter::pct(rep.run().result(p).perfOverhead,
                                      3);
@@ -33,7 +34,7 @@ main(int argc, char **argv)
             worst_base, rep.run().result(Policy::Base).perfOverhead);
         worst_full = std::max(
             worst_full, rep.run().result(Policy::Full).perfOverhead);
-        t.addRow({models::workloadName(w), pct(Policy::Base),
+        t.addRow({s.name(), pct(Policy::Base),
                   pct(Policy::HW), pct(Policy::Full)});
     }
     t.print(std::cout);

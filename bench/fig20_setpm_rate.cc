@@ -19,12 +19,13 @@ main(int argc, char **argv)
                   "NPU-D)");
 
     TablePrinter t({"Workload", "VU setpm/1Kcyc", "SRAM setpm/1Kcyc"});
-    auto reports = bench::simulateAll(models::allWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
+            reports, idx, s, arch::NpuGeneration::D);
         const auto &full = rep.run().result(Policy::Full);
         double cycles = static_cast<double>(rep.run().cycles);
         // Each gated interval needs an off and an on setpm.
@@ -34,7 +35,7 @@ main(int argc, char **argv)
         double sram_rate =
             2.0 * static_cast<double>(full.sramSetpmPairs) / cycles *
             1000.0;
-        t.addRow({models::workloadName(w),
+        t.addRow({s.name(),
                   TablePrinter::fmt(vu_rate, 3),
                   TablePrinter::fmt(sram_rate, 4)});
     }

@@ -24,25 +24,23 @@ main(int argc, char **argv)
 
     // (workload x leakage setting) grid with per-case gating params;
     // fanned out on the shared sweep pool, results in grid order.
+    auto axis = bench::workloadAxis(bench::sensitivityWorkloads());
     std::vector<sim::SweepCase> grid;
-    for (auto w : bench::sensitivityWorkloads()) {
+    for (const auto &sc : axis) {
         for (const auto &s : settings) {
             arch::LeakageRatios r;
             r.logicOff = s[0];
             r.sramSleep = s[1];
             r.sramOff = s[2];
-            sim::SweepCase c;
-            c.workload = w;
-            c.gen = arch::NpuGeneration::D;
-            c.params = arch::GatingParams(r);
-            grid.push_back(std::move(c));
+            grid.push_back(bench::caseFor(sc, arch::NpuGeneration::D,
+                                          arch::GatingParams(r)));
         }
     }
     auto reports = bench::runGrid(grid);
 
     std::size_t idx = 0;
-    for (auto w : bench::sensitivityWorkloads()) {
-        std::cout << "\n-- " << models::workloadName(w) << " --\n";
+    for (const auto &sc : axis) {
+        std::cout << "\n-- " << sc.name() << " --\n";
         TablePrinter t({"LogicOff/SramSleep/SramOff", "Base", "HW",
                         "Full"});
         for (const auto &s : settings) {

@@ -21,21 +21,21 @@ main(int argc, char **argv)
 
     // (workload x delay scale) grid with per-case gating params;
     // fanned out on the shared sweep pool, results in grid order.
+    auto axis = bench::workloadAxis(bench::sensitivityWorkloads());
     std::vector<sim::SweepCase> grid;
-    for (auto w : bench::sensitivityWorkloads()) {
+    for (const auto &s : axis) {
         for (double scale : scales) {
-            sim::SweepCase c;
-            c.workload = w;
-            c.gen = arch::NpuGeneration::D;
-            c.params.setDelayScale(scale);
-            grid.push_back(std::move(c));
+            arch::GatingParams params;
+            params.setDelayScale(scale);
+            grid.push_back(
+                bench::caseFor(s, arch::NpuGeneration::D, params));
         }
     }
     auto reports = bench::runGrid(grid);
 
     std::size_t idx = 0;
-    for (auto w : bench::sensitivityWorkloads()) {
-        std::cout << "\n-- " << models::workloadName(w) << " --\n";
+    for (const auto &s : axis) {
+        std::cout << "\n-- " << s.name() << " --\n";
         TablePrinter t({"Delay scale", "Base sav", "HW sav",
                         "Full sav", "Base ovh", "HW ovh",
                         "Full ovh"});

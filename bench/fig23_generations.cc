@@ -16,15 +16,15 @@ main(int argc, char **argv)
     bench::banner("Figure 23",
                   "energy savings by NPU generation (vs NoPG)");
 
-    auto reports = bench::simulateAll(bench::sensitivityWorkloads(),
-                                      arch::allGenerations());
+    auto axis = bench::workloadAxis(bench::sensitivityWorkloads());
+    auto reports = bench::simulateAll(axis, arch::allGenerations());
     std::size_t idx = 0;
-    for (auto w : bench::sensitivityWorkloads()) {
-        std::cout << "\n-- " << models::workloadName(w) << " --\n";
+    for (const auto &s : axis) {
+        std::cout << "\n-- " << s.name() << " --\n";
         TablePrinter t({"Gen", "Base", "HW", "Full", "Ideal"});
         for (auto gen : arch::allGenerations()) {
             const auto &rep =
-                bench::reportFor(reports, idx, w, gen);
+                bench::reportFor(reports, idx, s, gen);
             auto sav = [&](Policy p) {
                 return TablePrinter::pct(rep.run().savingVsNoPg(p), 1);
             };

@@ -20,17 +20,18 @@ main(int argc, char **argv)
 
     TablePrinter t({"Workload", "Base", "HW", "Full", "Ideal",
                     "Busy-energy saving (Full)"});
-    auto reports = bench::simulateAll(bench::sensitivityWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(bench::sensitivityWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : bench::sensitivityWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
+            reports, idx, s, arch::NpuGeneration::D);
         auto red = [&](Policy p) {
             return TablePrinter::pct(
                 carbon::operationalCarbonReduction(rep, p), 1);
         };
-        t.addRow({models::workloadName(w), red(Policy::Base),
+        t.addRow({s.name(), red(Policy::Base),
                   red(Policy::HW), red(Policy::Full),
                   red(Policy::Ideal),
                   TablePrinter::pct(

@@ -19,17 +19,20 @@ main(int argc, char **argv)
                   "carbon per unit vs device lifespan (10-year "
                   "horizon)");
 
-    auto reports = bench::simulateAll(bench::sensitivityWorkloads(),
-                                      {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(bench::sensitivityWorkloads());
+    auto reports =
+        bench::simulateAll(axis, {arch::NpuGeneration::D});
     std::size_t idx = 0;
-    for (auto w : bench::sensitivityWorkloads()) {
+    for (const auto &s : axis) {
         const auto &rep = bench::reportFor(
-            reports, idx, w, arch::NpuGeneration::D);
-        double factor = carbon::annualEfficiencyFactor(w);
+            reports, idx, s, arch::NpuGeneration::D);
+        double factor =
+            s.builtin ? carbon::annualEfficiencyFactor(s.workload)
+                      : carbon::annualEfficiencyFactor(s.spec);
         auto nopg = carbon::analyzeLifespan(rep, Policy::NoPG, factor);
         auto full = carbon::analyzeLifespan(rep, Policy::Full, factor);
 
-        std::cout << "\n-- " << models::workloadName(w)
+        std::cout << "\n-- " << s.name()
                   << " (annual efficiency factor "
                   << TablePrinter::fmt(factor, 3) << ") --\n";
         TablePrinter t({"Lifespan (yr)", "Embodied/unit",

@@ -46,6 +46,8 @@ usage(const char *argv0, const std::string &msg)
     std::cerr << argv0 << ": " << msg << "\n"
               << "usage: " << argv0
               << " --bin FIGURE_BINARY [--port P=0 (ephemeral)]\n"
+              << "    [--spec FILE (scenario spec the workers run; "
+                 "must match the driver's)]\n"
               << "    [--slots N=2] [--dir WORK_DIR=tmp]\n"
               << "    [--max-sessions K=0 (serve forever)]\n"
               << "    [--join host:port (dial an orchestrator's "
@@ -95,6 +97,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage(argv[0], "--dir needs a value");
             opt.dir = argv[i];
+        } else if (arg == "--spec") {
+            if (++i >= argc)
+                usage(argv[0], "--spec needs a value");
+            opt.specFile = argv[i];
         } else if (arg == "--port") {
             int port = intArg(i, "--port");
             if (port < 0 || port > 65535)

@@ -53,6 +53,8 @@ usage(const char *argv0, const std::string &msg)
         << "    [--workers N=4 (local slots; 0 = remote-only)]\n"
         << "    [--host host:port[:slots] (repeatable; regate_agent "
            "fleet members)]\n"
+        << "    [--spec FILE (scenario spec every worker runs; its "
+           "digest joins the fleet cross-check)]\n"
         << "    [--granularity G=4 (shards per fleet slot)]\n"
         << "    [--stall-timeout-s S=600 (kill after S s without a "
            "heartbeat; 0 disables)]\n"
@@ -138,6 +140,8 @@ main(int argc, char **argv)
         } else if (arg == "--host") {
             opt.hosts.push_back(
                 parseHostSpec(argv[0], stringArg(i, "--host")));
+        } else if (arg == "--spec") {
+            opt.specFile = stringArg(i, "--spec");
         } else if (arg == "--granularity") {
             opt.granularity = intArg(i, "--granularity");
         } else if (arg == "--stall-timeout-s") {
@@ -208,8 +212,11 @@ main(int argc, char **argv)
     // shard protocol (fig15, tables 2/3) is a usage error here, not
     // an opaque worker-failure loop later. The orchestration reuses
     // the probed count instead of spawning a second --cases query.
+    // With --spec the probe runs the scenario grid, so the count
+    // (and a spec file the binary rejects) answers here too.
     try {
-        opt.probedCases = regate::orch::probeGridCases(opt.bin);
+        opt.probedCases =
+            regate::orch::probeGridCases(opt.bin, opt.specFile);
     } catch (const regate::ConfigError &e) {
         usage(argv[0], e.what());
     }

@@ -24,14 +24,19 @@ main(int argc, char **argv)
     // SLO-search every workload in parallel on the shared sweep pool
     // (each search in turn fans its candidate setups out on the SLO
     // candidate pool); results come back in workload order.
-    auto grid = sim::makeGrid(models::allWorkloads(),
-                              {arch::NpuGeneration::D});
+    auto axis = bench::workloadAxis(models::allWorkloads());
+    auto grid = bench::makeGrid(axis, {arch::NpuGeneration::D});
     auto results = bench::searchGrid(grid);
     std::size_t idx = 0;
-    for (auto w : models::allWorkloads()) {
+    for (const auto &s : axis) {
         const auto &res = results.at(idx++);
-        auto paper = models::table4Setup(w);
-        t.addRow({models::workloadName(w),
+        // The paper column only exists for the 17 paper workloads;
+        // custom scenarios anchor on their registry default setup.
+        auto paper = s.builtin
+                         ? models::table4Setup(s.workload)
+                         : models::defaultScenarioSetup(
+                               *s.spec, arch::NpuGeneration::D);
+        t.addRow({s.name(),
                   std::to_string(res.setup.chips),
                   std::to_string(res.setup.batch),
                   std::to_string(paper.chips),

@@ -45,6 +45,10 @@ struct LifespanAnalysis
  */
 double annualEfficiencyFactor(models::Workload workload);
 
+/** The custom-scenario spelling (fig25 under `--spec`). */
+double annualEfficiencyFactor(
+    std::shared_ptr<const models::ScenarioSpec> spec);
+
 /**
  * Sweep lifespans 1..@p horizon_years for @p rep under @p policy.
  * @p annual_factor as from annualEfficiencyFactor().

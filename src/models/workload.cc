@@ -1,13 +1,13 @@
 #include "models/workload.h"
 
-#include <algorithm>
-#include <cmath>
+#include <array>
 
 #include "common/error.h"
 #include "common/hash.h"
 #include "models/diffusion.h"
 #include "models/dlrm.h"
 #include "models/llama.h"
+#include "models/registry.h"
 
 namespace regate {
 namespace models {
@@ -55,25 +55,84 @@ dlrmOf(Workload w)
     }
 }
 
-/** Standard tp-first parallelism split used by our setups. */
-Parallelism
-splitChips(int chips, int max_tp)
+/** Registry family key of a paper workload. */
+std::string
+familyKeyOf(Workload w)
 {
-    Parallelism par;
-    par.tp = std::min(chips, max_tp);
-    while (par.tp > 1 && chips % par.tp != 0)
-        --par.tp;
-    par.dp = chips / par.tp;
-    return par;
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+        return "llama-train";
+      case WorkloadFamily::LlmPrefill:
+        return "llama-prefill";
+      case WorkloadFamily::LlmDecode:
+        return "llama-decode";
+      case WorkloadFamily::DlrmInference:
+        return "dlrm";
+      case WorkloadFamily::StableDiffusion:
+        return "diffusion";
+    }
+    throw LogicError("unknown workload");
 }
 
-int
-roundUpPow2(int v)
+/** Spec model key of a paper workload. */
+std::string
+modelKeyOf(Workload w)
 {
-    int p = 1;
-    while (p < v)
-        p <<= 1;
-    return p;
+    switch (familyOf(w)) {
+      case WorkloadFamily::LlmTraining:
+      case WorkloadFamily::LlmPrefill:
+      case WorkloadFamily::LlmDecode:
+        switch (llamaOf(w)) {
+          case LlamaModel::L8B:
+            return "8b";
+          case LlamaModel::L13B:
+            return "13b";
+          case LlamaModel::L70B:
+            return "70b";
+          case LlamaModel::L405B:
+            return "405b";
+        }
+        break;
+      case WorkloadFamily::DlrmInference:
+        switch (dlrmOf(w)) {
+          case DlrmModel::S:
+            return "s";
+          case DlrmModel::M:
+            return "m";
+          case DlrmModel::L:
+            return "l";
+        }
+        break;
+      case WorkloadFamily::StableDiffusion:
+        return w == Workload::DiTXL ? "dit-xl" : "gligen";
+    }
+    throw LogicError("unknown workload");
+}
+
+/** Table 4 of the paper: chips / batch per workload on NPU-D. */
+void
+table4ChipsBatch(Workload w, int *chips, std::int64_t *batch)
+{
+    switch (w) {
+      case Workload::Train8B:    *chips = 4;    *batch = 32;   return;
+      case Workload::Train13B:   *chips = 4;    *batch = 32;   return;
+      case Workload::Train70B:   *chips = 8;    *batch = 32;   return;
+      case Workload::Train405B:  *chips = 16;   *batch = 32;   return;
+      case Workload::Prefill8B:  *chips = 1;    *batch = 4;    return;
+      case Workload::Prefill13B: *chips = 1;    *batch = 4;    return;
+      case Workload::Prefill70B: *chips = 4096; *batch = 8192; return;
+      case Workload::Prefill405B:*chips = 256;  *batch = 64;   return;
+      case Workload::Decode8B:   *chips = 1;    *batch = 8;    return;
+      case Workload::Decode13B:  *chips = 1;    *batch = 4;    return;
+      case Workload::Decode70B:  *chips = 128;  *batch = 4096; return;
+      case Workload::Decode405B: *chips = 64;   *batch = 2048; return;
+      case Workload::DlrmS:      *chips = 8;    *batch = 4096; return;
+      case Workload::DlrmM:      *chips = 8;    *batch = 4096; return;
+      case Workload::DlrmL:      *chips = 8;    *batch = 4096; return;
+      case Workload::DiTXL:      *chips = 64;   *batch = 8192; return;
+      case Workload::Gligen:     *chips = 64;   *batch = 256;  return;
+    }
+    throw LogicError("unknown workload");
 }
 
 }  // namespace
@@ -186,18 +245,7 @@ workloadFamilyName(WorkloadFamily family)
 WorkUnit
 workUnitOf(Workload w)
 {
-    switch (familyOf(w)) {
-      case WorkloadFamily::LlmTraining:
-        return WorkUnit::Iteration;
-      case WorkloadFamily::LlmPrefill:
-      case WorkloadFamily::LlmDecode:
-        return WorkUnit::Token;
-      case WorkloadFamily::DlrmInference:
-        return WorkUnit::Request;
-      case WorkloadFamily::StableDiffusion:
-        return WorkUnit::Image;
-    }
-    throw LogicError("unknown workload");
+    return scenarioWorkUnit(builtinSpec(w));
 }
 
 std::string
@@ -216,145 +264,77 @@ workUnitName(WorkUnit unit)
     throw LogicError("unknown unit");
 }
 
+const ScenarioSpec &
+builtinSpec(Workload w)
+{
+    static const std::array<ScenarioSpec, 17> specs = [] {
+        std::array<ScenarioSpec, 17> out;
+        for (auto workload : allWorkloads()) {
+            ScenarioSpec s;
+            s.name = workloadName(workload);
+            s.family = familyKeyOf(workload);
+            s.model = modelKeyOf(workload);
+            table4ChipsBatch(workload, &s.chips, &s.batch);
+            validateScenario(s);
+            out[static_cast<std::size_t>(workload)] = std::move(s);
+        }
+        return out;
+    }();
+    auto index = static_cast<std::size_t>(w);
+    REGATE_CHECK(index < specs.size(), "unknown workload");
+    return specs[index];
+}
+
+bool
+builtinWorkloadOf(const ScenarioSpec &spec, Workload *out)
+{
+    // An explicit parallelism split, extra keys, or gating overrides
+    // always mean a custom scenario, even if the spec happens to
+    // reproduce a paper configuration: the overrides are part of its
+    // identity and its grid rows must keep the scenario's own name.
+    if (spec.parSet || !spec.extra.empty() || !spec.gating.empty())
+        return false;
+    for (auto w : allWorkloads()) {
+        const auto &b = builtinSpec(w);
+        if (spec.family == b.family && spec.model == b.model &&
+            spec.batch == b.batch && spec.chips == b.chips &&
+            spec.seqLen == b.seqLen && spec.outLen == b.outLen &&
+            spec.unit == b.unit) {
+            *out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
 RunSetup
 table4Setup(Workload w)
 {
-    // Table 4 of the paper: chips / batch per workload on NPU-D.
-    RunSetup s;
-    switch (w) {
-      case Workload::Train8B:    s = {4, 32, {}}; break;
-      case Workload::Train13B:   s = {4, 32, {}}; break;
-      case Workload::Train70B:   s = {8, 32, {}}; break;
-      case Workload::Train405B:  s = {16, 32, {}}; break;
-      case Workload::Prefill8B:  s = {1, 4, {}}; break;
-      case Workload::Prefill13B: s = {1, 4, {}}; break;
-      case Workload::Prefill70B: s = {4096, 8192, {}}; break;
-      case Workload::Prefill405B:s = {256, 64, {}}; break;
-      case Workload::Decode8B:   s = {1, 8, {}}; break;
-      case Workload::Decode13B:  s = {1, 4, {}}; break;
-      case Workload::Decode70B:  s = {128, 4096, {}}; break;
-      case Workload::Decode405B: s = {64, 2048, {}}; break;
-      case Workload::DlrmS:      s = {8, 4096, {}}; break;
-      case Workload::DlrmM:      s = {8, 4096, {}}; break;
-      case Workload::DlrmL:      s = {8, 4096, {}}; break;
-      case Workload::DiTXL:      s = {64, 8192, {}}; break;
-      case Workload::Gligen:     s = {64, 256, {}}; break;
-      default:
-        throw LogicError("unknown workload");
-    }
-    switch (familyOf(w)) {
-      case WorkloadFamily::LlmTraining:
-      case WorkloadFamily::LlmPrefill:
-      case WorkloadFamily::LlmDecode:
-        s.par = splitChips(s.chips, 8);
-        // Keep dp <= batch so every replica has work.
-        while (s.par.dp > s.batch && s.par.tp < s.chips) {
-            s.par.tp *= 2;
-            s.par.dp = s.chips / s.par.tp;
-        }
-        break;
-      case WorkloadFamily::DlrmInference:
-        s.par = {s.chips, 1, 1};
-        break;
-      case WorkloadFamily::StableDiffusion:
-        s.par = {s.chips, 1, 1};
-        break;
-    }
-    return s;
+    return scenarioSetup(builtinSpec(w));
 }
 
 double
 modelStateBytes(Workload w)
 {
-    switch (familyOf(w)) {
-      case WorkloadFamily::LlmTraining:
-        // bf16 weights + dp-sharded (ZeRO) optimizer state; Table 4
-        // fits 405B training on 16 NPU-D chips, implying ~2.5 B/param
-        // resident per chip.
-        return llamaConfig(llamaOf(w)).params() * 2.5;
-      case WorkloadFamily::LlmPrefill:
-        return llamaConfig(llamaOf(w)).weightBytes();
-      case WorkloadFamily::LlmDecode: {
-        const auto &cfg = llamaConfig(llamaOf(w));
-        RunSetup t4 = table4Setup(w);
-        double kv = cfg.kvBytesPerToken() *
-                    (kPrefillSeqLen + kDecodeOutLen) *
-                    static_cast<double>(t4.batch);
-        return cfg.weightBytes() + kv;
-      }
-      case WorkloadFamily::DlrmInference:
-        return dlrmConfig(dlrmOf(w)).tableBytes;
-      case WorkloadFamily::StableDiffusion:
-        return 3e9;  // ~1.5B params in bf16 plus activations.
-    }
-    throw LogicError("unknown workload");
+    return scenarioModelStateBytes(builtinSpec(w));
 }
 
 RunSetup
 defaultSetup(Workload w, arch::NpuGeneration gen)
 {
-    RunSetup s = table4Setup(w);
-    const auto &cfg = arch::npuConfig(gen);
-    double per_chip_hbm = static_cast<double>(cfg.hbmBytes) * 0.85;
-    int min_chips = static_cast<int>(
-        std::ceil(modelStateBytes(w) / per_chip_hbm));
-    if (min_chips > s.chips) {
-        s.chips = roundUpPow2(min_chips);
-        switch (familyOf(w)) {
-          case WorkloadFamily::LlmTraining:
-          case WorkloadFamily::LlmPrefill:
-          case WorkloadFamily::LlmDecode:
-            s.par = splitChips(s.chips, 8);
-            break;
-          default:
-            s.par = {s.chips, 1, 1};
-            break;
-        }
-    }
-    return s;
+    return defaultScenarioSetup(builtinSpec(w), gen);
 }
 
 graph::OperatorGraph
 buildGraph(Workload w, const RunSetup &setup)
 {
-    switch (familyOf(w)) {
-      case WorkloadFamily::LlmTraining:
-        return llamaTraining(llamaConfig(llamaOf(w)), setup.batch,
-                             kTrainSeqLen, setup.par);
-      case WorkloadFamily::LlmPrefill:
-        return llamaPrefill(llamaConfig(llamaOf(w)), setup.batch,
-                            kPrefillSeqLen, setup.par);
-      case WorkloadFamily::LlmDecode:
-        return llamaDecode(llamaConfig(llamaOf(w)), setup.batch,
-                           kPrefillSeqLen, kDecodeOutLen, setup.par);
-      case WorkloadFamily::DlrmInference:
-        return dlrmInference(dlrmConfig(dlrmOf(w)), setup.batch,
-                             setup.chips);
-      case WorkloadFamily::StableDiffusion:
-        return diffusionInference(w == Workload::DiTXL
-                                      ? DiffusionModel::DiTXL
-                                      : DiffusionModel::GLIGEN,
-                                  setup.batch, setup.par);
-    }
-    throw LogicError("unknown workload");
+    return buildScenarioGraph(builtinSpec(w), setup);
 }
 
 double
 unitsPerRun(Workload w, const RunSetup &setup)
 {
-    switch (workUnitOf(w)) {
-      case WorkUnit::Iteration:
-        return 1.0;
-      case WorkUnit::Token:
-        return static_cast<double>(setup.batch) *
-               (familyOf(w) == WorkloadFamily::LlmPrefill
-                    ? kPrefillSeqLen
-                    : kDecodeOutLen);
-      case WorkUnit::Request:
-      case WorkUnit::Image:
-        return static_cast<double>(setup.batch);
-    }
-    throw LogicError("unknown unit");
+    return scenarioUnitsPerRun(builtinSpec(w), setup);
 }
 
 }  // namespace models

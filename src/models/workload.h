@@ -17,6 +17,7 @@
 #include "arch/npu_config.h"
 #include "graph/graph.h"
 #include "models/parallelism.h"
+#include "models/scenario.h"
 
 namespace regate {
 namespace models {
@@ -81,6 +82,24 @@ std::string workloadFamilyName(WorkloadFamily family);
 WorkloadFamily familyOf(Workload w);
 WorkUnit workUnitOf(Workload w);
 std::string workUnitName(WorkUnit unit);
+
+/**
+ * The canonical built-in ScenarioSpec of a paper workload (Table 1
+ * identity + Table 4 chips/batch, defaults filled). Every enum-keyed
+ * function below is a thin shim replaying this spec through the
+ * GeneratorRegistry — the enum path and the spec path are one code
+ * path.
+ */
+const ScenarioSpec &builtinSpec(Workload w);
+
+/**
+ * True (and *out set) when @p spec is identical to a paper workload:
+ * grid construction normalizes such specs onto the enum identity so
+ * spec-driven runs serialize and render byte-identical to
+ * enum-driven ones. Display name and gating overrides are ignored
+ * (gating rides in the grid's params, not the workload identity).
+ */
+bool builtinWorkloadOf(const ScenarioSpec &spec, Workload *out);
 
 /** Table 4 configuration (defined for NPU-D). */
 RunSetup table4Setup(Workload w);

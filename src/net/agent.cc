@@ -10,6 +10,7 @@
 
 #include "common/backoff.h"
 #include "common/error.h"
+#include "models/spec.h"
 #include "net/agent_protocol.h"
 #include "net/socket.h"
 #include "net/transport.h"
@@ -48,10 +49,12 @@ class AgentSession
 {
   public:
     AgentSession(const AgentOptions &opt, std::size_t cases,
-                 LineChannel channel,
+                 std::string spec_digest, LineChannel channel,
                  const std::optional<std::string> &secret)
-        : opt_(opt), cases_(cases), channel_(std::move(channel)),
-          secret_(secret), local_(opt.bin, opt.dir, opt.slots),
+        : opt_(opt), cases_(cases),
+          specDigest_(std::move(spec_digest)),
+          channel_(std::move(channel)), secret_(secret),
+          local_(opt.bin, opt.dir, opt.slots, opt.specFile),
           slots_(static_cast<std::size_t>(opt.slots))
     {}
 
@@ -100,6 +103,7 @@ class AgentSession
 
     const AgentOptions &opt_;
     std::size_t cases_;
+    std::string specDigest_;
     LineChannel channel_;
     std::optional<std::string> secret_;
     LocalTransport local_;
@@ -256,6 +260,7 @@ AgentSession::run()
     hello.bin = std::filesystem::path(opt_.bin).filename().string();
     hello.slots = opt_.slots;
     hello.cases = cases_;
+    hello.spec = specDigest_;
     try {
         agentHandshake(channel_, hello, secret_, 10000);
         helloAccepted_ = true;
@@ -330,6 +335,7 @@ jitterSeed(const std::string &host, std::uint16_t port)
  */
 int
 joinDriver(const AgentOptions &options, std::size_t cases,
+           const std::string &spec_digest,
            const std::optional<std::string> &secret)
 {
     auto event = [&](const std::string &line) {
@@ -349,7 +355,7 @@ joinDriver(const AgentOptions &options, std::size_t cases,
             auto conn = tcpConnect(options.joinHost,
                                    options.joinPort);
             event("driver accepted the join from " + target);
-            AgentSession session(options, cases,
+            AgentSession session(options, cases, spec_digest,
                                  LineChannel(std::move(conn),
                                              target),
                                  secret);
@@ -390,8 +396,14 @@ runAgent(const AgentOptions &options)
     };
 
     std::size_t cases = 0;
+    std::string spec_digest;
     try {
-        cases = orch::probeGridCases(options.bin);
+        cases = orch::probeGridCases(options.bin, options.specFile);
+        // The digest pins which spec file this host runs; the driver
+        // cross-checks it at hello time.
+        if (!options.specFile.empty())
+            spec_digest =
+                models::parseSpecFile(options.specFile).digest;
     } catch (const ConfigError &e) {
         std::cerr << "regate_agent: " << e.what() << "\n";
         return 2;
@@ -408,7 +420,7 @@ runAgent(const AgentOptions &options)
     try {
         std::filesystem::create_directories(options.dir);
         if (!options.joinHost.empty())
-            return joinDriver(options, cases, secret);
+            return joinDriver(options, cases, spec_digest, secret);
         std::uint16_t port = 0;
         auto listener = tcpListen(options.port, &port);
         event("serving " + options.bin + " (" +
@@ -432,7 +444,7 @@ runAgent(const AgentOptions &options)
                 continue;
             }
             event("driver connected from " + peer);
-            AgentSession(options, cases,
+            AgentSession(options, cases, spec_digest,
                          LineChannel(std::move(conn), peer),
                          secret)
                 .run();

@@ -71,6 +71,14 @@ struct AgentOptions
      */
     std::string secretFile;
 
+    /**
+     * Scenario spec file (`--spec`): workers run the spec's grid
+     * instead of the binary's default, and the hello advertises the
+     * file's content digest so the driver can refuse a fleet whose
+     * hosts run mismatched spec files. Empty = enum grid.
+     */
+    std::string specFile;
+
     /// Event sink ("agent: ..." lines); null = silent.
     std::ostream *events = nullptr;
 };

@@ -206,6 +206,10 @@ helloFrame(const AgentHello &hello)
             {"bin", hello.bin},
             {"slots", std::to_string(hello.slots)},
             {"cases", std::to_string(hello.cases)}};
+    // Absent (not empty) without a spec file, so a spec-less fleet
+    // stays wire-identical to builds that predate the key.
+    if (!hello.spec.empty())
+        f.kv.emplace_back("spec", hello.spec);
     return f;
 }
 
@@ -222,6 +226,8 @@ parseHello(const Frame &frame)
     hello.slots = frame.getIndex("slots");
     hello.cases =
         static_cast<std::size_t>(frame.getInt("cases"));
+    if (frame.has("spec"))
+        hello.spec = frame.get("spec");
     REGATE_CHECK(hello.slots > 0, "agent hello offers ", hello.slots,
                  " slots");
     return hello;
@@ -297,12 +303,14 @@ agentAuth(const std::string &secret,
           const std::string &driver_nonce, const AgentHello &hello)
 {
     // The capabilities are inside the MAC: a tampering middlebox
-    // cannot swap slots/cases on an otherwise-valid hello.
+    // cannot swap slots/cases (or the spec digest) on an
+    // otherwise-valid hello.
     return hmacSha256Hex(secret, "regate-agent|" + driver_nonce +
                                      "|" + hello.bin + "|" +
                                      std::to_string(hello.slots) +
                                      "|" +
-                                     std::to_string(hello.cases));
+                                     std::to_string(hello.cases) +
+                                     "|" + hello.spec);
 }
 
 HandshakeResult

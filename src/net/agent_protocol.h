@@ -19,10 +19,16 @@
  *
  *   agent -> driver on accept (no secret configured):
  *     hello role=agent bin=<name> slots=<n> cases=<grid size>
+ *         [spec=<hex16>]
  *         The capability line. The driver cross-checks bin and
  *         cases against its own probe of the target binary, so a
  *         fleet can never mix two figures (or two builds whose
- *         grids differ) into one merged document.
+ *         grids differ) into one merged document. spec is the
+ *         content digest of the agent's --spec scenario file
+ *         (models::SpecFile::digest), present only when the agent
+ *         runs one; the driver cross-checks it against its own spec
+ *         digest, so a fleet can never mix shards computed from
+ *         mismatched (or missing) spec files either.
  *   with a secret, the hello becomes a challenge–response
  *   (HMAC-SHA256 over fresh nonces, common/sha256.h):
  *     agent -> driver:  hello-auth role=agent nonce=<hex>
@@ -128,6 +134,7 @@ struct AgentHello
     std::string bin;        ///< Target binary base name.
     int slots = 0;          ///< Worker slots the agent offers.
     std::size_t cases = 0;  ///< The target's probed grid size.
+    std::string spec;       ///< Spec-file digest; "" = no --spec.
 };
 
 Frame helloFrame(const AgentHello &hello);

@@ -49,8 +49,10 @@ struct LocalTransport::Slot
 };
 
 LocalTransport::LocalTransport(std::string bin, std::string dir,
-                               int slots)
-    : bin_(std::move(bin)), dir_(std::move(dir))
+                               int slots, std::string spec_path)
+    : bin_(std::move(bin)),
+      dir_(std::move(dir)),
+      specPath_(std::move(spec_path))
 {
     REGATE_CHECK(slots > 0, "local transport needs at least one "
                  "slot, got ", slots);
@@ -102,11 +104,16 @@ LocalTransport::start(int slot, const ShardAssignment &a)
     s.logPath = s.attemptPath + ".log";
     s.tail = WorkerLogTail{};
 
-    std::string spec = std::to_string(a.shard) + "/" +
-                       std::to_string(a.shardCount);
-    s.pid = pool_.spawn({bin_, "--worker", "--shard", spec, "--out",
-                         s.attemptPath},
-                        injectionEnv(a), s.logPath);
+    std::string shard_spec = std::to_string(a.shard) + "/" +
+                             std::to_string(a.shardCount);
+    std::vector<std::string> cmd = {bin_, "--worker", "--shard",
+                                    shard_spec, "--out",
+                                    s.attemptPath};
+    if (!specPath_.empty()) {
+        cmd.emplace_back("--spec");
+        cmd.push_back(specPath_);
+    }
+    s.pid = pool_.spawn(cmd, injectionEnv(a), s.logPath);
     s.busy = true;
     return "pid=" + std::to_string(s.pid);
 }
@@ -228,19 +235,21 @@ std::unique_ptr<TcpTransport>
 TcpTransport::connect(const std::string &host, std::uint16_t port,
                       int cli_slots, const std::string &expect_bin,
                       std::size_t expect_cases,
+                      const std::string &expect_spec,
                       const std::optional<std::string> &secret)
 {
     auto name = host + ":" + std::to_string(port);
     return std::make_unique<TcpTransport>(tcpConnect(host, port),
                                           name, cli_slots,
                                           expect_bin, expect_cases,
-                                          secret);
+                                          expect_spec, secret);
 }
 
 TcpTransport::TcpTransport(Socket sock, std::string name,
                            int cli_slots,
                            const std::string &expect_bin,
                            std::size_t expect_cases,
+                           const std::string &expect_spec,
                            const std::optional<std::string> &secret)
     : name_(std::move(name)), channel_(std::move(sock), name_)
 {
@@ -256,6 +265,12 @@ TcpTransport::TcpTransport(Socket sock, std::string name,
                  ": agent's ", hello.bin, " reports ", hello.cases,
                  " grid cases but the local binary reports ",
                  expect_cases, " — mismatched builds?");
+    REGATE_CHECK(hello.spec == expect_spec, name_,
+                 ": spec digest mismatch — agent runs with spec \"",
+                 hello.spec, "\" but this run expects \"",
+                 expect_spec,
+                 "\" — point every agent at the same --spec file "
+                 "(or none)");
     int slots = cli_slots > 0 ? std::min(cli_slots, hello.slots)
                               : hello.slots;
     slots_.resize(static_cast<std::size_t>(slots));
@@ -536,7 +551,8 @@ ReconnectingTransport::dial()
 {
     auto transport = TcpTransport::connect(
         config_.host, config_.port, config_.cliSlots,
-        config_.expectBin, config_.expectCases, config_.secret);
+        config_.expectBin, config_.expectCases, config_.expectSpec,
+        config_.secret);
     ++sessions_;
     return transport;
 }

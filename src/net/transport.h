@@ -170,11 +170,14 @@ class LocalTransport : public SlotTransport
 {
   public:
     /**
-     * @param bin    target binary (runs `--worker --shard i/M`).
-     * @param dir    run directory for attempt/log files.
-     * @param slots  subprocess slot count.
+     * @param bin       target binary (runs `--worker --shard i/M`).
+     * @param dir       run directory for attempt/log files.
+     * @param slots     subprocess slot count.
+     * @param spec_path scenario spec file every worker runs with
+     *                  (`--spec spec_path`); empty = enum grid.
      */
-    LocalTransport(std::string bin, std::string dir, int slots);
+    LocalTransport(std::string bin, std::string dir, int slots,
+                   std::string spec_path = {});
     ~LocalTransport() override;
 
     const std::string &name() const override { return name_; }
@@ -198,6 +201,7 @@ class LocalTransport : public SlotTransport
 
     std::string bin_;
     std::string dir_;
+    std::string specPath_;
     std::string name_ = "local";
     std::vector<Slot> slots_;
     orch::ProcessPool pool_;
@@ -210,17 +214,19 @@ class TcpTransport : public SlotTransport
     /**
      * Connect to an agent, read its hello, and cross-check it
      * against the driver's own probe of the target: @p expect_bin
-     * (base name) and @p expect_cases must match, or the fleet
-     * would merge results of different figures/builds. @p cli_slots
-     * caps the agent's advertised slot count (0 = take what it
-     * offers). With @p secret set the hello runs the v2
-     * challenge–response (net/agent_protocol.h); without one it is
-     * the plaintext v1 exchange. Throws ConfigError on
+     * (base name), @p expect_cases, and @p expect_spec (the spec
+     * file's content digest, empty for enum grids) must all match,
+     * or the fleet would merge results of different figures/builds/
+     * scenario files. @p cli_slots caps the agent's advertised slot
+     * count (0 = take what it offers). With @p secret set the hello
+     * runs the v2 challenge–response (net/agent_protocol.h); without
+     * one it is the plaintext v1 exchange. Throws ConfigError on
      * connect/handshake/auth failure.
      */
     static std::unique_ptr<TcpTransport> connect(
         const std::string &host, std::uint16_t port, int cli_slots,
         const std::string &expect_bin, std::size_t expect_cases,
+        const std::string &expect_spec = {},
         const std::optional<std::string> &secret = std::nullopt);
 
     /**
@@ -232,6 +238,7 @@ class TcpTransport : public SlotTransport
     TcpTransport(Socket sock, std::string name, int cli_slots,
                  const std::string &expect_bin,
                  std::size_t expect_cases,
+                 const std::string &expect_spec = {},
                  const std::optional<std::string> &secret =
                      std::nullopt);
     ~TcpTransport() override;
@@ -301,6 +308,7 @@ class ReconnectingTransport : public SlotTransport
         int cliSlots = 0;  ///< --host slot cap (0 = agent's offer).
         std::string expectBin;
         std::size_t expectCases = 0;
+        std::string expectSpec;  ///< Spec digest ("" = no spec).
         std::optional<std::string> secret;
     };
 

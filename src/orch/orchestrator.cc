@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "models/spec.h"
 #include "net/agent_protocol.h"
 #include "net/transport.h"
 #include "orch/fs.h"
@@ -121,6 +122,8 @@ class Orchestrator
     OrchOptions opt_;
     std::string mergedOut_;
     std::string binName_;
+    /** Content digest of opt_.specFile ("" = enum grid). */
+    std::string specDigest_;
     std::optional<std::string> secret_;
     OrchPlan plan_;
     std::vector<std::unique_ptr<net::SlotTransport>> transports_;
@@ -152,7 +155,7 @@ Orchestrator::buildFleet(std::size_t cases)
 {
     if (opt_.workers > 0)
         transports_.push_back(std::make_unique<net::LocalTransport>(
-            opt_.bin, opt_.dir, opt_.workers));
+            opt_.bin, opt_.dir, opt_.workers, opt_.specFile));
     for (const auto &spec : opt_.hosts) {
         std::unique_ptr<net::SlotTransport> agent;
         bool authenticated = false;
@@ -163,6 +166,7 @@ Orchestrator::buildFleet(std::size_t cases)
             config.cliSlots = spec.slots;
             config.expectBin = binName_;
             config.expectCases = cases;
+            config.expectSpec = specDigest_;
             config.secret = secret_;
             BackoffPolicy backoff;
             backoff.maxAttempts = opt_.reconnectTries;
@@ -174,7 +178,7 @@ Orchestrator::buildFleet(std::size_t cases)
         } else {
             auto link = net::TcpTransport::connect(
                 spec.host, spec.port, spec.slots, binName_, cases,
-                secret_);
+                specDigest_, secret_);
             authenticated = link->authenticated();
             agent = std::move(link);
         }
@@ -538,7 +542,7 @@ Orchestrator::acceptJoiners()
             // challenge costs this event line and nothing else.
             auto agent = std::make_unique<net::TcpTransport>(
                 std::move(conn), peer, 0, binName_, plan_.cases,
-                secret_);
+                specDigest_, secret_);
             event("join: agent " + peer + " adds " +
                   std::to_string(agent->slotCount()) + " slot(s)" +
                   (agent->authenticated()
@@ -880,11 +884,19 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
 int
 Orchestrator::renderMerged()
 {
+    // The renderer needs the spec too: row labels and the digest
+    // check in the merged document both come from the scenario
+    // grid, not the binary's built-in one.
+    std::vector<std::string> cmd = {opt_.bin};
+    if (!opt_.specFile.empty()) {
+        cmd.emplace_back("--spec");
+        cmd.push_back(opt_.specFile);
+    }
+    cmd.emplace_back("--from");
+    cmd.push_back(mergedOut_);
     event("render: " + opt_.bin + " --from " + mergedOut_);
     std::string out;
-    int code =
-        ProcessPool::runCapture({opt_.bin, "--from", mergedOut_},
-                                out);
+    int code = ProcessPool::runCapture(cmd, out);
     std::cout.write(out.data(),
                     static_cast<std::streamsize>(out.size()));
     std::cout.flush();
@@ -897,8 +909,15 @@ int
 Orchestrator::run()
 {
     std::filesystem::create_directories(opt_.dir);
-    auto cases = opt_.probedCases > 0 ? opt_.probedCases
-                                      : probeGridCases(opt_.bin);
+    // The spec digest is computed before anything else: it joins
+    // every hello cross-check, stamps the merged shard header, and
+    // a spec file that fails to parse must be a one-line usage
+    // error, not a fleet of workers all dying on it.
+    if (!opt_.specFile.empty())
+        specDigest_ = models::parseSpecFile(opt_.specFile).digest;
+    auto cases = opt_.probedCases > 0
+                     ? opt_.probedCases
+                     : probeGridCases(opt_.bin, opt_.specFile);
     binName_ =
         std::filesystem::path(opt_.bin).filename().string();
     secret_ = net::loadFleetSecret(opt_.secretFile);
@@ -923,7 +942,7 @@ Orchestrator::run()
                              opt_.workers > 0 ? opt_.workers : 0)) +
           " remote)" + (opt_.resume ? " (resume)" : ""));
 
-    StreamingMerger merger(plan_.cases);
+    StreamingMerger merger(plan_.cases, specDigest_);
     auto missing = scanCheckpoints(merger);
 
     if (!missing.empty() && !driveFleet(missing, merger))

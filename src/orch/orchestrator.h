@@ -144,6 +144,16 @@ struct OrchOptions
     int slowCaseSeconds = 0;
 
     /**
+     * Scenario spec file (`--spec`): every worker in the fleet —
+     * local subprocess or remote agent — runs the spec's grid
+     * instead of the binary's default, and the file's content
+     * digest joins the hello/probe capability cross-check, so a
+     * fleet can never merge results of mismatched spec files.
+     * Empty = enum grid.
+     */
+    std::string specFile;
+
+    /**
      * The bin's grid size, when the caller already probed it
      * (regate_orch probes in main() so a non-protocol binary is a
      * usage error). 0 = run the `--cases` probe here.

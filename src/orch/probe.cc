@@ -12,12 +12,19 @@ namespace regate {
 namespace orch {
 
 std::size_t
-probeGridCases(const std::string &bin)
+probeGridCases(const std::string &bin,
+               const std::string &spec_path)
 {
     REGATE_CHECK(::access(bin.c_str(), X_OK) == 0, bin,
                  " is not an executable binary");
+    std::vector<std::string> cmd = {bin};
+    if (!spec_path.empty()) {
+        cmd.emplace_back("--spec");
+        cmd.push_back(spec_path);
+    }
+    cmd.emplace_back("--cases");
     std::string out;
-    int code = ProcessPool::runCapture({bin, "--cases"}, out);
+    int code = ProcessPool::runCapture(cmd, out);
     REGATE_CHECK(code == 0, bin, " --cases exited with code ", code,
                  " — it does not speak the shard worker protocol; "
                  "pick a grid-shaped figure/table binary (fig15 and "

@@ -20,12 +20,15 @@ namespace regate {
 namespace orch {
 
 /**
- * Probe @p bin with `--cases`; returns its grid size. Throws
- * ConfigError (one line, actionable) when the binary is missing,
- * not executable, exits non-zero, or prints anything but a case
- * count.
+ * Probe @p bin with `--cases`; returns its grid size. With a
+ * non-empty @p spec_path the probe runs `--spec spec_path --cases`,
+ * so the count answers for the scenario grid the workers will
+ * actually run. Throws ConfigError (one line, actionable) when the
+ * binary is missing, not executable, exits non-zero, or prints
+ * anything but a case count.
  */
-std::size_t probeGridCases(const std::string &bin);
+std::size_t probeGridCases(const std::string &bin,
+                           const std::string &spec_path = {});
 
 }  // namespace orch
 }  // namespace regate

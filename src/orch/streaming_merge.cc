@@ -33,6 +33,11 @@ StreamingMerger::addShardContent(const std::string &content,
     REGATE_CHECK(!haveKind_ || doc.kind == kind_, path,
                  ": shard kind differs from previously merged "
                  "shards");
+    REGATE_CHECK(doc.specDigest == specDigest_, path,
+                 ": shard carries spec digest \"", doc.specDigest,
+                 "\" but this run expects \"", specDigest_,
+                 "\" — was it produced with a different --spec "
+                 "file (or none)?");
 
     auto range = sim::shardRange(cases_, shard_index, shard_count);
     std::size_t count = doc.kind == sim::ShardKind::Run
@@ -69,7 +74,8 @@ StreamingMerger::mergedDocument() const
                  coveredCases(), " of ", cases_, " cases merged");
     std::vector<std::pair<std::size_t, std::string>> ordered(
         entries_.begin(), entries_.end());
-    return sim::assembleShardDoc(kind_, cases_, 0, 1, ordered);
+    return sim::assembleShardDoc(kind_, cases_, 0, 1, ordered,
+                                 specDigest_);
 }
 
 }  // namespace orch

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/serialize.h"
@@ -31,8 +32,18 @@ namespace orch {
 class StreamingMerger
 {
   public:
-    /** @param cases total grid size every shard must agree on. */
-    explicit StreamingMerger(std::size_t cases) : cases_(cases) {}
+    /**
+     * @param cases       total grid size every shard must agree on.
+     * @param spec_digest the run's scenario-spec content digest
+     *                    ("" = enum grid); every absorbed shard
+     *                    must carry exactly this digest, so a
+     *                    checkpoint from a different spec file (or
+     *                    from an enum run) is rejected on read.
+     */
+    explicit StreamingMerger(std::size_t cases,
+                             std::string spec_digest = {})
+        : cases_(cases), specDigest_(std::move(spec_digest))
+    {}
 
     /**
      * Read, validate, and absorb one shard file. The document must
@@ -67,6 +78,7 @@ class StreamingMerger
 
   private:
     std::size_t cases_;
+    std::string specDigest_;
     bool haveKind_ = false;
     sim::ShardKind kind_ = sim::ShardKind::Run;
     /** grid index -> canonical result JSON. */

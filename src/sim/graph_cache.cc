@@ -30,7 +30,12 @@ WorkloadRunCache::lookup(models::Workload w,
                          arch::NpuGeneration gen,
                          const arch::GatingParams &params) const
 {
-    RunKey key{{w, gen, setup}, params};
+    return lookup(RunKey{{w, gen, setup, {}}, params});
+}
+
+std::shared_ptr<const WorkloadRun>
+WorkloadRunCache::lookup(const RunKey &key) const
+{
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
@@ -51,7 +56,12 @@ WorkloadRunCache::store(models::Workload w,
                         const arch::GatingParams &params,
                         WorkloadRun run)
 {
-    RunKey key{{w, gen, setup}, params};
+    return store(RunKey{{w, gen, setup, {}}, params}, std::move(run));
+}
+
+std::shared_ptr<const WorkloadRun>
+WorkloadRunCache::store(const RunKey &key, WorkloadRun run)
+{
     auto entry = std::make_shared<const WorkloadRun>(std::move(run));
     std::size_t bytes = entryBytes(*entry);
     std::lock_guard<std::mutex> lock(mu_);

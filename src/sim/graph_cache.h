@@ -132,10 +132,20 @@ struct GraphKey
     arch::NpuGeneration gen{};
     models::RunSetup setup;
 
+    /**
+     * Scenario identity (ScenarioSpec::identityText) for
+     * registry-driven custom scenarios; empty for the enum workload
+     * path. Two scenarios with equal identity build identical graphs
+     * (the display name is excluded), so the text is exactly the
+     * cache key the spec path needs.
+     */
+    std::string scen;
+
     bool
     operator==(const GraphKey &o) const
     {
-        return w == o.w && gen == o.gen && setup == o.setup;
+        return w == o.w && gen == o.gen && setup == o.setup &&
+               scen == o.scen;
     }
 };
 
@@ -147,6 +157,9 @@ struct GraphKeyHash
         std::size_t seed = k.setup.contentHash();
         hashCombine(seed, static_cast<std::size_t>(k.w));
         hashCombine(seed, static_cast<std::size_t>(k.gen));
+        if (!k.scen.empty())
+            hashCombine(seed, static_cast<std::size_t>(fnv1a64(
+                                  k.scen.data(), k.scen.size())));
         return seed;
     }
 };
@@ -183,14 +196,27 @@ class CompiledGraphCache
     lookup(models::Workload w, const models::RunSetup &setup,
            arch::NpuGeneration gen) const
     {
-        return cache_.lookup({w, gen, setup});
+        return cache_.lookup({w, gen, setup, {}});
     }
 
     std::shared_ptr<const compiler::CompileResult>
     store(models::Workload w, const models::RunSetup &setup,
           arch::NpuGeneration gen, compiler::CompileResult result)
     {
-        return cache_.store({w, gen, setup}, std::move(result));
+        return cache_.store({w, gen, setup, {}}, std::move(result));
+    }
+
+    /** Full-key forms (the scenario path sets GraphKey::scen). */
+    std::shared_ptr<const compiler::CompileResult>
+    lookup(const GraphKey &key) const
+    {
+        return cache_.lookup(key);
+    }
+
+    std::shared_ptr<const compiler::CompileResult>
+    store(const GraphKey &key, compiler::CompileResult result)
+    {
+        return cache_.store(key, std::move(result));
     }
 
     std::size_t size() const { return cache_.size(); }
@@ -241,6 +267,12 @@ class WorkloadRunCache
     store(models::Workload w, const models::RunSetup &setup,
           arch::NpuGeneration gen, const arch::GatingParams &params,
           WorkloadRun run);
+
+    /** Full-key forms (the scenario path sets GraphKey::scen). */
+    std::shared_ptr<const WorkloadRun> lookup(const RunKey &key) const;
+
+    std::shared_ptr<const WorkloadRun> store(const RunKey &key,
+                                             WorkloadRun run);
 
     /**
      * Change the byte budget (0 = unbounded), evicting immediately

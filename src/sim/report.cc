@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "compiler/compiler.h"
+#include "models/registry.h"
 #include "sim/graph_cache.h"
 
 namespace regate {
@@ -190,6 +191,77 @@ simulateImpl(models::Workload workload, arch::NpuGeneration gen,
     return rep;
 }
 
+/**
+ * simulateImpl for a registry-driven scenario. Same cache discipline
+ * — the keys carry the scenario's identity text instead of the enum,
+ * so enum points and scenario points live side by side in the shared
+ * memos without collisions.
+ */
+WorkloadReport
+scenarioImpl(std::shared_ptr<const models::ScenarioSpec> spec,
+             arch::NpuGeneration gen,
+             const arch::GatingParams &params,
+             const models::RunSetup *setup_override, bool memoize)
+{
+    REGATE_CHECK(spec, "null scenario spec");
+    WorkloadReport rep;
+    rep.scenario = std::move(spec);
+    rep.gen = gen;
+    rep.setup = setup_override
+                    ? *setup_override
+                    : models::defaultScenarioSetup(*rep.scenario, gen);
+
+    const auto &cfg = arch::npuConfig(gen);
+    GraphKey graph_key{models::Workload{}, gen, rep.setup,
+                       rep.scenario->identityText()};
+
+    if (memoize) {
+        auto cached =
+            sharedRunCache().lookup(RunKey{graph_key, params});
+        if (cached) {
+            ReportSerializeAccess::setRun(rep, std::move(cached));
+            rep.units = models::scenarioUnitsPerRun(*rep.scenario,
+                                                    rep.setup);
+            return rep;
+        }
+    }
+
+    std::shared_ptr<const compiler::CompileResult> compiled;
+    if (memoize) {
+        compiled = sharedGraphCache().lookup(graph_key);
+        if (!compiled) {
+            compiled = sharedGraphCache().store(
+                graph_key,
+                compiler::compileGraph(
+                    models::buildScenarioGraph(*rep.scenario,
+                                               rep.setup),
+                    cfg));
+        }
+    } else {
+        compiled = std::make_shared<const compiler::CompileResult>(
+            compiler::compileGraph(
+                models::buildScenarioGraph(*rep.scenario, rep.setup),
+                cfg));
+    }
+
+    Engine engine(cfg, params);
+    if (memoize) {
+        engine.setOpCache(&sharedOpCache(gen));
+        ReportSerializeAccess::setRun(
+            rep, sharedRunCache().store(
+                     RunKey{graph_key, params},
+                     engine.run(compiled->graph, rep.setup.chips)));
+    } else {
+        engine.setMemoization(false);
+        ReportSerializeAccess::setRun(
+            rep, std::make_shared<const WorkloadRun>(
+                     engine.run(compiled->graph, rep.setup.chips)));
+    }
+    rep.units =
+        models::scenarioUnitsPerRun(*rep.scenario, rep.setup);
+    return rep;
+}
+
 }  // namespace
 
 WorkloadReport
@@ -210,6 +282,30 @@ simulateWorkloadUncached(models::Workload workload,
 {
     auto rep =
         simulateImpl(workload, gen, params, setup_override, false);
+    rep.params_ = params;
+    return rep;
+}
+
+WorkloadReport
+simulateScenario(std::shared_ptr<const models::ScenarioSpec> spec,
+                 arch::NpuGeneration gen,
+                 const arch::GatingParams &params,
+                 const models::RunSetup *setup_override)
+{
+    auto rep = scenarioImpl(std::move(spec), gen, params,
+                            setup_override, true);
+    rep.params_ = params;
+    return rep;
+}
+
+WorkloadReport
+simulateScenarioUncached(
+    std::shared_ptr<const models::ScenarioSpec> spec,
+    arch::NpuGeneration gen, const arch::GatingParams &params,
+    const models::RunSetup *setup_override)
+{
+    auto rep = scenarioImpl(std::move(spec), gen, params,
+                            setup_override, false);
     rep.params_ = params;
     return rep;
 }

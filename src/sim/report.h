@@ -38,6 +38,15 @@ struct WorkloadReport
     double units = 0;  ///< Work units per run (tokens, images, ...).
 
     /**
+     * Custom-scenario identity: null on the enum workload path (and
+     * `workload` is authoritative); set when the report came from
+     * simulateScenario over a registry-driven ScenarioSpec (and
+     * `workload` is a meaningless default). Shared, immutable — a
+     * report copy is still a pointer bump.
+     */
+    std::shared_ptr<const models::ScenarioSpec> scenario;
+
+    /**
      * The simulated run. Reports hold their run by shared_ptr and
      * alias the immutable entry in the whole-run memo when the
      * simulation was a cache replay, so a warm simulateWorkload hit
@@ -95,6 +104,14 @@ struct WorkloadReport
     friend WorkloadReport simulateWorkloadUncached(
         models::Workload, arch::NpuGeneration,
         const arch::GatingParams &, const models::RunSetup *);
+    friend WorkloadReport simulateScenario(
+        std::shared_ptr<const models::ScenarioSpec>,
+        arch::NpuGeneration, const arch::GatingParams &,
+        const models::RunSetup *);
+    friend WorkloadReport simulateScenarioUncached(
+        std::shared_ptr<const models::ScenarioSpec>,
+        arch::NpuGeneration, const arch::GatingParams &,
+        const models::RunSetup *);
     std::shared_ptr<const WorkloadRun> run_;
     arch::GatingParams params_;
 };
@@ -148,6 +165,25 @@ WorkloadReport simulateWorkload(models::Workload workload,
 WorkloadReport simulateWorkloadUncached(
     models::Workload workload, arch::NpuGeneration gen,
     const arch::GatingParams &params = {},
+    const models::RunSetup *setup_override = nullptr);
+
+/**
+ * simulateWorkload for a registry-driven custom scenario: build,
+ * compile, and simulate @p spec on @p gen, with defaultScenarioSetup
+ * unless @p setup_override is given. Uses the same shared memo caches
+ * as the enum path, keyed by the scenario's identity text, so paper
+ * workloads and custom scenarios never collide. @p spec must be a
+ * validated spec (parseSpecText/validateScenario have run).
+ */
+WorkloadReport simulateScenario(
+    std::shared_ptr<const models::ScenarioSpec> spec,
+    arch::NpuGeneration gen, const arch::GatingParams &params = {},
+    const models::RunSetup *setup_override = nullptr);
+
+/** simulateScenario with all memoization disabled (see above). */
+WorkloadReport simulateScenarioUncached(
+    std::shared_ptr<const models::ScenarioSpec> spec,
+    arch::NpuGeneration gen, const arch::GatingParams &params = {},
     const models::RunSetup *setup_override = nullptr);
 
 /** Idle power of a jobless chip under a policy (used by Fig. 24). */

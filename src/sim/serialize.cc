@@ -298,6 +298,64 @@ appendRun(std::string &out, const WorkloadRun &run)
 }
 
 void
+appendScenario(std::string &out, const models::ScenarioSpec &spec)
+{
+    out += "{\"name\":";
+    appendString(out, spec.name);
+    out += ",\"family\":";
+    appendString(out, spec.family);
+    out += ",\"model\":";
+    appendString(out, spec.model);
+    out += ",\"batch\":";
+    appendI64(out, spec.batch);
+    out += ",\"chips\":";
+    appendI64(out, spec.chips);
+    out += ",\"seq_len\":";
+    appendI64(out, spec.seqLen);
+    out += ",\"out_len\":";
+    appendI64(out, spec.outLen);
+    out += ",\"par\":";
+    if (spec.parSet) {
+        out += "{\"dp\":";
+        appendI64(out, spec.par.dp);
+        out += ",\"tp\":";
+        appendI64(out, spec.par.tp);
+        out += ",\"pp\":";
+        appendI64(out, spec.par.pp);
+        out += '}';
+    } else {
+        out += "null";
+    }
+    out += ",\"unit\":";
+    appendString(out, spec.unit);
+    out += ",\"extra\":[";
+    bool first = true;
+    for (const auto &[key, value] : spec.extra) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '[';
+        appendString(out, key);
+        out += ',';
+        appendI64(out, value);
+        out += ']';
+    }
+    out += "],\"gating\":[";
+    first = true;
+    for (const auto &[key, value] : spec.gating) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '[';
+        appendString(out, key);
+        out += ',';
+        appendDouble(out, value);
+        out += ']';
+    }
+    out += "]}";
+}
+
+void
 appendReport(std::string &out, const WorkloadReport &rep)
 {
     out += "{\"workload\":";
@@ -308,6 +366,13 @@ appendReport(std::string &out, const WorkloadReport &rep)
     appendSetup(out, rep.setup);
     out += ",\"units\":";
     appendDouble(out, rep.units);
+    // Custom-scenario reports carry their full spec; the field is
+    // absent on the enum path, so every pre-existing document (and
+    // golden) keeps its exact bytes.
+    if (rep.scenario) {
+        out += ",\"scenario\":";
+        appendScenario(out, *rep.scenario);
+    }
     out += ",\"params\":";
     appendParams(out, ReportSerializeAccess::params(rep));
     out += ",\"run\":";
@@ -356,6 +421,19 @@ struct JsonValue
                 return m.second;
         }
         throw ConfigError("missing JSON key \"" + key + "\"");
+    }
+
+    /** The member, or nullptr when absent (optional fields). */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        REGATE_CHECK(type == Type::Object,
+                     "expected JSON object looking up \"", key, "\"");
+        for (const auto &m : members) {
+            if (m.first == key)
+                return &m.second;
+        }
+        return nullptr;
     }
 
     // The as*() readers reject out-of-range literals (ERANGE /
@@ -822,6 +900,49 @@ readRun(const JsonValue &v)
     return run;
 }
 
+models::ScenarioSpec
+readScenario(const JsonValue &v)
+{
+    models::ScenarioSpec spec;
+    spec.name = v.at("name").asString();
+    spec.family = v.at("family").asString();
+    spec.model = v.at("model").asString();
+    spec.batch = v.at("batch").asI64();
+    spec.chips = v.at("chips").asInt();
+    spec.seqLen = v.at("seq_len").asI64();
+    spec.outLen = v.at("out_len").asI64();
+    const auto &par = v.at("par");
+    if (par.type != JsonValue::Type::Null) {
+        spec.parSet = true;
+        spec.par.dp = par.at("dp").asInt();
+        spec.par.tp = par.at("tp").asInt();
+        spec.par.pp = par.at("pp").asInt();
+        spec.par.validate();
+    }
+    spec.unit = v.at("unit").asString();
+    const auto &extra = v.at("extra");
+    REGATE_CHECK(extra.type == JsonValue::Type::Array,
+                 "expected extra array");
+    for (const auto &kv : extra.items) {
+        REGATE_CHECK(kv.type == JsonValue::Type::Array &&
+                         kv.items.size() == 2,
+                     "expected [key, value] extra pair");
+        spec.extra.emplace_back(kv.items[0].asString(),
+                                kv.items[1].asI64());
+    }
+    const auto &gating = v.at("gating");
+    REGATE_CHECK(gating.type == JsonValue::Type::Array,
+                 "expected gating array");
+    for (const auto &kv : gating.items) {
+        REGATE_CHECK(kv.type == JsonValue::Type::Array &&
+                         kv.items.size() == 2,
+                     "expected [key, value] gating pair");
+        spec.gating.emplace_back(kv.items[0].asString(),
+                                 kv.items[1].asDouble());
+    }
+    return spec;
+}
+
 WorkloadReport
 readReport(const JsonValue &v)
 {
@@ -838,6 +959,9 @@ readReport(const JsonValue &v)
     rep.gen = static_cast<arch::NpuGeneration>(gen);
     rep.setup = readSetup(v.at("setup"));
     rep.units = v.at("units").asDouble();
+    if (const auto *scenario = v.find("scenario"))
+        rep.scenario = std::make_shared<const models::ScenarioSpec>(
+            readScenario(*scenario));
     ReportSerializeAccess::setParams(rep, readParams(v.at("params")));
     ReportSerializeAccess::setRun(
         rep,
@@ -890,7 +1014,8 @@ template <typename T, typename AppendFn>
 std::string
 writeShardImpl(ShardKind kind, const std::vector<T> &results,
                std::size_t first_index, std::size_t cases,
-               int shard_index, int shard_count, AppendFn &&append)
+               int shard_index, int shard_count, AppendFn &&append,
+               const std::string &spec_digest)
 {
     std::vector<std::pair<std::size_t, std::string>> entries;
     entries.reserve(results.size());
@@ -900,7 +1025,7 @@ writeShardImpl(ShardKind kind, const std::vector<T> &results,
         entries.emplace_back(first_index + i, std::move(json));
     }
     return assembleShardDoc(kind, cases, shard_index, shard_count,
-                            entries);
+                            entries, spec_digest);
 }
 
 template <typename T>
@@ -919,6 +1044,11 @@ mergeShardsImpl(
         REGATE_CHECK(doc.cases == cases,
                      "shard case-count mismatch: ", doc.cases,
                      " vs ", cases);
+        REGATE_CHECK(doc.specDigest == shards.front().specDigest,
+                     "shard spec-digest mismatch: \"", doc.specDigest,
+                     "\" vs \"", shards.front().specDigest,
+                     "\" — shards computed from different spec files "
+                     "cannot be merged");
         for (const auto &[index, result] : doc.*entries) {
             REGATE_CHECK(index < cases, "entry index ", index,
                          " out of range for ", cases, " cases");
@@ -974,20 +1104,23 @@ sloResultFromJson(const std::string &text)
 std::string
 writeRunShard(const std::vector<WorkloadReport> &results,
               std::size_t first_index, std::size_t cases,
-              int shard_index, int shard_count)
+              int shard_index, int shard_count,
+              const std::string &spec_digest)
 {
     return writeShardImpl(ShardKind::Run, results, first_index, cases,
-                          shard_index, shard_count, appendReport);
+                          shard_index, shard_count, appendReport,
+                          spec_digest);
 }
 
 std::string
 writeSearchShard(const std::vector<SloResult> &results,
                  std::size_t first_index, std::size_t cases,
-                 int shard_index, int shard_count)
+                 int shard_index, int shard_count,
+                 const std::string &spec_digest)
 {
     return writeShardImpl(ShardKind::Search, results, first_index,
                           cases, shard_index, shard_count,
-                          appendSloResult);
+                          appendSloResult, spec_digest);
 }
 
 std::string
@@ -1000,7 +1133,8 @@ std::string
 assembleShardDoc(
     ShardKind kind, std::size_t cases, int shard_index,
     int shard_count,
-    const std::vector<std::pair<std::size_t, std::string>> &entries)
+    const std::vector<std::pair<std::size_t, std::string>> &entries,
+    const std::string &spec_digest)
 {
     auto range = shardRange(cases, shard_index, shard_count);
     REGATE_CHECK(entries.size() == range.size(),
@@ -1015,6 +1149,14 @@ assembleShardDoc(
     out += kindName(kind);
     out += "\",\"cases\":";
     appendU64(out, cases);
+    // Spec-driven sweeps stamp the spec file's content digest; the
+    // field is absent on enum-driven sweeps so their documents keep
+    // their exact pre-spec bytes.
+    if (!spec_digest.empty()) {
+        out += ",\"spec_digest\":\"";
+        out += spec_digest;
+        out += '"';
+    }
     out += ",\"shard\":{\"index\":";
     appendI64(out, shard_index);
     out += ",\"count\":";
@@ -1058,6 +1200,8 @@ parseShard(const std::string &text)
     else
         throw ConfigError("unknown shard kind \"" + kind + "\"");
     doc.cases = v.at("cases").asU64();
+    if (const auto *spec_digest = v.find("spec_digest"))
+        doc.specDigest = spec_digest->asString();
     doc.shardIndex = v.at("shard").at("index").asInt();
     doc.shardCount = v.at("shard").at("count").asInt();
     const auto &entries = v.at("entries");

@@ -83,6 +83,14 @@ struct ShardDoc
     int shardIndex = 0;
     int shardCount = 1;
 
+    /**
+     * Content digest of the scenario spec file the grid came from
+     * (models::SpecFile::digest); empty for enum-driven grids. Every
+     * shard of one sweep must carry the same digest — the merge
+     * refuses to combine shards computed from different spec files.
+     */
+    std::string specDigest;
+
     /** (global grid index, result); exactly one list is non-empty. */
     std::vector<std::pair<std::size_t, WorkloadReport>> runs;
     std::vector<std::pair<std::size_t, SloResult>> searches;
@@ -105,11 +113,13 @@ struct ShardDoc
  */
 std::string writeRunShard(const std::vector<WorkloadReport> &results,
                           std::size_t first_index, std::size_t cases,
-                          int shard_index, int shard_count);
+                          int shard_index, int shard_count,
+                          const std::string &spec_digest = {});
 std::string writeSearchShard(const std::vector<SloResult> &results,
                              std::size_t first_index,
                              std::size_t cases, int shard_index,
-                             int shard_count);
+                             int shard_count,
+                             const std::string &spec_digest = {});
 
 /**
  * Parse a shard document, verifying both content digests (see the
@@ -139,7 +149,8 @@ std::string contentDigest(const std::string &bytes);
 std::string assembleShardDoc(
     ShardKind kind, std::size_t cases, int shard_index,
     int shard_count,
-    const std::vector<std::pair<std::size_t, std::string>> &entries);
+    const std::vector<std::pair<std::size_t, std::string>> &entries,
+    const std::string &spec_digest = {});
 
 /**
  * Reassemble the index-aligned result vector from shard documents

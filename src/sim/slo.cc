@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "models/registry.h"
 
 namespace regate {
 namespace sim {
@@ -27,10 +28,17 @@ sloTargetSecondsPerUnit(models::Workload workload)
     return 5.0 * secondsPerUnit(rep);
 }
 
-std::vector<models::RunSetup>
-candidateSetups(models::Workload workload, arch::NpuGeneration gen)
+double
+sloTargetSecondsPerUnit(
+    const std::shared_ptr<const models::ScenarioSpec> &spec)
 {
-    models::RunSetup base = models::defaultSetup(workload, gen);
+    auto rep = simulateScenario(spec, arch::NpuGeneration::D);
+    return 5.0 * secondsPerUnit(rep);
+}
+
+std::vector<models::RunSetup>
+candidateSetupsFrom(const models::RunSetup &base)
+{
     std::vector<models::RunSetup> out;
     for (int chip_mul : {1, 2, 4}) {
         for (int batch_div : {4, 2, 1}) {
@@ -39,10 +47,8 @@ candidateSetups(models::Workload workload, arch::NpuGeneration gen)
             s.batch = std::max<std::int64_t>(1, base.batch / batch_div);
             // Re-split parallelism for the new chip count.
             if (s.chips != base.chips || s.batch != base.batch) {
-                models::RunSetup scaled =
-                    models::defaultSetup(workload, gen);
-                s.par = scaled.par;
-                if (s.chips != scaled.chips) {
+                s.par = base.par;
+                if (s.chips != base.chips) {
                     // Grow dp with the extra chips.
                     s.par.dp = std::max(
                         1, s.chips / (s.par.tp * s.par.pp));
@@ -55,6 +61,19 @@ candidateSetups(models::Workload workload, arch::NpuGeneration gen)
         }
     }
     return out;
+}
+
+std::vector<models::RunSetup>
+candidateSetups(models::Workload workload, arch::NpuGeneration gen)
+{
+    return candidateSetupsFrom(models::defaultSetup(workload, gen));
+}
+
+std::vector<models::RunSetup>
+candidateSetups(const models::ScenarioSpec &spec,
+                arch::NpuGeneration gen)
+{
+    return candidateSetupsFrom(models::defaultScenarioSetup(spec, gen));
 }
 
 namespace {
@@ -154,6 +173,39 @@ findBestSetupSerial(models::Workload workload, arch::NpuGeneration gen,
     for (const auto &setup : candidates)
         reports.push_back(simulateWorkload(workload, gen, params,
                                            &setup));
+    return selectBest(candidates, reports, target);
+}
+
+SloResult
+findBestSetup(std::shared_ptr<const models::ScenarioSpec> spec,
+              arch::NpuGeneration gen,
+              const arch::GatingParams &params, ThreadPool *pool)
+{
+    double target = sloTargetSecondsPerUnit(spec);
+    auto candidates = candidateSetups(*spec, gen);
+    REGATE_CHECK(!candidates.empty(), "no candidate setups");
+
+    auto reports = parallelMapOrdered(
+        pool ? *pool : candidatePool(), candidates,
+        [spec, gen, params](const models::RunSetup &setup) {
+            return simulateScenario(spec, gen, params, &setup);
+        });
+    return selectBest(candidates, reports, target);
+}
+
+SloResult
+findBestSetupSerial(std::shared_ptr<const models::ScenarioSpec> spec,
+                    arch::NpuGeneration gen,
+                    const arch::GatingParams &params)
+{
+    double target = sloTargetSecondsPerUnit(spec);
+    auto candidates = candidateSetups(*spec, gen);
+    REGATE_CHECK(!candidates.empty(), "no candidate setups");
+
+    std::vector<WorkloadReport> reports;
+    reports.reserve(candidates.size());
+    for (const auto &setup : candidates)
+        reports.push_back(simulateScenario(spec, gen, params, &setup));
     return selectBest(candidates, reports, target);
 }
 

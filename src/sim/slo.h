@@ -32,6 +32,10 @@ struct SloResult
 /** Seconds-per-unit at the 1x SLO for @p workload. */
 double sloTargetSecondsPerUnit(models::Workload workload);
 
+/** The 1x SLO of a registry-driven custom scenario (same rule). */
+double sloTargetSecondsPerUnit(
+    const std::shared_ptr<const models::ScenarioSpec> &spec);
+
 /**
  * Search candidate setups (chip counts around Table 4, halved/doubled
  * batches) on @p gen; returns the most energy-efficient compliant
@@ -55,9 +59,32 @@ SloResult findBestSetupSerial(models::Workload workload,
                               arch::NpuGeneration gen,
                               const arch::GatingParams &params = {});
 
+/** findBestSetup for a registry-driven custom scenario. */
+SloResult findBestSetup(
+    std::shared_ptr<const models::ScenarioSpec> spec,
+    arch::NpuGeneration gen, const arch::GatingParams &params = {},
+    ThreadPool *pool = nullptr);
+
+/** Serial reference implementation of the scenario search. */
+SloResult findBestSetupSerial(
+    std::shared_ptr<const models::ScenarioSpec> spec,
+    arch::NpuGeneration gen, const arch::GatingParams &params = {});
+
 /** Candidate setups the search explores (exposed for tests). */
 std::vector<models::RunSetup> candidateSetups(models::Workload workload,
                                               arch::NpuGeneration gen);
+
+/** Scenario-path candidates (around defaultScenarioSetup). */
+std::vector<models::RunSetup> candidateSetups(
+    const models::ScenarioSpec &spec, arch::NpuGeneration gen);
+
+/**
+ * The one candidate enumerator both paths share: chip counts around
+ * @p base (1x/2x/4x), batches halved/quartered, parallelism re-split
+ * by growing dp with the extra chips, dp > batch candidates skipped.
+ */
+std::vector<models::RunSetup> candidateSetupsFrom(
+    const models::RunSetup &base);
 
 }  // namespace sim
 }  // namespace regate

@@ -13,6 +13,9 @@ namespace {
 WorkloadReport
 simulateCase(const SweepCase &c)
 {
+    if (c.scenario)
+        return simulateScenario(c.scenario, c.gen, c.params,
+                                c.hasSetup ? &c.setup : nullptr);
     return simulateWorkload(c.workload, c.gen, c.params,
                             c.hasSetup ? &c.setup : nullptr);
 }
@@ -69,6 +72,64 @@ makeGrid(const std::vector<models::Workload> &workloads,
     return grid;
 }
 
+void
+applyScenarioGating(arch::GatingParams *params,
+                    const models::ScenarioSpec &spec)
+{
+    auto ratios = params->ratios();
+    for (const auto &[key, value] : spec.gating) {
+        if (key == "logic_off")
+            ratios.logicOff = value;
+        else if (key == "sram_sleep")
+            ratios.sramSleep = value;
+        else if (key == "sram_off")
+            ratios.sramOff = value;
+    }
+    params->setRatios(ratios);
+    for (const auto &[key, value] : spec.gating) {
+        if (key == "delay_scale")
+            params->setDelayScale(value);
+    }
+}
+
+SweepCase
+scenarioCase(std::shared_ptr<const models::ScenarioSpec> spec,
+             arch::NpuGeneration gen, const arch::GatingParams &params)
+{
+    REGATE_CHECK(spec, "null scenario spec");
+    SweepCase c;
+    c.gen = gen;
+    c.params = params;
+    applyScenarioGating(&c.params, *spec);
+    // A spec identical to a paper workload runs as that workload:
+    // the serialized case (and therefore any shard, merge, or golden
+    // comparison) is byte-identical to the enum-driven grid. Gating
+    // overrides ride in c.params either way.
+    models::Workload w;
+    if (models::builtinWorkloadOf(*spec, &w)) {
+        c.workload = w;
+        return c;
+    }
+    c.scenario = std::move(spec);
+    return c;
+}
+
+std::vector<SweepCase>
+scenarioGrid(
+    const std::vector<std::shared_ptr<const models::ScenarioSpec>>
+        &scenarios,
+    const std::vector<arch::NpuGeneration> &gens,
+    const arch::GatingParams &params)
+{
+    std::vector<SweepCase> grid;
+    grid.reserve(scenarios.size() * gens.size());
+    for (const auto &spec : scenarios) {
+        for (auto gen : gens)
+            grid.push_back(scenarioCase(spec, gen, params));
+    }
+    return grid;
+}
+
 ShardRange
 shardRange(std::size_t total, int index, int count)
 {
@@ -111,6 +172,8 @@ SweepRunner::search(const std::vector<SweepCase> &cases,
                     const SweepProgress &progress)
 {
     auto searchCase = [](const SweepCase &c) {
+        if (c.scenario)
+            return findBestSetup(c.scenario, c.gen, c.params);
         return findBestSetup(c.workload, c.gen, c.params);
     };
     if (!progress)

@@ -38,11 +38,46 @@ struct SweepCase
     /** Pod/batch override; defaultSetup(workload, gen) when unset. */
     bool hasSetup = false;
     models::RunSetup setup;
+
+    /**
+     * Registry-driven custom scenario; null = enum workload path.
+     * When set, `workload` is ignored and the case is simulated (or
+     * SLO-searched) through simulateScenario/findBestSetup over the
+     * spec. scenarioCase() normalizes specs that are identical to a
+     * paper workload back onto the enum, so spec-driven grids of
+     * built-in scenarios serialize byte-identical to enum grids.
+     */
+    std::shared_ptr<const models::ScenarioSpec> scenario;
 };
 
 /** Dense (workloads x generations) grid in row-major workload order. */
 std::vector<SweepCase> makeGrid(
     const std::vector<models::Workload> &workloads,
+    const std::vector<arch::NpuGeneration> &gens,
+    const arch::GatingParams &params = {});
+
+/**
+ * Overlay a scenario's gating overrides (logic_off, sram_sleep,
+ * sram_off, delay_scale) onto @p params; keys the spec does not set
+ * keep their values from @p params.
+ */
+void applyScenarioGating(arch::GatingParams *params,
+                         const models::ScenarioSpec &spec);
+
+/**
+ * One grid point for @p spec on @p gen: @p params plus the spec's
+ * gating overrides. A spec whose identity matches a paper workload
+ * (models::builtinWorkloadOf) comes back as a plain enum case, so
+ * running a built-in spec is bitwise the enum run.
+ */
+SweepCase scenarioCase(std::shared_ptr<const models::ScenarioSpec> spec,
+                       arch::NpuGeneration gen,
+                       const arch::GatingParams &params = {});
+
+/** Dense (scenarios x generations) grid, scenario-major. */
+std::vector<SweepCase> scenarioGrid(
+    const std::vector<std::shared_ptr<const models::ScenarioSpec>>
+        &scenarios,
     const std::vector<arch::NpuGeneration> &gens,
     const arch::GatingParams &params = {});
 

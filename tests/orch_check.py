@@ -43,6 +43,14 @@ acceptance criteria pin:
    a named auth error while the sweep completes. The injected-slow
    last shard is speculatively stolen (--max-speculative). Render
    and merged document must stay byte-identical to an unsharded run.
+
+7. Spec fleet (needs --agent): the MoE example spec — a scenario no
+   Workload enum value covers — through 2 local slots plus two
+   spec-bearing agents, byte-identical to the binary's own --spec
+   run, with the spec digest stamped into the merged document. An
+   agent whose spec file differs (same case count, different
+   digest) is rejected by the hello cross-check with a named error
+   before any shard is assigned.
 """
 
 import argparse
@@ -240,7 +248,7 @@ class Agent:
     where a killed one listened, so the driver's re-dial finds it."""
 
     def __init__(self, agent_bin, target, workdir, log_path,
-                 port=0, secret=None, join=None):
+                 port=0, secret=None, join=None, spec=None):
         self.log_path = log_path
         self.log = open(log_path, "wb")
         cmd = [agent_bin, "--bin", str(target), "--slots", "1",
@@ -248,6 +256,8 @@ class Agent:
         cmd += ["--join", join] if join else ["--port", str(port)]
         if secret is not None:
             cmd += ["--secret-file", str(secret)]
+        if spec is not None:
+            cmd += ["--spec", str(spec)]
         self.proc = subprocess.Popen(cmd, stdout=self.log,
                                      stderr=self.log)
         self.port = None if join else self._await_port()
@@ -484,6 +494,89 @@ def check_elastic(orch, agent_bin, binary, tmp):
           "merged document byte-identical")
 
 
+def check_spec_fleet(orch, agent_bin, binary, tmp):
+    """Scenario 7: a registry-only scenario spec (MoE — no Workload
+    enum value exists for it) swept through 2 local slots plus two
+    spec-bearing agents, byte-identical to the binary's own --spec
+    run; then an agent whose spec digest differs is rejected by name
+    before any shard is assigned."""
+    spec = (Path(__file__).resolve().parent.parent / "examples" /
+            "specs" / "moe_mixtral.spec")
+    require(spec.exists(), f"missing example spec {spec}")
+
+    reference = run([binary, "--spec", str(spec)]).stdout
+    single = tmp / "spec_single.json"
+    run([binary, "--spec", str(spec), "--shard", "0/1",
+         "--out", str(single)])
+
+    agents = [Agent(agent_bin, binary, tmp / f"sp_agent{i}_work",
+                    tmp / f"sp_agent{i}.log", spec=spec)
+              for i in (0, 1)]
+    try:
+        rundir = tmp / "spec_run"
+        proc = run([orch, "--bin", str(binary),
+                    "--spec", str(spec), "--dir", str(rundir),
+                    "--workers", "2", "--granularity", "1",
+                    "--host", f"127.0.0.1:{agents[0].port}",
+                    "--host", f"127.0.0.1:{agents[1].port}",
+                    "--render"])
+        events = proc.stderr.decode(errors="replace")
+    finally:
+        for agent in agents:
+            agent.reap()
+
+    require(proc.stdout == reference,
+            "spec fleet: orchestrated render differs from the "
+            "binary's own --spec run")
+    merged = (tmp / "spec_run" / "merged.json").read_bytes()
+    require(merged == single.read_bytes(),
+            "spec fleet: merged document differs from --shard 0/1")
+    require(b'"spec_digest":"' in merged,
+            "spec fleet: merged document carries no spec digest")
+    require(events.count("agent 127.0.0.1:") >= 2,
+            f"spec fleet: both agents should join:\n{events}")
+    worked = [a for a in agents
+              if ": done (" in a.events()
+              or ": artifact sent" in a.events()]
+    require(worked,
+            f"spec fleet: no agent did any work:\n"
+            f"{agents[0].events()}\n{agents[1].events()}")
+    print("orch spec: MoE scenario spec (no enum value) swept "
+          "across 2 local + 2 agent slots; render and merged "
+          "document byte-identical to the binary's own --spec run")
+
+    # Rejection: an agent running a DIFFERENT spec with the same
+    # case count (so only the digest distinguishes them) must be
+    # turned away by the hello cross-check, by name, before any
+    # shard is assigned.
+    wrong_spec = tmp / "wrong.spec"
+    wrong_spec.write_text(
+        spec.read_text().replace("batch = 16", "batch = 32"))
+    impostor = Agent(agent_bin, binary, tmp / "sp_wrong_work",
+                     tmp / "sp_wrong.log", spec=wrong_spec)
+    try:
+        proc = subprocess.run(
+            [orch, "--bin", str(binary), "--spec", str(spec),
+             "--dir", str(tmp / "spec_reject_run"),
+             "--workers", "0", "--reconnect-tries", "0",
+             "--host", f"127.0.0.1:{impostor.port}"],
+            capture_output=True)
+    finally:
+        impostor.reap()
+    err = proc.stderr.decode(errors="replace")
+    require(proc.returncode == 1,
+            f"spec fleet: mismatched-spec agent accepted "
+            f"(exit {proc.returncode}):\n{err}")
+    require("spec digest mismatch" in err,
+            f"spec fleet: rejection lacks the named digest "
+            f"error:\n{err}")
+    require(": assign " not in err,
+            f"spec fleet: a shard was assigned to a mismatched "
+            f"agent:\n{err}")
+    print("orch spec: agent running a different spec file rejected "
+          "with a named digest error before any assignment")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--orch", required=True,
@@ -492,7 +585,7 @@ def main():
                     help="path to the regate_agent binary")
     ap.add_argument("--bin-dir", required=True,
                     help="directory holding the figure binaries")
-    ap.add_argument("--only", choices=["fleet", "elastic"],
+    ap.add_argument("--only", choices=["fleet", "elastic", "spec"],
                     help="run just one scenario (CI fleet jobs)")
     args = ap.parse_args()
 
@@ -513,7 +606,8 @@ def main():
             if not args.agent:
                 sys.exit(f"--only {args.only} needs --agent")
             scenario = {"fleet": check_fleet,
-                        "elastic": check_elastic}[args.only]
+                        "elastic": check_elastic,
+                        "spec": check_spec_fleet}[args.only]
             scenario(args.orch, args.agent, fig02, tmp)
             return 0
         check_injected_failures(args.orch, fig02, tmp)
@@ -523,6 +617,7 @@ def main():
         if args.agent:
             check_fleet(args.orch, args.agent, fig02, tmp)
             check_elastic(args.orch, args.agent, fig02, tmp)
+            check_spec_fleet(args.orch, args.agent, fig02, tmp)
     return 0
 
 

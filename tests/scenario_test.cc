@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the declarative scenario engine (models/registry.h +
+ * models/scenario.h): the enum path and the spec path must be ONE
+ * code path — every paper workload simulated through its built-in
+ * spec is bitwise-identical to the enum-driven run — and
+ * registry-only scenarios (MoE) run end to end without any enum
+ * value existing for them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+#include "models/registry.h"
+#include "models/spec.h"
+#include "models/workload.h"
+#include "sim/report.h"
+#include "sim/serialize.h"
+#include "sim/sweep.h"
+
+namespace regate {
+namespace sim {
+namespace {
+
+using arch::NpuGeneration;
+using models::ScenarioSpec;
+using models::Workload;
+
+TEST(Scenario, EnumPathBitwiseEqualsSpecPathForAllWorkloads)
+{
+    // The ISSUE acceptance bar: for every one of the 17 paper
+    // workloads, forcing the scenario path (spec kept, no builtin
+    // normalization) produces a report whose canonical JSON is
+    // byte-identical to the enum path once the identity fields are
+    // aligned — same setup, same energy, same op records, same
+    // formatting of every number.
+    for (auto w : models::allWorkloads()) {
+        auto spec = std::make_shared<const ScenarioSpec>(
+            models::builtinSpec(w));
+        auto rep = simulateScenario(spec, NpuGeneration::D);
+        ASSERT_TRUE(rep.scenario) << models::workloadName(w);
+
+        auto ref = simulateWorkload(w, NpuGeneration::D);
+        ASSERT_FALSE(ref.scenario);
+
+        // Align the identity tag, then every byte must agree.
+        rep.scenario = nullptr;
+        rep.workload = w;
+        EXPECT_EQ(toJson(rep), toJson(ref))
+            << models::workloadName(w)
+            << ": spec path diverged from enum path";
+    }
+}
+
+TEST(Scenario, BuiltinSpecsRoundTripToTheirWorkload)
+{
+    for (auto w : models::allWorkloads()) {
+        Workload back{};
+        EXPECT_TRUE(
+            models::builtinWorkloadOf(models::builtinSpec(w), &back))
+            << models::workloadName(w);
+        EXPECT_EQ(back, w);
+    }
+}
+
+TEST(Scenario, ScenarioCaseNormalizesBuiltinDuplicates)
+{
+    // A spec identical to a paper workload becomes a plain enum case
+    // (so its serialization stays byte-identical to enum grids)...
+    auto builtin = std::make_shared<const ScenarioSpec>(
+        models::builtinSpec(Workload::DlrmM));
+    auto c = scenarioCase(builtin, NpuGeneration::C);
+    EXPECT_FALSE(c.scenario);
+    EXPECT_EQ(c.workload, Workload::DlrmM);
+
+    // ...while a genuinely custom scenario keeps its spec identity.
+    auto custom = *builtin;
+    custom.batch = 64;
+    models::validateScenario(custom);
+    auto cc = scenarioCase(
+        std::make_shared<const ScenarioSpec>(custom),
+        NpuGeneration::C);
+    ASSERT_TRUE(cc.scenario);
+    EXPECT_EQ(cc.scenario->batch, 64);
+}
+
+TEST(Scenario, GatingOverridesOverlayTheBaseParams)
+{
+    ScenarioSpec spec = models::builtinSpec(Workload::DiTXL);
+    spec.gating.emplace_back("delay_scale", 2.0);
+    spec.gating.emplace_back("sram_sleep", 0.5);
+    std::sort(spec.gating.begin(), spec.gating.end());
+    models::validateScenario(spec);
+
+    auto c = scenarioCase(
+        std::make_shared<const ScenarioSpec>(spec),
+        NpuGeneration::D);
+    // Overrides force the case off the builtin fast path and ride in
+    // the case's params; keys the spec does not set keep the base.
+    ASSERT_TRUE(c.scenario);
+    arch::GatingParams base;
+    EXPECT_DOUBLE_EQ(c.params.ratios().sramSleep, 0.5);
+    EXPECT_DOUBLE_EQ(c.params.ratios().logicOff,
+                     base.ratios().logicOff);
+    EXPECT_DOUBLE_EQ(c.params.delayScale(), 2.0);
+}
+
+TEST(Scenario, MoeScenarioRunsWithoutAnEnumValue)
+{
+    auto file = models::parseSpecText(
+        "@regate-spec v1\n"
+        "[scenario mixtral]\n"
+        "family = moe\n"
+        "model = 8b\n"
+        "experts = 8\n"
+        "batch = 16\n"
+        "chips = 8\n");
+    ASSERT_EQ(file.scenarios.size(), 1u);
+    auto spec = file.scenarios[0];
+    EXPECT_EQ(spec->extraOr("top_k", 0), 2);  // Default filled.
+
+    Workload back{};
+    EXPECT_FALSE(models::builtinWorkloadOf(*spec, &back));
+
+    auto rep = simulateScenario(spec, NpuGeneration::D);
+    ASSERT_TRUE(rep.scenario);
+    EXPECT_GT(rep.units, 0.0);
+    EXPECT_GT(rep.energyPerUnit(Policy::NoPG), 0.0);
+    // ReGate must still save energy on a registry-only scenario.
+    EXPECT_LT(rep.energyPerUnit(Policy::Full),
+              rep.energyPerUnit(Policy::NoPG));
+}
+
+TEST(Scenario, ScenarioReportSerializationRoundTrips)
+{
+    auto file = models::parseSpecText(
+        "@regate-spec v1\n"
+        "[scenario tiny]\n"
+        "family = dlrm\n"
+        "model = s\n"
+        "batch = 128\n"
+        "chips = 2\n");
+    auto rep = simulateScenario(file.scenarios[0], NpuGeneration::C);
+    auto json = toJson(rep);
+    EXPECT_NE(json.find("\"scenario\""), std::string::npos);
+
+    auto back = reportFromJson(json);
+    ASSERT_TRUE(back.scenario);
+    EXPECT_TRUE(back.scenario->sameScenario(*rep.scenario));
+    EXPECT_EQ(toJson(back), json);
+}
+
+TEST(Scenario, RegistryListsTheBuiltinFamilies)
+{
+    auto families = models::GeneratorRegistry::instance().families();
+    for (const char *family :
+         {"llama-train", "llama-prefill", "llama-decode", "dlrm",
+          "diffusion", "moe"}) {
+        EXPECT_NE(std::find(families.begin(), families.end(),
+                            family),
+                  families.end())
+            << family << " is not registered";
+    }
+    // Unknown families fail by name, listing what exists.
+    try {
+        models::GeneratorRegistry::instance().require("quantum");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("quantum"), std::string::npos);
+        EXPECT_NE(what.find("llama-train"), std::string::npos);
+    }
+}
+
+TEST(Scenario, SpecDigestTravelsThroughShardDocuments)
+{
+    auto file = models::parseSpecText(
+        "@regate-spec v1\n"
+        "[scenario tiny]\n"
+        "family = dlrm\n"
+        "model = s\n"
+        "batch = 64\n"
+        "chips = 2\n");
+    auto rep = simulateScenario(file.scenarios[0], NpuGeneration::C);
+    auto doc = writeRunShard({rep}, 0, 1, 0, 1, file.digest);
+    auto parsed = parseShard(doc);
+    EXPECT_EQ(parsed.specDigest, file.digest);
+
+    // An enum-driven shard carries no digest at all (its bytes are
+    // exactly the pre-spec format).
+    auto plain = writeRunShard(
+        {simulateWorkload(Workload::DlrmS, NpuGeneration::C)}, 0, 1,
+        0, 1);
+    EXPECT_EQ(plain.find("spec_digest"), std::string::npos);
+    EXPECT_TRUE(parseShard(plain).specDigest.empty());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace regate

@@ -175,17 +175,28 @@ def main():
     check_versions(loaded)
 
     kind = cases = None
+    spec_digest = None
     merged = {}
     for path, text, doc in loaded:
         entries = load_shard(path, text, doc)
         if kind is None:
             kind, cases = doc["kind"], doc["cases"]
+            # Spec-driven sweeps stamp the spec file's content
+            # digest in the header; every shard of a grid must
+            # carry the same one (or none), or the set mixes
+            # different scenario files.
+            spec_digest = doc.get("spec_digest", "")
         if doc["kind"] != kind:
             sys.exit(f"{path}: kind '{doc['kind']}' does not match "
                      f"'{kind}'")
         if doc["cases"] != cases:
             sys.exit(f"{path}: total case count {doc['cases']} does "
                      f"not match {cases}")
+        if doc.get("spec_digest", "") != spec_digest:
+            sys.exit(f"{path}: spec digest "
+                     f"'{doc.get('spec_digest', '')}' does not "
+                     f"match '{spec_digest}'; the shards were "
+                     "produced with different --spec files")
         for index, line in entries:
             if index in merged:
                 sys.exit(f"{path}: duplicate entry for grid index "
@@ -215,8 +226,11 @@ def main():
     for i in range(cases):
         file_digest = fnv1a64((merged[i] + "\n").encode("utf-8"),
                               file_digest)
+    spec_field = (f'"spec_digest":"{spec_digest}",'
+                  if spec_digest else "")
     lines = [f'{{"regate_shard":{FORMAT_VERSION},"kind":"{kind}",'
-             f'"cases":{cases},"shard":{{"index":0,"count":1}},'
+             f'"cases":{cases},{spec_field}'
+             f'"shard":{{"index":0,"count":1}},'
              f'"entries":[']
     body = ",\n".join(merged[i] for i in range(cases))
     if body:
