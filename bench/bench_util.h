@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "common/table.h"
 #include "models/registry.h"
 #include "models/spec.h"
+#include "obs/trace.h"
 #include "sim/report.h"
 #include "sim/serialize.h"
 #include "sim/sweep.h"
@@ -105,6 +107,14 @@ struct BenchCli
     std::string specPath;
     std::vector<std::shared_ptr<const models::ScenarioSpec>> scenarios;
     std::string specDigest;
+
+    /**
+     * `--trace-out FILE`: record the run as Chrome/Perfetto
+     * trace-event JSON (obs/trace.h) — graph build/compile and
+     * engine phases, cache hits, one span per completed sweep case.
+     * Works in every mode (plain, --shard, --worker, --from).
+     */
+    std::string traceOut;
 
     bool sharded() const { return shardCount > 0; }
     bool fromFiles() const { return !fromPaths.empty(); }
@@ -188,7 +198,8 @@ initBench(int argc, char **argv)
                   << "usage: " << argv[0]
                   << " [--spec scenarios.spec] [--list-generators]"
                   << " [--shard i/N --out shard.json [--worker]]"
-                  << " [--from results.json ...] [--cases]\n";
+                  << " [--from results.json ...] [--cases]"
+                  << " [--trace-out trace.json]\n";
         std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -214,6 +225,10 @@ initBench(int argc, char **argv)
             if (++i >= argc)
                 usage("--out needs a path");
             cli.outPath = argv[i];
+        } else if (arg == "--trace-out") {
+            if (++i >= argc)
+                usage("--trace-out needs a path");
+            cli.traceOut = argv[i];
         } else if (arg == "--from") {
             // Greedy: consume every following non-option argument,
             // so "--from shard0.json shard1.json" works.
@@ -250,6 +265,8 @@ initBench(int argc, char **argv)
             std::exit(1);
         }
     }
+    if (!cli.traceOut.empty())
+        obs::TraceRecorder::instance().start(cli.traceOut);
 }
 
 /**
@@ -341,6 +358,59 @@ workerProgress()
         if (slow > 0)
             std::this_thread::sleep_for(std::chrono::seconds(slow));
     };
+}
+
+/**
+ * The explicit trace lane of the sweep-progress timeline. Per-case
+ * spans cover the interval since the previous completion *globally*
+ * — not since this worker thread's previous case — so they cannot
+ * live on the worker threads' auto lanes without overlapping a
+ * concurrent case's sim spans. On one dedicated lane they tile the
+ * grid span exactly, and the value is far above any auto-allocated
+ * thread lane.
+ */
+constexpr int kSweepLane = 1000000;
+
+/**
+ * Wrap a sweep-progress callback with per-case trace spans: each
+ * completed case becomes one complete event on kSweepLane covering
+ * the interval since the previous completion, seeded at
+ * @p sweep_start so the first case's span begins where the
+ * enclosing grid span does. The runner serializes progress
+ * callbacks with strictly increasing done counts, so consecutive
+ * spans never overlap.
+ */
+inline sim::SweepProgress
+traceProgress(sim::SweepProgress inner, std::uint64_t sweep_start)
+{
+    auto &trace = obs::TraceRecorder::instance();
+    if (!trace.enabled())
+        return inner;
+    auto last = std::make_shared<std::uint64_t>(sweep_start);
+    return [inner, last, &trace](std::size_t done,
+                                 std::size_t total) {
+        auto now = trace.nowUs();
+        trace.completeLane("case", "sweep", kSweepLane, *last, now,
+                           {{"done", std::to_string(done)},
+                            {"total", std::to_string(total)}});
+        *last = now;
+        if (inner)
+            inner(done, total);
+    };
+}
+
+/** Close the grid span and persist the trace (no-op when off). */
+inline void
+traceGridDone(const char *kind, std::uint64_t sweep_start,
+              std::size_t cases)
+{
+    auto &trace = obs::TraceRecorder::instance();
+    if (!trace.enabled())
+        return;
+    trace.completeLane(kind, "sweep", kSweepLane, sweep_start,
+                       trace.nowUs(),
+                       {{"cases", std::to_string(cases)}});
+    trace.flush();
 }
 
 /** Worker-handshake done line (digest of the bytes just written). */
@@ -462,10 +532,14 @@ runGrid(const std::vector<sim::SweepCase> &grid)
         auto range = sim::shardRange(grid.size(), cli.shardIndex,
                                      cli.shardCount);
         detail::workerStart("run", range, grid.size());
+        auto sweep_start = obs::TraceRecorder::instance().nowUs();
         auto results =
             sweeper().run(sim::shardGrid(grid, cli.shardIndex,
                                          cli.shardCount),
-                          detail::workerProgress());
+                          detail::traceProgress(
+                              detail::workerProgress(), sweep_start));
+        detail::traceGridDone("grid.run", sweep_start,
+                              range.end - range.begin);
         detail::orDie("--out", [&] {
             auto doc =
                 sim::writeRunShard(results, range.begin, grid.size(),
@@ -477,7 +551,11 @@ runGrid(const std::vector<sim::SweepCase> &grid)
         });
         std::exit(0);
     }
-    return sweeper().run(grid);
+    auto sweep_start = obs::TraceRecorder::instance().nowUs();
+    auto results =
+        sweeper().run(grid, detail::traceProgress({}, sweep_start));
+    detail::traceGridDone("grid.run", sweep_start, grid.size());
+    return results;
 }
 
 /** SLO-search counterpart of runGrid (the fig02/table4 path). */
@@ -509,10 +587,15 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
         auto range = sim::shardRange(grid.size(), cli.shardIndex,
                                      cli.shardCount);
         detail::workerStart("search", range, grid.size());
+        auto sweep_start = obs::TraceRecorder::instance().nowUs();
         auto results =
             sweeper().search(sim::shardGrid(grid, cli.shardIndex,
                                             cli.shardCount),
-                             detail::workerProgress());
+                             detail::traceProgress(
+                                 detail::workerProgress(),
+                                 sweep_start));
+        detail::traceGridDone("grid.search", sweep_start,
+                              range.end - range.begin);
         detail::orDie("--out", [&] {
             auto doc = sim::writeSearchShard(
                 results, range.begin, grid.size(), cli.shardIndex,
@@ -523,7 +606,11 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
         });
         std::exit(0);
     }
-    return sweeper().search(grid);
+    auto sweep_start = obs::TraceRecorder::instance().nowUs();
+    auto results = sweeper().search(
+        grid, detail::traceProgress({}, sweep_start));
+    detail::traceGridDone("grid.search", sweep_start, grid.size());
+    return results;
 }
 
 /** Simulate (workload, gen) pairs in parallel, input-ordered. */

@@ -53,7 +53,9 @@ usage(const char *argv0, const std::string &msg)
               << "    [--join host:port (dial an orchestrator's "
                  "--join-port instead of listening)]\n"
               << "    [--secret-file PATH (HMAC-authenticate the "
-                 "hello; or REGATE_FLEET_SECRET)]\n";
+                 "hello; or REGATE_FLEET_SECRET)]\n"
+              << "    [--trace-out trace.json (Chrome/Perfetto "
+                 "timeline of agent sessions)]\n";
     std::exit(2);
 }
 
@@ -118,6 +120,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage(argv[0], "--secret-file needs a value");
             opt.secretFile = argv[i];
+        } else if (arg == "--trace-out") {
+            if (++i >= argc)
+                usage(argv[0], "--trace-out needs a value");
+            opt.traceOut = argv[i];
         } else {
             usage(argv[0], "unknown argument '" + arg + "'");
         }

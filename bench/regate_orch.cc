@@ -70,6 +70,10 @@ usage(const char *argv0, const std::string &msg)
         << "    [--reconnect-tries R=8 (re-dials per lost agent; 0 "
            "= retire on first loss)]\n"
         << "    [--merged-out PATH=RUN_DIR/merged.json] [--render]\n"
+        << "    [--trace-out trace.json (Chrome/Perfetto timeline "
+           "of the whole sweep)]\n"
+        << "    [--metrics-out metrics.json (sweep-wide "
+           "obs::MetricsRegistry snapshot)]\n"
         << "    [--inject-kill-slot S] [--inject-stall-shard J]"
         << " [--stall-seconds N]\n"
         << "    [--inject-slow-shard J] [--slow-case-seconds N]\n";
@@ -162,6 +166,10 @@ main(int argc, char **argv)
             opt.reconnectTries = intArg(i, "--reconnect-tries");
         } else if (arg == "--merged-out") {
             opt.mergedOut = stringArg(i, "--merged-out");
+        } else if (arg == "--trace-out") {
+            opt.traceOut = stringArg(i, "--trace-out");
+        } else if (arg == "--metrics-out") {
+            opt.metricsOut = stringArg(i, "--metrics-out");
         } else if (arg == "--render") {
             opt.render = true;
         } else if (arg == "--inject-kill-slot") {

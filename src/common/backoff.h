@@ -15,6 +15,7 @@
 
 #include "common/error.h"
 #include "common/prng.h"
+#include "obs/metrics.h"
 
 namespace regate {
 
@@ -78,6 +79,15 @@ class Backoff
             base *= policy_.multiplier;
         base = std::min(base, policy_.maxDelaySec);
         ++attempts_;
+        // Every backoff consumer (agent re-dials, driver
+        // reconnects) counts into one fleet-wide retry-pressure
+        // counter; per-site counters stay with the call sites.
+        REGATE_OBS({
+            static obs::Counter &attempts =
+                obs::MetricsRegistry::instance().counter(
+                    "net.backoff.attempts");
+            attempts.add(1);
+        });
         double factor =
             1.0 +
             policy_.jitterFrac * (2.0 * prng_.uniform01() - 1.0);

@@ -12,6 +12,8 @@
 #include "common/error.h"
 #include "models/spec.h"
 #include "net/agent_protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "net/socket.h"
 #include "net/transport.h"
 #include "orch/probe.h"
@@ -97,9 +99,12 @@ class AgentSession
     void handleFrame(const Frame &frame);
     void handleAssign(const Frame &frame);
     void handleFetch(const Frame &frame);
-    /** Transport events -> done/fail/case frames. */
+    /** Transport events -> done/fail/case/metric frames. */
     void pumpTransport();
     void sendFail(int slot_id, const std::string &reason);
+    void sendMetric(int slot_id, const MetricSample &sample);
+    /** Stream registry counter movement since the last report. */
+    void sendCounterDeltas(int slot_id);
 
     const AgentOptions &opt_;
     std::size_t cases_;
@@ -109,6 +114,12 @@ class AgentSession
     LocalTransport local_;
     std::vector<Slot> slots_;
     bool helloAccepted_ = false;
+    bool metricsOffered_ = false;  ///< Survived hello negotiation.
+    bool metricsEnabled_ = false;  ///< Driver sent assign metrics=1.
+    std::string driverNonce_;      ///< Binds outgoing metric HMACs.
+    std::uint64_t metricSeq_ = 0;  ///< Strictly increasing per session.
+    /** Last streamed counter values, for delta reporting. */
+    std::vector<std::pair<std::string, std::uint64_t>> lastCounters_;
 };
 
 void
@@ -124,6 +135,12 @@ AgentSession::handleAssign(const Frame &frame)
     a.attempt = frame.getIndex("attempt");
     a.stallSeconds = frame.getIndex("stall");
     a.slowCaseSeconds = frame.getIndex("slow");
+    // Telemetry streaming is armed by the driver, per session: only
+    // a driver that heard our metrics capability on the hello sends
+    // the key, and we never stream to one that did not ask.
+    if (metricsOffered_ && frame.has("metrics") &&
+        frame.get("metrics") == "1")
+        metricsEnabled_ = true;
 
     std::string desc;
     try {
@@ -143,6 +160,11 @@ AgentSession::handleAssign(const Frame &frame)
           std::to_string(a.shard) + "/" +
           std::to_string(a.shardCount) + " attempt " +
           std::to_string(a.attempt) + " " + desc);
+    auto &trace = obs::TraceRecorder::instance();
+    if (trace.enabled())
+        trace.instant("agent.assign", "fleet",
+                      {{"slot", std::to_string(slot_id)},
+                       {"shard", std::to_string(a.shard)}});
 }
 
 void
@@ -199,9 +221,64 @@ AgentSession::sendFail(int slot_id, const std::string &reason)
 }
 
 void
+AgentSession::sendMetric(int slot_id, const MetricSample &sample)
+{
+    if (!metricsEnabled_)
+        return;
+    auto seq = ++metricSeq_;
+    std::string auth;
+    if (secret_)
+        auth = metricAuth(*secret_, driverNonce_, slot_id, seq,
+                          sample);
+    send(metricFrame(slot_id, seq, sample, auth));
+}
+
+void
+AgentSession::sendCounterDeltas(int slot_id)
+{
+    if (!metricsEnabled_)
+        return;
+    // Diff the registry against the last report: only movement
+    // crosses the wire, so an idle counter costs nothing and the
+    // driver can blindly add every delta it receives.
+    auto now = obs::MetricsRegistry::instance().counterValues();
+    auto last = lastCounters_.begin();
+    for (const auto &[name, value] : now) {
+        while (last != lastCounters_.end() && last->first < name)
+            ++last;
+        std::uint64_t prev =
+            (last != lastCounters_.end() && last->first == name)
+                ? last->second
+                : 0;
+        if (value > prev) {
+            MetricSample sample;
+            sample.name = name;
+            sample.kind = 'c';
+            sample.value = value - prev;
+            sample.count = 1;
+            sendMetric(slot_id, sample);
+        }
+    }
+    lastCounters_ = std::move(now);
+}
+
+void
 AgentSession::pumpTransport()
 {
     for (const auto &ev : local_.poll()) {
+        if (ev.kind == TransportEvent::Kind::Metric) {
+            // Relay the local transport's synthesized samples
+            // (per-case durations) to the driver under the same
+            // wire names it would synthesize for its own local
+            // slots.
+            MetricSample sample;
+            sample.name = ev.metricName;
+            sample.kind = ev.metricKind;
+            sample.value = ev.metricValue;
+            sample.count = ev.metricCount;
+            sendMetric(ev.slot, sample);
+            continue;
+        }
         auto &slot = slots_[static_cast<std::size_t>(ev.slot)];
         switch (ev.kind) {
           case TransportEvent::Kind::Progress: {
@@ -244,11 +321,18 @@ AgentSession::pumpTransport()
                          std::string("artifact invalid: ") +
                              e.what());
             }
+            // Each settled attempt also reports this process's
+            // counter movement (cache traffic, backoff pressure),
+            // so the driver's sweep-wide snapshot sees the whole
+            // fleet, not just its own process.
+            sendCounterDeltas(ev.slot);
             break;
           case TransportEvent::Kind::Lost:
             // LocalTransport never loses slots (it is the process
             // pool on this very host).
             break;
+          case TransportEvent::Kind::Metric:
+            break;  // Handled above.
         }
     }
 }
@@ -256,13 +340,19 @@ AgentSession::pumpTransport()
 void
 AgentSession::run()
 {
+    // The session renders as one span on the agent's timeline, with
+    // assign instants inside it.
+    obs::TraceRecorder::Span session_span("agent.session", "fleet");
     AgentHello hello;
     hello.bin = std::filesystem::path(opt_.bin).filename().string();
     hello.slots = opt_.slots;
     hello.cases = cases_;
     hello.spec = specDigest_;
+    hello.metrics = true;
     try {
-        agentHandshake(channel_, hello, secret_, 10000);
+        auto shake = agentHandshake(channel_, hello, secret_, 10000);
+        metricsOffered_ = shake.hello.metrics;
+        driverNonce_ = shake.driverNonce;
         helloAccepted_ = true;
     } catch (const ConfigError &e) {
         // A driver that resets between connect and handshake, a
@@ -361,6 +451,7 @@ joinDriver(const AgentOptions &options, std::size_t cases,
                                  secret);
             session.run();
             served = session.helloAccepted();
+            obs::TraceRecorder::instance().flush();
         } catch (const ConfigError &e) {
             event(std::string("join dial failed: ") + e.what());
         }
@@ -417,6 +508,9 @@ runAgent(const AgentOptions &options)
         return 2;
     }
 
+    if (!options.traceOut.empty())
+        obs::TraceRecorder::instance().start(options.traceOut);
+
     try {
         std::filesystem::create_directories(options.dir);
         if (!options.joinHost.empty())
@@ -448,6 +542,7 @@ runAgent(const AgentOptions &options)
                          LineChannel(std::move(conn), peer),
                          secret)
                 .run();
+            obs::TraceRecorder::instance().flush();
             if (options.maxSessions > 0 &&
                 ++sessions >= options.maxSessions) {
                 event("served " + std::to_string(sessions) +

@@ -79,6 +79,13 @@ struct AgentOptions
      */
     std::string specFile;
 
+    /**
+     * Trace-event timeline output (`--trace-out`): session
+     * lifecycle and per-slot activity as Chrome/Perfetto JSON
+     * (obs/trace.h). Empty = tracing off.
+     */
+    std::string traceOut;
+
     /// Event sink ("agent: ..." lines); null = silent.
     std::ostream *events = nullptr;
 };

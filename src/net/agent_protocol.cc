@@ -210,6 +210,11 @@ helloFrame(const AgentHello &hello)
     // stays wire-identical to builds that predate the key.
     if (!hello.spec.empty())
         f.kv.emplace_back("spec", hello.spec);
+    // Same discipline for the telemetry capability: absent when not
+    // offered, so the frame (and the auth MAC input) of a
+    // metrics-less hello matches builds that predate the key.
+    if (hello.metrics)
+        f.kv.emplace_back("metrics", "1");
     return f;
 }
 
@@ -228,9 +233,69 @@ parseHello(const Frame &frame)
         static_cast<std::size_t>(frame.getInt("cases"));
     if (frame.has("spec"))
         hello.spec = frame.get("spec");
+    hello.metrics = frame.has("metrics") &&
+                    frame.get("metrics") == "1";
     REGATE_CHECK(hello.slots > 0, "agent hello offers ", hello.slots,
                  " slots");
     return hello;
+}
+
+Frame
+metricFrame(int slot, std::uint64_t seq,
+            const MetricSample &sample, const std::string &auth)
+{
+    REGATE_ASSERT(sample.kind == 'c' || sample.kind == 'h',
+                  "metric sample kind must be 'c' or 'h', got '",
+                  sample.kind, "'");
+    Frame f;
+    f.verb = "metric";
+    f.kv = {{"slot", std::to_string(slot)},
+            {"seq", std::to_string(seq)},
+            {"name", sample.name},
+            {"kind", std::string(1, sample.kind)},
+            {"v", std::to_string(sample.value)},
+            {"n", std::to_string(sample.count)}};
+    if (!auth.empty())
+        f.kv.emplace_back("auth", auth);
+    return f;
+}
+
+MetricSample
+parseMetric(const Frame &frame)
+{
+    REGATE_CHECK(frame.verb == "metric",
+                 "expected a metric frame, got '", frame.verb, "'");
+    MetricSample sample;
+    sample.name = frame.get("name");
+    REGATE_CHECK(!sample.name.empty(),
+                 "metric frame carries an empty name");
+    const auto &kind = frame.get("kind");
+    REGATE_CHECK(kind == "c" || kind == "h",
+                 "metric frame kind is \"", kind,
+                 "\", expected c or h");
+    sample.kind = kind[0];
+    sample.value = static_cast<std::uint64_t>(frame.getInt("v"));
+    sample.count = static_cast<std::uint64_t>(frame.getInt("n"));
+    REGATE_CHECK(sample.count > 0,
+                 "metric frame batches zero observations");
+    return sample;
+}
+
+std::string
+metricAuth(const std::string &secret,
+           const std::string &driver_nonce, int slot,
+           std::uint64_t seq, const MetricSample &sample)
+{
+    // The sample fields are inside the MAC and the sequence number
+    // is strictly increasing per session, so a tag can neither be
+    // moved onto a different sample nor replayed to re-count one.
+    return hmacSha256Hex(
+        secret, "regate-metric|" + driver_nonce + "|" +
+                    std::to_string(seq) + "|" +
+                    std::to_string(slot) + "|" + sample.name + "|" +
+                    std::string(1, sample.kind) + "|" +
+                    std::to_string(sample.value) + "|" +
+                    std::to_string(sample.count));
 }
 
 std::optional<std::string>
@@ -304,13 +369,17 @@ agentAuth(const std::string &secret,
 {
     // The capabilities are inside the MAC: a tampering middlebox
     // cannot swap slots/cases (or the spec digest) on an
-    // otherwise-valid hello.
-    return hmacSha256Hex(secret, "regate-agent|" + driver_nonce +
-                                     "|" + hello.bin + "|" +
-                                     std::to_string(hello.slots) +
-                                     "|" +
-                                     std::to_string(hello.cases) +
-                                     "|" + hello.spec);
+    // otherwise-valid hello. The metrics capability extends the
+    // input only when offered, so a metrics-less hello MACs exactly
+    // as builds that predate the key.
+    std::string input = "regate-agent|" + driver_nonce + "|" +
+                        hello.bin + "|" +
+                        std::to_string(hello.slots) + "|" +
+                        std::to_string(hello.cases) + "|" +
+                        hello.spec;
+    if (hello.metrics)
+        input += "|metrics";
+    return hmacSha256Hex(secret, input);
 }
 
 HandshakeResult
@@ -331,7 +400,7 @@ driverHandshake(LineChannel &channel,
                      "but this fleet has a shared secret — start "
                      "the agent with --secret-file or "
                      "REGATE_FLEET_SECRET");
-        return {parseHello(opening), false};
+        return {parseHello(opening), false, ""};
     }
     REGATE_CHECK(opening.verb == "hello-auth", peer,
                  ": expected a hello, got '", opening.verb, "'");
@@ -346,7 +415,12 @@ driverHandshake(LineChannel &channel,
     auto driver_nonce = makeNonce();
     challenge.kv = {
         {"nonce", driver_nonce},
-        {"proof", driverProof(*secret, opening.get("nonce"))}};
+        {"proof", driverProof(*secret, opening.get("nonce"))},
+        // Advertise the telemetry capability here, NOT via the
+        // hello: the agent's hello HMAC covers a metrics key, and
+        // an old driver would reject that MAC. Old agents ignore
+        // unknown challenge keys and answer metrics-less hellos.
+        {"metrics", "1"}};
     channel.sendLine(formatFrame(challenge));
 
     auto answer = parseFrame(channel.readLine(timeout_ms));
@@ -362,17 +436,20 @@ driverHandshake(LineChannel &channel,
                          agentAuth(*secret, driver_nonce, hello),
                  peer, ": hello authentication failed: HMAC "
                  "mismatch — wrong secret or a replayed hello");
-    return {hello, true};
+    return {hello, true, driver_nonce};
 }
 
-void
+AgentHandshakeResult
 agentHandshake(LineChannel &channel, const AgentHello &hello,
                const std::optional<std::string> &secret,
                int timeout_ms)
 {
     if (!secret) {
+        // Plaintext: offer the capability unconditionally — an old
+        // driver's parseHello ignores the unknown key and never
+        // enables streaming via assign, so nothing changes for it.
         channel.sendLine(formatFrame(helloFrame(hello)));
-        return;
+        return {hello, ""};
     }
     const auto &peer = channel.peerName();
     Frame opening;
@@ -395,12 +472,21 @@ agentHandshake(LineChannel &channel, const AgentHello &hello,
                  peer, ": driver failed authentication: bad "
                  "challenge proof — wrong secret?");
 
-    auto answer = helloFrame(hello);
+    // Offer metrics only to a driver that advertised the capability
+    // on its challenge: an older driver computes the hello HMAC
+    // over the metrics-less input and would reject ours otherwise.
+    AgentHello effective = hello;
+    if (!(challenge.has("metrics") &&
+          challenge.get("metrics") == "1"))
+        effective.metrics = false;
+
+    auto answer = helloFrame(effective);
     answer.version = kAuthProtocolVersion;
     answer.kv.emplace_back(
         "auth",
-        agentAuth(*secret, challenge.get("nonce"), hello));
+        agentAuth(*secret, challenge.get("nonce"), effective));
     channel.sendLine(formatFrame(answer));
+    return {effective, challenge.get("nonce")};
 }
 
 namespace {

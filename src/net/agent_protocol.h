@@ -54,6 +54,24 @@
  *     case slot=<s> done=<k>/<n>
  *         Per-case heartbeat relayed from the worker's
  *         `@regate-worker v1 case` lines.
+ *     metric slot=<s> seq=<n> name=<metric> kind=c|h v=<val>
+ *         n=<count> [auth=<hmac>]
+ *         Telemetry sample: a counter delta (kind=c, v=delta) or a
+ *         histogram batch (kind=h, v=sum of observed values,
+ *         n=observation count — e.g. per-case durations in µs).
+ *         Negotiated, never assumed: the agent advertises the
+ *         capability with metrics=1 on its hello, and only streams
+ *         after the driver enables it with metrics=1 on an assign
+ *         frame — both keys ride the existing unknown-key tolerance,
+ *         so either end paired with an older build simply never
+ *         sees a metric frame. On authenticated fleets the driver
+ *         additionally advertises metrics=1 on its challenge (a
+ *         MAC-covered hello key would break old drivers' HMAC), and
+ *         auth = HMAC(secret, "regate-metric|" + driver nonce + "|"
+ *         + seq + "|" + slot + "|" + name + "|" + kind + "|" + v +
+ *         "|" + n); seq is strictly increasing per session, so a
+ *         recorded sample cannot be replayed to skew the driver's
+ *         aggregates.
  *     done slot=<s> bytes=<n> digest=<hex16>
  *         Worker exited 0 and its artifact validated locally
  *         (worker-reported digest vs the bytes on the agent's
@@ -75,6 +93,7 @@
 #define REGATE_NET_AGENT_PROTOCOL_H
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -135,12 +154,42 @@ struct AgentHello
     int slots = 0;          ///< Worker slots the agent offers.
     std::size_t cases = 0;  ///< The target's probed grid size.
     std::string spec;       ///< Spec-file digest; "" = no --spec.
+    bool metrics = false;   ///< Peer can stream metric frames.
 };
 
 Frame helloFrame(const AgentHello &hello);
 
 /** Parse + validate a hello; throws ConfigError with specifics. */
 AgentHello parseHello(const Frame &frame);
+
+/** One telemetry sample carried by a metric frame. */
+struct MetricSample
+{
+    std::string name;          ///< Registry metric name.
+    char kind = 'c';           ///< 'c' counter delta, 'h' histogram.
+    std::uint64_t value = 0;   ///< Delta (c) or sum of values (h).
+    std::uint64_t count = 1;   ///< Observations batched in (h).
+};
+
+/**
+ * Render a metric frame. @p auth is the metricAuth() tag on
+ * authenticated sessions, empty on plaintext ones (key omitted).
+ */
+Frame metricFrame(int slot, std::uint64_t seq,
+                  const MetricSample &sample,
+                  const std::string &auth = "");
+
+/** Parse + validate a metric frame's sample fields. */
+MetricSample parseMetric(const Frame &frame);
+
+/**
+ * The HMAC binding one metric sample to this session's driver nonce
+ * and its strictly-increasing sequence number.
+ */
+std::string metricAuth(const std::string &secret,
+                       const std::string &driver_nonce, int slot,
+                       std::uint64_t seq,
+                       const MetricSample &sample);
 
 /**
  * The shared fleet secret: @p secret_file (from --secret-file) wins
@@ -169,6 +218,9 @@ struct HandshakeResult
 {
     AgentHello hello;
     bool authenticated = false;  ///< v2 challenge–response passed.
+    /** The nonce this driver issued; binds the session's metric
+     *  HMACs. Empty on plaintext sessions. */
+    std::string driverNonce;
 };
 
 /**
@@ -183,16 +235,30 @@ HandshakeResult driverHandshake(
     LineChannel &channel, const std::optional<std::string> &secret,
     int timeout_ms);
 
+struct AgentHandshakeResult
+{
+    /** The hello as actually sent — metrics is downgraded to false
+     *  when an authenticated driver did not advertise the
+     *  capability on its challenge (its HMAC covers the hello, and
+     *  an old driver MACs the metrics-less input). */
+    AgentHello hello;
+    /** The driver's challenge nonce; binds this session's outgoing
+     *  metric HMACs. Empty on plaintext sessions. */
+    std::string driverNonce;
+};
+
 /**
  * Agent side of the hello: announce @p hello in plaintext (no
  * secret), or open with hello-auth, verify the driver's challenge
  * proof, and answer with the authenticated hello. Throws
  * ConfigError (named) when the driver fails its side of the proof
  * or speaks the wrong flavor for this agent's configuration.
+ * Returns the effective hello (see AgentHandshakeResult) and the
+ * driver nonce for metric authentication.
  */
-void agentHandshake(LineChannel &channel, const AgentHello &hello,
-                    const std::optional<std::string> &secret,
-                    int timeout_ms);
+AgentHandshakeResult agentHandshake(
+    LineChannel &channel, const AgentHello &hello,
+    const std::optional<std::string> &secret, int timeout_ms);
 
 /**
  * Worker-handshake log parsing, shared by every driver of `--worker`

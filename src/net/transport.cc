@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/error.h"
@@ -46,6 +48,9 @@ struct LocalTransport::Slot
     std::string attemptPath;
     std::string logPath;
     WorkerLogTail tail;  ///< Incremental log scan state.
+    /** Telemetry: heartbeat deltas become case-duration samples. */
+    std::chrono::steady_clock::time_point lastBeat;
+    int lastDone = 0;    ///< Cases counted into samples so far.
 };
 
 LocalTransport::LocalTransport(std::string bin, std::string dir,
@@ -115,6 +120,8 @@ LocalTransport::start(int slot, const ShardAssignment &a)
     }
     s.pid = pool_.spawn(cmd, injectionEnv(a), s.logPath);
     s.busy = true;
+    s.lastBeat = std::chrono::steady_clock::now();
+    s.lastDone = 0;
     return "pid=" + std::to_string(s.pid);
 }
 
@@ -134,6 +141,34 @@ LocalTransport::poll()
             ev.kind = TransportEvent::Kind::Progress;
             ev.detail = s.tail.progress;
             events.push_back(std::move(ev));
+
+            // Synthesize the same case-duration samples a remote
+            // agent streams, from heartbeat deltas: a batch of
+            // (k_new - k_old) cases took the wall time since the
+            // previous beat. One uniform Metric event path means
+            // the orchestrator's aggregation cannot double-count.
+            int done = 0, total = 0;
+            if (std::sscanf(s.tail.progress.c_str(), "%d/%d",
+                            &done, &total) == 2 &&
+                done > s.lastDone) {
+                auto now = std::chrono::steady_clock::now();
+                auto us = std::chrono::duration_cast<
+                              std::chrono::microseconds>(
+                              now - s.lastBeat)
+                              .count();
+                TransportEvent m;
+                m.slot = static_cast<int>(i);
+                m.kind = TransportEvent::Kind::Metric;
+                m.metricName = "case_duration_us";
+                m.metricKind = 'h';
+                m.metricValue =
+                    us > 0 ? static_cast<std::uint64_t>(us) : 0;
+                m.metricCount =
+                    static_cast<std::uint64_t>(done - s.lastDone);
+                events.push_back(std::move(m));
+                s.lastBeat = now;
+                s.lastDone = done;
+            }
         }
     }
 
@@ -145,6 +180,37 @@ LocalTransport::poll()
         REGATE_ASSERT(it != slots_.end(), "reaped unknown pid ",
                       exit.pid);
         it->busy = false;
+        // The exit can race past the heartbeat tail above: cases
+        // finished between the last tail and the reap would drop
+        // out of the duration samples (and the sweep's per-case
+        // count would undershoot the grid). One final incremental
+        // tail closes the books; fetchArtifact's own tail stays
+        // O(new bytes) behind the shared offset.
+        tailWorkerLog(it->logPath, &it->tail);
+        {
+            int done = 0, total = 0;
+            if (std::sscanf(it->tail.progress.c_str(), "%d/%d",
+                            &done, &total) == 2 &&
+                done > it->lastDone) {
+                auto now = std::chrono::steady_clock::now();
+                auto us = std::chrono::duration_cast<
+                              std::chrono::microseconds>(
+                              now - it->lastBeat)
+                              .count();
+                TransportEvent m;
+                m.slot = static_cast<int>(it - slots_.begin());
+                m.kind = TransportEvent::Kind::Metric;
+                m.metricName = "case_duration_us";
+                m.metricKind = 'h';
+                m.metricValue =
+                    us > 0 ? static_cast<std::uint64_t>(us) : 0;
+                m.metricCount =
+                    static_cast<std::uint64_t>(done - it->lastDone);
+                events.push_back(std::move(m));
+                it->lastBeat = now;
+                it->lastDone = done;
+            }
+        }
         TransportEvent ev;
         ev.slot = static_cast<int>(it - slots_.begin());
         ev.kind = TransportEvent::Kind::Finished;
@@ -251,11 +317,14 @@ TcpTransport::TcpTransport(Socket sock, std::string name,
                            std::size_t expect_cases,
                            const std::string &expect_spec,
                            const std::optional<std::string> &secret)
-    : name_(std::move(name)), channel_(std::move(sock), name_)
+    : name_(std::move(name)), channel_(std::move(sock), name_),
+      secret_(secret)
 {
     auto shake =
         driverHandshake(channel_, secret, kHelloTimeoutMs);
     authenticated_ = shake.authenticated;
+    driverNonce_ = shake.driverNonce;
+    peerMetrics_ = shake.hello.metrics;
     const auto &hello = shake.hello;
     REGATE_CHECK(hello.bin == expect_bin, name_,
                  ": agent serves ", hello.bin, " but this run "
@@ -333,6 +402,42 @@ TcpTransport::handleFrame(const Frame &frame,
     }
     int slot = frame.getIndex("slot");
     auto &s = at(slot);
+    if (frame.verb == "metric") {
+        // Never assumed: an agent that did not offer the capability
+        // on its hello has no business streaming samples — treat it
+        // as the protocol violation it is (poll's markDead
+        // containment), exactly like any other unexpected verb.
+        REGATE_CHECK(peerMetrics_, name_,
+                     ": metric frame from an agent that never "
+                     "negotiated the metrics capability");
+        auto seq =
+            static_cast<std::uint64_t>(frame.getInt("seq"));
+        auto sample = parseMetric(frame);
+        if (authenticated_) {
+            REGATE_CHECK(
+                frame.has("auth") &&
+                    frame.get("auth") ==
+                        metricAuth(*secret_, driverNonce_, slot,
+                                   seq, sample),
+                name_, ": metric frame authentication failed: "
+                "HMAC mismatch — tampered or wrong secret");
+            // Strictly increasing per session: a recorded sample
+            // cannot be replayed to inflate the aggregates.
+            REGATE_CHECK(seq > lastMetricSeq_, name_,
+                         ": replayed metric frame (seq ", seq,
+                         " after ", lastMetricSeq_, ")");
+        }
+        lastMetricSeq_ = std::max(lastMetricSeq_, seq);
+        TransportEvent ev;
+        ev.slot = slot;
+        ev.kind = TransportEvent::Kind::Metric;
+        ev.metricName = sample.name;
+        ev.metricKind = sample.kind;
+        ev.metricValue = sample.value;
+        ev.metricCount = sample.count;
+        events->push_back(std::move(ev));
+        return;
+    }
     if (frame.verb == "case") {
         TransportEvent ev;
         ev.slot = slot;
@@ -395,6 +500,12 @@ TcpTransport::start(int slot, const ShardAssignment &a)
             {"attempt", std::to_string(a.attempt)},
             {"stall", std::to_string(a.stallSeconds)},
             {"slow", std::to_string(a.slowCaseSeconds)}};
+    // Enable the agent's metric streaming for this attempt. Old
+    // agents ignore the unknown key; agents that never offered the
+    // capability never get it (and their metric frames would be
+    // rejected by name above).
+    if (peerMetrics_)
+        f.kv.emplace_back("metrics", "1");
     try {
         channel_.sendLine(formatFrame(f));
     } catch (const ConfigError &) {

@@ -35,6 +35,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -68,12 +69,26 @@ struct TransportEvent
         Progress,  ///< Heartbeat (worker case line); detail = "k/n".
         Finished,  ///< Worker exited; cleanExit says how.
         Lost,      ///< Transport died with this slot busy.
+        Metric,    ///< Telemetry sample; metric* fields below.
     };
 
     int slot = -1;
     Kind kind = Kind::Progress;
     bool cleanExit = false;  ///< Finished: did the worker exit 0?
     std::string detail;      ///< Status / progress / loss reason.
+
+    /**
+     * Metric events only. Every transport surfaces samples through
+     * this one shape — TcpTransport decodes streamed metric frames,
+     * LocalTransport synthesizes per-case durations from heartbeat
+     * deltas — so the orchestrator aggregates one way and never
+     * double-counts a source. Names are wire names; the aggregator
+     * re-homes them under its "fleet." registry prefix.
+     */
+    std::string metricName;
+    char metricKind = 'c';           ///< 'c' counter, 'h' histogram.
+    std::uint64_t metricValue = 0;   ///< Delta (c) / value sum (h).
+    std::uint64_t metricCount = 0;   ///< Observations batched (h).
 };
 
 class SlotTransport
@@ -246,6 +261,9 @@ class TcpTransport : public SlotTransport
     /** Did the hello run the v2 challenge–response? */
     bool authenticated() const { return authenticated_; }
 
+    /** Did the agent's hello offer metric streaming? */
+    bool metricsNegotiated() const { return peerMetrics_; }
+
     /** Why the session died (empty while alive). */
     const std::string &deathReason() const { return deathReason_; }
 
@@ -284,6 +302,10 @@ class TcpTransport : public SlotTransport
     std::vector<Slot> slots_;
     bool alive_ = true;
     bool authenticated_ = false;
+    bool peerMetrics_ = false;  ///< Agent's hello offered metrics.
+    std::optional<std::string> secret_;
+    std::string driverNonce_;   ///< Binds incoming metric HMACs.
+    std::uint64_t lastMetricSeq_ = 0;
     std::string deathReason_;
     /** Events decoded while fetchArtifact drained the channel. */
     std::vector<TransportEvent> queued_;

@@ -16,6 +16,8 @@
 #include "models/spec.h"
 #include "net/agent_protocol.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orch/fs.h"
 #include "orch/planner.h"
 #include "orch/probe.h"
@@ -71,6 +73,7 @@ class Orchestrator
         Clock::time_point killDeadline;  ///< Settle-by after a kill.
         std::string progressDetail;  ///< Last heartbeat ("k/n").
         std::string killedReason;    ///< Why the driver killed it.
+        std::uint64_t traceStartUs = 0;  ///< Attempt span start.
     };
 
     void
@@ -90,6 +93,40 @@ class Orchestrator
     {
         return "shard " + std::to_string(slot.shard) + " attempt " +
                std::to_string(slot.attempt);
+    }
+
+    /**
+     * Lane for a fleet slot on the trace timeline. Lane 0 belongs
+     * to the driver's own thread (auto-assigned by the recorder);
+     * every slot renders one row above it.
+     */
+    static int
+    laneOf(int gid)
+    {
+        return gid + 1;
+    }
+
+    /**
+     * Fold one streamed (or locally synthesized) metric sample into
+     * the registry under the fleet prefix — ONE path for every
+     * transport, so nothing is double-counted. Histogram samples
+     * arrive as batches (value = sum over count observations);
+     * recording the per-observation mean keeps the count exact,
+     * which is what the sweep acceptance checks and the ETA picker
+     * consume.
+     */
+    void
+    aggregateMetric(const net::TransportEvent &ev)
+    {
+        auto &reg = obs::MetricsRegistry::instance();
+        if (ev.metricKind == 'h') {
+            auto count = ev.metricCount ? ev.metricCount : 1;
+            reg.recordHistogram("fleet." + ev.metricName,
+                                ev.metricValue / count, count);
+        } else {
+            reg.addCounter("fleet." + ev.metricName,
+                           ev.metricValue);
+        }
     }
 
     void buildFleet(std::size_t cases);
@@ -118,6 +155,9 @@ class Orchestrator
     void stealStragglers();
     int pickStraggler() const;
     int renderMerged();
+    /** Flush the trace and write the --metrics-out snapshot. */
+    void finishTelemetry(std::uint64_t sweep_start,
+                        const std::string &outcome);
 
     OrchOptions opt_;
     std::string mergedOut_;
@@ -307,6 +347,14 @@ Orchestrator::spawnShard(FleetSlot &slot, int gid, int shard)
 
     std::string tag = tagOf(slot);
     event(tag + ": spawn slot=" + slot.name + " " + desc);
+    auto &trace = obs::TraceRecorder::instance();
+    if (trace.enabled()) {
+        slot.traceStartUs = trace.nowUs();
+        trace.instantLane("shard.assign", "fleet", laneOf(gid),
+                          {{"shard", std::to_string(shard)},
+                           {"attempt", std::to_string(attempt)},
+                           {"slot", slot.name}});
+    }
     if (inject_kill) {
         // The stall keeps the worker alive long enough for the kill
         // to land, so this deterministically exercises the
@@ -372,6 +420,10 @@ Orchestrator::handleSuccess(FleetSlot &slot,
           (slot.speculative ? " [stolen]" : "") + " [" +
           std::to_string(merger.coveredCases()) + "/" +
           std::to_string(plan_.cases) + " cases merged]");
+    if (slot.speculative) {
+        REGATE_OBS(obs::MetricsRegistry::instance().addCounter(
+            "orch.steal.wins", 1));
+    }
     // First completion wins: kill any speculative twin of this
     // shard still running elsewhere. Its exit settles through the
     // normal event path and is discarded as obsolete.
@@ -379,6 +431,10 @@ Orchestrator::handleSuccess(FleetSlot &slot,
         if (&other == &slot || !other.busy ||
             other.shard != slot.shard)
             continue;
+        if (other.speculative) {
+            REGATE_OBS(obs::MetricsRegistry::instance().addCounter(
+                "orch.steal.losses", 1));
+        }
         other.killedReason = "speculative twin lost the race";
         other.killDeadline =
             Clock::now() +
@@ -434,6 +490,14 @@ Orchestrator::handleFailure(FleetSlot &slot, int gid,
     if (scheduler_->onFailure(slot.shard, gid)) {
         event(tag + ": failed (" + reason +
               "); retrying on another slot");
+        REGATE_OBS(obs::MetricsRegistry::instance().addCounter(
+            "orch.shard.retries", 1));
+        auto &trace = obs::TraceRecorder::instance();
+        if (trace.enabled())
+            trace.instantLane(
+                "shard.retry", "fleet", laneOf(gid),
+                {{"shard", std::to_string(slot.shard)},
+                 {"reason", reason}});
         return true;
     }
     event(tag + ": failed (" + reason + ")");
@@ -452,6 +516,18 @@ Orchestrator::settleFinished(FleetSlot &slot, int gid,
                              StreamingMerger &merger)
 {
     slot.busy = false;
+    auto &trace = obs::TraceRecorder::instance();
+    if (trace.enabled() && slot.traceStartUs != 0) {
+        // The attempt renders as one span on its slot's lane, from
+        // assign to settle, however it ended.
+        trace.completeLane(
+            "shard " + std::to_string(slot.shard), "fleet",
+            laneOf(gid), slot.traceStartUs, trace.nowUs(),
+            {{"attempt", std::to_string(slot.attempt)},
+             {"outcome", clean_exit ? "clean" : "failed"},
+             {"slot", slot.name}});
+        slot.traceStartUs = 0;
+    }
     std::string killed = slot.killedReason;
     slot.killedReason.clear();
     // A completed shard's leftover exit — the losing side of a
@@ -578,6 +654,20 @@ Orchestrator::pickStraggler() const
         std::nth_element(sorted.begin(), mid, sorted.end());
         threshold = std::max(threshold, 2.0 * *mid);
     }
+    // ETA model: prefer the fleet-wide per-case duration histogram
+    // (obs registry, fed by every transport's real samples — local
+    // heartbeat deltas and agent-streamed frames alike); its exact
+    // mean generalizes across shards, where the per-attempt
+    // extrapolation below can be fooled by one slow leading case.
+    // The extrapolation stays as the fallback for sweeps that have
+    // not recorded a sample yet (or -DREGATE_OBS_DISABLED builds).
+    double mean_case_sec = 0;
+    REGATE_OBS({
+        mean_case_sec = obs::MetricsRegistry::instance()
+                            .histogram("fleet.case_duration_us")
+                            .mean() /
+                        1e6;
+    });
     int victim = -1;
     double worst = 0;
     auto now = Clock::now();
@@ -601,9 +691,11 @@ Orchestrator::pickStraggler() const
                         &done, &total) != 2 ||
             done <= 0 || done >= total)
             continue;  // No ETA yet, or final heartbeat seen.
-        double remaining = elapsed *
-                           static_cast<double>(total - done) /
-                           static_cast<double>(done);
+        double remaining =
+            mean_case_sec > 0
+                ? mean_case_sec * static_cast<double>(total - done)
+                : elapsed * static_cast<double>(total - done) /
+                      static_cast<double>(done);
         if (victim < 0 || remaining > worst) {
             victim = static_cast<int>(s);
             worst = remaining;
@@ -656,6 +748,17 @@ Orchestrator::stealStragglers()
                   idle.name + " " + desc + " (stealing from slot=" +
                   victim.name + ", at case " +
                   victim.progressDetail + ")");
+            REGATE_OBS(obs::MetricsRegistry::instance().addCounter(
+                "orch.steal.spawned", 1));
+            auto &trace = obs::TraceRecorder::instance();
+            if (trace.enabled()) {
+                idle.traceStartUs = trace.nowUs();
+                trace.instantLane(
+                    "shard.steal", "fleet",
+                    laneOf(static_cast<int>(s)),
+                    {{"shard", std::to_string(shard)},
+                     {"victim", victim.name}});
+            }
         } catch (const ConfigError &e) {
             // The twin never started; the original attempt is
             // still running, so this costs the charged attempt and
@@ -764,14 +867,28 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
                     it->lastProgress = Clock::now();
                     it->progressDetail = ev.detail;
                     break;
+                  case net::TransportEvent::Kind::Metric:
+                    aggregateMetric(ev);
+                    break;
                   case net::TransportEvent::Kind::Finished:
                     if (!settleFinished(*it, gid, ev.cleanExit,
                                         ev.detail, merger))
                         return false;
                     break;
-                  case net::TransportEvent::Kind::Lost:
+                  case net::TransportEvent::Kind::Lost: {
                     it->busy = false;
                     it->killedReason.clear();
+                    auto &trace = obs::TraceRecorder::instance();
+                    if (trace.enabled() && it->traceStartUs != 0) {
+                        trace.completeLane(
+                            "shard " + std::to_string(it->shard),
+                            "fleet", laneOf(gid), it->traceStartUs,
+                            trace.nowUs(),
+                            {{"attempt",
+                              std::to_string(it->attempt)},
+                             {"outcome", "lost"}});
+                        it->traceStartUs = 0;
+                    }
                     retireSlot(*it, ev.detail);
                     // A lost copy of a merged (or still-racing)
                     // shard is a speculative leftover, not a
@@ -780,6 +897,7 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
                         !handleFailure(*it, gid, ev.detail))
                         return false;
                     break;
+                  }
                 }
             }
             // A dead transport's idle slots retire too (Lost events
@@ -909,6 +1027,10 @@ int
 Orchestrator::run()
 {
     std::filesystem::create_directories(opt_.dir);
+    auto &trace = obs::TraceRecorder::instance();
+    if (!opt_.traceOut.empty())
+        trace.start(opt_.traceOut);
+    auto sweep_start = trace.nowUs();
     // The spec digest is computed before anything else: it joins
     // every hello cross-check, stamps the merged shard header, and
     // a spec file that fails to parse must be a one-line usage
@@ -945,8 +1067,10 @@ Orchestrator::run()
     StreamingMerger merger(plan_.cases, specDigest_);
     auto missing = scanCheckpoints(merger);
 
-    if (!missing.empty() && !driveFleet(missing, merger))
+    if (!missing.empty() && !driveFleet(missing, merger)) {
+        finishTelemetry(sweep_start, "failed");
         return 1;
+    }
 
     auto doc = merger.mergedDocument();
     // Atomic promotion, like the plan and the shard checkpoints: a
@@ -957,10 +1081,35 @@ Orchestrator::run()
     event("merged " + std::to_string(plan_.cases) + " cases -> " +
           mergedOut_ + " (file digest " + sim::contentDigest(doc) +
           ")");
+    finishTelemetry(sweep_start, "merged");
 
     if (opt_.render)
         return renderMerged();
     return 0;
+}
+
+void
+Orchestrator::finishTelemetry(std::uint64_t sweep_start,
+                              const std::string &outcome)
+{
+    auto &trace = obs::TraceRecorder::instance();
+    if (trace.enabled()) {
+        trace.complete("orchestrate", "fleet", sweep_start,
+                       {{"bin", binName_}, {"outcome", outcome}});
+        trace.flush();
+        event("trace: wrote " + opt_.traceOut);
+    }
+    if (opt_.metricsOut.empty())
+        return;
+    // Same atomic promotion as every other artifact this process
+    // writes. The snapshot aggregates the driver's own instruments
+    // with everything the fleet streamed during the sweep.
+    auto snapshot =
+        obs::MetricsRegistry::instance().snapshotJson();
+    writeFile(opt_.metricsOut + ".part", snapshot);
+    renameFile(opt_.metricsOut + ".part", opt_.metricsOut);
+    event("metrics: wrote " + opt_.metricsOut + " (file digest " +
+          sim::contentDigest(snapshot) + ")");
 }
 
 }  // namespace

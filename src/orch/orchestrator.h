@@ -160,6 +160,24 @@ struct OrchOptions
      */
     std::size_t probedCases = 0;
 
+    /**
+     * Trace-event timeline output (`--trace-out`): the whole
+     * sweep's shard lifecycle — assign, heartbeat-driven spans per
+     * fleet slot, steals, retries, losses — as Chrome/Perfetto JSON
+     * (obs/trace.h). Empty = tracing off.
+     */
+    std::string traceOut;
+
+    /**
+     * Sweep-wide metrics snapshot output (`--metrics-out`): the
+     * canonical-JSON obs::MetricsRegistry snapshot, written next to
+     * the merged document after the sweep. It aggregates the
+     * driver's own instruments with every metric sample streamed by
+     * fleet agents (per-case duration histograms, counter deltas).
+     * Empty = no snapshot.
+     */
+    std::string metricsOut;
+
     /// Event sink ("orch: ..." lines); null = silent.
     std::ostream *events = nullptr;
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "core/gating_engine.h"
 #include "ici/topology.h"
 
@@ -110,6 +111,23 @@ namespace {
 
 std::atomic<std::uint64_t> g_run_copies{0};
 
+/**
+ * Registry mirror of the deep-copy count ("sim.run.copies"); the
+ * local atomic stays authoritative for WorkloadRun::copies() so the
+ * zero-copy tests are independent of registry state.
+ */
+void
+countRunCopy()
+{
+    g_run_copies.fetch_add(1, std::memory_order_relaxed);
+    REGATE_OBS({
+        static obs::Counter &copies =
+            obs::MetricsRegistry::instance().counter(
+                "sim.run.copies");
+        copies.add(1);
+    });
+}
+
 }  // namespace
 
 WorkloadRun::WorkloadRun(const WorkloadRun &o)
@@ -119,7 +137,7 @@ WorkloadRun::WorkloadRun(const WorkloadRun &o)
       policies(o.policies), opCacheHits(o.opCacheHits),
       opCacheMisses(o.opCacheMisses)
 {
-    g_run_copies.fetch_add(1, std::memory_order_relaxed);
+    countRunCopy();
 }
 
 WorkloadRun &
@@ -138,7 +156,7 @@ WorkloadRun::operator=(const WorkloadRun &o)
         opCacheHits = o.opCacheHits;
         opCacheMisses = o.opCacheMisses;
     }
-    g_run_copies.fetch_add(1, std::memory_order_relaxed);
+    countRunCopy();
     return *this;
 }
 

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "compiler/compiler.h"
 #include "models/registry.h"
+#include "obs/trace.h"
 #include "sim/graph_cache.h"
 
 namespace regate {
@@ -122,6 +123,19 @@ sharedOpCache(arch::NpuGeneration gen)
 
 namespace {
 
+/**
+ * Trace hook for the whole-run memo: a warm hit renders as an
+ * instant, a miss as nothing here (the build/compile/engine spans
+ * below show where the time went instead).
+ */
+void
+traceRunCacheHit()
+{
+    auto &trace = obs::TraceRecorder::instance();
+    if (trace.enabled())
+        trace.instant("run_cache.hit", "sim");
+}
+
 WorkloadReport
 simulateImpl(models::Workload workload, arch::NpuGeneration gen,
              const arch::GatingParams &params,
@@ -143,6 +157,7 @@ simulateImpl(models::Workload workload, arch::NpuGeneration gen,
         auto cached = sharedRunCache().lookup(workload, rep.setup,
                                               gen, params);
         if (cached) {
+            traceRunCacheHit();
             ReportSerializeAccess::setRun(rep, std::move(cached));
             rep.units = models::unitsPerRun(workload, rep.setup);
             return rep;
@@ -153,39 +168,44 @@ simulateImpl(models::Workload workload, arch::NpuGeneration gen,
     // (workload, setup, generation). Cold path (or memoization off):
     // build and compile from scratch. compileGraph's TilingOptions are
     // defaulted here, so the three key fields cover every input.
+    auto buildCompile = [&] {
+        obs::TraceRecorder::Span span("graph.build_compile", "sim");
+        return compiler::compileGraph(
+            models::buildGraph(workload, rep.setup), cfg);
+    };
     std::shared_ptr<const compiler::CompileResult> compiled;
     if (memoize) {
         compiled = sharedGraphCache().lookup(workload, rep.setup, gen);
         if (!compiled) {
             compiled = sharedGraphCache().store(
-                workload, rep.setup, gen,
-                compiler::compileGraph(
-                    models::buildGraph(workload, rep.setup), cfg));
+                workload, rep.setup, gen, buildCompile());
         }
     } else {
         compiled = std::make_shared<const compiler::CompileResult>(
-            compiler::compileGraph(
-                models::buildGraph(workload, rep.setup), cfg));
+            buildCompile());
     }
 
     Engine engine(cfg, params);
+    auto runEngine = [&] {
+        obs::TraceRecorder::Span span("engine.run", "sim");
+        return engine.run(compiled->graph, rep.setup.chips);
+    };
     if (memoize) {
         engine.setOpCache(&sharedOpCache(gen));
         // Move the fresh run into the memo and alias its canonical
         // entry: the report shares the cached run instead of owning
         // a private deep copy.
         ReportSerializeAccess::setRun(
-            rep, sharedRunCache().store(
-                     workload, rep.setup, gen, params,
-                     engine.run(compiled->graph, rep.setup.chips)));
+            rep, sharedRunCache().store(workload, rep.setup, gen,
+                                        params, runEngine()));
     } else {
         // The uncached path must leave every shared cache untouched
         // (fig16 validates the memo against it), so the run is owned
         // privately, never routed through sharedRunCache().
         engine.setMemoization(false);
         ReportSerializeAccess::setRun(
-            rep, std::make_shared<const WorkloadRun>(
-                     engine.run(compiled->graph, rep.setup.chips)));
+            rep,
+            std::make_shared<const WorkloadRun>(runEngine()));
     }
     rep.units = models::unitsPerRun(workload, rep.setup);
     return rep;
@@ -219,6 +239,7 @@ scenarioImpl(std::shared_ptr<const models::ScenarioSpec> spec,
         auto cached =
             sharedRunCache().lookup(RunKey{graph_key, params});
         if (cached) {
+            traceRunCacheHit();
             ReportSerializeAccess::setRun(rep, std::move(cached));
             rep.units = models::scenarioUnitsPerRun(*rep.scenario,
                                                     rep.setup);
@@ -226,36 +247,39 @@ scenarioImpl(std::shared_ptr<const models::ScenarioSpec> spec,
         }
     }
 
+    auto buildCompile = [&] {
+        obs::TraceRecorder::Span span("graph.build_compile", "sim");
+        return compiler::compileGraph(
+            models::buildScenarioGraph(*rep.scenario, rep.setup),
+            cfg);
+    };
     std::shared_ptr<const compiler::CompileResult> compiled;
     if (memoize) {
         compiled = sharedGraphCache().lookup(graph_key);
         if (!compiled) {
-            compiled = sharedGraphCache().store(
-                graph_key,
-                compiler::compileGraph(
-                    models::buildScenarioGraph(*rep.scenario,
-                                               rep.setup),
-                    cfg));
+            compiled =
+                sharedGraphCache().store(graph_key, buildCompile());
         }
     } else {
         compiled = std::make_shared<const compiler::CompileResult>(
-            compiler::compileGraph(
-                models::buildScenarioGraph(*rep.scenario, rep.setup),
-                cfg));
+            buildCompile());
     }
 
     Engine engine(cfg, params);
+    auto runEngine = [&] {
+        obs::TraceRecorder::Span span("engine.run", "sim");
+        return engine.run(compiled->graph, rep.setup.chips);
+    };
     if (memoize) {
         engine.setOpCache(&sharedOpCache(gen));
         ReportSerializeAccess::setRun(
-            rep, sharedRunCache().store(
-                     RunKey{graph_key, params},
-                     engine.run(compiled->graph, rep.setup.chips)));
+            rep, sharedRunCache().store(RunKey{graph_key, params},
+                                        runEngine()));
     } else {
         engine.setMemoization(false);
         ReportSerializeAccess::setRun(
-            rep, std::make_shared<const WorkloadRun>(
-                     engine.run(compiled->graph, rep.setup.chips)));
+            rep,
+            std::make_shared<const WorkloadRun>(runEngine()));
     }
     rep.units =
         models::scenarioUnitsPerRun(*rep.scenario, rep.setup);

@@ -253,6 +253,19 @@ class FakeAgent
         }
     }
 
+    /** Drain and return what the driver sent, for content checks. */
+    std::string
+    received()
+    {
+        std::string out;
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::recv(agentFd_, buf, sizeof(buf),
+                           MSG_DONTWAIT)) > 0)
+            out.append(buf, static_cast<std::size_t>(n));
+        return out;
+    }
+
     void
     closeAgent()
     {
@@ -513,6 +526,134 @@ TEST(TcpTransport, ErrorFrameNamesTheAgentsComplaint)
     EXPECT_NE(events[0].detail.find("slot 7"), std::string::npos);
 }
 
+// ---- Metric frames (the telemetry side channel) ----
+
+TEST(AgentProtocol, MetricFrameRoundTrips)
+{
+    MetricSample sample;
+    sample.name = "case_duration_us";
+    sample.kind = 'h';
+    sample.value = 5000;
+    sample.count = 2;
+    auto line = formatFrame(metricFrame(3, 17, sample, "deadbeef"));
+    EXPECT_EQ(line, "@regate-net v1 metric slot=3 seq=17 "
+                    "name=case_duration_us kind=h v=5000 n=2 "
+                    "auth=deadbeef");
+    auto frame = parseFrame(line);
+    EXPECT_EQ(frame.getIndex("slot"), 3);
+    EXPECT_EQ(frame.getInt("seq"), 17);
+    EXPECT_EQ(frame.get("auth"), "deadbeef");
+    auto back = parseMetric(frame);
+    EXPECT_EQ(back.name, sample.name);
+    EXPECT_EQ(back.kind, 'h');
+    EXPECT_EQ(back.value, 5000u);
+    EXPECT_EQ(back.count, 2u);
+
+    // Without a tag the auth key is absent, not empty — the
+    // plaintext frame stays minimal.
+    auto plain = formatFrame(metricFrame(0, 1, sample));
+    EXPECT_EQ(plain.find("auth="), std::string::npos);
+}
+
+TEST(AgentProtocol, MalformedMetricFramesRejectedByName)
+{
+    auto reject = [](const std::string &line,
+                     const std::string &needle) {
+        try {
+            parseMetric(parseFrame(line));
+            FAIL() << "accepted: " << line;
+        } catch (const ConfigError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << line << " failed with: " << e.what();
+        }
+    };
+    reject("@regate-net v1 metric slot=0 seq=1 kind=c v=1 n=1",
+           "carries no name");
+    reject("@regate-net v1 metric slot=0 seq=1 name=\"\" kind=c "
+           "v=1 n=1",
+           "empty name");
+    reject("@regate-net v1 metric slot=0 seq=1 name=x kind=z v=1 "
+           "n=1",
+           "expected c or h");
+    reject("@regate-net v1 metric slot=0 seq=1 name=x kind=c v=1 "
+           "n=0",
+           "zero observations");
+    reject("@regate-net v1 metric slot=0 seq=1 name=x kind=c "
+           "v=oops n=1",
+           "not a non-negative integer");
+    reject("@regate-net v1 done slot=0", "expected a metric frame");
+}
+
+TEST(AgentProtocol, MetricAuthBindsEveryField)
+{
+    MetricSample sample;
+    sample.name = "net.backoff.attempts";
+    sample.value = 4;
+    auto tag = metricAuth("secret", "nonce", 1, 9, sample);
+    EXPECT_EQ(metricAuth("secret", "nonce", 1, 9, sample), tag);
+
+    EXPECT_NE(metricAuth("other", "nonce", 1, 9, sample), tag);
+    EXPECT_NE(metricAuth("secret", "nonce2", 1, 9, sample), tag);
+    EXPECT_NE(metricAuth("secret", "nonce", 2, 9, sample), tag);
+    EXPECT_NE(metricAuth("secret", "nonce", 1, 10, sample), tag);
+    auto moved = sample;
+    moved.value = 5;
+    EXPECT_NE(metricAuth("secret", "nonce", 1, 9, moved), tag);
+}
+
+TEST(TcpTransport, NegotiatedMetricFrameBecomesMetricEvent)
+{
+    FakeAgent agent;
+    agent.sayLine("@regate-net v1 hello role=agent "
+                  "bin=fig_testcase slots=2 cases=8 metrics=1");
+    TcpTransport transport(agent.takeDriverEnd(), "fake:0", 0,
+                           "fig_testcase", 8);
+    EXPECT_TRUE(transport.metricsNegotiated());
+    transport.start(0, assignment(0));
+    // The assign arms streaming on a metrics-capable peer.
+    EXPECT_NE(agent.received().find(" metrics=1"),
+              std::string::npos);
+
+    agent.sayLine("@regate-net v1 metric slot=0 seq=1 "
+                  "name=case_duration_us kind=h v=9000 n=3");
+    agent.sayLine("@regate-net v1 metric slot=0 seq=2 "
+                  "name=sim.run_cache.hits kind=c v=7 n=1");
+    auto events = transport.poll();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Metric);
+    EXPECT_EQ(events[0].slot, 0);
+    EXPECT_EQ(events[0].metricName, "case_duration_us");
+    EXPECT_EQ(events[0].metricKind, 'h');
+    EXPECT_EQ(events[0].metricValue, 9000u);
+    EXPECT_EQ(events[0].metricCount, 3u);
+    EXPECT_EQ(events[1].metricKind, 'c');
+    EXPECT_EQ(events[1].metricValue, 7u);
+    EXPECT_TRUE(transport.alive());
+}
+
+TEST(TcpTransport, UnnegotiatedMetricFrameKillsTheSession)
+{
+    // The stock hello never offered metrics, so a metric frame is a
+    // protocol violation from this peer — the session dies like any
+    // other malformed traffic, it does not silently count samples.
+    FakeAgent agent;
+    auto transport = makeTransport(agent);
+    EXPECT_FALSE(transport->metricsNegotiated());
+    transport->start(0, assignment(0));
+    // No streaming armed on a metrics-less peer.
+    EXPECT_EQ(agent.received().find(" metrics=1"),
+              std::string::npos);
+
+    agent.sayLine("@regate-net v1 metric slot=0 seq=1 name=x "
+                  "kind=c v=1 n=1");
+    auto events = transport->poll();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, TransportEvent::Kind::Lost);
+    EXPECT_NE(events[0].detail.find("metric"), std::string::npos);
+    EXPECT_FALSE(transport->alive());
+}
+
 // ---- The v2 authenticated hello ----
 
 /** Both ends of a socketpair wrapped as LineChannels. */
@@ -694,6 +835,81 @@ TEST(AuthHandshake, ReplayedHelloIsRejected)
             << e.what();
     }
     replayer.join();
+}
+
+TEST(AuthHandshake, MetricsCapabilityNegotiatesEndToEnd)
+{
+    // New agent, new driver: the challenge advertises metrics, the
+    // agent keeps its offer, and both ends agree on the driver
+    // nonce the metric-frame MACs will be bound to.
+    auto pair = makeChannelPair();
+    std::optional<std::string> secret("fleet-secret");
+    AgentHandshakeResult agent_side;
+    std::thread agent([&] {
+        auto hello = stockHello();
+        hello.metrics = true;
+        agent_side =
+            agentHandshake(pair.agent, hello, secret, 2000);
+    });
+    auto result = driverHandshake(pair.driver, secret, 2000);
+    agent.join();
+    EXPECT_TRUE(result.authenticated);
+    EXPECT_TRUE(result.hello.metrics);
+    EXPECT_TRUE(agent_side.hello.metrics);
+    EXPECT_FALSE(result.driverNonce.empty());
+    EXPECT_EQ(agent_side.driverNonce, result.driverNonce);
+
+    // An agent that never offers the capability stays metrics-less
+    // even against a metrics-capable driver.
+    auto pair2 = makeChannelPair();
+    std::thread plain_agent([&] {
+        agentHandshake(pair2.agent, stockHello(), secret, 2000);
+    });
+    auto plain = driverHandshake(pair2.driver, secret, 2000);
+    plain_agent.join();
+    EXPECT_TRUE(plain.authenticated);
+    EXPECT_FALSE(plain.hello.metrics);
+}
+
+TEST(AuthHandshake, OldDriverWithoutMetricsDowngradesTheHello)
+{
+    // A driver predating the metrics key sends a challenge without
+    // it. The agent must answer with a metrics-less hello whose MAC
+    // the old driver's (metrics-less) input verifies — byte-for-
+    // byte what builds before the capability computed.
+    auto pair = makeChannelPair();
+    std::string secret = "fleet-secret";
+    AgentHandshakeResult agent_side;
+    std::thread agent([&] {
+        auto hello = stockHello();
+        hello.metrics = true;  // Offered, but the driver is old.
+        agent_side = agentHandshake(
+            pair.agent, hello,
+            std::optional<std::string>(secret), 2000);
+    });
+
+    // Scripted old driver: no metrics key on the challenge.
+    auto opening = parseFrame(pair.driver.readLine(2000));
+    ASSERT_EQ(opening.verb, "hello-auth");
+    Frame challenge;
+    challenge.version = kAuthProtocolVersion;
+    challenge.verb = "challenge";
+    auto driver_nonce = makeNonce();
+    challenge.kv = {
+        {"nonce", driver_nonce},
+        {"proof", driverProof(secret, opening.get("nonce"))}};
+    pair.driver.sendLine(formatFrame(challenge));
+
+    auto answer = parseFrame(pair.driver.readLine(2000));
+    agent.join();
+    ASSERT_EQ(answer.verb, "hello");
+    EXPECT_FALSE(answer.has("metrics"));
+    auto hello = parseHello(answer);
+    EXPECT_FALSE(hello.metrics);
+    EXPECT_FALSE(agent_side.hello.metrics);
+    // The old driver's MAC input (no metrics suffix) verifies.
+    EXPECT_EQ(answer.get("auth"),
+              agentAuth(secret, driver_nonce, hello));
 }
 
 TEST(AuthHandshake, DowngradeToPlaintextIsRejected)

@@ -51,9 +51,19 @@ acceptance criteria pin:
    agent whose spec file differs (same case count, different
    digest) is rejected by the hello cross-check with a named error
    before any shard is assigned.
+
+8. Telemetry fleet (needs --agent): fig02 through 2 local slots
+   plus two agents, with --trace-out and --metrics-out. The trace
+   must validate under tools/trace_check.py (well-formed, nested
+   spans) and carry the orchestrate/shard timeline; the metrics
+   snapshot must hold exactly one fleet.case_duration_us
+   observation per grid case; render and merged document must stay
+   byte-identical to a telemetry-off unsharded run — observing the
+   sweep must not change its output.
 """
 
 import argparse
+import json
 import os
 import re
 import signal
@@ -577,6 +587,76 @@ def check_spec_fleet(orch, agent_bin, binary, tmp):
           "with a named digest error before any assignment")
 
 
+def check_telemetry(orch, agent_bin, binary, tmp):
+    """Scenario 8: --trace-out/--metrics-out on a loopback fleet.
+    The sweep must stay byte-identical to a telemetry-off run, the
+    trace must pass tools/trace_check.py, and the snapshot's
+    per-case duration histogram must count every grid case."""
+    reference = run([binary]).stdout
+    single = tmp / "tel_single.json"
+    run([binary, "--shard", "0/1", "--out", str(single)])
+    cases = int(run([binary, "--cases"]).stdout)
+
+    trace = tmp / "tel_trace.json"
+    metrics = tmp / "tel_metrics.json"
+    agents = [Agent(agent_bin, binary, tmp / f"tel_agent{i}_work",
+                    tmp / f"tel_agent{i}.log") for i in (0, 1)]
+    try:
+        rundir = tmp / "tel_run"
+        proc = run([orch, "--bin", str(binary), "--dir", str(rundir),
+                    "--workers", "2", "--granularity", "2",
+                    "--host", f"127.0.0.1:{agents[0].port}",
+                    "--host", f"127.0.0.1:{agents[1].port}",
+                    "--trace-out", str(trace),
+                    "--metrics-out", str(metrics),
+                    "--render"])
+        events = proc.stderr.decode(errors="replace")
+    finally:
+        for agent in agents:
+            agent.reap()
+
+    # Observing the sweep must not change what it produces.
+    require(proc.stdout == reference,
+            "telemetry: traced render differs from a telemetry-off "
+            "unsharded run")
+    require((rundir / "merged.json").read_bytes()
+            == single.read_bytes(),
+            "telemetry: merged document differs from --shard 0/1")
+    require("trace: wrote" in events and "metrics: wrote" in events,
+            f"telemetry: no trace/metrics write events:\n{events}")
+
+    # The trace must be valid, nested trace-event JSON carrying the
+    # orchestrator timeline (trace_check.py exits non-zero on any
+    # malformed or mis-nested event).
+    checker = (Path(__file__).resolve().parent.parent / "tools" /
+               "trace_check.py")
+    run([sys.executable, str(checker), str(trace)])
+    names = {ev["name"] for ev in json.loads(trace.read_text())}
+    require("orchestrate" in names,
+            f"telemetry: trace lacks the orchestrate span: {names}")
+    require(any(n.startswith("shard") for n in names),
+            f"telemetry: trace lacks shard spans: {names}")
+
+    # The fleet histogram must have seen every case exactly once —
+    # local slots, agent slots, no double counting.
+    snapshot = json.loads(metrics.read_text())
+    require(snapshot.get("obs") == "regate-metrics",
+            f"telemetry: snapshot lacks the obs header: {metrics}")
+    hist = snapshot.get("histograms", {}).get("fleet.case_duration_us")
+    require(hist is not None,
+            f"telemetry: snapshot has no fleet.case_duration_us "
+            f"histogram:\n{metrics.read_text()}")
+    require(hist["count"] == cases,
+            f"telemetry: fleet.case_duration_us counted "
+            f"{hist['count']} cases, grid has {cases}")
+    require(hist["sum"] > 0,
+            "telemetry: per-case durations sum to zero")
+    print(f"orch telemetry: traced fleet sweep validated "
+          f"({len(names)} span names), {hist['count']}/{cases} "
+          "cases in the duration histogram; render and merged "
+          "document byte-identical to a telemetry-off run")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--orch", required=True,
@@ -585,7 +665,9 @@ def main():
                     help="path to the regate_agent binary")
     ap.add_argument("--bin-dir", required=True,
                     help="directory holding the figure binaries")
-    ap.add_argument("--only", choices=["fleet", "elastic", "spec"],
+    ap.add_argument("--only",
+                    choices=["fleet", "elastic", "spec",
+                             "telemetry"],
                     help="run just one scenario (CI fleet jobs)")
     args = ap.parse_args()
 
@@ -607,7 +689,8 @@ def main():
                 sys.exit(f"--only {args.only} needs --agent")
             scenario = {"fleet": check_fleet,
                         "elastic": check_elastic,
-                        "spec": check_spec_fleet}[args.only]
+                        "spec": check_spec_fleet,
+                        "telemetry": check_telemetry}[args.only]
             scenario(args.orch, args.agent, fig02, tmp)
             return 0
         check_injected_failures(args.orch, fig02, tmp)
@@ -618,6 +701,7 @@ def main():
             check_fleet(args.orch, args.agent, fig02, tmp)
             check_elastic(args.orch, args.agent, fig02, tmp)
             check_spec_fleet(args.orch, args.agent, fig02, tmp)
+            check_telemetry(args.orch, args.agent, fig02, tmp)
     return 0
 
 
