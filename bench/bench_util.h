@@ -25,6 +25,8 @@
 #include "common/table.h"
 #include "models/registry.h"
 #include "models/spec.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/report.h"
 #include "sim/serialize.h"
@@ -116,6 +118,14 @@ struct BenchCli
      */
     std::string traceOut;
 
+    /**
+     * `--metrics-out FILE`: write the process's canonical metrics
+     * snapshot (obs::MetricsRegistry::writeSnapshot — the same
+     * writer `regate_orch --metrics-out` uses) at exit, covering
+     * every mode including the shard-mode std::exit(0) path.
+     */
+    std::string metricsOut;
+
     bool sharded() const { return shardCount > 0; }
     bool fromFiles() const { return !fromPaths.empty(); }
     bool hasSpec() const { return !scenarios.empty(); }
@@ -199,7 +209,8 @@ initBench(int argc, char **argv)
                   << " [--spec scenarios.spec] [--list-generators]"
                   << " [--shard i/N --out shard.json [--worker]]"
                   << " [--from results.json ...] [--cases]"
-                  << " [--trace-out trace.json]\n";
+                  << " [--trace-out trace.json]"
+                  << " [--metrics-out metrics.json]\n";
         std::exit(2);
     };
     for (int i = 1; i < argc; ++i) {
@@ -229,6 +240,10 @@ initBench(int argc, char **argv)
             if (++i >= argc)
                 usage("--trace-out needs a path");
             cli.traceOut = argv[i];
+        } else if (arg == "--metrics-out") {
+            if (++i >= argc)
+                usage("--metrics-out needs a path");
+            cli.metricsOut = argv[i];
         } else if (arg == "--from") {
             // Greedy: consume every following non-option argument,
             // so "--from shard0.json shard1.json" works.
@@ -267,6 +282,33 @@ initBench(int argc, char **argv)
     }
     if (!cli.traceOut.empty())
         obs::TraceRecorder::instance().start(cli.traceOut);
+    if (!cli.metricsOut.empty())
+        std::atexit([] {
+            try {
+                obs::MetricsRegistry::instance().writeSnapshot(
+                    benchCli().metricsOut);
+            } catch (const ConfigError &e) {
+                std::cerr << "--metrics-out: " << e.what() << "\n";
+            }
+        });
+    // Always-on flight recorder: every grid binary dies with a
+    // postmortem timeline next to whatever it was producing (or
+    // next to the binary, when it produces only stdout).
+    std::string postmortem;
+    if (!cli.outPath.empty())
+        postmortem = cli.outPath;
+    else if (!cli.traceOut.empty())
+        postmortem = cli.traceOut;
+    else if (!cli.metricsOut.empty())
+        postmortem = cli.metricsOut;
+    else {
+        postmortem = argv[0];
+        auto slash = postmortem.find_last_of('/');
+        if (slash != std::string::npos)
+            postmortem = postmortem.substr(slash + 1);
+    }
+    obs::FlightRecorder::installCrashHandlers(postmortem +
+                                              ".postmortem.json");
 }
 
 /**
@@ -323,6 +365,11 @@ workerStart(const char *kind, sim::ShardRange range,
               << " cases=" << cases << " range=" << range.begin
               << ".." << range.end << "\n"
               << std::flush;
+    REGATE_OBS(obs::FlightRecorder::instance().instant(
+        "worker.start",
+        ("shard=" + std::to_string(cli.shardIndex) + "/" +
+         std::to_string(cli.shardCount))
+            .c_str()));
     if (const char *stall = std::getenv("REGATE_TEST_STALL_S")) {
         long seconds = std::strtol(stall, nullptr, 10);
         if (seconds > 0)
@@ -378,21 +425,33 @@ constexpr int kSweepLane = 1000000;
  * @p sweep_start so the first case's span begins where the
  * enclosing grid span does. The runner serializes progress
  * callbacks with strictly increasing done counts, so consecutive
- * spans never overlap.
+ * spans never overlap. Case completions are mirrored into the
+ * always-on flight recorder (same clock — obs::monotonicUs()), so
+ * a crash mid-sweep leaves the recent cases in the postmortem even
+ * without --trace-out.
  */
 inline sim::SweepProgress
 traceProgress(sim::SweepProgress inner, std::uint64_t sweep_start)
 {
     auto &trace = obs::TraceRecorder::instance();
-    if (!trace.enabled())
+    auto &flight = obs::FlightRecorder::instance();
+    if (!trace.enabled() && !flight.enabled())
         return inner;
     auto last = std::make_shared<std::uint64_t>(sweep_start);
-    return [inner, last, &trace](std::size_t done,
-                                 std::size_t total) {
-        auto now = trace.nowUs();
-        trace.completeLane("case", "sweep", kSweepLane, *last, now,
-                           {{"done", std::to_string(done)},
-                            {"total", std::to_string(total)}});
+    return [inner, last, &trace, &flight](std::size_t done,
+                                          std::size_t total) {
+        auto now = obs::monotonicUs();
+        if (trace.enabled())
+            trace.completeLane("case", "sweep", kSweepLane, *last,
+                               now,
+                               {{"done", std::to_string(done)},
+                                {"total", std::to_string(total)}});
+        if (flight.enabled()) {
+            char detail[40];
+            std::snprintf(detail, sizeof detail, "%zu/%zu", done,
+                          total);
+            flight.complete("case", *last, now, detail, kSweepLane);
+        }
         *last = now;
         if (inner)
             inner(done, total);
@@ -404,6 +463,13 @@ inline void
 traceGridDone(const char *kind, std::uint64_t sweep_start,
               std::size_t cases)
 {
+    auto &flight = obs::FlightRecorder::instance();
+    if (flight.enabled()) {
+        char detail[40];
+        std::snprintf(detail, sizeof detail, "cases=%zu", cases);
+        flight.complete(kind, sweep_start, obs::monotonicUs(),
+                        detail, kSweepLane);
+    }
     auto &trace = obs::TraceRecorder::instance();
     if (!trace.enabled())
         return;
@@ -532,7 +598,7 @@ runGrid(const std::vector<sim::SweepCase> &grid)
         auto range = sim::shardRange(grid.size(), cli.shardIndex,
                                      cli.shardCount);
         detail::workerStart("run", range, grid.size());
-        auto sweep_start = obs::TraceRecorder::instance().nowUs();
+        auto sweep_start = obs::monotonicUs();
         auto results =
             sweeper().run(sim::shardGrid(grid, cli.shardIndex,
                                          cli.shardCount),
@@ -551,7 +617,7 @@ runGrid(const std::vector<sim::SweepCase> &grid)
         });
         std::exit(0);
     }
-    auto sweep_start = obs::TraceRecorder::instance().nowUs();
+    auto sweep_start = obs::monotonicUs();
     auto results =
         sweeper().run(grid, detail::traceProgress({}, sweep_start));
     detail::traceGridDone("grid.run", sweep_start, grid.size());
@@ -587,7 +653,7 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
         auto range = sim::shardRange(grid.size(), cli.shardIndex,
                                      cli.shardCount);
         detail::workerStart("search", range, grid.size());
-        auto sweep_start = obs::TraceRecorder::instance().nowUs();
+        auto sweep_start = obs::monotonicUs();
         auto results =
             sweeper().search(sim::shardGrid(grid, cli.shardIndex,
                                             cli.shardCount),
@@ -606,7 +672,7 @@ searchGrid(const std::vector<sim::SweepCase> &grid)
         });
         std::exit(0);
     }
-    auto sweep_start = obs::TraceRecorder::instance().nowUs();
+    auto sweep_start = obs::monotonicUs();
     auto results = sweeper().search(
         grid, detail::traceProgress({}, sweep_start));
     detail::traceGridDone("grid.search", sweep_start, grid.size());

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * flight_probe: deterministic crash-test target for the flight
+ * recorder's postmortem path (tests/postmortem_check.py).
+ *
+ * Runs a small mini-sweep — real simulateWorkload calls inside
+ * obs::TraceRecorder::Span scopes, which mirror begin/end markers
+ * into the flight rings — then raises a fatal signal mid-sweep
+ * INSIDE an open span. The installed crash handlers must
+ *
+ *  - dump the rings to the --postmortem path as parseable Chrome
+ *    trace-event JSON with monotone timestamps and the open 'B'
+ *    span (`tools/trace_check.py --postmortem` pins all of that),
+ *  - salvage the partial --trace-out buffer (the orderly flush
+ *    never runs), and
+ *  - re-raise with the default disposition, so the probe dies with
+ *    the real signal status the test asserts on.
+ *
+ * With --signal none the probe completes the sweep and exits 0:
+ * the control arm proving the handlers are inert on a clean run.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "models/workload.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "sim/report.h"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &msg)
+{
+    std::cerr << argv0 << ": " << msg << "\n"
+              << "usage: " << argv0
+              << " --postmortem PATH [--trace-out PATH]"
+              << " [--signal segv|abrt|term|none] [--cases N=4]\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using regate::obs::FlightRecorder;
+    using regate::obs::TraceRecorder;
+
+    std::string postmortem;
+    std::string trace_out;
+    std::string signal_name = "segv";
+    int cases = 4;
+
+    auto value = [&](int &i, const char *flag) {
+        if (++i >= argc)
+            usage(argv[0], std::string(flag) + " needs a value");
+        return std::string(argv[i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--postmortem")
+            postmortem = value(i, "--postmortem");
+        else if (arg == "--trace-out")
+            trace_out = value(i, "--trace-out");
+        else if (arg == "--signal")
+            signal_name = value(i, "--signal");
+        else if (arg == "--cases")
+            cases = std::atoi(value(i, "--cases").c_str());
+        else
+            usage(argv[0], "unknown argument '" + arg + "'");
+    }
+    if (postmortem.empty())
+        usage(argv[0], "--postmortem is required");
+    if (cases < 2)
+        usage(argv[0], "--cases must be >= 2");
+    int sig = 0;
+    if (signal_name == "segv")
+        sig = SIGSEGV;
+    else if (signal_name == "abrt")
+        sig = SIGABRT;
+    else if (signal_name == "term")
+        sig = SIGTERM;
+    else if (signal_name != "none")
+        usage(argv[0], "bad --signal '" + signal_name + "'");
+
+    FlightRecorder::installCrashHandlers(postmortem);
+    if (!trace_out.empty())
+        TraceRecorder::instance().start(trace_out);
+
+    auto &flight = FlightRecorder::instance();
+    flight.instant("probe.start", signal_name.c_str());
+
+    // The signal fires from inside case doom's open span, after at
+    // least one case has completed cleanly — so the postmortem
+    // holds both closed history and the open 'B' frontier.
+    int doom = cases / 2;
+    for (int c = 0; c < cases; ++c) {
+        TraceRecorder::Span span("probe.case", "probe");
+        char detail[32];
+        std::snprintf(detail, sizeof(detail), "case=%d/%d", c,
+                      cases);
+        flight.instant("probe.case.start", detail);
+        auto report = regate::sim::simulateWorkload(
+            regate::models::Workload::Decode8B,
+            regate::arch::NpuGeneration::D);
+        (void)report;
+        if (sig != 0 && c == doom) {
+            flight.instant("probe.doom", detail);
+            std::raise(sig);
+            // A handled-and-re-raised fatal signal never returns;
+            // reaching here means the handlers were not installed.
+            std::cerr << argv[0] << ": raise(" << signal_name
+                      << ") returned\n";
+            return 3;
+        }
+    }
+
+    flight.instant("probe.done");
+    TraceRecorder::instance().flush();
+    return 0;
+}

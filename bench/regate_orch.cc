@@ -63,6 +63,9 @@ usage(const char *argv0, const std::string &msg)
         << "    [--max-attempts K=3] [--resume]\n"
         << "    [--join-port P (accept regate_agent --join "
            "dial-ins; 0 = ephemeral)]\n"
+        << "    [--status-port P (serve a live canonical-JSON "
+           "sweep snapshot; 0 = ephemeral; see "
+           "tools/regate_top.py)]\n"
         << "    [--secret-file PATH (HMAC-authenticate hellos; or "
            "REGATE_FLEET_SECRET)]\n"
         << "    [--max-speculative S=0 (work-stealing: duplicate up "
@@ -158,6 +161,8 @@ main(int argc, char **argv)
             opt.resume = true;
         } else if (arg == "--join-port") {
             opt.joinPort = intArg(i, "--join-port");
+        } else if (arg == "--status-port") {
+            opt.statusPort = intArg(i, "--status-port");
         } else if (arg == "--secret-file") {
             opt.secretFile = stringArg(i, "--secret-file");
         } else if (arg == "--max-speculative") {
@@ -207,6 +212,8 @@ main(int argc, char **argv)
         usage(argv[0], "--max-attempts must be positive");
     if (opt.joinPort > 65535)
         usage(argv[0], "--join-port must be in [0, 65535]");
+    if (opt.statusPort > 65535)
+        usage(argv[0], "--status-port must be in [0, 65535]");
     if (opt.maxSpeculative < 0)
         usage(argv[0], "--max-speculative must be >= 0");
     if (opt.reconnectTries < 0)

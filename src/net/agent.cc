@@ -1,6 +1,7 @@
 #include "net/agent.h"
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "common/error.h"
 #include "models/spec.h"
 #include "net/agent_protocol.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "net/socket.h"
@@ -165,6 +167,14 @@ AgentSession::handleAssign(const Frame &frame)
         trace.instant("agent.assign", "fleet",
                       {{"slot", std::to_string(slot_id)},
                        {"shard", std::to_string(a.shard)}});
+    auto &flight = obs::FlightRecorder::instance();
+    if (flight.enabled()) {
+        char detail[48];
+        std::snprintf(detail, sizeof(detail),
+                      "slot=%d shard=%d attempt=%d", slot_id,
+                      a.shard, a.attempt);
+        flight.instant("agent.assign", detail);
+    }
 }
 
 void
@@ -513,6 +523,12 @@ runAgent(const AgentOptions &options)
 
     try {
         std::filesystem::create_directories(options.dir);
+        // An agent killed by signal (or stalled hard enough to be
+        // SIGTERMed by an operator) leaves its recent timeline in
+        // the work directory; the driver's own postmortem names the
+        // lost shards, this one shows what the host was doing.
+        obs::FlightRecorder::installCrashHandlers(
+            options.dir + "/agent.postmortem.json");
         if (!options.joinHost.empty())
             return joinDriver(options, cases, spec_digest, secret);
         std::uint16_t port = 0;

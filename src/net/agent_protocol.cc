@@ -281,6 +281,23 @@ parseMetric(const Frame &frame)
     return sample;
 }
 
+Frame
+statusRequestFrame()
+{
+    Frame f;
+    f.verb = "status";
+    return f;
+}
+
+Frame
+statusReplyFrame(std::size_t bytes)
+{
+    Frame f;
+    f.verb = "status-reply";
+    f.kv = {{"bytes", std::to_string(bytes)}};
+    return f;
+}
+
 std::string
 metricAuth(const std::string &secret,
            const std::string &driver_nonce, int slot,

@@ -87,6 +87,20 @@
  *     error msg="..."
  *         Session-fatal protocol error; the agent closes after
  *         sending it.
+ *
+ * The driver's `--status-port` listener speaks a one-request
+ * exchange in the same framing (NOT part of the agent session — any
+ * client may connect, ask once, and is disconnected after the
+ * reply):
+ *
+ *   client -> driver:
+ *     status              Ask for the live sweep snapshot.
+ *   driver -> client:
+ *     status-reply bytes=<n>
+ *         Exactly n raw bytes of canonical status JSON follow the
+ *         newline (fixed key order, FNV-1a digest footer like the
+ *         metrics snapshot — byte-stable for equal sweep state),
+ *         then the driver closes the connection.
  */
 
 #ifndef REGATE_NET_AGENT_PROTOCOL_H
@@ -181,6 +195,12 @@ Frame metricFrame(int slot, std::uint64_t seq,
 
 /** Parse + validate a metric frame's sample fields. */
 MetricSample parseMetric(const Frame &frame);
+
+/** The status-port request ("status", no keys). */
+Frame statusRequestFrame();
+
+/** The status-port reply header; @p bytes of JSON follow it. */
+Frame statusReplyFrame(std::size_t bytes);
 
 /**
  * The HMAC binding one metric sample to this session's driver nonce

@@ -1,0 +1,380 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace regate {
+namespace obs {
+
+namespace {
+
+std::uint64_t
+steadyNs()
+{
+    // clock_gettime is async-signal-safe (POSIX), unlike the
+    // std::chrono wrappers, which may not be on every libstdc++.
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/** Bounded NUL-terminated copy (no strncpy padding cost). */
+void
+copyBounded(char *dst, std::size_t cap, const char *src)
+{
+    if (!src) {
+        dst[0] = '\0';
+        return;
+    }
+    std::size_t i = 0;
+    for (; i + 1 < cap && src[i]; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+bool
+validPh(char ph)
+{
+    return ph == 'B' || ph == 'E' || ph == 'i' || ph == 'X';
+}
+
+}  // namespace
+
+std::uint64_t
+monotonicOriginNs()
+{
+    // Magic-static init is NOT signal-safe; installCrashHandlers()
+    // forces this pin in normal context before any handler can run.
+    static const std::uint64_t origin = steadyNs();
+    return origin;
+}
+
+std::uint64_t
+monotonicUs()
+{
+    auto origin = monotonicOriginNs();
+    auto now = steadyNs();
+    return now > origin ? (now - origin) / 1000 : 0;
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+FlightRecorder::FlightRecorder()
+{
+    std::size_t kb = 256;
+    if (const char *env = std::getenv("REGATE_FLIGHT_KB"))
+        kb = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    if (kb == 0)
+        return;  // Disabled: no rings, setEnabled(true) is a no-op.
+    std::size_t total = kb * 1024 / sizeof(Event);
+    if (total < static_cast<std::size_t>(kMaxRings))
+        total = static_cast<std::size_t>(kMaxRings);
+    ringCap_ = total / kMaxRings;
+    // The whole budget is allocated up front so neither recording
+    // nor the dump path ever touches the allocator.
+    storage_.reset(new Event[ringCap_ * kMaxRings]());
+    scratch_.reset(new const Event *[ringCap_ * kMaxRings]);
+    for (int i = 0; i < kMaxRings; ++i) {
+        rings_[i].events = storage_.get() + ringCap_ * i;
+        rings_[i].lane = i;
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::setEnabled(bool on)
+{
+    auto &fr = instance();
+    if (on && !fr.storage_)
+        return;  // REGATE_FLIGHT_KB=0: nothing to enable.
+    fr.enabled_.store(on, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring *
+FlightRecorder::threadRing()
+{
+    thread_local Ring *ring = nullptr;
+    if (ring)
+        return ring;
+    int idx = ringsUsed_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxRings)
+        idx = kMaxRings - 1;
+    ring = &rings_[idx];
+    return ring;
+}
+
+void
+FlightRecorder::record(char ph, const char *name, std::uint64_t ts,
+                       std::uint64_t dur, int lane,
+                       const char *detail)
+{
+    if (!enabled())
+        return;
+    Ring *r = threadRing();
+    auto slot = r->next.fetch_add(1, std::memory_order_relaxed);
+    Event &e = r->events[slot % ringCap_];
+    // Clear the phase first and publish it last: a dump that lands
+    // mid-record (same thread via signal, or another thread's
+    // explicit dump) sees ph==0 and skips the torn slot.
+    e.ph = 0;
+    std::atomic_signal_fence(std::memory_order_release);
+    e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    e.ts = ts;
+    e.dur = dur;
+    e.lane = lane >= 0 ? lane : r->lane;
+    copyBounded(e.name, sizeof e.name, name);
+    copyBounded(e.detail, sizeof e.detail, detail);
+    std::atomic_signal_fence(std::memory_order_release);
+    e.ph = ph;
+}
+
+void
+FlightRecorder::instant(const char *name, const char *detail,
+                        int lane)
+{
+    if (!enabled())
+        return;
+    record('i', name, monotonicUs(), 0, lane, detail);
+}
+
+void
+FlightRecorder::begin(const char *name, const char *detail, int lane)
+{
+    if (!enabled())
+        return;
+    record('B', name, monotonicUs(), 0, lane, detail);
+}
+
+void
+FlightRecorder::end(const char *name, int lane)
+{
+    if (!enabled())
+        return;
+    record('E', name, monotonicUs(), 0, lane, nullptr);
+}
+
+void
+FlightRecorder::complete(const char *name, std::uint64_t start_us,
+                         std::uint64_t end_us, const char *detail,
+                         int lane)
+{
+    if (!enabled())
+        return;
+    record('X', name, start_us,
+           end_us > start_us ? end_us - start_us : 0, lane, detail);
+}
+
+bool
+FlightRecorder::dumpTo(int fd)
+{
+    if (!storage_)
+        return false;
+    // Collect live slots in place (no snapshot — the budget bounds
+    // the scan) and sort by (ts, seq) so file order is monotone and
+    // deterministic, which trace_check.py --postmortem pins.
+    std::size_t n = 0;
+    for (int ri = 0; ri < kMaxRings; ++ri) {
+        const Ring &r = rings_[ri];
+        std::uint64_t produced =
+            r.next.load(std::memory_order_relaxed);
+        std::size_t live = produced < ringCap_
+                               ? static_cast<std::size_t>(produced)
+                               : ringCap_;
+        for (std::size_t i = 0; i < live; ++i)
+            if (validPh(r.events[i].ph))
+                scratch_[n++] = &r.events[i];
+    }
+    detail::signalSafeSort(
+        scratch_.get(), n, [](const Event *a, const Event *b) {
+            return a->ts != b->ts ? a->ts < b->ts : a->seq < b->seq;
+        });
+
+    if (!detail::writeAllFd(fd, "[\n", 2))
+        return false;
+    auto pid = static_cast<std::uint64_t>(::getpid());
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Event &e = *scratch_[i];
+        char buf[512];
+        detail::SigsafeBuf b(buf, sizeof buf);
+        if (!first)
+            b.str(",\n");
+        b.str("{\"name\": ");
+        b.jsonStr(e.name, std::strlen(e.name));
+        b.str(", \"cat\": \"flight\", \"ph\": \"");
+        b.ch(e.ph);
+        b.str("\", \"ts\": ");
+        b.u64(e.ts);
+        if (e.ph == 'X') {
+            b.str(", \"dur\": ");
+            b.u64(e.dur);
+        }
+        if (e.ph == 'i')
+            b.str(", \"s\": \"t\"");
+        b.str(", \"pid\": ");
+        b.u64(pid);
+        b.str(", \"tid\": ");
+        b.u64(static_cast<std::uint64_t>(
+            e.lane < 0 ? 0 : e.lane));
+        if (e.detail[0]) {
+            b.str(", \"args\": {\"detail\": ");
+            b.jsonStr(e.detail, std::strlen(e.detail));
+            b.str("}");
+        }
+        b.str("}");
+        if (b.overflowed())
+            continue;  // Drop whole records, never emit broken JSON.
+        if (!detail::writeAllFd(fd, buf, b.size()))
+            return false;
+        first = false;
+    }
+    return detail::writeAllFd(fd, "\n]\n", 3);
+}
+
+bool
+FlightRecorder::dump(const std::string &path)
+{
+    if (!storage_)
+        return false;
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0)
+        return false;
+    bool ok = dumpTo(fd);
+    ::close(fd);
+    return ok;
+}
+
+void
+FlightRecorder::resetForTest()
+{
+    if (!storage_)
+        return;
+    for (int i = 0; i < kMaxRings; ++i) {
+        rings_[i].next.store(0, std::memory_order_relaxed);
+        for (std::size_t j = 0; j < ringCap_; ++j)
+            rings_[i].events[j] = Event{};
+    }
+    seq_.store(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+char g_crashPath[4096] = {0};
+std::atomic<int> g_crashDumped{0};
+
+extern "C" void
+onFatalSignal(int sig)
+{
+    // One dump per process: a second fatal signal (e.g. raised by
+    // the dump itself) falls straight through to the re-raise.
+    if (g_crashDumped.exchange(1, std::memory_order_relaxed) == 0) {
+        auto &fr = FlightRecorder::instance();
+        const char *name = sig == SIGSEGV   ? "signal.SIGSEGV"
+                           : sig == SIGABRT ? "signal.SIGABRT"
+                           : sig == SIGTERM ? "signal.SIGTERM"
+                                            : "signal";
+        fr.instant(name);
+        if (g_crashPath[0])
+            fr.dump(g_crashPath);
+        // Salvage whatever --trace-out buffered (no-op when tracing
+        // is off; best-effort if another thread holds the lock).
+        TraceRecorder::instance().crashDump();
+    }
+    struct sigaction dfl;
+    std::memset(&dfl, 0, sizeof dfl);
+    dfl.sa_handler = SIG_DFL;
+    ::sigemptyset(&dfl.sa_mask);
+    ::sigaction(sig, &dfl, nullptr);
+    ::raise(sig);
+}
+
+}  // namespace
+
+void
+FlightRecorder::installCrashHandlers(const std::string &path)
+{
+    auto &fr = instance();      // Construct rings in normal context.
+    (void)monotonicOriginNs();  // Pin the clock origin pre-signal.
+    copyBounded(g_crashPath, sizeof g_crashPath, path.c_str());
+    // Register the installing thread's ring and leave a marker the
+    // postmortem always opens with.
+    fr.instant("flight.armed", g_crashPath);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = onFatalSignal;
+    ::sigemptyset(&sa.sa_mask);
+    for (int sig : {SIGSEGV, SIGABRT, SIGTERM})
+        ::sigaction(sig, &sa, nullptr);
+}
+
+const char *
+FlightRecorder::crashDumpPath()
+{
+    return g_crashPath;
+}
+
+namespace detail {
+
+bool
+writeAllFd(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        auto wrote = ::write(fd, data, n);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += wrote;
+        n -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+void
+SigsafeBuf::u64(std::uint64_t v)
+{
+    char digits[24];
+    int n = 0;
+    do {
+        digits[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v > 0);
+    while (n > 0)
+        ch(digits[--n]);
+}
+
+void
+SigsafeBuf::jsonStr(const char *s, std::size_t len,
+                    std::size_t max_content)
+{
+    ch('"');
+    if (len > max_content)
+        len = max_content;
+    for (std::size_t i = 0; i < len; ++i) {
+        char c = s[i];
+        bool plain = c >= 0x20 && c <= 0x7e && c != '"' && c != '\\';
+        ch(plain ? c : '_');
+    }
+    ch('"');
+}
+
+}  // namespace detail
+
+}  // namespace obs
+}  // namespace regate

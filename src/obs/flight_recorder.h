@@ -1,0 +1,276 @@
+/**
+ * @file
+ * obs::FlightRecorder — the always-on half of the telemetry stack:
+ * bounded per-thread ring buffers of recent events with an
+ * async-signal-safe dump path, so a crash, a stall, or a killed
+ * speculative twin leaves a postmortem timeline
+ * (`<out>.postmortem.json`, Chrome trace-event JSON) instead of
+ * nothing.
+ *
+ * Contrast with obs::TraceRecorder: the trace recorder is opt-in
+ * (`--trace-out`), unbounded, and flushes through ofstream at
+ * orderly shutdown; the flight recorder is on by default, holds only
+ * the last `REGATE_FLIGHT_KB` kilobytes of events (default 256, 0
+ * disables), and can write its buffer from a fatal-signal handler
+ * using nothing but write(2).
+ *
+ * Recording is lock-free: each thread claims one of a fixed pool of
+ * rings on first use (a single relaxed fetch_add; threads beyond the
+ * pool share the last ring, where slot claims stay atomic), and an
+ * event is a fixed-size POD slot — no allocation, no locks, one
+ * clock read. A slot's phase byte is cleared before the body is
+ * written and published last, so a dump that interrupts a record in
+ * progress skips the torn slot instead of emitting garbage.
+ *
+ * Timestamps are microseconds on a process-wide steady-clock origin
+ * (`obs::monotonicUs()`); TraceRecorder shares the same origin, so
+ * flight events and trace events line up on one timeline. Dumps are
+ * sorted by (timestamp, global sequence) with an alloc-free
+ * heapsort, so file order is monotone — `tools/trace_check.py
+ * --postmortem` pins that, while accepting the open 'B' spans a
+ * crash mid-span leaves behind.
+ *
+ * installCrashHandlers() wires SIGSEGV/SIGABRT/SIGTERM to: record a
+ * `signal.*` instant, dump the rings, salvage the partial
+ * `--trace-out` buffer (TraceRecorder::crashDump), then re-raise
+ * with the default disposition so the process still dies with the
+ * real signal status (the orchestrator's waitpid classification and
+ * ASan's own reporting are unaffected).
+ */
+
+#ifndef REGATE_OBS_FLIGHT_RECORDER_H
+#define REGATE_OBS_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace regate {
+namespace obs {
+
+/**
+ * Nanosecond steady-clock origin shared by the flight and trace
+ * recorders, pinned on first call. Callers that may run inside a
+ * signal handler must have forced the pin earlier in normal context
+ * (installCrashHandlers does).
+ */
+std::uint64_t monotonicOriginNs();
+
+/** Microseconds since the process-wide monotonic origin. */
+std::uint64_t monotonicUs();
+
+class FlightRecorder
+{
+  public:
+    /** Fixed per-event name capacity (NUL-terminated, truncating). */
+    static constexpr std::size_t kNameBytes = 48;
+    /** Fixed per-event free-text detail capacity. */
+    static constexpr std::size_t kDetailBytes = 56;
+
+    /** One ring slot. POD on purpose: recorded with stores and
+     *  memcpy only, validated (not trusted) at dump time. */
+    struct Event
+    {
+        std::uint64_t seq = 0;  ///< Global record order (ts tie-break).
+        std::uint64_t ts = 0;   ///< monotonicUs() at record time.
+        std::uint64_t dur = 0;  ///< 'X' events only.
+        std::int32_t lane = 0;  ///< Rendered as tid.
+        char ph = 0;            ///< 'B','E','i','X'; 0 = empty/torn.
+        char name[kNameBytes] = {};
+        char detail[kDetailBytes] = {};
+    };
+
+    /** The process-wide recorder (rings allocated on first use). */
+    static FlightRecorder &instance();
+
+    /** Is recording enabled? One relaxed load. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Runtime toggle (the overhead benchmark alternates it). Cannot
+     * enable a recorder built with REGATE_FLIGHT_KB=0 — there are no
+     * rings to write into.
+     */
+    static void setEnabled(bool on);
+
+    /** Microseconds on the shared monotonic clock. */
+    std::uint64_t
+    nowUs() const
+    {
+        return monotonicUs();
+    }
+
+    /** Instant event; lane < 0 means the calling thread's ring lane. */
+    void instant(const char *name, const char *detail = nullptr,
+                 int lane = -1);
+
+    /** Open a span ('B'); a crash before end() leaves it open, which
+     *  postmortem mode accepts. */
+    void begin(const char *name, const char *detail = nullptr,
+               int lane = -1);
+
+    /** Close the innermost open span of this name/lane ('E'). */
+    void end(const char *name, int lane = -1);
+
+    /** Complete span ('X') with explicit endpoints (monotonicUs). */
+    void complete(const char *name, std::uint64_t start_us,
+                  std::uint64_t end_us, const char *detail = nullptr,
+                  int lane = -1);
+
+    /**
+     * Write every live ring slot as a Chrome trace-event JSON array
+     * to @p fd, sorted by (ts, seq). Async-signal-safe: no
+     * allocation, no locks, write(2) only. Returns false when the
+     * recorder has no rings (REGATE_FLIGHT_KB=0).
+     */
+    bool dumpTo(int fd);
+
+    /** Open @p path (truncating) and dumpTo() it. Same safe path;
+     *  usable from normal context or a handler. */
+    bool dump(const std::string &path);
+
+    /**
+     * Install SIGSEGV/SIGABRT/SIGTERM handlers that dump the rings
+     * to @p path, salvage the partial trace buffer, and re-raise.
+     * Also pins the clock origin and forces ring allocation so the
+     * handler itself never initializes anything.
+     */
+    static void installCrashHandlers(const std::string &path);
+
+    /** The path handlers dump to ("" when none installed). */
+    static const char *crashDumpPath();
+
+    /** Drop all recorded events (single-threaded tests only). */
+    void resetForTest();
+
+  private:
+    FlightRecorder();
+
+    /** Threads beyond the pool share the last ring; slot claims are
+     *  a fetch_add either way, so sharing stays lock-free. */
+    static constexpr int kMaxRings = 16;
+
+    struct Ring
+    {
+        std::atomic<std::uint64_t> next{0};  ///< Slots ever claimed.
+        Event *events = nullptr;             ///< ringCap_ slots.
+        std::int32_t lane = 0;
+    };
+
+    Ring *threadRing();
+    void record(char ph, const char *name, std::uint64_t ts,
+                std::uint64_t dur, int lane, const char *detail);
+
+    std::atomic<bool> enabled_{false};
+    std::size_t ringCap_ = 0;  ///< Events per ring.
+    std::unique_ptr<Event[]> storage_;
+    /** Dump-time sort scratch (kMaxRings * ringCap_ pointers),
+     *  preallocated so the handler never allocates. */
+    std::unique_ptr<const Event *[]> scratch_;
+    Ring rings_[kMaxRings];
+    std::atomic<int> ringsUsed_{0};
+    std::atomic<std::uint64_t> seq_{1};
+};
+
+namespace detail {
+
+/** write(2) everything, retrying on EINTR/short writes. */
+bool writeAllFd(int fd, const char *data, std::size_t n);
+
+/**
+ * Bounded append-only formatter for signal-handler use: fixed
+ * caller-owned buffer, no allocation. If the buffer fills, the
+ * overflow flag is set and the caller drops the whole record rather
+ * than emitting truncated (malformed) JSON.
+ */
+class SigsafeBuf
+{
+  public:
+    SigsafeBuf(char *buf, std::size_t cap)
+        : base_(buf), p_(buf), end_(buf + cap)
+    {}
+
+    std::size_t size() const { return static_cast<std::size_t>(p_ - base_); }
+    bool overflowed() const { return overflow_; }
+
+    void
+    ch(char c)
+    {
+        if (p_ < end_)
+            *p_++ = c;
+        else
+            overflow_ = true;
+    }
+
+    void
+    str(const char *s)
+    {
+        while (*s)
+            ch(*s++);
+    }
+
+    void u64(std::uint64_t v);
+
+    /**
+     * Quoted JSON string, conservatively sanitized: bytes outside
+     * printable ASCII (or needing escapes) become '_', so the output
+     * parses without any escape machinery. Content is capped at
+     * @p max_content bytes.
+     */
+    void jsonStr(const char *s, std::size_t len,
+                 std::size_t max_content = 200);
+
+  private:
+    char *base_;
+    char *p_;
+    char *end_;
+    bool overflow_ = false;
+};
+
+/**
+ * Alloc-free heapsort (async-signal-safe) of @p ptrs[0..n) by
+ * @p less. Not stable — callers break ties inside the comparator.
+ */
+template <typename T, typename Less>
+void
+signalSafeSort(T *ptrs, std::size_t n, Less less)
+{
+    auto sift = [&](std::size_t root, std::size_t limit) {
+        for (;;) {
+            std::size_t child = 2 * root + 1;
+            if (child >= limit)
+                return;
+            if (child + 1 < limit && less(ptrs[child], ptrs[child + 1]))
+                ++child;
+            if (!less(ptrs[root], ptrs[child]))
+                return;
+            T tmp = ptrs[root];
+            ptrs[root] = ptrs[child];
+            ptrs[child] = tmp;
+            root = child;
+        }
+    };
+    if (n < 2)
+        return;
+    for (std::size_t i = n / 2; i-- > 0;)
+        sift(i, n);
+    for (std::size_t i = n - 1; i > 0; --i) {
+        T tmp = ptrs[0];
+        ptrs[0] = ptrs[i];
+        ptrs[i] = tmp;
+        sift(0, i);
+    }
+}
+
+}  // namespace detail
+
+}  // namespace obs
+}  // namespace regate
+
+#endif  // REGATE_OBS_FLIGHT_RECORDER_H

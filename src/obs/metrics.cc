@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/fsio.h"
 #include "common/hash.h"
 
 namespace regate {
@@ -142,6 +143,18 @@ Histogram::bucketCounts() const
     return out;
 }
 
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    auto buckets = bucketCounts();
+    // Recompute count from the captured buckets rather than racing
+    // count_ against concurrent record()s.
+    std::uint64_t count = 0;
+    for (auto b : buckets)
+        count += b;
+    return histogramPercentile(bounds_, buckets, count, q);
+}
+
 void
 Histogram::reset()
 {
@@ -163,6 +176,32 @@ durationUsBounds()
         200000,   500000,   1000000,   2000000,   5000000,
         10000000, 20000000, 50000000,  100000000};
     return bounds;
+}
+
+std::uint64_t
+histogramPercentile(const std::vector<std::uint64_t> &bounds,
+                    const std::vector<std::uint64_t> &buckets,
+                    std::uint64_t count, double q)
+{
+    if (count == 0 || bounds.empty() || buckets.empty())
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cum += buckets[i];
+        if (cum >= rank)
+            // Overflow bucket (i == bounds.size()) reports the
+            // largest finite bound: a documented lower bound.
+            return bounds[std::min(i, bounds.size() - 1)];
+    }
+    return bounds.back();
 }
 
 // ------------------------- MetricsRegistry ------------------------
@@ -328,6 +367,18 @@ MetricsRegistry::snapshotJson() const
                                ? 0.0
                                : static_cast<double>(h.sum) /
                                      static_cast<double>(h.count));
+        // Derived quantiles from the same captured buckets the row
+        // serializes — fixed decimal formatting keeps the document
+        // byte-stable.
+        body += ", \"p50\": ";
+        appendU64(body, histogramPercentile(h.bounds, h.buckets,
+                                            h.count, 0.50));
+        body += ", \"p95\": ";
+        appendU64(body, histogramPercentile(h.bounds, h.buckets,
+                                            h.count, 0.95));
+        body += ", \"p99\": ";
+        appendU64(body, histogramPercentile(h.bounds, h.buckets,
+                                            h.count, 0.99));
         body += ", \"bounds\": [";
         for (std::size_t j = 0; j < h.bounds.size(); ++j) {
             if (j)
@@ -349,6 +400,19 @@ MetricsRegistry::snapshotJson() const
     out += hexDigest64(fnv1a64(out.data(), out.size()));
     out += "\"\n}\n";
     return out;
+}
+
+std::string
+MetricsRegistry::writeSnapshot(const std::string &path) const
+{
+    auto snapshot = snapshotJson();
+    // .part + rename, like every other canonical artifact: readers
+    // never observe a torn snapshot.
+    auto part = path + ".part";
+    writeFile(part, snapshot);
+    REGATE_CHECK(std::rename(part.c_str(), path.c_str()) == 0,
+                 "cannot rename ", part, " to ", path);
+    return snapshot;
 }
 
 void

@@ -156,6 +156,16 @@ class Histogram
     /** Per-bucket counts, bounds-aligned plus the overflow bucket. */
     std::vector<std::uint64_t> bucketCounts() const;
 
+    /**
+     * Quantile estimate from the bucket counts: the upper bound of
+     * the first bucket whose cumulative count reaches ceil(q*count)
+     * (Prometheus-style, so p50 <= p95 <= p99 by construction and
+     * the value is deterministic for equal state). Samples in the
+     * overflow bucket report the largest finite bound — a lower
+     * bound on the true quantile. 0 when empty.
+     */
+    std::uint64_t percentile(double q) const;
+
     void reset();
 
   private:
@@ -171,6 +181,16 @@ class Histogram
  * aggregate bucket-for-bucket: 100us .. 100s, decade thirds.
  */
 const std::vector<std::uint64_t> &durationUsBounds();
+
+/**
+ * Histogram::percentile() on captured state — the snapshot writer
+ * and status endpoint compute quantiles from the same bucket vector
+ * they serialize, so the numbers in one document are consistent.
+ */
+std::uint64_t histogramPercentile(
+    const std::vector<std::uint64_t> &bounds,
+    const std::vector<std::uint64_t> &buckets, std::uint64_t count,
+    double q);
 
 class MetricsRegistry
 {
@@ -219,6 +239,15 @@ class MetricsRegistry
      * equal bytes, with a FNV-1a digest footer over the body.
      */
     std::string snapshotJson() const;
+
+    /**
+     * Write snapshotJson() to @p path atomically (.part + rename) —
+     * the canonical writer shared by `regate_orch --metrics-out`
+     * and every grid binary's `--metrics-out`. Returns the snapshot
+     * that was written (for digest reporting). Throws ConfigError
+     * when the file cannot be written.
+     */
+    std::string writeSnapshot(const std::string &path) const;
 
     /**
      * Zero every instrument but keep registrations (and thus every

@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+
 namespace regate {
 namespace obs {
 
@@ -93,8 +95,20 @@ class TraceRecorder
      */
     void flush();
 
+    /**
+     * Best-effort salvage of the buffered trace from a fatal-signal
+     * handler: writes every event recorded so far to the start()
+     * path using only fd writes and preallocated scratch — no
+     * allocation, no blocking lock (gives up if another thread holds
+     * the recorder mid-push). Without --trace-out it is a no-op.
+     * This is how a partial trace survives an abnormal exit.
+     */
+    void crashDump();
+
     /** RAII span: records one complete event when it goes out of
-     *  scope. Cheap when tracing is disabled. */
+     *  scope, and mirrors begin/end markers into the flight
+     *  recorder so a crash mid-span leaves an open 'B' in the
+     *  postmortem. Cheap when both recorders are disabled. */
     class Span
     {
       public:
@@ -102,14 +116,20 @@ class TraceRecorder
             : name_(name), cat_(cat),
               start_(TraceRecorder::instance().enabled()
                          ? TraceRecorder::instance().nowUs()
-                         : kOff)
-        {}
+                         : kOff),
+              flight_(FlightRecorder::instance().enabled())
+        {
+            if (flight_)
+                FlightRecorder::instance().begin(name_);
+        }
 
         ~Span()
         {
             if (start_ != kOff)
                 TraceRecorder::instance().complete(name_, cat_,
                                                    start_);
+            if (flight_)
+                FlightRecorder::instance().end(name_);
         }
 
         Span(const Span &) = delete;
@@ -120,6 +140,7 @@ class TraceRecorder
         const char *name_;
         const char *cat_;
         std::uint64_t start_;
+        bool flight_;
     };
 
   private:
@@ -145,6 +166,9 @@ class TraceRecorder
     std::uint64_t originNs_ = 0;
     std::vector<Event> events_;
     std::vector<std::uint64_t> threadLanes_;
+    /** crashDump() sort scratch; push() keeps its capacity ahead of
+     *  events_.size() so the handler never allocates. */
+    std::vector<const Event *> crashScratch_;
 };
 
 }  // namespace obs

@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "models/spec.h"
 #include "net/agent_protocol.h"
+#include "net/socket.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "orch/fs.h"
@@ -42,6 +45,26 @@ fmtSeconds(double s)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1f", s);
     return buf;
+}
+
+/**
+ * Quoted JSON string for the status snapshot. The values here are
+ * the driver's own (slot names, "k/n" progress) — no quotes or
+ * control bytes in practice — so conservative sanitization beats a
+ * full escaper: the document stays canonical either way.
+ */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\' ||
+            static_cast<unsigned char>(c) < 0x20)
+            out += '_';
+        else
+            out += c;
+    }
+    out += '"';
 }
 
 class Orchestrator
@@ -74,6 +97,10 @@ class Orchestrator
         std::string progressDetail;  ///< Last heartbeat ("k/n").
         std::string killedReason;    ///< Why the driver killed it.
         std::uint64_t traceStartUs = 0;  ///< Attempt span start.
+        /** Attempt span start on the flight-recorder timeline
+         *  (recorded whenever the flight recorder is enabled, which
+         *  is independent of --trace-out). */
+        std::uint64_t flightStartUs = 0;
     };
 
     void
@@ -158,6 +185,18 @@ class Orchestrator
     /** Flush the trace and write the --metrics-out snapshot. */
     void finishTelemetry(std::uint64_t sweep_start,
                         const std::string &outcome);
+    /** Answer any pending --status-port requests (non-blocking). */
+    void serveStatus(const StreamingMerger &merger);
+    /** Canonical JSON snapshot of the live sweep (fixed key order,
+     *  digest footer): byte-stable given identical fleet state. */
+    std::string statusJson(const StreamingMerger &merger) const;
+    /**
+     * Dump the flight rings to <merged>.postmortem.json. Called on
+     * every Lost slot, stall/timeout kill, and losing speculative
+     * twin — the failures where the evidence (the victim's recent
+     * spans) would otherwise vanish with the worker.
+     */
+    void dumpPostmortem(const std::string &reason);
 
     OrchOptions opt_;
     std::string mergedOut_;
@@ -169,10 +208,15 @@ class Orchestrator
     std::vector<std::unique_ptr<net::SlotTransport>> transports_;
     std::vector<FleetSlot> slots_;
     net::Socket joinListener_;
+    net::Socket statusListener_;
     ShardScheduler *scheduler_ = nullptr;
     std::unordered_set<int> completedShards_;
     /** Successful attempt durations; the straggler baseline. */
     std::vector<double> attemptTook_;
+    /** Attempts ever started (spawns + steals); status snapshot. */
+    std::uint64_t attemptsStarted_ = 0;
+    /** Where dumpPostmortem and the crash handlers write. */
+    std::string postmortemPath_;
     bool killInjected_ = false;
     bool stallInjected_ = false;
     bool slowInjected_ = false;
@@ -346,6 +390,7 @@ Orchestrator::spawnShard(FleetSlot &slot, int gid, int shard)
     slot.lastProgress = slot.started;
 
     std::string tag = tagOf(slot);
+    ++attemptsStarted_;
     event(tag + ": spawn slot=" + slot.name + " " + desc);
     auto &trace = obs::TraceRecorder::instance();
     if (trace.enabled()) {
@@ -354,6 +399,13 @@ Orchestrator::spawnShard(FleetSlot &slot, int gid, int shard)
                           {{"shard", std::to_string(shard)},
                            {"attempt", std::to_string(attempt)},
                            {"slot", slot.name}});
+    }
+    auto &flight = obs::FlightRecorder::instance();
+    if (flight.enabled()) {
+        slot.flightStartUs = obs::monotonicUs();
+        flight.instant("shard.assign",
+                       (tag + " slot=" + slot.name).c_str(),
+                       laneOf(gid));
     }
     if (inject_kill) {
         // The stall keeps the worker alive long enough for the kill
@@ -427,6 +479,7 @@ Orchestrator::handleSuccess(FleetSlot &slot,
     // First completion wins: kill any speculative twin of this
     // shard still running elsewhere. Its exit settles through the
     // normal event path and is discarded as obsolete.
+    bool twin_killed = false;
     for (auto &other : slots_) {
         if (&other == &slot || !other.busy ||
             other.shard != slot.shard)
@@ -441,11 +494,15 @@ Orchestrator::handleSuccess(FleetSlot &slot,
             std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(kKillGraceSec));
         other.transport->kill(other.local);
+        twin_killed = true;
         event("shard " + std::to_string(other.shard) +
               " attempt " + std::to_string(other.attempt) +
               ": twin on slot=" + other.name +
               " lost the race; killed");
     }
+    if (twin_killed)
+        dumpPostmortem("shard " + std::to_string(slot.shard) +
+                       ": speculative twin lost the race");
     return true;
 }
 
@@ -498,6 +555,12 @@ Orchestrator::handleFailure(FleetSlot &slot, int gid,
                 "shard.retry", "fleet", laneOf(gid),
                 {{"shard", std::to_string(slot.shard)},
                  {"reason", reason}});
+        auto &flight = obs::FlightRecorder::instance();
+        if (flight.enabled())
+            flight.instant("shard.retry",
+                           (tag + ": " + reason).c_str(),
+                           laneOf(gid));
+        dumpPostmortem(tag + " retried: " + reason);
         return true;
     }
     event(tag + ": failed (" + reason + ")");
@@ -527,6 +590,18 @@ Orchestrator::settleFinished(FleetSlot &slot, int gid,
              {"outcome", clean_exit ? "clean" : "failed"},
              {"slot", slot.name}});
         slot.traceStartUs = 0;
+    }
+    auto &flight = obs::FlightRecorder::instance();
+    if (flight.enabled() && slot.flightStartUs != 0) {
+        char fname[32];
+        std::snprintf(fname, sizeof(fname), "shard %d", slot.shard);
+        char fdetail[48];
+        std::snprintf(fdetail, sizeof(fdetail),
+                      "attempt=%d outcome=%s", slot.attempt,
+                      clean_exit ? "clean" : "failed");
+        flight.complete(fname, slot.flightStartUs,
+                        obs::monotonicUs(), fdetail, laneOf(gid));
+        slot.flightStartUs = 0;
     }
     std::string killed = slot.killedReason;
     slot.killedReason.clear();
@@ -744,6 +819,7 @@ Orchestrator::stealStragglers()
             idle.started = Clock::now();
             idle.lastProgress = idle.started;
             ++racing;
+            ++attemptsStarted_;
             event(tagOf(idle) + ": speculative spawn slot=" +
                   idle.name + " " + desc + " (stealing from slot=" +
                   victim.name + ", at case " +
@@ -758,6 +834,15 @@ Orchestrator::stealStragglers()
                     laneOf(static_cast<int>(s)),
                     {{"shard", std::to_string(shard)},
                      {"victim", victim.name}});
+            }
+            auto &flight = obs::FlightRecorder::instance();
+            if (flight.enabled()) {
+                idle.flightStartUs = obs::monotonicUs();
+                flight.instant(
+                    "shard.steal",
+                    (tagOf(idle) + " victim=" + victim.name)
+                        .c_str(),
+                    laneOf(static_cast<int>(s)));
             }
         } catch (const ConfigError &e) {
             // The twin never started; the original attempt is
@@ -837,6 +922,10 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
         // --max-speculative; first completion wins).
         stealStragglers();
 
+        // Answer any queued --status-port requests with the
+        // freshest slot state this tick has.
+        serveStatus(merger);
+
         // Drain transport events. Slots are keyed globally by the
         // (transport, local slot) pair.
         for (auto &transport : transports_) {
@@ -889,6 +978,21 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
                              {"outcome", "lost"}});
                         it->traceStartUs = 0;
                     }
+                    auto &flight =
+                        obs::FlightRecorder::instance();
+                    if (flight.enabled() &&
+                        it->flightStartUs != 0) {
+                        char fname[32];
+                        std::snprintf(fname, sizeof(fname),
+                                      "shard %d", it->shard);
+                        flight.complete(fname, it->flightStartUs,
+                                        obs::monotonicUs(),
+                                        "outcome=lost",
+                                        laneOf(gid));
+                        it->flightStartUs = 0;
+                    }
+                    dumpPostmortem(tagOf(*it) + " lost: " +
+                                   ev.detail);
                     retireSlot(*it, ev.detail);
                     // A lost copy of a merged (or still-racing)
                     // shard is a speculative leftover, not a
@@ -984,6 +1088,8 @@ Orchestrator::driveFleet(const std::vector<int> &missing,
             }
             event(tagOf(slot) + ": " + slot.killedReason +
                   "; killed");
+            dumpPostmortem(tagOf(slot) + ": " +
+                           slot.killedReason);
             slot.killDeadline =
                 now + std::chrono::duration_cast<Clock::duration>(
                           std::chrono::duration<double>(
@@ -1030,7 +1136,13 @@ Orchestrator::run()
     auto &trace = obs::TraceRecorder::instance();
     if (!opt_.traceOut.empty())
         trace.start(opt_.traceOut);
-    auto sweep_start = trace.nowUs();
+    // The flight recorder is always on (REGATE_FLIGHT_KB=0 opts
+    // out): a crash of the driver itself, a stalled shard, or a
+    // killed twin all dump the recent timeline next to the merged
+    // document.
+    postmortemPath_ = mergedOut_ + ".postmortem.json";
+    obs::FlightRecorder::installCrashHandlers(postmortemPath_);
+    auto sweep_start = obs::monotonicUs();
     // The spec digest is computed before anything else: it joins
     // every hello cross-check, stamps the merged shard header, and
     // a spec file that fails to parse must be a one-line usage
@@ -1052,6 +1164,13 @@ Orchestrator::run()
         joinListener_ = net::tcpListen(
             static_cast<std::uint16_t>(opt_.joinPort), &bound);
         event("join: listening on port " + std::to_string(bound));
+    }
+    if (opt_.statusPort >= 0) {
+        std::uint16_t bound = 0;
+        statusListener_ = net::tcpListen(
+            static_cast<std::uint16_t>(opt_.statusPort), &bound);
+        event("status: listening on port " +
+              std::to_string(bound));
     }
     buildFleet(cases);
     plan_ = loadOrCreatePlan(cases);
@@ -1099,17 +1218,172 @@ Orchestrator::finishTelemetry(std::uint64_t sweep_start,
         trace.flush();
         event("trace: wrote " + opt_.traceOut);
     }
+    // End-of-sweep latency summary: the same derived quantiles the
+    // metrics snapshot and the status endpoint serve.
+    REGATE_OBS({
+        auto &h = obs::MetricsRegistry::instance().histogram(
+            "fleet.case_duration_us");
+        if (h.count() > 0)
+            event("cases: n=" + std::to_string(h.count()) +
+                  " mean=" +
+                  std::to_string(
+                      static_cast<std::uint64_t>(h.mean())) +
+                  "us p50=" + std::to_string(h.percentile(0.50)) +
+                  "us p95=" + std::to_string(h.percentile(0.95)) +
+                  "us p99=" + std::to_string(h.percentile(0.99)) +
+                  "us");
+    });
     if (opt_.metricsOut.empty())
         return;
-    // Same atomic promotion as every other artifact this process
-    // writes. The snapshot aggregates the driver's own instruments
-    // with everything the fleet streamed during the sweep.
-    auto snapshot =
-        obs::MetricsRegistry::instance().snapshotJson();
-    writeFile(opt_.metricsOut + ".part", snapshot);
-    renameFile(opt_.metricsOut + ".part", opt_.metricsOut);
+    // The canonical writer (.part + rename) is shared with every
+    // grid binary's --metrics-out. The snapshot aggregates the
+    // driver's own instruments with everything the fleet streamed
+    // during the sweep.
+    auto snapshot = obs::MetricsRegistry::instance().writeSnapshot(
+        opt_.metricsOut);
     event("metrics: wrote " + opt_.metricsOut + " (file digest " +
           sim::contentDigest(snapshot) + ")");
+}
+
+void
+Orchestrator::dumpPostmortem(const std::string &reason)
+{
+    auto &flight = obs::FlightRecorder::instance();
+    if (!flight.enabled() || postmortemPath_.empty())
+        return;
+    flight.instant("postmortem.dump", reason.c_str());
+    if (flight.dump(postmortemPath_))
+        event("postmortem: wrote " + postmortemPath_ + " (" +
+              reason + ")");
+}
+
+void
+Orchestrator::serveStatus(const StreamingMerger &merger)
+{
+    while (statusListener_.valid() &&
+           net::waitReadable(statusListener_.fd(), 0)) {
+        std::string peer;
+        net::Socket conn;
+        try {
+            conn = net::tcpAccept(statusListener_, &peer);
+        } catch (const ConfigError &e) {
+            event(std::string("status: accept failed: ") +
+                  e.what());
+            break;
+        }
+        try {
+            // One request per connection: a `status` frame in, the
+            // canonical snapshot out, then close. A stranger
+            // speaking anything else costs this event line, never
+            // the sweep.
+            net::LineChannel channel(std::move(conn), peer);
+            auto frame = net::parseFrame(channel.readLine(2000));
+            REGATE_CHECK(frame.verb == "status",
+                         "unexpected status request verb '",
+                         frame.verb, "'");
+            auto json = statusJson(merger);
+            channel.sendLine(net::formatFrame(
+                net::statusReplyFrame(json.size())));
+            channel.sendBytes(json);
+        } catch (const ConfigError &e) {
+            event("status: request from " + peer + " failed: " +
+                  e.what());
+        }
+    }
+}
+
+std::string
+Orchestrator::statusJson(const StreamingMerger &merger) const
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    auto counterOf = [&](const char *name) {
+        return reg.counter(name).value();
+    };
+    std::uint64_t mean_us = 0, p50 = 0, p95 = 0, p99 = 0;
+    REGATE_OBS({
+        auto &h = reg.histogram("fleet.case_duration_us");
+        if (h.count() > 0) {
+            mean_us = static_cast<std::uint64_t>(h.mean());
+            p50 = h.percentile(0.50);
+            p95 = h.percentile(0.95);
+            p99 = h.percentile(0.99);
+        }
+    });
+    auto covered = merger.coveredCases();
+    auto remaining =
+        plan_.cases > covered ? plan_.cases - covered : 0;
+    // ETA model: remaining cases at the fleet-wide mean case
+    // duration — the same signal pickStraggler() speculates on.
+    // 0.000 until the first sample lands.
+    double eta_s = mean_us > 0 ? static_cast<double>(remaining) *
+                                     static_cast<double>(mean_us) /
+                                     1e6
+                               : 0.0;
+    char buf[64];
+    std::string body;
+    body += "{\n\"obs\": \"regate-status\",\n\"version\": 1,\n";
+    body += "\"bin\": ";
+    appendJsonString(body, binName_);
+    body += ",\n\"cases\": " + std::to_string(plan_.cases);
+    body += ",\n\"merged_cases\": " + std::to_string(covered);
+    body += ",\n\"shards\": " + std::to_string(plan_.shards);
+    body += ",\n\"completed_shards\": " +
+            std::to_string(completedShards_.size());
+    body += ",\n\"attempts\": " + std::to_string(attemptsStarted_);
+    body += ",\n\"retries\": " +
+            std::to_string(counterOf("orch.shard.retries"));
+    body += ",\n\"steal_spawned\": " +
+            std::to_string(counterOf("orch.steal.spawned"));
+    body += ",\n\"steal_wins\": " +
+            std::to_string(counterOf("orch.steal.wins"));
+    body += ",\n\"steal_losses\": " +
+            std::to_string(counterOf("orch.steal.losses"));
+    body += ",\n\"case_mean_us\": " + std::to_string(mean_us);
+    body += ",\n\"case_p50_us\": " + std::to_string(p50);
+    body += ",\n\"case_p95_us\": " + std::to_string(p95);
+    body += ",\n\"case_p99_us\": " + std::to_string(p99);
+    std::snprintf(buf, sizeof(buf), "%.3f", eta_s);
+    body += ",\n\"eta_s\": ";
+    body += buf;
+    body += ",\n\"slots\": [";
+    auto now = Clock::now();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        const auto &slot = slots_[s];
+        body += s ? ",\n" : "\n";
+        body += "{\"name\": ";
+        appendJsonString(body, slot.name);
+        body += ", \"alive\": ";
+        body += slot.alive ? "true" : "false";
+        body += ", \"busy\": ";
+        body += slot.busy ? "true" : "false";
+        body += ", \"shard\": " +
+                std::to_string(slot.busy ? slot.shard : -1);
+        body += ", \"attempt\": " +
+                std::to_string(slot.busy ? slot.attempt : -1);
+        body += ", \"speculative\": ";
+        body += slot.busy && slot.speculative ? "true" : "false";
+        auto age_ms =
+            slot.busy
+                ? std::chrono::duration_cast<
+                      std::chrono::milliseconds>(
+                      now - slot.lastProgress)
+                      .count()
+                : -1;
+        body += ", \"heartbeat_age_ms\": " + std::to_string(age_ms);
+        body += ", \"progress\": ";
+        appendJsonString(body,
+                         slot.busy ? slot.progressDetail : "");
+        body += "}";
+    }
+    body += "\n],\n";
+    // Digest footer over everything above it, exactly like the
+    // metrics snapshot: clients can verify they parsed the same
+    // bytes the driver serialized.
+    std::string out = std::move(body);
+    out += "\"digest\": \"";
+    out += hexDigest64(fnv1a64(out.data(), out.size()));
+    out += "\"\n}\n";
+    return out;
 }
 
 }  // namespace

@@ -178,6 +178,17 @@ struct OrchOptions
      */
     std::string metricsOut;
 
+    /**
+     * Live status endpoint (`--status-port`): serve a canonical
+     * JSON snapshot of the running sweep — shards in flight,
+     * per-slot heartbeat age, attempt/steal/retry counts,
+     * p50/p95/p99 of fleet.case_duration_us, ETA — one request per
+     * connection (see net/agent_protocol.h `status`). 0 = ephemeral
+     * (the bound port is announced as a `status: listening on port
+     * N` event); -1 disables.
+     */
+    int statusPort = -1;
+
     /// Event sink ("orch: ..." lines); null = silent.
     std::ostream *events = nullptr;
 };

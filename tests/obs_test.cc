@@ -173,6 +173,78 @@ TEST_F(MetricsTest, CounterValuesSortedByName)
     EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
 }
 
+TEST_F(MetricsTest, HistogramPercentilesFromBucketBounds)
+{
+    auto &h = MetricsRegistry::instance().histogram(
+        "test.pct.hist", {10, 100, 1000});
+    // 10 samples: 6 in <=10, 3 in <=100, 1 in <=1000. Percentiles
+    // report the inclusive upper bound of the covering bucket.
+    h.record(5, 6);
+    h.record(50, 3);
+    h.record(500, 1);
+    EXPECT_EQ(h.percentile(0.50), 10u);
+    EXPECT_EQ(h.percentile(0.60), 10u);
+    EXPECT_EQ(h.percentile(0.61), 100u);
+    EXPECT_EQ(h.percentile(0.90), 100u);
+    EXPECT_EQ(h.percentile(0.95), 1000u);
+    EXPECT_EQ(h.percentile(0.99), 1000u);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+    // q clamps; rank floors at the first sample.
+    EXPECT_EQ(h.percentile(0.0), 10u);
+    EXPECT_EQ(h.percentile(-1.0), 10u);
+    EXPECT_EQ(h.percentile(2.0), 1000u);
+}
+
+TEST_F(MetricsTest, HistogramPercentileEdgeCases)
+{
+    // Empty: 0, not a crash.
+    auto &empty =
+        MetricsRegistry::instance().histogram("test.pct.empty");
+    EXPECT_EQ(empty.percentile(0.99), 0u);
+
+    // Overflow-bucket samples report the largest finite bound — a
+    // documented lower bound, still canonical and integer.
+    std::vector<std::uint64_t> bounds = {10, 100};
+    std::vector<std::uint64_t> buckets = {0, 0, 4};
+    EXPECT_EQ(histogramPercentile(bounds, buckets, 4, 0.5), 100u);
+    EXPECT_EQ(histogramPercentile(bounds, buckets, 4, 0.99), 100u);
+    EXPECT_EQ(histogramPercentile(bounds, buckets, 0, 0.5), 0u);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesDerivedQuantiles)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram("test.quant.dur", {10, 100, 1000});
+    h.record(5, 98);
+    h.record(500, 2);
+    auto snapshot = reg.snapshotJson();
+    EXPECT_NE(snapshot.find("\"test.quant.dur\": {\"count\": 100, "
+                            "\"sum\": 1490, \"mean\": 14.9, "
+                            "\"p50\": 10, \"p95\": 10, "
+                            "\"p99\": 1000"),
+              std::string::npos)
+        << snapshot;
+}
+
+TEST_F(MetricsTest, WriteSnapshotIsAtomicAndCanonical)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.addCounter("test.write.hits", 3);
+    std::string path =
+        ::testing::TempDir() + "obs_write_snapshot.json";
+    auto returned = reg.writeSnapshot(path);
+    EXPECT_EQ(returned, reg.snapshotJson());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), returned);
+    // The .part staging file was renamed away, not left behind.
+    EXPECT_FALSE(std::ifstream(path + ".part").good());
+    std::remove(path.c_str());
+}
+
 TEST_F(MetricsTest, SnapshotIsByteStableAndStateSensitive)
 {
     auto &reg = MetricsRegistry::instance();
@@ -291,6 +363,146 @@ TEST(TraceRecorderTest, RecordsSpansAndFlushesSortedJson)
     std::stringstream buffer2;
     buffer2 << again.rdbuf();
     EXPECT_EQ(buffer2.str(), text);
+    std::remove(path.c_str());
+}
+
+// ------------------------- FlightRecorder -------------------------
+
+/** Slurp @p path; empty string when unreadable. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+class FlightRecorderTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The rings are process-wide; tests share them via reset.
+        FlightRecorder::instance().resetForTest();
+        FlightRecorder::setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        FlightRecorder::instance().resetForTest();
+        FlightRecorder::setEnabled(true);
+    }
+};
+
+TEST_F(FlightRecorderTest, DumpEmitsSortedParseableEvents)
+{
+    auto &fr = FlightRecorder::instance();
+    ASSERT_TRUE(fr.enabled());
+    fr.instant("flight.first", "detail-1");
+    auto t0 = fr.nowUs();
+    fr.begin("flight.open");
+    fr.instant("flight.mid", nullptr, 5);
+    fr.complete("flight.span", t0, fr.nowUs(), "k=v", 7);
+    // "flight.open" stays open on purpose: a dump must render the
+    // 'B' without a matching 'E'.
+
+    std::string path =
+        ::testing::TempDir() + "obs_flight_dump.json";
+    ASSERT_TRUE(fr.dump(path));
+    auto text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.front(), '[');
+    for (const char *needle :
+         {"\"name\": \"flight.first\"", "\"ph\": \"i\"",
+          "\"name\": \"flight.open\"", "\"ph\": \"B\"",
+          "\"name\": \"flight.mid\"", "\"tid\": 5",
+          "\"name\": \"flight.span\"", "\"ph\": \"X\"",
+          "\"tid\": 7", "\"cat\": \"flight\"",
+          "\"args\": {\"detail\": \"detail-1\"}",
+          "\"args\": {\"detail\": \"k=v\"}"})
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing " << needle << " in:\n" << text;
+
+    // File order is ts-monotone (the handler's heapsort).
+    std::int64_t last_ts = -1;
+    std::size_t at = 0;
+    int events = 0;
+    while ((at = text.find("\"ts\": ", at)) != std::string::npos) {
+        at += 6;
+        auto ts = std::stoll(text.substr(at));
+        EXPECT_GE(ts, last_ts);
+        last_ts = ts;
+        ++events;
+    }
+    EXPECT_EQ(events, 4);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, SetEnabledGatesRecording)
+{
+    auto &fr = FlightRecorder::instance();
+    FlightRecorder::setEnabled(false);
+    EXPECT_FALSE(fr.enabled());
+    fr.instant("flight.gated");
+
+    FlightRecorder::setEnabled(true);
+    fr.instant("flight.ungated");
+
+    std::string path =
+        ::testing::TempDir() + "obs_flight_gate.json";
+    ASSERT_TRUE(fr.dump(path));
+    auto text = slurp(path);
+    EXPECT_EQ(text.find("flight.gated\""), std::string::npos);
+    EXPECT_NE(text.find("flight.ungated"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, SpanMirrorsBeginEndIntoRings)
+{
+    {
+        TraceRecorder::Span span("flight.mirrored", "test");
+    }
+    std::string path =
+        ::testing::TempDir() + "obs_flight_span.json";
+    ASSERT_TRUE(FlightRecorder::instance().dump(path));
+    auto text = slurp(path);
+    // Both edges landed: the 'B' at construction, the 'E' at scope
+    // exit (so a crash between them leaves the open 'B' only).
+    auto b = text.find("\"name\": \"flight.mirrored\", "
+                       "\"cat\": \"flight\", \"ph\": \"B\"");
+    auto e = text.find("\"name\": \"flight.mirrored\", "
+                       "\"cat\": \"flight\", \"ph\": \"E\"");
+    EXPECT_NE(b, std::string::npos) << text;
+    EXPECT_NE(e, std::string::npos) << text;
+    EXPECT_LT(b, e);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, LongNamesAndDetailsTruncateSafely)
+{
+    auto &fr = FlightRecorder::instance();
+    std::string long_name(3 * FlightRecorder::kNameBytes, 'n');
+    std::string long_detail(3 * FlightRecorder::kDetailBytes, 'd');
+    fr.instant(long_name.c_str(), long_detail.c_str());
+
+    std::string path =
+        ::testing::TempDir() + "obs_flight_trunc.json";
+    ASSERT_TRUE(fr.dump(path));
+    auto text = slurp(path);
+    // Truncated to the fixed slot capacity (minus the NUL), never
+    // overflowing into adjacent fields.
+    EXPECT_NE(text.find('"' +
+                        std::string(FlightRecorder::kNameBytes - 1,
+                                    'n') +
+                        '"'),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(text.find(std::string(FlightRecorder::kNameBytes,
+                                    'n')),
+              std::string::npos);
     std::remove(path.c_str());
 }
 

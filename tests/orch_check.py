@@ -11,6 +11,10 @@ acceptance criteria pin:
    retried on a different slot, and the orchestrated `--render`
    output must be byte-identical to an unsharded run — as must the
    merged document vs the binary's own `--shard 0/1` document.
+   Each retry must also dump the always-on flight recorder: a
+   `merged.json.postmortem.json` that passes
+   `trace_check.py --postmortem` and names the doomed attempts'
+   spans, without perturbing the byte-identical outputs.
 
 2. fig21 straggler-vs-stall: a shard whose cases are slowed (but
    which keeps emitting per-case heartbeats) runs far past the
@@ -60,6 +64,13 @@ acceptance criteria pin:
    observation per grid case; render and merged document must stay
    byte-identical to a telemetry-off unsharded run — observing the
    sweep must not change its output.
+
+9. Live status: a sweep started with `--status-port 0` announces
+   its bound port and answers `status` frames mid-run with the
+   canonical digest-sealed JSON snapshot (queried twice through
+   tools/regate_top.py — raw and rendered — proving the listener
+   re-accepts, one request per connection), while render output
+   stays byte-identical to an unsharded run.
 """
 
 import argparse
@@ -73,6 +84,9 @@ import tempfile
 import threading
 import time
 from pathlib import Path
+
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
 
 
 def run(cmd, **kwargs):
@@ -116,8 +130,31 @@ def check_injected_failures(orch, binary, tmp):
             f"fig02: no heartbeat-stall kill in events:\n{events}")
     require(events.count("retrying on another slot") >= 2,
             f"fig02: kill+stall were not both retried:\n{events}")
+
+    # Every retry dumps the always-on flight recorder beside the
+    # merged document. The dump must be postmortem-clean and carry
+    # the doomed attempts' story — and its existence must not have
+    # perturbed the byte-identical outputs asserted above.
+    pm = rundir / "merged.json.postmortem.json"
+    require(pm.exists(),
+            f"fig02: retries left no postmortem dump:\n{events}")
+    require("postmortem: wrote" in events,
+            f"fig02: no postmortem event line:\n{events}")
+    run([sys.executable, str(TOOLS / "trace_check.py"),
+         "--postmortem", str(pm)])
+    pm_names = {ev["name"] for ev in json.loads(pm.read_text())}
+    require("shard.retry" in pm_names,
+            f"fig02: postmortem lacks shard.retry instants: "
+            f"{sorted(pm_names)}")
+    require("shard.assign" in pm_names,
+            f"fig02: postmortem lacks shard.assign instants: "
+            f"{sorted(pm_names)}")
+    require(any(n.startswith("shard ") for n in pm_names),
+            f"fig02: postmortem names no shard span: "
+            f"{sorted(pm_names)}")
     print("orch fig02: worker kill + heartbeat stall retried; "
-          "render and merged document byte-identical")
+          "postmortem dump validates; render and merged document "
+          "byte-identical")
 
 
 def check_straggler_survives(orch, binary, tmp):
@@ -657,6 +694,108 @@ def check_telemetry(orch, agent_bin, binary, tmp):
           "document byte-identical to a telemetry-off run")
 
 
+STATUS_KEYS = ["obs", "version", "bin", "cases", "merged_cases",
+               "shards", "completed_shards", "attempts", "retries",
+               "steal_spawned", "steal_wins", "steal_losses",
+               "case_mean_us", "case_p50_us", "case_p95_us",
+               "case_p99_us", "eta_s", "slots", "digest"]
+SLOT_KEYS = ["name", "alive", "busy", "shard", "attempt",
+             "speculative", "heartbeat_age_ms", "progress"]
+
+
+def check_status(orch, binary, tmp):
+    """Scenario 9: the --status-port endpoint queried mid-sweep."""
+    reference = run([binary]).stdout
+    cases = int(run([binary, "--cases"]).stdout)
+
+    rundir = tmp / "status_run"
+    orch_log = tmp / "status_orch.log"
+    out_path = tmp / "status_render.out"
+    top = TOOLS / "regate_top.py"
+    with open(orch_log, "wb") as log, open(out_path, "wb") as out:
+        # The slow last shard (live heartbeats, so never
+        # stall-killed) keeps the sweep running long enough that
+        # both queries below land strictly mid-run.
+        orch_proc = subprocess.Popen(
+            [orch, "--bin", str(binary), "--dir", str(rundir),
+             "--workers", "2", "--granularity", "2",
+             "--status-port", "0",
+             "--stall-timeout-s", "60",
+             "--inject-slow-shard", "3",
+             "--slow-case-seconds", "1",
+             "--render"],
+            stdout=out, stderr=log)
+        try:
+            deadline = time.time() + 30
+            port = None
+            while time.time() < deadline:
+                m = re.search(rb"status: listening on port (\d+)",
+                              orch_log.read_bytes())
+                if m:
+                    port = int(m.group(1))
+                    break
+                if orch_proc.poll() is not None:
+                    sys.exit("status: orchestrator exited before "
+                             "announcing its status port:\n" +
+                             orch_log.read_bytes().decode(
+                                 errors="replace"))
+                time.sleep(0.05)
+            require(port is not None,
+                    "status: no status port announced within 30s")
+
+            # Two separate connections through the shipped client —
+            # regate_top verifies the digest footer itself, so a
+            # torn or non-canonical reply fails here. Two queries
+            # prove the listener re-accepts (one request per
+            # connection, not a one-shot).
+            raw = run([sys.executable, str(top), "--port",
+                       str(port), "--once", "--raw"]).stdout
+            st = json.loads(raw)
+            require(list(st.keys()) == STATUS_KEYS,
+                    f"status: non-canonical key order: "
+                    f"{list(st.keys())}")
+            require(st["obs"] == "regate-status"
+                    and st["version"] == 1,
+                    f"status: bad header: {st['obs']!r} "
+                    f"v{st['version']}")
+            require(st["cases"] == cases,
+                    f"status: snapshot says {st['cases']} cases, "
+                    f"grid has {cases}")
+            require(st["shards"] == 4 and len(st["slots"]) == 2,
+                    f"status: want 4 shards over 2 slots, got "
+                    f"{st['shards']}/{len(st['slots'])}")
+            for slot in st["slots"]:
+                require(list(slot.keys()) == SLOT_KEYS,
+                        f"status: non-canonical slot keys: "
+                        f"{list(slot.keys())}")
+            require(st["merged_cases"] < cases,
+                    "status: sweep already complete — the query "
+                    "was not a mid-run snapshot")
+            require(st["attempts"] >= 1, "status: no attempts yet")
+
+            rendered = run([sys.executable, str(top), "--port",
+                            str(port), "--once"]).stdout.decode()
+            require("SLOT" in rendered and "ETA" in rendered,
+                    f"status: regate_top render lacks the fleet "
+                    f"table:\n{rendered}")
+
+            rc = orch_proc.wait(timeout=300)
+        finally:
+            if orch_proc.poll() is None:
+                orch_proc.kill()
+                orch_proc.wait()
+
+    events = orch_log.read_bytes().decode(errors="replace")
+    require(rc == 0,
+            f"status: orchestrator failed (exit {rc}):\n{events}")
+    require(out_path.read_bytes() == reference,
+            "status: observed render differs from unsharded run")
+    print(f"orch status: mid-sweep snapshot at "
+          f"{st['merged_cases']}/{cases} cases over two "
+          "connections, canonical keys and digest verified; render "
+          "byte-identical")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--orch", required=True,
@@ -667,7 +806,7 @@ def main():
                     help="directory holding the figure binaries")
     ap.add_argument("--only",
                     choices=["fleet", "elastic", "spec",
-                             "telemetry"],
+                             "telemetry", "status"],
                     help="run just one scenario (CI fleet jobs)")
     args = ap.parse_args()
 
@@ -685,6 +824,9 @@ def main():
     with tempfile.TemporaryDirectory() as tmpdir:
         tmp = Path(tmpdir)
         if args.only:
+            if args.only == "status":
+                check_status(args.orch, fig02, tmp)
+                return 0
             if not args.agent:
                 sys.exit(f"--only {args.only} needs --agent")
             scenario = {"fleet": check_fleet,
@@ -694,6 +836,7 @@ def main():
             scenario(args.orch, args.agent, fig02, tmp)
             return 0
         check_injected_failures(args.orch, fig02, tmp)
+        check_status(args.orch, fig02, tmp)
         check_straggler_survives(args.orch, fig21, tmp)
         check_resume(args.orch, fig21, tmp)
         check_probe_rejects(args.orch, args.agent, fig15, tmp)

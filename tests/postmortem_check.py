@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Flight-recorder postmortem path, end to end (bench/flight_probe).
+
+Scenarios:
+
+1. SIGSEGV mid-sweep inside an open span: the probe must die with
+   the real signal status (the handler re-raises with the default
+   disposition), leave a `trace_check.py --postmortem`-clean dump
+   whose timestamps are monotone and whose open-span frontier names
+   the interrupted case, AND salvage the partial --trace-out buffer
+   that the orderly flush never got to write.
+2. SIGABRT and SIGTERM take the same path.
+3. Clean run (--signal none): exit 0, NO postmortem appears, and
+   the trace flushes normally.
+4. REGATE_FLIGHT_KB=0 disables the recorder: the crash still kills
+   the process with the right signal, and no dump is written.
+
+Usage: postmortem_check.py --probe BUILD/flight_probe
+                           --trace-check tools/trace_check.py
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run(cmd, env=None):
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    return subprocess.run([str(c) for c in cmd], env=merged,
+                         capture_output=True, text=True)
+
+
+def check(ok, what, detail=""):
+    if not ok:
+        sys.exit(f"FAIL: {what}\n{detail}")
+    print(f"ok: {what}")
+
+
+def validate_postmortem(trace_check, path):
+    proc = run([sys.executable, trace_check, "--postmortem", path])
+    check(proc.returncode == 0,
+          f"{Path(path).name} passes trace_check --postmortem",
+          proc.stdout + proc.stderr)
+    return json.loads(Path(path).read_text())
+
+
+def signal_case(args, tmp, name, signum):
+    pm = Path(tmp) / f"{name}.postmortem.json"
+    tr = Path(tmp) / f"{name}.trace.json"
+    proc = run([args.probe, "--postmortem", pm, "--trace-out", tr,
+                "--signal", name])
+    # ASan builds report SIGSEGV/SIGABRT through their own exit
+    # path AFTER our handler ran; accept either the raw signal
+    # status or ASan's nonzero exit, never success.
+    died_by_signal = proc.returncode == -signum
+    check(died_by_signal or proc.returncode not in (0, None),
+          f"{name}: probe died ({proc.returncode})",
+          proc.stderr)
+    check(pm.exists(), f"{name}: postmortem dump exists")
+    events = validate_postmortem(args.trace_check, pm)
+
+    names = {ev["name"] for ev in events}
+    check(f"signal.{signal.Signals(signum).name}" in names,
+          f"{name}: dump records the fatal signal instant",
+          str(sorted(names)))
+    check("probe.doom" in names,
+          f"{name}: dump holds the pre-crash history")
+    open_bs = [ev for ev in events if ev["ph"] == "B"]
+    check(any(ev["name"] == "probe.case" for ev in open_bs),
+          f"{name}: the interrupted span is open in the dump")
+    ts = [ev["ts"] for ev in events]
+    check(ts == sorted(ts), f"{name}: timestamps are monotone")
+
+    # The partial trace the crash handler salvaged must itself be
+    # parseable (open spans allowed — the orderly flush never ran).
+    check(tr.exists(), f"{name}: partial --trace-out salvaged")
+    proc = run([sys.executable, args.trace_check, "--postmortem",
+                tr])
+    check(proc.returncode == 0,
+          f"{name}: salvaged trace passes trace_check --postmortem",
+          proc.stdout + proc.stderr)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--probe", required=True)
+    ap.add_argument("--trace-check", required=True)
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        signal_case(args, tmp, "segv", signal.SIGSEGV)
+        signal_case(args, tmp, "abrt", signal.SIGABRT)
+        signal_case(args, tmp, "term", signal.SIGTERM)
+
+        pm = Path(tmp) / "clean.postmortem.json"
+        tr = Path(tmp) / "clean.trace.json"
+        proc = run([args.probe, "--postmortem", pm, "--trace-out",
+                    tr, "--signal", "none"])
+        check(proc.returncode == 0, "clean: probe exits 0",
+              proc.stderr)
+        check(not pm.exists(), "clean: no postmortem appears")
+        proc = run([sys.executable, args.trace_check, str(tr)])
+        check(proc.returncode == 0,
+              "clean: trace flushes and validates strictly",
+              proc.stdout + proc.stderr)
+
+        pm = Path(tmp) / "disabled.postmortem.json"
+        proc = run([args.probe, "--postmortem", pm, "--signal",
+                    "term"], env={"REGATE_FLIGHT_KB": "0"})
+        check(proc.returncode != 0,
+              f"disabled: probe still dies ({proc.returncode})")
+        check(not pm.exists(),
+              "disabled: REGATE_FLIGHT_KB=0 writes no dump")
+
+    print("postmortem_check: all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

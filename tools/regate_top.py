@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Live terminal view of a running regate_orch sweep.
+
+Polls the orchestrator's `--status-port` endpoint (one `status`
+frame per TCP connection, answered with a canonical-JSON snapshot;
+see src/net/agent_protocol.h) and renders a refreshing fleet table:
+sweep progress, attempt/retry/steal counters, the fleet-wide case
+latency quantiles, ETA, and one row per fleet slot with its
+heartbeat age.
+
+    regate_top.py --port 9400 [--host localhost] [--interval 2]
+    regate_top.py --port 9400 --once        # one snapshot, no UI
+    regate_top.py --port 9400 --once --raw  # raw canonical JSON
+
+The snapshot carries the same FNV-1a digest footer as the metrics
+snapshot; every poll re-verifies it, so a torn or tampered reply is
+an error, never a silently wrong display.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+MAGIC = "@regate-net"
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def verify_digest(raw):
+    """Check the snapshot's digest footer (computed over every byte
+    up to and including the opening quote of its value)."""
+    marker = b'"digest": "'
+    at = raw.rfind(marker)
+    if at < 0:
+        raise ValueError("snapshot carries no digest footer")
+    prefix_end = at + len(marker)
+    want = raw[prefix_end:prefix_end + 16].decode("ascii")
+    got = format(fnv1a64(raw[:prefix_end]), "016x")
+    if want != got:
+        raise ValueError(f"snapshot digest mismatch: footer says "
+                         f"{want}, bytes hash to {got}")
+
+
+def fetch_status(host, port, timeout=5.0):
+    """One status request; returns (parsed dict, raw bytes)."""
+    with socket.create_connection((host, port), timeout=timeout) as s:
+        s.sendall(f"{MAGIC} v1 status\n".encode())
+        f = s.makefile("rb")
+        line = f.readline().decode(errors="replace").rstrip("\n")
+        parts = line.split()
+        if (len(parts) < 4 or parts[0] != MAGIC
+                or parts[2] != "status-reply"
+                or not parts[3].startswith("bytes=")):
+            raise ValueError(f"unexpected status reply: {line!r}")
+        n = int(parts[3][len("bytes="):])
+        raw = f.read(n)
+        if len(raw) != n:
+            raise ValueError(f"short status payload: "
+                             f"{len(raw)}/{n} bytes")
+    verify_digest(raw)
+    return json.loads(raw), raw
+
+
+def fmt_age(ms):
+    if ms < 0:
+        return "-"
+    if ms < 10_000:
+        return f"{ms}ms"
+    return f"{ms / 1000:.1f}s"
+
+
+def fmt_eta(eta_s):
+    if eta_s <= 0:
+        return "-"
+    if eta_s < 120:
+        return f"{eta_s:.0f}s"
+    return f"{eta_s / 60:.1f}m"
+
+
+def render(st):
+    lines = []
+    cases, merged = st["cases"], st["merged_cases"]
+    pct = 100.0 * merged / cases if cases else 0.0
+    lines.append(f"regate_orch {st['bin']} — {merged}/{cases} cases "
+                 f"({pct:.1f}%), {st['completed_shards']}/"
+                 f"{st['shards']} shards, ETA {fmt_eta(st['eta_s'])}")
+    lines.append(f"attempts {st['attempts']}  retries "
+                 f"{st['retries']}  steals {st['steal_spawned']} "
+                 f"(won {st['steal_wins']}, lost "
+                 f"{st['steal_losses']})  case us: "
+                 f"mean {st['case_mean_us']}  p50 {st['case_p50_us']}"
+                 f"  p95 {st['case_p95_us']}  p99 {st['case_p99_us']}")
+    lines.append("")
+    lines.append(f"{'SLOT':<22} {'STATE':<6} {'SHARD':>5} "
+                 f"{'ATT':>3} {'SPEC':>4} {'HB AGE':>8} PROGRESS")
+    for slot in st["slots"]:
+        state = ("busy" if slot["busy"]
+                 else "idle" if slot["alive"] else "gone")
+        lines.append(
+            f"{slot['name']:<22} {state:<6} "
+            f"{slot['shard'] if slot['busy'] else '-':>5} "
+            f"{slot['attempt'] if slot['busy'] else '-':>3} "
+            f"{'yes' if slot['speculative'] else '-':>4} "
+            f"{fmt_age(slot['heartbeat_age_ms']):>8} "
+            f"{slot['progress'] or '-'}")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--host", default="localhost")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--interval", type=float, default=2.0,
+                    help="refresh period in seconds")
+    ap.add_argument("--once", action="store_true",
+                    help="print one snapshot and exit (scriptable)")
+    ap.add_argument("--raw", action="store_true",
+                    help="with --once: print the raw canonical JSON")
+    args = ap.parse_args()
+
+    if args.once:
+        st, raw = fetch_status(args.host, args.port)
+        if args.raw:
+            sys.stdout.buffer.write(raw)
+        else:
+            print(render(st))
+        return 0
+
+    try:
+        while True:
+            try:
+                st, _ = fetch_status(args.host, args.port)
+            except (OSError, ValueError) as e:
+                # The sweep finishing closes the listener; that is
+                # the normal way a watch session ends.
+                print(f"\nregate_top: {e}")
+                return 0
+            # ANSI clear + home keeps the view flicker-free without
+            # any curses dependency.
+            sys.stdout.write("\x1b[2J\x1b[H" + render(st) + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

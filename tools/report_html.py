@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Fuse a sweep's telemetry artifacts into one self-contained HTML
+observability report.
+
+    report_html.py --out report.html \
+        [--metrics metrics.json ...] \
+        [--trace trace.json ...] \
+        [--postmortem run.postmortem.json ...] \
+        [--title "fig02 fleet sweep"]
+
+Inputs are what the fleet already writes: `--metrics-out` snapshots
+(obs::MetricsRegistry canonical JSON), `--trace-out` Chrome
+trace-event timelines (obs::TraceRecorder), and flight-recorder
+postmortem dumps (obs::FlightRecorder). The report embeds everything
+inline — no external scripts, stylesheets, or fonts — so it can be
+archived as a CI artifact and opened anywhere:
+
+- counter/gauge tables and histogram rows with the canonical
+  p50/p95/p99 columns, plus pure-CSS bucket bar charts;
+- an SVG lane timeline per trace (one row per pid/tid lane, spans as
+  rectangles, instants as ticks), honoring explicit fleet lanes;
+- the retry/steal story: every shard.retry / shard.steal /
+  postmortem.dump / signal.* event across all inputs, in time order;
+- postmortem sections flagging the spans left open at the crash.
+"""
+
+import argparse
+import html
+import json
+import sys
+from pathlib import Path
+
+
+def esc(text):
+    return html.escape(str(text), quote=True)
+
+
+def load_json(path):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: not readable JSON: {e}")
+
+
+# ----------------------------- metrics -----------------------------
+
+def metrics_section(path, doc):
+    if doc.get("obs") != "regate-metrics":
+        sys.exit(f"{path}: not a regate metrics snapshot "
+                 f"(obs={doc.get('obs')!r})")
+    out = [f"<h2>Metrics — {esc(path)}</h2>"]
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    if counters or gauges:
+        out.append("<table><tr><th>name</th><th>value</th></tr>")
+        for name, value in sorted(counters.items()):
+            out.append(f"<tr><td>{esc(name)}</td>"
+                       f"<td class=num>{value}</td></tr>")
+        for name, value in sorted(gauges.items()):
+            out.append(f"<tr><td>{esc(name)} (gauge)</td>"
+                       f"<td class=num>{value}</td></tr>")
+        out.append("</table>")
+    hists = doc.get("histograms", {})
+    if hists:
+        out.append("<table><tr><th>histogram</th><th>count</th>"
+                   "<th>mean</th><th>p50</th><th>p95</th><th>p99</th>"
+                   "<th>buckets</th></tr>")
+        for name, h in sorted(hists.items()):
+            out.append(
+                f"<tr><td>{esc(name)}</td>"
+                f"<td class=num>{h['count']}</td>"
+                f"<td class=num>{h['mean']:.1f}</td>"
+                f"<td class=num>{h.get('p50', '-')}</td>"
+                f"<td class=num>{h.get('p95', '-')}</td>"
+                f"<td class=num>{h.get('p99', '-')}</td>"
+                f"<td>{bucket_bars(h)}</td></tr>")
+        out.append("</table>")
+    return "\n".join(out)
+
+
+def bucket_bars(h):
+    """Inline-CSS bar chart of one histogram's buckets."""
+    buckets = h.get("buckets", [])
+    bounds = h.get("bounds", [])
+    peak = max(buckets) if buckets else 0
+    if peak == 0:
+        return "<span class=dim>empty</span>"
+    bars = []
+    for i, n in enumerate(buckets):
+        label = (f"&le;{bounds[i]}" if i < len(bounds)
+                 else f"&gt;{bounds[-1]}")
+        height = max(1, round(36 * n / peak)) if n else 0
+        title = f"{label}: {n}"
+        bars.append(f"<span class=bar title='{esc(title)}' "
+                    f"style='height:{height}px'></span>")
+    return f"<span class=bars>{''.join(bars)}</span>"
+
+
+# ----------------------------- timeline ----------------------------
+
+LANE_H = 22
+LANE_PAD = 4
+CHART_W = 960
+LABEL_W = 150
+
+SPAN_COLORS = ["#4e79a7", "#f28e2b", "#76b7b2", "#59a14f",
+               "#edc948", "#b07aa1", "#ff9da7", "#9c755f"]
+
+
+def timeline_svg(path, events, postmortem=False):
+    """SVG lane timeline: spans as rects, instants as ticks."""
+    spans, instants, open_spans = [], [], []
+    open_stack = {}
+    for ev in events:
+        lane = (ev.get("pid", 0), ev.get("tid", 0))
+        ph = ev.get("ph")
+        if ph == "X":
+            spans.append((lane, ev["ts"], ev.get("dur", 0),
+                          ev["name"], False))
+        elif ph == "i":
+            instants.append((lane, ev["ts"], ev["name"]))
+        elif ph == "B":
+            open_stack.setdefault((lane, ev["name"]), []).append(
+                ev["ts"])
+        elif ph == "E":
+            starts = open_stack.get((lane, ev["name"]))
+            if starts:
+                ts0 = starts.pop()
+                spans.append((lane, ts0, max(0, ev["ts"] - ts0),
+                              ev["name"], False))
+    t_end = 0
+    for lane, ts, dur, name, _ in spans:
+        t_end = max(t_end, ts + dur)
+    for lane, ts, name in instants:
+        t_end = max(t_end, ts)
+    # Spans still open at the crash render to the dump's horizon,
+    # hatched, so the frontier is visible at a glance.
+    for (lane, name), starts in sorted(open_stack.items()):
+        for ts in starts:
+            open_spans.append((lane, ts, name))
+            t_end = max(t_end, ts)
+    if t_end == 0:
+        t_end = 1
+    lanes = sorted({s[0] for s in spans} | {i[0] for i in instants} |
+                   {o[0] for o in open_spans})
+    lane_y = {lane: i for i, lane in enumerate(lanes)}
+    height = len(lanes) * (LANE_H + LANE_PAD) + 24
+
+    def x(ts):
+        return LABEL_W + (CHART_W - LABEL_W) * ts / t_end
+
+    def y(lane):
+        return 4 + lane_y[lane] * (LANE_H + LANE_PAD)
+
+    color = {}
+    parts = [f"<svg viewBox='0 0 {CHART_W} {height}' "
+             f"class=timeline role=img>"]
+    for lane in lanes:
+        parts.append(
+            f"<text x=4 y={y(lane) + LANE_H - 6} class=lane>"
+            f"{esc(f'pid {lane[0]} / lane {lane[1]}')}</text>")
+    for lane, ts, dur, name, _ in sorted(spans):
+        c = color.setdefault(name,
+                             SPAN_COLORS[len(color) %
+                                         len(SPAN_COLORS)])
+        w = max(1.0, x(ts + dur) - x(ts))
+        parts.append(
+            f"<rect x={x(ts):.1f} y={y(lane)} width={w:.1f} "
+            f"height={LANE_H - 8} fill='{c}'>"
+            f"<title>{esc(f'{name} [{ts}us +{dur}us]')}</title>"
+            f"</rect>")
+    for lane, ts, name in open_spans:
+        w = max(1.0, x(t_end) - x(ts))
+        parts.append(
+            f"<rect x={x(ts):.1f} y={y(lane)} width={w:.1f} "
+            f"height={LANE_H - 8} class=open>"
+            f"<title>{esc(f'{name} [open at crash, {ts}us…]')}"
+            f"</title></rect>")
+    for lane, ts, name in sorted(instants):
+        parts.append(
+            f"<line x1={x(ts):.1f} y1={y(lane)} x2={x(ts):.1f} "
+            f"y2={y(lane) + LANE_H - 4} class=tick>"
+            f"<title>{esc(f'{name} @{ts}us')}</title></line>")
+    parts.append(f"<text x={LABEL_W} y={height - 6} class=axis>0us"
+                 f"</text><text x={CHART_W - 4} y={height - 6} "
+                 f"class='axis end'>{t_end}us</text>")
+    parts.append("</svg>")
+    legend = "".join(
+        f"<span class=key><span class=swatch "
+        f"style='background:{c}'></span>{esc(name)}</span>"
+        for name, c in sorted(color.items()))
+    if open_spans:
+        legend += ("<span class=key><span class='swatch open'>"
+                   "</span>open at crash</span>")
+    return "".join(parts) + f"<div class=legend>{legend}</div>"
+
+
+def trace_section(path, events, postmortem=False):
+    kind = "Postmortem" if postmortem else "Trace"
+    out = [f"<h2>{kind} timeline — {esc(path)}</h2>",
+           f"<p class=dim>{len(events)} events</p>",
+           timeline_svg(path, events, postmortem)]
+    return "\n".join(out)
+
+
+# --------------------------- story section --------------------------
+
+STORY_NAMES = ("shard.retry", "shard.steal", "postmortem.dump",
+               "agent.assign")
+
+
+def story_section(sources):
+    """The retry/steal story: lifecycle markers across all inputs."""
+    rows = []
+    for path, events in sources:
+        for ev in events:
+            name = ev.get("name", "")
+            if name in STORY_NAMES or name.startswith("signal."):
+                detail = ""
+                args = ev.get("args")
+                if isinstance(args, dict):
+                    detail = " ".join(
+                        f"{k}={v}" for k, v in sorted(args.items()))
+                rows.append((ev.get("ts", 0), name, detail,
+                             Path(path).name))
+    if not rows:
+        return ("<h2>Retry / steal story</h2><p class=dim>No "
+                "retries, steals, or crashes recorded — a clean "
+                "sweep.</p>")
+    rows.sort()
+    out = ["<h2>Retry / steal story</h2>",
+           "<table><tr><th>ts (us)</th><th>event</th>"
+           "<th>detail</th><th>source</th></tr>"]
+    for ts, name, detail, src in rows:
+        cls = (" class=crash" if name.startswith("signal.")
+               or name == "postmortem.dump" else "")
+        out.append(f"<tr{cls}><td class=num>{ts}</td>"
+                   f"<td>{esc(name)}</td><td>{esc(detail)}</td>"
+                   f"<td>{esc(src)}</td></tr>")
+    out.append("</table>")
+    return "\n".join(out)
+
+
+# ------------------------------- page -------------------------------
+
+CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 1000px; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4e79a7; padding-bottom: .3em; }
+h2 { margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .6em 0; width: 100%; }
+th, td { border: 1px solid #d0d4da; padding: .25em .6em;
+         text-align: left; vertical-align: bottom; }
+th { background: #eef1f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.crash td { background: #fde8e8; }
+.dim { color: #777; }
+.bars { display: inline-flex; align-items: flex-end; gap: 1px;
+        height: 38px; }
+.bar { display: inline-block; width: 7px; background: #4e79a7;
+       min-height: 0; }
+svg.timeline { width: 100%; background: #fafbfc;
+               border: 1px solid #d0d4da; }
+svg .lane { font: 11px system-ui, sans-serif; fill: #555; }
+svg .axis { font: 10px system-ui, sans-serif; fill: #999; }
+svg .axis.end { text-anchor: end; }
+svg .tick { stroke: #c03; stroke-width: 1.5; }
+svg rect.open { fill: #c03; fill-opacity: .35;
+                stroke: #c03; stroke-dasharray: 3 2; }
+.legend { margin: .4em 0 1em; }
+.key { margin-right: 1.2em; font-size: 12px; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          margin-right: .3em; }
+.swatch.open { background: #c03; opacity: .5; }
+"""
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--metrics", action="append", default=[],
+                    help="--metrics-out snapshot (repeatable)")
+    ap.add_argument("--trace", action="append", default=[],
+                    help="--trace-out timeline (repeatable)")
+    ap.add_argument("--postmortem", action="append", default=[],
+                    help="flight-recorder dump (repeatable)")
+    ap.add_argument("--out", required=True,
+                    help="HTML file to write")
+    ap.add_argument("--title", default="regate observability report")
+    args = ap.parse_args()
+    if not (args.metrics or args.trace or args.postmortem):
+        ap.error("give at least one --metrics/--trace/--postmortem")
+
+    sections = []
+    event_sources = []
+    for path in args.metrics:
+        sections.append(metrics_section(path, load_json(path)))
+    for path in args.trace:
+        events = load_json(path)
+        if not isinstance(events, list):
+            sys.exit(f"{path}: trace top level is not an array")
+        event_sources.append((path, events))
+        sections.append(trace_section(path, events))
+    for path in args.postmortem:
+        events = load_json(path)
+        if not isinstance(events, list):
+            sys.exit(f"{path}: postmortem top level is not an array")
+        event_sources.append((path, events))
+        sections.append(trace_section(path, events,
+                                      postmortem=True))
+    sections.append(story_section(event_sources))
+
+    body = "\n".join(sections)
+    page = (f"<!doctype html>\n<html lang=en><head>"
+            f"<meta charset=utf-8>"
+            f"<title>{esc(args.title)}</title>"
+            f"<style>{CSS}</style></head>\n"
+            f"<body><h1>{esc(args.title)}</h1>\n{body}\n"
+            f"</body></html>\n")
+    Path(args.out).write_text(page)
+    print(f"{args.out}: {len(page)} bytes from "
+          f"{len(args.metrics)} metrics, {len(args.trace)} trace, "
+          f"{len(args.postmortem)} postmortem input(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
